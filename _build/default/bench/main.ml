@@ -1,0 +1,274 @@
+(* Benchmark harness.
+
+   `dune exec bench/main.exe` first regenerates every table/figure of the
+   paper (experiments E1-E8, shape reproduction — see EXPERIMENTS.md),
+   then runs one Bechamel micro-benchmark per experiment measuring the
+   wall-clock cost of its core computation.
+
+   `dune exec bench/main.exe -- --tables-only` skips the timing pass;
+   `-- --bench-only` skips the tables. *)
+
+module Sm = Prng.Splitmix
+module M = Oat.Mechanism.Make (Agg.Ops.Sum)
+
+let run_tables () =
+  print_endline "Online Aggregation over Trees — experiment harness";
+  print_endline "(paper: Plaxton, Tiwari, Yalagandula, IPPS 2007)";
+  let mismatches = Experiments.e1_figure2 () in
+  let transitions = Experiments.e2_figure4 () in
+  let c_star = Experiments.e3_figure5 () in
+  let t1 = Experiments.e4_theorem1 () in
+  let t2 = Experiments.e5_theorem2 () in
+  let t3 = Experiments.e6_theorem3 () in
+  let e7 = Experiments.e7_motivation () in
+  let inconsistencies = Experiments.e8_consistency () in
+  let e9 = Experiments.e9_ab_certificates () in
+  let e10 = Experiments.e10_coupling_gap () in
+  let e11 = Experiments.e11_latency () in
+  let e12 = Experiments.e12_scaling () in
+  let e13 = Experiments.e13_timed_leases () in
+  let e14 = Experiments.e14_cost_profile () in
+  let e15 = Experiments.e15_dht_load_spread () in
+  print_newline ();
+  print_endline "Summary";
+  print_endline "=======";
+  Printf.printf "E1 Figure 2 mismatching rows:        %d (expect 0)\n" mismatches;
+  Printf.printf "E2 Figure 4 non-trivial transitions: %d (expect 21)\n" transitions;
+  Printf.printf "E3 Figure 5 optimal c:               %.4f (expect 2.5)\n" c_star;
+  Printf.printf "E4 Theorem 1 max ratio:              %.3f (bound 2.5)\n" t1;
+  Printf.printf "E5 Theorem 2 max ratio:              %.3f (bound ~5)\n" t2;
+  Printf.printf "E6 Theorem 3 min adversarial ratio:  %.3f (bound 2.5)\n" t3;
+  Printf.printf "E7 adaptive-vs-static shape holds:   %s\n"
+    (if e7 = 1 then "yes" else "NO");
+  Printf.printf "E8 consistency violations:           %d (expect 0)\n"
+    inconsistencies;
+  Printf.printf "E9 class-minimum certified ratio:    %.3f (expect 2.5 at (1,2))\n"
+    e9;
+  Printf.printf "E10 per-edge vs coupled OPT gap:     %d (expect 0)\n" e10;
+  Printf.printf "E11 latency ordering holds:          %s\n"
+    (if e11 = 1 then "yes" else "NO");
+  Printf.printf "E12 scaling shape holds:             %s\n"
+    (if e12 = 1 then "yes" else "NO");
+  Printf.printf "E13 RWW within 2x of best TTL:       %s\n"
+    (if e13 = 1 then "yes" else "NO");
+  Printf.printf "E14 cost-distribution shape holds:   %s\n"
+    (if e14 = 1 then "yes" else "NO");
+  Printf.printf "E15 DHT load-spreading shape holds:  %s\n"
+    (if e15 = 1 then "yes" else "NO");
+  let ok =
+    mismatches = 0 && transitions = 21
+    && Float.abs (c_star -. 2.5) < 1e-6
+    && t1 <= 2.5 +. 1e-9
+    && t3 >= 2.5 -. 0.05
+    && e7 = 1 && inconsistencies = 0
+    && Float.abs (e9 -. 2.5) < 1e-6
+    && e10 = 0 && e11 = 1 && e12 = 1 && e13 = 1 && e14 = 1 && e15 = 1
+  in
+  Printf.printf "\nOverall: %s\n"
+    (if ok then "ALL SHAPES REPRODUCED" else "DEVIATIONS FOUND")
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per experiment/table.      *)
+
+let bench_tests =
+  let open Bechamel in
+  (* Small, deterministic cores so the timing pass stays quick. *)
+  let fig2_core () =
+    let sys = M.create (Tree.Build.two_nodes ()) ~policy:Oat.Rww.policy in
+    ignore (M.combine_sync sys ~node:1);
+    M.write_sync sys ~node:0 1.0;
+    M.write_sync sys ~node:0 2.0
+  in
+  let fig4_core () = Lp.Fig5.rows_coincide ()in
+  let fig5_core () = Lp.Fig5.solve () in
+  let sigma_t1 =
+    Workload.Generate.mixed
+      { Workload.Generate.default_spec with n_requests = 200 }
+      (Tree.Build.binary 15) (Sm.create 7)
+  in
+  let t1_online_core () =
+    let sys = M.create (Tree.Build.binary 15) ~policy:Oat.Rww.policy in
+    ignore (M.run_sequential sys sigma_t1)
+  in
+  let t1_opt_core () = Offline.Opt_lease.total (Tree.Build.binary 15) sigma_t1 in
+  let t2_nice_core () = Offline.Nice_bound.total (Tree.Build.binary 15) sigma_t1 in
+  let sigma_t3 = Workload.Generate.adversarial_ab ~a:1 ~b:2 ~rounds:50 in
+  let t3_core () =
+    let sys =
+      M.create (Tree.Build.two_nodes ()) ~policy:(Oat.Ab_policy.policy ~a:1 ~b:2)
+    in
+    ignore (M.run_sequential sys sigma_t3)
+  in
+  let sigma_e7 =
+    Workload.Generate.mixed
+      { Workload.Generate.default_spec with n_requests = 200; read_fraction = 0.5 }
+      (Tree.Build.kary ~k:3 40) (Sm.create 11)
+  in
+  let e7_core () =
+    ignore
+      (Baselines.Algorithm.run
+         (Baselines.Algorithm.rww (Tree.Build.kary ~k:3 40))
+         sigma_e7)
+  in
+  let e9_core () = Lp.Ab_machine.certified_ratio ~a:2 ~b:3 in
+  let sigma_e10 =
+    List.init 40 (fun i ->
+        if i mod 2 = 0 then Oat.Request.write (i mod 5) (float_of_int i)
+        else Oat.Request.combine ((i + 2) mod 5))
+  in
+  let e10_core () = Offline.Opt_coupled.total (Tree.Build.star 5) sigma_e10 in
+  let sigma_e11 =
+    Workload.Generate.mixed
+      { Workload.Generate.default_spec with n_requests = 100 }
+      (Tree.Build.binary 15) (Sm.create 21)
+  in
+  let e11_core () =
+    Analysis.Latency.run (Tree.Build.binary 15) ~policy:Oat.Rww.policy sigma_e11
+  in
+  let e12_core () =
+    ignore
+      (Baselines.Algorithm.run
+         (Baselines.Algorithm.rww (Tree.Build.binary 31))
+         sigma_e11)
+  in
+  let e15_core () =
+    let rng = Sm.create 5 in
+    let d = Dht.Plaxton.create rng ~n:32 ~bits:12 in
+    Dht.Plaxton.tree_for_attribute d "bench-attr"
+  in
+  let e14_core () =
+    Analysis.Profile.run (Tree.Build.binary 15) ~policy:Oat.Rww.policy sigma_e11
+  in
+  let e13_core () =
+    Analysis.Latency.run_timed ~inter_arrival:1.0 (Tree.Build.binary 15)
+      ~policy:(fun ~now -> Oat.Timed_policy.policy ~now ~ttl:20.0)
+      sigma_e11
+  in
+  let e8_core () =
+    let tree = Tree.Build.binary 7 in
+    let rng = Sm.create 5 in
+    let sys = M.create ~ghost:true tree ~policy:Oat.Rww.policy in
+    let requests =
+      Array.init 30 (fun i ->
+          let node = Sm.int rng 7 in
+          if Sm.bool rng then fun () -> M.write sys ~node (float_of_int i)
+          else fun () -> M.combine sys ~node (fun _ -> ()))
+    in
+    Simul.Engine.run_concurrent ~rng (M.network sys) ~handler:(M.handler sys)
+      ~requests;
+    let logs = Array.init 7 (fun u -> M.log sys u) in
+    Consistency.Causal.check
+      (module Agg.Ops.Sum : Agg.Operator.S with type t = float)
+      ~n_nodes:7 ~logs
+  in
+  let micro_prng () =
+    let rng = Sm.create 1 in
+    let acc = ref 0 in
+    for _ = 1 to 1000 do
+      acc := !acc + Sm.int rng 1000
+    done;
+    !acc
+  in
+  let micro_tree = Tree.Build.binary 127 in
+  let micro_subtree () = Tree.subtree micro_tree 1 0 in
+  let micro_network () =
+    let module K = Simul.Kind in
+    let net = Simul.Network.create micro_tree ~kind_of:(fun () -> K.Update) in
+    for _ = 1 to 100 do
+      Simul.Network.send net ~src:0 ~dst:1 ()
+    done;
+    let rec drain () =
+      match Simul.Network.pop net ~src:0 ~dst:1 with
+      | Some () -> drain ()
+      | None -> ()
+    in
+    drain ()
+  in
+  let micro_union () =
+    let a = List.init 100 (fun i -> 2 * i) in
+    let b = List.init 100 (fun i -> (2 * i) + 1) in
+    Agg.Ops.Union.combine a b
+  in
+  [
+    Test.make ~name:"micro-prng-1k-ints" (Staged.stage micro_prng);
+    Test.make ~name:"micro-subtree-n127" (Staged.stage micro_subtree);
+    Test.make ~name:"micro-network-100-msgs" (Staged.stage micro_network);
+    Test.make ~name:"micro-union-200-elts" (Staged.stage micro_union);
+    Test.make ~name:"e1-figure2-lifecycle" (Staged.stage fig2_core);
+    Test.make ~name:"e2-figure4-machine" (Staged.stage fig4_core);
+    Test.make ~name:"e3-figure5-simplex" (Staged.stage fig5_core);
+    Test.make ~name:"e4-theorem1-rww-run" (Staged.stage t1_online_core);
+    Test.make ~name:"e4-theorem1-opt-dp" (Staged.stage t1_opt_core);
+    Test.make ~name:"e5-theorem2-nice-bound" (Staged.stage t2_nice_core);
+    Test.make ~name:"e6-theorem3-adversary" (Staged.stage t3_core);
+    Test.make ~name:"e7-motivation-rww" (Staged.stage e7_core);
+    Test.make ~name:"e8-causal-check" (Staged.stage e8_core);
+    Test.make ~name:"e9-ab-lp-certificate" (Staged.stage e9_core);
+    Test.make ~name:"e10-coupled-opt" (Staged.stage e10_core);
+    Test.make ~name:"e11-latency-run" (Staged.stage e11_core);
+    Test.make ~name:"e12-scaling-rww" (Staged.stage e12_core);
+    Test.make ~name:"e13-timed-leases" (Staged.stage e13_core);
+    Test.make ~name:"e14-cost-profile" (Staged.stage e14_core);
+    Test.make ~name:"e15-dht-tree-build" (Staged.stage e15_core);
+  ]
+
+let run_bechamel ~quota () =
+  let open Bechamel in
+  print_newline ();
+  print_endline "Bechamel timing (monotonic clock, OLS estimate per run)";
+  print_endline "=======================================================";
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None
+      ~stabilize:true ()
+  in
+  let raw =
+    Benchmark.all cfg [ instance ]
+      (Test.make_grouped ~name:"oat" ~fmt:"%s/%s" bench_tests)
+  in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  let t =
+    Analysis.Table.create
+      ~columns:
+        [
+          ("benchmark", Analysis.Table.Left);
+          ("time/run", Analysis.Table.Right);
+          ("r^2", Analysis.Table.Right);
+        ]
+  in
+  let pp_time ns =
+    if ns >= 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+    else if ns >= 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+    else if ns >= 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+    else Printf.sprintf "%.1f ns" ns
+  in
+  List.iter
+    (fun (name, r) ->
+      let estimate =
+        match Analyze.OLS.estimates r with Some (e :: _) -> e | _ -> nan
+      in
+      let r2 = match Analyze.OLS.r_square r with Some x -> x | None -> nan in
+      Analysis.Table.add_row t [ name; pp_time estimate; Printf.sprintf "%.4f" r2 ])
+    (List.sort compare rows);
+  Analysis.Table.print t
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let tables = not (List.mem "--bench-only" args) in
+  let bench = not (List.mem "--tables-only" args) in
+  let quota =
+    (* --quota SECONDS: per-benchmark time budget for the timing pass. *)
+    let rec find = function
+      | "--quota" :: v :: _ -> (
+        match float_of_string_opt v with Some q when q > 0.0 -> q | _ -> 0.5)
+      | _ :: rest -> find rest
+      | [] -> 0.5
+    in
+    find args
+  in
+  if tables then run_tables ();
+  if bench then run_bechamel ~quota ()

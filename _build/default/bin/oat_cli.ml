@@ -1,0 +1,447 @@
+(* Command-line interface to the library.
+
+   Subcommands:
+     simulate   run a synthetic workload under a chosen policy and report
+                message costs and competitive ratios
+     lp         solve the Figure 5 linear program
+     adversary  run the Theorem 3 adversary against an (a,b)-algorithm
+     sweep      read-fraction sweep of static vs adaptive strategies
+     tables     regenerate every experiment table (same as the bench) *)
+
+open Cmdliner
+
+module Sm = Prng.Splitmix
+
+(* ---- shared arguments ---- *)
+
+let seed_arg =
+  let doc = "PRNG seed (all runs are deterministic given the seed)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let nodes_arg =
+  let doc = "Number of tree nodes." in
+  Arg.(value & opt int 15 & info [ "n"; "nodes" ] ~docv:"N" ~doc)
+
+let tree_arg =
+  let doc =
+    "Tree topology: one of path, star, binary, ternary, caterpillar, random."
+  in
+  Arg.(value & opt string "random" & info [ "tree" ] ~docv:"KIND" ~doc)
+
+let requests_arg =
+  let doc = "Number of requests to generate." in
+  Arg.(value & opt int 1000 & info [ "requests" ] ~docv:"COUNT" ~doc)
+
+let read_fraction_arg =
+  let doc = "Fraction of requests that are combines (reads)." in
+  Arg.(value & opt float 0.5 & info [ "read-fraction" ] ~docv:"P" ~doc)
+
+let policy_arg =
+  let doc =
+    "Lease policy: rww, ab:A,B (e.g. ab:2,3), always, never, or one of the \
+     standalone baselines astrolabe, mds2."
+  in
+  Arg.(value & opt string "rww" & info [ "policy" ] ~docv:"POLICY" ~doc)
+
+let build_tree kind n seed =
+  match kind with
+  | "path" -> Ok (Tree.Build.path n)
+  | "star" -> Ok (Tree.Build.star n)
+  | "binary" -> Ok (Tree.Build.binary n)
+  | "ternary" -> Ok (Tree.Build.kary ~k:3 n)
+  | "caterpillar" ->
+    let spine = max 1 (n / 4) in
+    let legs = max 1 ((n / spine) - 1) in
+    Ok (Tree.Build.caterpillar ~spine ~legs)
+  | "random" -> Ok (Tree.Build.random (Sm.create (seed + 17)) n)
+  | other -> Error (Printf.sprintf "unknown tree kind %S" other)
+
+let parse_ab s =
+  match String.split_on_char ',' s with
+  | [ a; b ] -> (
+    match (int_of_string_opt a, int_of_string_opt b) with
+    | Some a, Some b when a >= 1 && b >= 1 -> Ok (a, b)
+    | _ -> Error (Printf.sprintf "bad (a,b) spec %S" s))
+  | _ -> Error (Printf.sprintf "bad (a,b) spec %S" s)
+
+let build_algo spec tree =
+  match spec with
+  | "rww" -> Ok (Baselines.Algorithm.rww tree)
+  | "always" -> Ok (Baselines.Algorithm.of_policy Oat.Ab_policy.always_lease tree)
+  | "never" -> Ok (Baselines.Algorithm.of_policy Oat.Ab_policy.never_lease tree)
+  | "astrolabe" -> Ok (Baselines.Algorithm.astrolabe tree)
+  | "mds2" | "mds-2" -> Ok (Baselines.Algorithm.mds2 tree)
+  | s when String.length s > 3 && String.sub s 0 3 = "ab:" -> (
+    match parse_ab (String.sub s 3 (String.length s - 3)) with
+    | Ok (a, b) -> Ok (Baselines.Algorithm.ab ~a ~b tree)
+    | Error e -> Error e)
+  | other -> Error (Printf.sprintf "unknown policy %S" other)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline ("oat: " ^ msg);
+    exit 2
+
+(* ---- simulate ---- *)
+
+let simulate seed tree_kind n requests read_fraction policy =
+  let tree = or_die (build_tree tree_kind n seed) in
+  let rng = Sm.create seed in
+  let sigma =
+    Workload.Generate.mixed
+      {
+        Workload.Generate.n_requests = requests;
+        read_fraction;
+        write_skew = 0.0;
+        read_skew = 0.0;
+      }
+      tree rng
+  in
+  let algo = or_die (build_algo policy tree) in
+  let cost = Baselines.Algorithm.run algo sigma in
+  let opt = Offline.Opt_lease.total tree sigma in
+  let nice = Offline.Nice_bound.total tree sigma in
+  Printf.printf "tree:              %s (n=%d, diameter=%d)\n" tree_kind
+    (Tree.n_nodes tree) (Tree.diameter tree);
+  Printf.printf "workload:          %d requests, read fraction %.2f, seed %d\n"
+    requests read_fraction seed;
+  Printf.printf "algorithm:         %s\n" algo.Baselines.Algorithm.name;
+  Printf.printf "messages:          %d\n" cost;
+  Printf.printf "offline lease OPT: %d  (ratio %.3f)\n" opt
+    (if opt > 0 then float_of_int cost /. float_of_int opt else 1.0);
+  Printf.printf "nice lower bound:  %d  (ratio %.3f)\n" nice
+    (if nice > 0 then float_of_int cost /. float_of_int nice else 1.0);
+  Printf.printf "strict consistency: verified (every combine checked)\n"
+
+let simulate_cmd =
+  let doc = "Run a synthetic workload and report message costs and ratios." in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(
+      const simulate $ seed_arg $ tree_arg $ nodes_arg $ requests_arg
+      $ read_fraction_arg $ policy_arg)
+
+(* ---- lp ---- *)
+
+let lp () =
+  Printf.printf "Figure 5 LP: literal rows = derived rows: %b\n"
+    (Lp.Fig5.rows_coincide ());
+  (match Lp.Fig5.solve () with
+  | Error e -> Format.printf "LP failed: %a@." Lp.Simplex.pp_error e
+  | Ok { c; phi } ->
+    Printf.printf "optimal competitive factor c* = %.6f\n" c;
+    List.iter
+      (fun ((st : Lp.Transition_system.state), v) ->
+        Printf.printf "  Phi(%d,%d) = %.4f\n" st.opt st.rww v)
+      phi);
+  Printf.printf "paper's certificate feasible: %b\n"
+    (Lp.Fig5.paper_solution_feasible ())
+
+let lp_cmd =
+  let doc = "Solve the paper's Figure 5 linear program with the built-in simplex." in
+  Cmd.v (Cmd.info "lp" ~doc) Term.(const lp $ const ())
+
+(* ---- adversary ---- *)
+
+let adversary a b rounds =
+  if a < 1 || b < 1 then or_die (Error "a and b must be >= 1");
+  let sigma = Workload.Generate.adversarial_ab ~a ~b ~rounds in
+  let run =
+    Analysis.Ratio.measure (Tree.Build.two_nodes ())
+      ~policy:(Oat.Ab_policy.policy ~a ~b)
+      sigma
+  in
+  let predicted =
+    float_of_int ((2 * a) + b + 1) /. float_of_int (min (2 * a) (min b 3))
+  in
+  Printf.printf "(a,b) = (%d,%d), %d rounds\n" a b rounds;
+  Printf.printf "online cost:        %d\n" run.Analysis.Ratio.online_cost;
+  Printf.printf "offline lease OPT:  %d\n" run.Analysis.Ratio.opt_lease_cost;
+  Printf.printf "measured ratio:     %.4f\n" (Analysis.Ratio.vs_opt_lease run);
+  Printf.printf "predicted asymptote (2a+b+1)/min(2a,b,3): %.4f\n" predicted
+
+let adversary_cmd =
+  let doc = "Run the Theorem 3 adversary against an (a,b)-algorithm." in
+  let a_arg = Arg.(value & opt int 1 & info [ "a" ] ~docv:"A" ~doc:"Combine threshold.") in
+  let b_arg = Arg.(value & opt int 2 & info [ "b" ] ~docv:"B" ~doc:"Write budget.") in
+  let rounds_arg =
+    Arg.(value & opt int 500 & info [ "rounds" ] ~docv:"ROUNDS" ~doc:"Adversary rounds.")
+  in
+  Cmd.v (Cmd.info "adversary" ~doc) Term.(const adversary $ a_arg $ b_arg $ rounds_arg)
+
+(* ---- sweep ---- *)
+
+let sweep seed tree_kind n requests =
+  let tree = or_die (build_tree tree_kind n seed) in
+  Printf.printf "read-fraction sweep on %s (n=%d), %d requests per point\n"
+    tree_kind (Tree.n_nodes tree) requests;
+  Printf.printf "%8s" "p(read)";
+  List.iter
+    (fun (name, _) -> Printf.printf "  %14s" name)
+    Baselines.Algorithm.all_static_and_adaptive;
+  print_newline ();
+  List.iter
+    (fun p ->
+      Printf.printf "%8.2f" p;
+      List.iter
+        (fun (_, make) ->
+          let sigma =
+            Workload.Generate.mixed
+              {
+                Workload.Generate.n_requests = requests;
+                read_fraction = p;
+                write_skew = 0.0;
+                read_skew = 0.0;
+              }
+              tree
+              (Sm.create (seed + int_of_float (p *. 100.0)))
+          in
+          Printf.printf "  %14d" (Baselines.Algorithm.run (make tree) sigma))
+        Baselines.Algorithm.all_static_and_adaptive;
+      print_newline ())
+    [ 0.05; 0.2; 0.35; 0.5; 0.65; 0.8; 0.95 ]
+
+let sweep_cmd =
+  let doc = "Sweep the read fraction across static and adaptive strategies." in
+  Cmd.v
+    (Cmd.info "sweep" ~doc)
+    Term.(const sweep $ seed_arg $ tree_arg $ nodes_arg $ requests_arg)
+
+(* ---- record / replay ---- *)
+
+let record seed tree_kind n requests read_fraction out =
+  let tree = or_die (build_tree tree_kind n seed) in
+  let sigma =
+    Workload.Generate.mixed
+      {
+        Workload.Generate.n_requests = requests;
+        read_fraction;
+        write_skew = 0.0;
+        read_skew = 0.0;
+      }
+      tree (Sm.create seed)
+  in
+  Workload.Trace_io.save out sigma;
+  Printf.printf "wrote %d requests to %s (tree %s, n=%d, seed %d)\n"
+    (List.length sigma) out tree_kind n seed
+
+let record_cmd =
+  let doc = "Generate a workload and save it as a replayable trace file." in
+  let out_arg =
+    Arg.(value & opt string "workload.trace"
+         & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output trace file.")
+  in
+  Cmd.v
+    (Cmd.info "record" ~doc)
+    Term.(
+      const record $ seed_arg $ tree_arg $ nodes_arg $ requests_arg
+      $ read_fraction_arg $ out_arg)
+
+let replay file seed tree_kind n policy =
+  let tree = or_die (build_tree tree_kind n seed) in
+  let sigma =
+    match Workload.Trace_io.load file with
+    | Ok sigma -> sigma
+    | Error e -> or_die (Error e)
+  in
+  List.iter
+    (fun (q : float Oat.Request.t) ->
+      if q.node >= Tree.n_nodes tree then
+        or_die
+          (Error
+             (Printf.sprintf "trace names node %d but the tree has %d nodes"
+                q.node (Tree.n_nodes tree))))
+    sigma;
+  let algo = or_die (build_algo policy tree) in
+  let cost = Baselines.Algorithm.run algo sigma in
+  let opt = Offline.Opt_lease.total tree sigma in
+  Printf.printf "replayed %d requests from %s\n" (List.length sigma) file;
+  Printf.printf "algorithm:         %s\n" algo.Baselines.Algorithm.name;
+  Printf.printf "messages:          %d\n" cost;
+  Printf.printf "offline lease OPT: %d  (ratio %.3f)\n" opt
+    (if opt > 0 then float_of_int cost /. float_of_int opt else 1.0)
+
+let replay_cmd =
+  let doc = "Replay a recorded trace under a chosen algorithm." in
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc:"Trace file.")
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc)
+    Term.(const replay $ file_arg $ seed_arg $ tree_arg $ nodes_arg $ policy_arg)
+
+(* ---- dot ---- *)
+
+let dot seed tree_kind n requests read_fraction =
+  let module M = Oat.Mechanism.Make (Agg.Ops.Sum) in
+  let tree = or_die (build_tree tree_kind n seed) in
+  let sigma =
+    Workload.Generate.mixed
+      {
+        Workload.Generate.n_requests = requests;
+        read_fraction;
+        write_skew = 0.0;
+        read_skew = 0.0;
+      }
+      tree (Sm.create seed)
+  in
+  let sys = M.create tree ~policy:Oat.Rww.policy in
+  ignore (M.run_sequential sys sigma);
+  print_string
+    (Analysis.Dot.lease_graph tree ~granted:(fun u v -> M.granted sys u v))
+
+let dot_cmd =
+  let doc =
+    "Run a workload under RWW and print the final lease graph as Graphviz DOT."
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc)
+    Term.(
+      const dot $ seed_arg $ tree_arg $ nodes_arg $ requests_arg
+      $ read_fraction_arg)
+
+(* ---- latency ---- *)
+
+let latency seed tree_kind n requests read_fraction =
+  let tree = or_die (build_tree tree_kind n seed) in
+  let sigma =
+    Workload.Generate.mixed
+      {
+        Workload.Generate.n_requests = requests;
+        read_fraction;
+        write_skew = 0.0;
+        read_skew = 0.0;
+      }
+      tree (Sm.create seed)
+  in
+  Printf.printf
+    "combine latency under unit hop latency (%s, n=%d, p(read)=%.2f):\n"
+    tree_kind (Tree.n_nodes tree) read_fraction;
+  List.iter
+    (fun (name, policy) ->
+      let r = Analysis.Latency.run tree ~policy sigma in
+      let s = Analysis.Latency.summary r in
+      Printf.printf
+        "  %-22s mean=%6.2f p95=%6.2f max=%6.2f  (%d messages)\n" name
+        s.Analysis.Stats.mean s.Analysis.Stats.p95 s.Analysis.Stats.max
+        r.Analysis.Latency.messages)
+    [
+      ("rww", Oat.Rww.policy);
+      ("always (astrolabe)", Oat.Ab_policy.always_lease);
+      ("never (mds-2)", Oat.Ab_policy.never_lease);
+    ]
+
+let latency_cmd =
+  let doc = "Measure combine latency under virtual time for each strategy." in
+  Cmd.v
+    (Cmd.info "latency" ~doc)
+    Term.(
+      const latency $ seed_arg $ tree_arg $ nodes_arg $ requests_arg
+      $ read_fraction_arg)
+
+(* ---- profile ---- *)
+
+let profile seed tree_kind n requests read_fraction policy_spec =
+  let tree = or_die (build_tree tree_kind n seed) in
+  let policy =
+    match policy_spec with
+    | "rww" -> Oat.Rww.policy
+    | "always" -> Oat.Ab_policy.always_lease
+    | "never" -> Oat.Ab_policy.never_lease
+    | s when String.length s > 3 && String.sub s 0 3 = "ab:" ->
+      let a, b = or_die (parse_ab (String.sub s 3 (String.length s - 3))) in
+      Oat.Ab_policy.policy ~a ~b
+    | other -> or_die (Error (Printf.sprintf "unknown lease policy %S" other))
+  in
+  let sigma =
+    Workload.Generate.mixed
+      {
+        Workload.Generate.n_requests = requests;
+        read_fraction;
+        write_skew = 0.0;
+        read_skew = 0.0;
+      }
+      tree (Sm.create seed)
+  in
+  let prof = Analysis.Profile.run tree ~policy sigma in
+  Printf.printf "per-request message costs (%s on %s, n=%d):\n"
+    prof.Analysis.Profile.policy tree_kind (Tree.n_nodes tree);
+  Format.printf "  combines: %a@." Analysis.Stats.pp_summary
+    (Analysis.Profile.combine_summary prof);
+  Format.printf "  writes:   %a@." Analysis.Stats.pp_summary
+    (Analysis.Profile.write_summary prof);
+  print_endline "  combine histogram (cost: count):";
+  List.iter
+    (fun (cost, count) -> Printf.printf "  %6d: %d\n" cost count)
+    (Analysis.Profile.histogram prof.Analysis.Profile.combine_costs)
+
+let profile_cmd =
+  let doc = "Print the distribution of per-request message costs." in
+  Cmd.v
+    (Cmd.info "profile" ~doc)
+    Term.(
+      const profile $ seed_arg $ tree_arg $ nodes_arg $ requests_arg
+      $ read_fraction_arg $ policy_arg)
+
+(* ---- tables ---- *)
+
+let all_experiments : (string * (unit -> unit)) list =
+  [
+    ("e1", fun () -> ignore (Experiments.e1_figure2 ()));
+    ("e2", fun () -> ignore (Experiments.e2_figure4 ()));
+    ("e3", fun () -> ignore (Experiments.e3_figure5 ()));
+    ("e4", fun () -> ignore (Experiments.e4_theorem1 ()));
+    ("e5", fun () -> ignore (Experiments.e5_theorem2 ()));
+    ("e6", fun () -> ignore (Experiments.e6_theorem3 ()));
+    ("e7", fun () -> ignore (Experiments.e7_motivation ()));
+    ("e8", fun () -> ignore (Experiments.e8_consistency ()));
+    ("e9", fun () -> ignore (Experiments.e9_ab_certificates ()));
+    ("e10", fun () -> ignore (Experiments.e10_coupling_gap ()));
+    ("e11", fun () -> ignore (Experiments.e11_latency ()));
+    ("e12", fun () -> ignore (Experiments.e12_scaling ()));
+    ("e13", fun () -> ignore (Experiments.e13_timed_leases ()));
+    ("e14", fun () -> ignore (Experiments.e14_cost_profile ()));
+    ("e15", fun () -> ignore (Experiments.e15_dht_load_spread ()));
+  ]
+
+let tables only =
+  match only with
+  | None -> List.iter (fun (_, run) -> run ()) all_experiments
+  | Some id -> (
+    match List.assoc_opt (String.lowercase_ascii id) all_experiments with
+    | Some run -> run ()
+    | None ->
+      or_die
+        (Error
+           (Printf.sprintf "unknown experiment %S (use e1..e%d)" id
+              (List.length all_experiments))))
+
+let tables_cmd =
+  let doc = "Regenerate experiment tables (see EXPERIMENTS.md)." in
+  let only_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ] ~docv:"EXP" ~doc:"Run a single experiment (e.g. e4).")
+  in
+  Cmd.v (Cmd.info "tables" ~doc) Term.(const tables $ only_arg)
+
+let () =
+  let doc = "Online aggregation over trees (IPPS 2007) — simulator and analysis" in
+  let info = Cmd.info "oat" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            simulate_cmd;
+            lp_cmd;
+            adversary_cmd;
+            sweep_cmd;
+            record_cmd;
+            replay_cmd;
+            dot_cmd;
+            latency_cmd;
+            profile_cmd;
+            tables_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/adversarial_lowerbound.ml: Analysis List Oat Printf Tree Workload

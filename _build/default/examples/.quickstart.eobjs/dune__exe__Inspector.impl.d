@@ -1,0 +1,1 @@
+examples/inspector.ml: Agg Analysis Format List Oat Printf Prng Tree Workload

@@ -1,0 +1,1 @@
+examples/inspector.mli:

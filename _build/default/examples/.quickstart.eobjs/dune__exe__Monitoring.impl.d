@@ -1,0 +1,1 @@
+examples/monitoring.ml: Agg Array Baselines List Oat Printf Prng Tree Workload

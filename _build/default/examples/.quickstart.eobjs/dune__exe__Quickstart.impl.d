@@ -1,0 +1,1 @@
+examples/quickstart.ml: Agg List Oat Printf Tree

@@ -1,0 +1,1 @@
+examples/sdims.ml: Agg Array Dht List Oat Printf Prng Tree

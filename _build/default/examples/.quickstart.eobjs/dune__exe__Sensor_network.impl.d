@@ -1,0 +1,1 @@
+examples/sensor_network.ml: Agg Array Baselines Float List Oat Printf Prng Tree

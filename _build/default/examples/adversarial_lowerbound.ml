@@ -1,0 +1,59 @@
+(* The Theorem 3 adversary, live.
+
+   For each (a,b)-algorithm, the adversary issues a combines at node 1
+   followed by b writes at node 0, repeatedly, on the 2-node tree — the
+   request pattern that maximizes the algorithm's regret.  The example
+   prints the measured cost ratio against the offline optimum round by
+   round, showing convergence to (2a+b+1)/min(2a,b,3), which is
+   minimized at 5/2 by RWW's (1,2).
+
+   Run with: dune exec examples/adversarial_lowerbound.exe *)
+
+let predicted a b =
+  float_of_int ((2 * a) + b + 1) /. float_of_int (min (2 * a) (min b 3))
+
+let measure ~a ~b ~rounds =
+  let sigma = Workload.Generate.adversarial_ab ~a ~b ~rounds in
+  let run =
+    Analysis.Ratio.measure (Tree.Build.two_nodes ())
+      ~policy:(Oat.Ab_policy.policy ~a ~b)
+      sigma
+  in
+  Analysis.Ratio.vs_opt_lease run
+
+let () =
+  print_endline "Theorem 3: every (a,b)-algorithm loses 5/2 to the adversary";
+  print_endline "===========================================================";
+
+  print_endline "\nConvergence for RWW = (1,2):";
+  print_endline "rounds  measured ratio";
+  List.iter
+    (fun rounds ->
+      Printf.printf "%6d  %14.4f\n" rounds (measure ~a:1 ~b:2 ~rounds))
+    [ 1; 2; 5; 10; 50; 200; 1000 ];
+  Printf.printf "limit: %.4f (= 5/2)\n" (predicted 1 2);
+
+  print_endline "\nAdversarial ratio across the (a,b) grid (500 rounds):";
+  print_endline "        b=1      b=2      b=3      b=4";
+  List.iter
+    (fun a ->
+      Printf.printf "a=%d" a;
+      List.iter
+        (fun b -> Printf.printf "  %7.3f" (measure ~a ~b ~rounds:500))
+        [ 1; 2; 3; 4 ];
+      print_newline ())
+    [ 1; 2; 3; 4 ];
+
+  print_endline "\nPredicted asymptotes (2a+b+1)/min(2a,b,3):";
+  print_endline "        b=1      b=2      b=3      b=4";
+  List.iter
+    (fun a ->
+      Printf.printf "a=%d" a;
+      List.iter (fun b -> Printf.printf "  %7.3f" (predicted a b)) [ 1; 2; 3; 4 ];
+      print_newline ())
+    [ 1; 2; 3; 4 ];
+
+  print_endline
+    "\nThe minimum of the grid sits at (a,b) = (1,2) — the paper's RWW —\n\
+     and equals the 5/2 lower bound of Theorem 3, matching the upper\n\
+     bound of Theorem 1: the analysis is tight."

@@ -1,0 +1,94 @@
+(* SDIMS end-to-end: the system this paper's mechanism was designed to
+   slot into.
+
+   32 machines form a DHT (random identifiers, Plaxton prefix routing).
+   Each monitored attribute hashes to a key, and the DHT induces a
+   separate aggregation tree per attribute — so aggregation roots, and
+   the message load they attract, spread over the machines instead of
+   hammering one tree root.  On every one of those trees the lease-based
+   mechanism runs RWW, adapting update propagation per attribute to that
+   attribute's own read/write mix.
+
+   Run with: dune exec examples/sdims.exe *)
+
+module Sm = Prng.Splitmix
+module DM = Dht.Dht_multi.Make (Agg.Ops.Sum)
+
+let () =
+  let rng = Sm.create 77 in
+  let n = 32 in
+  let sys = DM.create rng ~n ~bits:12 in
+
+  print_endline "SDIMS-style deployment: per-attribute DHT aggregation trees";
+  print_endline "============================================================";
+
+  (* A mix of attributes with different temperaments. *)
+  let attrs =
+    [
+      ("cpu-load", 0.2);    (* churns fast, queried rarely  *)
+      ("disk-free", 0.5);   (* balanced                      *)
+      ("http-errors", 0.8); (* queried constantly            *)
+      ("active-conns", 0.5);
+      ("queue-depth", 0.35);
+      ("cache-hits", 0.65);
+    ]
+  in
+
+  Printf.printf "%-14s %-6s %-10s %s\n" "attribute" "root" "tree-depth" "(key routing)";
+  List.iter
+    (fun (attr, _) ->
+      let tree = DM.tree_of sys ~attr in
+      let root = DM.root_of sys ~attr in
+      Printf.printf "%-14s %-6d %-10d\n" attr root (Tree.eccentricity tree root))
+    attrs;
+
+  (* Drive per-attribute traffic with each attribute's own read mix. *)
+  let rng2 = Sm.create 78 in
+  List.iter
+    (fun (attr, read_fraction) ->
+      for i = 1 to 400 do
+        let node = Sm.int rng2 n in
+        if Sm.bernoulli rng2 read_fraction then
+          ignore (DM.combine sys ~attr ~node)
+        else DM.write sys ~attr ~node (float_of_int (i mod 50))
+      done)
+    attrs;
+
+  print_newline ();
+  Printf.printf "total messages across %d attributes: %d\n" (List.length attrs)
+    (DM.message_total sys);
+
+  (* Load distribution across machines. *)
+  let load = DM.messages_per_machine sys in
+  let sorted = Array.copy load in
+  Array.sort compare sorted;
+  let total = Array.fold_left ( + ) 0 load in
+  Printf.printf "per-machine message load: min=%d median=%d max=%d (mean %.1f)\n"
+    sorted.(0)
+    sorted.(n / 2)
+    sorted.(n - 1)
+    (float_of_int total /. float_of_int n);
+  let heavy = Array.fold_left max 0 load in
+  Printf.printf "heaviest machine carries %.1f%% of all traffic\n"
+    (100.0 *. float_of_int heavy /. float_of_int total);
+
+  (* The same six attributes on one shared tree, for contrast. *)
+  let module Mu = Oat.Multi.Make (Agg.Ops.Sum) in
+  let shared_tree = Tree.Build.kary ~k:3 n in
+  let shared = Mu.create shared_tree in
+  List.iter (fun (attr, _) -> Mu.declare shared attr) attrs;
+  let rng3 = Sm.create 78 in
+  List.iter
+    (fun (attr, read_fraction) ->
+      for i = 1 to 400 do
+        let node = Sm.int rng3 n in
+        if Sm.bernoulli rng3 read_fraction then
+          ignore (Mu.combine shared ~attr ~node)
+        else Mu.write shared ~attr ~node (float_of_int (i mod 50))
+      done)
+    attrs;
+  Printf.printf "\nsame workload on one shared 3-ary tree: %d messages\n"
+    (Mu.message_total shared);
+  print_endline
+    "(comparable totals — the win of DHT trees is the flatter per-machine\n\
+     load profile and per-attribute roots, cf. experiment E15)"

@@ -1,0 +1,1 @@
+lib/agg/operator.ml: Format List

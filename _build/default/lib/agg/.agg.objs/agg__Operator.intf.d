@@ -1,0 +1,1 @@
+lib/agg/operator.mli: Format

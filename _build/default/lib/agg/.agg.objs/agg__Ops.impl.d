@@ -1,0 +1,1 @@
+lib/agg/ops.ml: Float Format Int List

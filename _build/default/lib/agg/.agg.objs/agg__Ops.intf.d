@@ -1,0 +1,1 @@
+lib/agg/ops.mli: Operator

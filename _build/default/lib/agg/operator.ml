@@ -1,0 +1,15 @@
+module type S = sig
+  type t
+
+  val name : string
+  val identity : t
+  val combine : t -> t -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+  val of_float : float -> t
+end
+
+type 'a t = (module S with type t = 'a)
+
+let fold (type a) (module Op : S with type t = a) vs =
+  List.fold_left Op.combine Op.identity vs

@@ -1,0 +1,35 @@
+(** Aggregation operators.
+
+    The paper assumes an aggregation operator [+] ("oplus") that is
+    commutative, associative, and has an identity element [0]; the
+    aggregate over a node set is the operator folded over the local
+    values.  This is exactly a commutative monoid, which is what
+    {!module-type:S} captures.  [Mechanism] and every algorithm in this
+    repository are functors over it, so the same protocol code runs SUM,
+    MIN, MAX, COUNT, or AVG aggregation. *)
+
+module type S = sig
+  type t
+
+  val name : string
+
+  val identity : t
+  (** Identity element of {!combine}. *)
+
+  val combine : t -> t -> t
+  (** The aggregation operator.  Must be commutative and associative with
+      {!identity} as identity (checked by property tests). *)
+
+  val equal : t -> t -> bool
+
+  val pp : Format.formatter -> t -> unit
+
+  val of_float : float -> t
+  (** Injection used by workload generators, which draw float samples. *)
+end
+
+type 'a t = (module S with type t = 'a)
+
+val fold : 'a t -> 'a list -> 'a
+(** [fold op vs] aggregates a list of values (identity for the empty
+    list). *)

@@ -1,0 +1,104 @@
+let float_equal a b =
+  (* Tolerant comparison: aggregation reorders float additions. *)
+  let eps = 1e-9 in
+  Float.abs (a -. b) <= eps *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+module Sum = struct
+  type t = float
+
+  let name = "sum"
+  let identity = 0.0
+  let combine = ( +. )
+  let equal = float_equal
+  let pp = Format.pp_print_float
+  let of_float f = f
+end
+
+module Min = struct
+  type t = float
+
+  let name = "min"
+  let identity = Float.infinity
+  let combine = Float.min
+  let equal = float_equal
+  let pp = Format.pp_print_float
+  let of_float f = f
+end
+
+module Max = struct
+  type t = float
+
+  let name = "max"
+  let identity = Float.neg_infinity
+  let combine = Float.max
+  let equal = float_equal
+  let pp = Format.pp_print_float
+  let of_float f = f
+end
+
+module Sum_int = struct
+  type t = int
+
+  let name = "sum-int"
+  let identity = 0
+  let combine = ( + )
+  let equal = Int.equal
+  let pp = Format.pp_print_int
+  let of_float f = int_of_float f
+end
+
+module Count = struct
+  type t = int
+
+  let name = "count"
+  let identity = 0
+  let combine = ( + )
+  let equal = Int.equal
+  let pp = Format.pp_print_int
+  let of_float f = if f <> 0.0 then 1 else 0
+end
+
+module Avg = struct
+  type t = float * int
+
+  let name = "avg"
+  let identity = (0.0, 0)
+  let combine (s1, c1) (s2, c2) = (s1 +. s2, c1 + c2)
+  let equal (s1, c1) (s2, c2) = float_equal s1 s2 && c1 = c2
+  let pp fmt (s, c) = Format.fprintf fmt "(sum=%g,count=%d)" s c
+  let of_float f = (f, 1)
+  let of_sample f = (f, 1)
+  let to_float (s, c) = if c = 0 then 0.0 else s /. float_of_int c
+end
+
+module Union = struct
+  (* Set union over small integer element sets (membership aggregation:
+     "which machines are present / which services are offered").
+     Represented as strictly sorted lists, so equality is structural. *)
+  type t = int list
+
+  let name = "union"
+  let identity = []
+
+  let rec combine a b =
+    match (a, b) with
+    | [], l | l, [] -> l
+    | x :: xs, y :: ys ->
+      if x < y then x :: combine xs b
+      else if y < x then y :: combine a ys
+      else x :: combine xs ys
+
+  let equal = ( = )
+
+  let pp fmt s =
+    Format.fprintf fmt "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
+         Format.pp_print_int)
+      s
+
+  let of_float f = [ int_of_float f ]
+  let singleton x = [ x ]
+  let of_list l = List.sort_uniq compare l
+  let mem x s = List.mem x s
+end

@@ -1,0 +1,34 @@
+(** Concrete aggregation operators.
+
+    [Sum], [Min], [Max] are the real-valued operators the paper names
+    ("computing min, max, sum, or average").  [Count] counts non-zero
+    writes.  [Avg] carries a (sum, count) pair so that averaging is
+    associative; [Avg.to_float] extracts the mean.  [Sum_int] is an exact
+    integer sum used by tests to rule out floating-point confounds. *)
+
+module Sum : Operator.S with type t = float
+module Min : Operator.S with type t = float
+module Max : Operator.S with type t = float
+module Sum_int : Operator.S with type t = int
+module Count : Operator.S with type t = int
+
+module Avg : sig
+  include Operator.S with type t = float * int
+
+  val of_sample : float -> t
+  (** One observation. *)
+
+  val to_float : t -> float
+  (** Mean of the aggregated observations; 0 for the identity. *)
+end
+
+(** Set union over integer elements (membership aggregation — the
+    Astrolabe use case of aggregating which machines or services exist
+    in each subtree).  Elements are kept strictly sorted. *)
+module Union : sig
+  include Operator.S with type t = int list
+
+  val singleton : int -> t
+  val of_list : int list -> t
+  val mem : int -> t -> bool
+end

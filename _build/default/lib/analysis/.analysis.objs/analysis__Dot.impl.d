@@ -1,0 +1,1 @@
+lib/analysis/dot.ml: Buffer List Printf String Tree

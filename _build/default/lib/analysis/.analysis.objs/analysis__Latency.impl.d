@@ -1,0 +1,1 @@
+lib/analysis/latency.ml: Agg Array Float List Oat Simul Stats Tree

@@ -1,0 +1,1 @@
+lib/analysis/latency.mli: Oat Stats Tree

@@ -1,0 +1,1 @@
+lib/analysis/profile.ml: Agg Array Float Hashtbl List Oat Option Stats Tree

@@ -1,0 +1,1 @@
+lib/analysis/ratio.ml: Agg Array Float Format List Oat Offline Printf Tree

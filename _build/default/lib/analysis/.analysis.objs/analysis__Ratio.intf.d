@@ -1,0 +1,1 @@
+lib/analysis/ratio.mli: Format Oat Tree

@@ -1,0 +1,1 @@
+lib/analysis/table.ml: Buffer List Printf String

@@ -1,0 +1,40 @@
+let escape s =
+  String.concat "\\\"" (String.split_on_char '"' s)
+
+let tree ?(name = "tree") t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "graph \"%s\" {\n" (escape name));
+  Buffer.add_string buf "  node [shape=circle];\n";
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v))
+    (Tree.edges t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let lease_graph ?(name = "leases") ?labels t ~granted =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  Buffer.add_string buf "  node [shape=circle];\n";
+  (match labels with
+  | None -> ()
+  | Some label ->
+    List.iter
+      (fun u ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %d [label=\"%s\"];\n" u (escape (label u))))
+      (Tree.nodes t));
+  (* Tree skeleton: dashed, no arrowheads. *)
+  List.iter
+    (fun (u, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %d -> %d [dir=none, style=dashed, color=gray];\n" u v))
+    (Tree.edges t);
+  (* Lease edges: bold arrows. *)
+  List.iter
+    (fun (u, v) ->
+      if granted u v then
+        Buffer.add_string buf
+          (Printf.sprintf "  %d -> %d [style=bold, color=black];\n" u v))
+    (Tree.ordered_pairs t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

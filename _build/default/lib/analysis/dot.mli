@@ -1,0 +1,19 @@
+(** Graphviz (DOT) rendering of trees and lease graphs.
+
+    The lease graph G(Q) of a quiescent state (directed edges (u,v) with
+    [u.granted\[v\]]) is the paper's central runtime structure; being
+    able to look at it is invaluable when debugging policies.  Render
+    with e.g. [dot -Tsvg]. *)
+
+val tree : ?name:string -> Tree.t -> string
+(** Undirected tree as a DOT graph. *)
+
+val lease_graph :
+  ?name:string ->
+  ?labels:(int -> string) ->
+  Tree.t ->
+  granted:(int -> int -> bool) ->
+  string
+(** The tree (dashed, undirected) overlaid with the directed lease
+    edges (solid, bold).  [granted u v] is the paper's
+    [u.granted\[v\]]; [labels] customizes node captions. *)

@@ -1,0 +1,57 @@
+module M = Oat.Mechanism.Make (Agg.Ops.Sum)
+
+type run = {
+  policy : string;
+  online_cost : int;
+  opt_lease_cost : int;
+  nice_cost : int;
+  n_requests : int;
+  n_combines : int;
+  n_writes : int;
+}
+
+let measure tree ~policy sigma =
+  let sys = M.create tree ~policy in
+  let n = Tree.n_nodes tree in
+  let latest = Array.make n 0.0 in
+  let n_combines = ref 0 and n_writes = ref 0 in
+  List.iter
+    (fun (q : float Oat.Request.t) ->
+      match q.op with
+      | Oat.Request.Write v ->
+        incr n_writes;
+        latest.(q.node) <- v;
+        M.write_sync sys ~node:q.node v
+      | Oat.Request.Combine ->
+        incr n_combines;
+        let got = M.combine_sync sys ~node:q.node in
+        let want = Array.fold_left ( +. ) 0.0 latest in
+        if Float.abs (got -. want) > 1e-6 *. Float.max 1.0 (Float.abs want) then
+          failwith
+            (Printf.sprintf
+               "Ratio.measure: strict consistency violated at combine@%d: got %g, want %g"
+               q.node got want))
+    sigma;
+  {
+    policy = M.policy_name sys;
+    online_cost = M.message_total sys;
+    opt_lease_cost = Offline.Opt_lease.total tree sigma;
+    nice_cost = Offline.Nice_bound.total tree sigma;
+    n_requests = List.length sigma;
+    n_combines = !n_combines;
+    n_writes = !n_writes;
+  }
+
+let ratio num den =
+  if den > 0 then float_of_int num /. float_of_int den
+  else if num = 0 then 1.0
+  else Float.infinity
+
+let vs_opt_lease r = ratio r.online_cost r.opt_lease_cost
+let vs_nice r = ratio r.online_cost r.nice_cost
+
+let pp fmt r =
+  Format.fprintf fmt
+    "%s: cost=%d opt-lease=%d (x%.3f) nice>=%d (x%.3f) over %d reqs (%dR/%dW)"
+    r.policy r.online_cost r.opt_lease_cost (vs_opt_lease r) r.nice_cost
+    (vs_nice r) r.n_requests r.n_combines r.n_writes

@@ -1,0 +1,58 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+    sqrt var
+
+let minimum = function
+  | [] -> invalid_arg "Stats.minimum: empty"
+  | x :: xs -> List.fold_left Float.min x xs
+
+let maximum = function
+  | [] -> invalid_arg "Stats.maximum: empty"
+  | x :: xs -> List.fold_left Float.max x xs
+
+let percentile xs p =
+  if xs = [] then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = List.sort compare xs in
+  let n = List.length sorted in
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  let idx = max 0 (min (n - 1) (rank - 1)) in
+  List.nth sorted idx
+
+let median xs = percentile xs 50.0
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+}
+
+let summarize xs =
+  match xs with
+  | [] -> { count = 0; mean = 0.0; stddev = 0.0; min = 0.0; max = 0.0; p50 = 0.0; p95 = 0.0 }
+  | _ ->
+    {
+      count = List.length xs;
+      mean = mean xs;
+      stddev = stddev xs;
+      min = minimum xs;
+      max = maximum xs;
+      p50 = median xs;
+      p95 = percentile xs 95.0;
+    }
+
+let pp_summary fmt s =
+  Format.fprintf fmt "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p95=%.3f max=%.3f"
+    s.count s.mean s.stddev s.min s.p50 s.p95 s.max

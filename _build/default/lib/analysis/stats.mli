@@ -1,0 +1,30 @@
+(** Summary statistics over float samples. *)
+
+val mean : float list -> float
+(** 0 for the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 for fewer than two samples. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [0,100], nearest-rank on the sorted
+    sample.  @raise Invalid_argument on an empty list or p outside
+    range. *)
+
+val median : float list -> float
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+}
+
+val summarize : float list -> summary
+val pp_summary : Format.formatter -> summary -> unit

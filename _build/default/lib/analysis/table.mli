@@ -1,0 +1,24 @@
+(** Aligned plain-text tables for the benchmark harness output. *)
+
+type align = Left | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument on arity mismatch. *)
+
+val add_separator : t -> unit
+
+val render : t -> string
+
+val print : ?title:string -> t -> unit
+(** Render to stdout with an optional underlined title. *)
+
+(** Formatting helpers. *)
+
+val fint : int -> string
+val ffloat : ?decimals:int -> float -> string
+val fratio : float -> string
+(** Ratio with 3 decimals. *)

@@ -1,0 +1,1 @@
+lib/baselines/algorithm.ml: Agg Array Astrolabe Float List Mds2 Oat Printf Tree

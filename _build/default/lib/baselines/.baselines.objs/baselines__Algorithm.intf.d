@@ -1,0 +1,1 @@
+lib/baselines/algorithm.mli: Oat Tree

@@ -1,0 +1,1 @@
+lib/baselines/astrolabe.ml: Agg Array Hashtbl List Simul Tree

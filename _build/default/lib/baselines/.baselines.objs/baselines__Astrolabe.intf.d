@@ -1,0 +1,1 @@
+lib/baselines/astrolabe.mli: Agg Tree

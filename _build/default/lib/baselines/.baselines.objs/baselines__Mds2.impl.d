@@ -1,0 +1,1 @@
+lib/baselines/mds2.ml: Agg Array List Simul Tree

@@ -1,0 +1,1 @@
+lib/baselines/mds2.mli: Agg Tree

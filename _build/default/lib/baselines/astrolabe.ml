@@ -1,0 +1,57 @@
+module Make (Op : Agg.Operator.S) = struct
+  type msg = Update of Op.t
+
+  let kind_of (Update _) = Simul.Kind.Update
+
+  type node = { value : Op.t array; aval : (int, Op.t) Hashtbl.t }
+  (* value is a 1-element array to keep the record immutable-ish. *)
+
+  type t = { tree : Tree.t; net : msg Simul.Network.t; nodes : node array }
+
+  let name = "astrolabe"
+
+  let create tree =
+    {
+      tree;
+      net = Simul.Network.create tree ~kind_of;
+      nodes =
+        Array.init (Tree.n_nodes tree) (fun _ ->
+            { value = [| Op.identity |]; aval = Hashtbl.create 8 });
+    }
+
+  let aval nd v =
+    match Hashtbl.find_opt nd.aval v with Some x -> x | None -> Op.identity
+
+  let subval t u w =
+    let nd = t.nodes.(u) in
+    List.fold_left
+      (fun x v -> if v = w then x else Op.combine x (aval nd v))
+      nd.value.(0) (Tree.neighbors t.tree u)
+
+  let gval t u =
+    let nd = t.nodes.(u) in
+    List.fold_left
+      (fun x v -> Op.combine x (aval nd v))
+      nd.value.(0) (Tree.neighbors t.tree u)
+
+  let push t u ~except =
+    List.iter
+      (fun v ->
+        if v <> except then
+          Simul.Network.send t.net ~src:u ~dst:v (Update (subval t u v)))
+      (Tree.neighbors t.tree u)
+
+  let handler t ~src ~dst (Update x) =
+    Hashtbl.replace t.nodes.(dst).aval src x;
+    push t dst ~except:src
+
+  let write t ~node x =
+    t.nodes.(node).value.(0) <- x;
+    push t node ~except:(-1);
+    ignore (Simul.Engine.run_to_quiescence t.net ~handler:(handler t))
+
+  let combine t ~node = gval t node
+
+  let message_total t = Simul.Network.total t.net
+  let reset_message_counters t = Simul.Network.reset_counters t.net
+end

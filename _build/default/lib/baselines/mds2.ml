@@ -1,0 +1,79 @@
+module Make (Op : Agg.Operator.S) = struct
+  type msg = Probe | Response of Op.t
+
+  let kind_of = function
+    | Probe -> Simul.Kind.Probe
+    | Response _ -> Simul.Kind.Response
+
+  type node = {
+    mutable value : Op.t;
+    mutable acc : Op.t;  (* partial aggregate of the in-progress probe *)
+    mutable waiting : int;  (* outstanding responses *)
+    mutable requester : int;  (* -1 when the probe originated here *)
+  }
+
+  type t = {
+    tree : Tree.t;
+    net : msg Simul.Network.t;
+    nodes : node array;
+    mutable result : Op.t option;  (* root's answer for the current combine *)
+  }
+
+  let name = "mds-2"
+
+  let create tree =
+    {
+      tree;
+      net = Simul.Network.create tree ~kind_of;
+      nodes =
+        Array.init (Tree.n_nodes tree) (fun _ ->
+            { value = Op.identity; acc = Op.identity; waiting = 0; requester = -1 });
+      result = None;
+    }
+
+  let fanout t u ~except =
+    let sent = ref 0 in
+    List.iter
+      (fun v ->
+        if v <> except then begin
+          Simul.Network.send t.net ~src:u ~dst:v Probe;
+          incr sent
+        end)
+      (Tree.neighbors t.tree u);
+    !sent
+
+  let finish t u =
+    let nd = t.nodes.(u) in
+    if nd.requester < 0 then t.result <- Some nd.acc
+    else Simul.Network.send t.net ~src:u ~dst:nd.requester (Response nd.acc)
+
+  let handler t ~src ~dst m =
+    let nd = t.nodes.(dst) in
+    match m with
+    | Probe ->
+      nd.requester <- src;
+      nd.acc <- nd.value;
+      nd.waiting <- fanout t dst ~except:src;
+      if nd.waiting = 0 then finish t dst
+    | Response x ->
+      nd.acc <- Op.combine nd.acc x;
+      nd.waiting <- nd.waiting - 1;
+      if nd.waiting = 0 then finish t dst
+
+  let write t ~node x = t.nodes.(node).value <- x
+
+  let combine t ~node =
+    let nd = t.nodes.(node) in
+    t.result <- None;
+    nd.requester <- -1;
+    nd.acc <- nd.value;
+    nd.waiting <- fanout t node ~except:(-1);
+    if nd.waiting = 0 then finish t node;
+    ignore (Simul.Engine.run_to_quiescence t.net ~handler:(handler t));
+    match t.result with
+    | Some v -> v
+    | None -> failwith "Mds2.combine: protocol did not complete"
+
+  let message_total t = Simul.Network.total t.net
+  let reset_message_counters t = Simul.Network.reset_counters t.net
+end

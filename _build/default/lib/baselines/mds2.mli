@@ -1,0 +1,24 @@
+(** MDS-2-style static aggregation (paper Section 1 / Related Work).
+
+    "MDS-2 does not propagate updates on the writes, and each request
+    for an aggregate value requires all nodes to be contacted."  Writes
+    are purely local; a combine floods probe messages through the whole
+    tree and aggregates the responses on the way back — 2(n-1) messages
+    per combine.  This is the write-optimized extreme of the
+    static-strategy spectrum. *)
+
+module Make (Op : Agg.Operator.S) : sig
+  type t
+
+  val create : Tree.t -> t
+  val name : string
+
+  val write : t -> node:int -> Op.t -> unit
+  (** Local assignment; never sends messages. *)
+
+  val combine : t -> node:int -> Op.t
+  (** Full-tree probe/response; runs the network to quiescence. *)
+
+  val message_total : t -> int
+  val reset_message_counters : t -> unit
+end

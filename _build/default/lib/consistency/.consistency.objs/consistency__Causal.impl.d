@@ -1,0 +1,1 @@
+lib/consistency/causal.ml: Agg Array Bytes Format Hashtbl History List Oat Option

@@ -1,0 +1,1 @@
+lib/consistency/causal.mli: Agg Format Oat

@@ -1,0 +1,1 @@
+lib/consistency/strict.ml: Agg Array Format List Oat

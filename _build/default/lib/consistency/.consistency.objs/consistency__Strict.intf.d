@@ -1,0 +1,1 @@
+lib/consistency/strict.mli: Agg Format Oat

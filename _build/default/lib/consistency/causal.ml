@@ -1,0 +1,176 @@
+type violation = { node : int; what : string }
+
+let pp_violation fmt v = Format.fprintf fmt "node %d: %s" v.node v.what
+
+(* The causal order of Section 5.1, as a reachability structure over
+   request identities.  Base edges:
+   - program order: consecutive requests at the same node;
+   - write-into-gather: a gather that returns (v, i) in its retval is
+     causally after write (v, i). *)
+module Order = struct
+  type t = {
+    index_of : (History.id, int) Hashtbl.t;
+    succs : int list array;
+    n : int;
+  }
+
+  let build (requests : ('v Oat.Ghost.entry * History.id) list) =
+    let n = List.length requests in
+    let index_of = Hashtbl.create (2 * n) in
+    List.iteri (fun i (_, id) -> Hashtbl.replace index_of id i) requests;
+    let succs = Array.make n [] in
+    let add_edge a b = if a <> b then succs.(a) <- b :: succs.(a) in
+    (* Program order: link each request to the next one at its node. *)
+    let by_node = Hashtbl.create 64 in
+    List.iter
+      (fun (_, (node, idx)) ->
+        let cur = Option.value ~default:[] (Hashtbl.find_opt by_node node) in
+        Hashtbl.replace by_node node ((idx, (node, idx)) :: cur))
+      requests;
+    Hashtbl.iter
+      (fun _ lst ->
+        let sorted = List.sort compare lst in
+        let rec link = function
+          | (_, a) :: ((_, b) :: _ as rest) ->
+            add_edge (Hashtbl.find index_of a) (Hashtbl.find index_of b);
+            link rest
+          | _ -> ()
+        in
+        link sorted)
+      by_node;
+    (* Write-into-gather edges. *)
+    List.iter
+      (fun (entry, id) ->
+        match entry with
+        | Oat.Ghost.Write _ -> ()
+        | Oat.Ghost.Combine c ->
+          List.iter
+            (fun (v, i) ->
+              if i >= 0 then
+                match Hashtbl.find_opt index_of (v, i) with
+                | Some src -> add_edge src (Hashtbl.find index_of id)
+                | None -> ())
+            c.crecent)
+      requests;
+    { index_of; succs; n }
+
+  (* Reachability closure as boolean matrices (n is small in tests). *)
+  let closure t =
+    let reach = Array.init t.n (fun _ -> Bytes.make t.n '\000') in
+    let rec dfs src v =
+      List.iter
+        (fun w ->
+          if Bytes.get reach.(src) w = '\000' then begin
+            Bytes.set reach.(src) w '\001';
+            dfs src w
+          end)
+        t.succs.(v)
+    in
+    for src = 0 to t.n - 1 do
+      dfs src src
+    done;
+    reach
+
+  let has_cycle t reach =
+    let rec find i = if i >= t.n then false else Bytes.get reach.(i) i = '\001' || find (i + 1) in
+    find 0
+
+  let precedes t reach a b =
+    match (Hashtbl.find_opt t.index_of a, Hashtbl.find_opt t.index_of b) with
+    | Some i, Some j -> Bytes.get reach.(i) j = '\001'
+    | _ -> false
+end
+
+let check (type a) (module Op : Agg.Operator.S with type t = a) ~n_nodes
+    ~(logs : a Oat.Ghost.entry list array) =
+  let violations = ref [] in
+  let bad node fmt = Format.kasprintf (fun what -> violations := { node; what } :: !violations) fmt in
+  let args = History.write_args logs in
+  (* The execution history: each node contributes its own requests. *)
+  let history =
+    Array.to_list logs
+    |> List.mapi (fun u log -> History.own_requests log ~self:u)
+    |> List.concat
+    |> List.map (fun e -> (e, History.entry_id e))
+  in
+  let order = Order.build history in
+  let reach = Order.closure order in
+  if Order.has_cycle order reach then bad (-1) "causal order contains a cycle";
+  Array.iteri
+    (fun u log ->
+      let gwlog' = History.extend_with_all_writes log ~all_logs:logs ~self:u in
+      (* (1) gwlog' is a serialization: every gather returns exactly the
+         recentwrites of its prefix. *)
+      let last = Array.make n_nodes (-1) in
+      List.iteri
+        (fun pos e ->
+          match e with
+          | Oat.Ghost.Write w ->
+            if w.windex <= last.(w.wnode) then
+              bad u "write order at node %d regressed at position %d (index %d after %d)"
+                w.wnode pos w.windex last.(w.wnode);
+            last.(w.wnode) <- w.windex
+          | Oat.Ghost.Combine c ->
+            List.iter
+              (fun (v, i) ->
+                if v < 0 || v >= n_nodes then
+                  bad u "gather (%d,%d) names unknown node %d" c.cnode c.cindex v
+                else if i <> last.(v) then
+                  bad u
+                    "gather (%d,%d) at position %d returns index %d for node %d, prefix says %d"
+                    c.cnode c.cindex pos i v last.(v))
+              c.crecent;
+            if List.length c.crecent <> n_nodes then
+              bad u "gather (%d,%d) retval has %d entries, expected %d" c.cnode
+                c.cindex (List.length c.crecent) n_nodes)
+        gwlog';
+      (* (2) gwlog' respects the causal order: for every member of the
+         serialization, each causal predecessor that is itself a member
+         (causality may route through requests at other nodes, which is
+         why reachability is computed over the full history) must appear
+         earlier. *)
+      let members : (History.id, unit) Hashtbl.t = Hashtbl.create 64 in
+      List.iter (fun e -> Hashtbl.replace members (History.entry_id e) ()) gwlog';
+      let seen : (History.id, unit) Hashtbl.t = Hashtbl.create 64 in
+      List.iteri
+        (fun pos e ->
+          let id = History.entry_id e in
+          List.iter
+            (fun (_, id') ->
+              if
+                Hashtbl.mem members id'
+                && (not (Hashtbl.mem seen id'))
+                && id' <> id
+                && Order.precedes order reach id' id
+              then
+                bad u
+                  "position %d: (%d,%d) appears before its causal predecessor (%d,%d)"
+                  pos (fst id) (snd id) (fst id') (snd id'))
+            history;
+          Hashtbl.replace seen id ())
+        gwlog';
+      (* (3) compatibility: the combine's value equals f over the write
+         arguments its gather names (I1 of Lemma 5.5). *)
+      List.iter
+        (fun e ->
+          match e with
+          | Oat.Ghost.Write _ -> ()
+          | Oat.Ghost.Combine c ->
+            let expected =
+              List.fold_left
+                (fun acc (v, i) ->
+                  if i < 0 then acc
+                  else
+                    match Hashtbl.find_opt args (v, i) with
+                    | Some arg -> Op.combine acc arg
+                    | None -> acc)
+                Op.identity c.crecent
+            in
+            if not (Op.equal c.cvalue expected) then
+              bad u "combine (%d,%d) returned %a but its gather implies %a"
+                c.cnode c.cindex Op.pp c.cvalue Op.pp expected)
+        gwlog')
+    logs;
+  List.rev !violations
+
+let is_causally_consistent op ~n_nodes ~logs = check op ~n_nodes ~logs = []

@@ -1,0 +1,35 @@
+(** Causal consistency for concurrent executions (paper Section 5).
+
+    Theorem 4: the execution history of any lease-based algorithm is
+    causally consistent.  The proof exhibits, for every node [u], the
+    serialization [u.gwlog'] and shows it (1) is a serialization — each
+    gather returns exactly [recentwrites] of its prefix; (2) respects
+    the causal order among the requests it contains; and (3) is
+    compatible with the combine history [u.log'].
+
+    This module is the corresponding executable checker: given the
+    per-node ghost logs of a (typically concurrent and adversarially
+    interleaved) run, it reconstructs [gwlog'] / [log'] per node and
+    verifies all three properties, plus acyclicity of the causal order
+    itself.  An implementation bug in update propagation or log merging
+    shows up as a listed violation. *)
+
+type violation = { node : int; what : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check :
+  (module Agg.Operator.S with type t = 'v) ->
+  n_nodes:int ->
+  logs:'v Oat.Ghost.entry list array ->
+  violation list
+(** [check op ~n_nodes ~logs] with [logs.(u)] the ghost log of node [u]
+    (from [Mechanism.log], requires the system to have been created with
+    [~ghost:true]).  Empty result = causally consistent execution
+    history. *)
+
+val is_causally_consistent :
+  (module Agg.Operator.S with type t = 'v) ->
+  n_nodes:int ->
+  logs:'v Oat.Ghost.entry list array ->
+  bool

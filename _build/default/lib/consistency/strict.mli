@@ -1,0 +1,30 @@
+(** Strict consistency for sequential executions (paper Section 2).
+
+    An aggregation algorithm is strictly consistent in executing a
+    sequence sigma when every combine returns f(A(sigma, q)): the
+    aggregate over the most recent write at each node preceding the
+    combine (identity where no write precedes).  Lemma 3.12 proves every
+    lease-based algorithm satisfies this on sequential executions; this
+    checker is the corresponding empirical oracle. *)
+
+type violation = {
+  position : int;  (** index of the offending combine in the sequence *)
+  node : int;
+  expected : string;
+  got : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val violations :
+  (module Agg.Operator.S with type t = 'v) ->
+  n_nodes:int ->
+  'v Oat.Request.result list ->
+  violation list
+(** Empty iff the executed sequence is strictly consistent. *)
+
+val check :
+  (module Agg.Operator.S with type t = 'v) ->
+  n_nodes:int ->
+  'v Oat.Request.result list ->
+  bool

@@ -1,0 +1,1 @@
+lib/core/ab_policy.ml: Hashtbl List Policy Printf

@@ -1,0 +1,1 @@
+lib/core/ab_policy.mli: Policy

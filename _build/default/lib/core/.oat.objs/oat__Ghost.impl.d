@@ -1,0 +1,1 @@
+lib/core/ghost.ml: Format List

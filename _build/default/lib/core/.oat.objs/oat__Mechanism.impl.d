@@ -1,0 +1,1 @@
+lib/core/mechanism.ml: Agg Array Ghost Hashtbl Int List Policy Request Set Simul Tree

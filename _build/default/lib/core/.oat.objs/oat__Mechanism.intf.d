@@ -1,0 +1,1 @@
+lib/core/mechanism.mli: Agg Ghost Policy Request Set Simul Tree

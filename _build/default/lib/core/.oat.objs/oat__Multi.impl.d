@@ -1,0 +1,1 @@
+lib/core/multi.ml: Agg Hashtbl List Mechanism Option Policy Printf Rww Tree

@@ -1,0 +1,1 @@
+lib/core/multi.mli: Agg Mechanism Policy Tree

@@ -1,0 +1,1 @@
+lib/core/rww.ml: Hashtbl List Policy

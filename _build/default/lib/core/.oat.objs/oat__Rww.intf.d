@@ -1,0 +1,1 @@
+lib/core/rww.mli: Policy

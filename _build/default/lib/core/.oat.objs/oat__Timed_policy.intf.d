@@ -1,0 +1,1 @@
+lib/core/timed_policy.mli: Policy

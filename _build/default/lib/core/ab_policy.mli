@@ -1,0 +1,32 @@
+(** Generic (a,b)-algorithms (paper Section 4.2).
+
+    An online lease-based algorithm is an (a,b)-algorithm when, for every
+    edge (u,v): a cleared lease [u.granted\[v\]] is set after [a]
+    consecutive combine requests in [sigma(u,v)], and a set lease is
+    cleared after [b] consecutive write requests in [sigma(u,v)].
+    RWW is the (1,2)-algorithm; Theorem 3 shows every (a,b)-algorithm
+    pays at least 5/2 times the offline optimum on adversarial
+    sequences, so RWW's choice is not improvable within the class.
+
+    Implementation: the lease-breaking side generalizes RWW's timer with
+    budget [b]; the lease-granting side counts consecutive probes from
+    the candidate grantee, reset by any locally observable write on this
+    side of the edge (a local write, or an update from a different
+    neighbour).  For [a = 1] the granting side degenerates to RWW's
+    unconditional [setlease].
+
+    Degenerate corners give the static strategies of the paper's
+    introduction: [always_lease] ([a=1], [b=infinity]) converges to
+    Astrolabe-style flood-on-write; [never_lease] ([a=infinity]) is
+    MDS-2-style aggregate-on-read. *)
+
+val policy : a:int -> b:int -> Policy.factory
+(** Requires [a >= 1] and [b >= 1]. *)
+
+val always_lease : Policy.factory
+(** (1, infinity): grants eagerly, never releases. *)
+
+val never_lease : Policy.factory
+(** (infinity, .): never grants a lease. *)
+
+val name : a:int -> b:int -> string

@@ -1,0 +1,443 @@
+module IntSet = Set.Make (Int)
+
+module Make (Op : Agg.Operator.S) = struct
+  type msg =
+    | Probe
+    | Response of { x : Op.t; flag : bool; wlog : Op.t Ghost.write list }
+    | Update of { x : Op.t; id : int; wlog : Op.t Ghost.write list }
+    | Release of { ids : IntSet.t }
+
+  let kind_of = function
+    | Probe -> Simul.Kind.Probe
+    | Response _ -> Simul.Kind.Response
+    | Update _ -> Simul.Kind.Update
+    | Release _ -> Simul.Kind.Release
+
+  (* One tuple of the paper's [sntupdates] set: an update received from
+     [from_node] with identifier [rcvid] was forwarded under [sntid]. *)
+  type sntupdate = { from_node : int; rcvid : int; sntid : int }
+
+  type node = {
+    id : int;
+    nbrs : int list;
+    mutable value : Op.t;  (* the paper's [val] *)
+    taken : (int, bool) Hashtbl.t;
+    granted : (int, bool) Hashtbl.t;
+    aval : (int, Op.t) Hashtbl.t;
+    uaw : (int, IntSet.t) Hashtbl.t;
+    mutable pndg : IntSet.t;
+    snt : (int, IntSet.t) Hashtbl.t;  (* keyed by requester: nbrs + self *)
+    mutable upcntr : int;
+    mutable sntupdates : sntupdate list;
+    policy : Policy.t;
+    mutable view : Policy.view option;  (* built once, after allocation *)
+    mutable pending : (Op.t -> unit) list;  (* callbacks of pending local combines *)
+    (* Ghost state (Figure 6). *)
+    mutable glog : Op.t Ghost.entry list;  (* reversed *)
+    known_writes : (int * int, unit) Hashtbl.t;  (* (node,index) in glog *)
+    last_write : int array;  (* per tree node: index of most recent write in glog, -1 if none *)
+    mutable completed : int;  (* completed requests at this node *)
+  }
+
+  type t = {
+    tree : Tree.t;
+    net : msg Simul.Network.t;
+    nodes : node array;
+    ghost : bool;
+  }
+
+  (* ------------------------------------------------------------------ *)
+  (* State accessors (the paper's nbrs(), tkn(), grntd(), sntprobes()). *)
+
+  let tbl_get tbl k ~default =
+    match Hashtbl.find_opt tbl k with Some v -> v | None -> default
+
+  let tkn nd = List.filter (fun v -> tbl_get nd.taken v ~default:false) nd.nbrs
+
+  let grntd nd =
+    List.filter (fun v -> tbl_get nd.granted v ~default:false) nd.nbrs
+
+  let sntprobes nd =
+    Hashtbl.fold (fun _ s acc -> IntSet.union s acc) nd.snt IntSet.empty
+
+  let node_view nd =
+    match nd.view with
+    | Some v -> v
+    | None ->
+      let v =
+        {
+          Policy.id = nd.id;
+          nbrs = nd.nbrs;
+          is_taken = (fun w -> tbl_get nd.taken w ~default:false);
+          is_granted = (fun w -> tbl_get nd.granted w ~default:false);
+          taken = (fun () -> tkn nd);
+          granted = (fun () -> grntd nd);
+          uaw_size =
+            (fun w -> IntSet.cardinal (tbl_get nd.uaw w ~default:IntSet.empty));
+        }
+      in
+      nd.view <- Some v;
+      v
+
+  (* The paper's gval(): local value folded with all neighbour caches. *)
+  let gval_of nd =
+    List.fold_left
+      (fun x v -> Op.combine x (tbl_get nd.aval v ~default:Op.identity))
+      nd.value nd.nbrs
+
+  (* The paper's subval(w): gval() excluding the cache for [w]. *)
+  let subval nd w =
+    List.fold_left
+      (fun x v ->
+        if v = w then x
+        else Op.combine x (tbl_get nd.aval v ~default:Op.identity))
+      nd.value nd.nbrs
+
+  (* ------------------------------------------------------------------ *)
+  (* Ghost actions (Figure 6).                                          *)
+
+  let ghost_wlog t nd = if t.ghost then Ghost.wlog (List.rev nd.glog) else []
+
+  let ghost_append_write t nd (w : Op.t Ghost.write) =
+    if t.ghost then begin
+      nd.glog <- Ghost.Write w :: nd.glog;
+      Hashtbl.replace nd.known_writes (Ghost.write_id w) ();
+      nd.last_write.(w.wnode) <- w.windex
+    end
+
+  (* log := log . (wlog_w - log): append the writes of the received wlog
+     that are not yet in our log, preserving their order. *)
+  let ghost_merge t nd wlog_w =
+    if t.ghost then
+      List.iter
+        (fun w ->
+          if not (Hashtbl.mem nd.known_writes (Ghost.write_id w)) then
+            ghost_append_write t nd w)
+        wlog_w
+
+  let ghost_recentwrites t nd =
+    if t.ghost then
+      List.init (Tree.n_nodes t.tree) (fun u -> (u, nd.last_write.(u)))
+    else []
+
+  (* ------------------------------------------------------------------ *)
+  (* Procedures of Figure 1.                                            *)
+
+  let send t nd dst m = Simul.Network.send t.net ~src:nd.id ~dst m
+
+  (* sendprobes(w): mark [w] pending and probe every neighbour whose
+     subtree aggregate is neither leased nor already being probed. *)
+  let sendprobes t nd w =
+    nd.pndg <- IntSet.add w nd.pndg;
+    let skip = IntSet.add w (IntSet.union (IntSet.of_list (tkn nd)) (sntprobes nd)) in
+    List.iter
+      (fun v -> if not (IntSet.mem v skip) then send t nd v Probe)
+      nd.nbrs
+
+  (* forwardupdates(w, id): push fresh subtree aggregates to every
+     grantee except [w]. *)
+  let forwardupdates t nd w id =
+    let wl = ghost_wlog t nd in
+    List.iter
+      (fun v -> if v <> w then send t nd v (Update { x = subval nd v; id; wlog = wl }))
+      (grntd nd)
+
+  (* sendresponse(w): answer a probe; grant a lease iff every other
+     neighbour is covered by a taken lease and the policy agrees. *)
+  let sendresponse t nd w =
+    let others_covered =
+      List.for_all (fun v -> v = w || tbl_get nd.taken v ~default:false) nd.nbrs
+    in
+    if others_covered then
+      Hashtbl.replace nd.granted w
+        (nd.policy.set_lease (node_view nd) ~target:w);
+    let flag = tbl_get nd.granted w ~default:false in
+    send t nd w (Response { x = subval nd w; flag; wlog = ghost_wlog t nd })
+
+  let isgoodforrelease nd w =
+    match grntd nd with [] -> true | [ v ] -> v = w | _ -> false
+
+  (* forwardrelease(): break every eligible taken lease the policy wants
+     to drop, sending back the accumulated unacknowledged-update ids. *)
+  let forwardrelease t nd =
+    List.iter
+      (fun v ->
+        if
+          isgoodforrelease nd v
+          && tbl_get nd.taken v ~default:false
+          && nd.policy.break_lease (node_view nd) ~target:v
+        then begin
+          Hashtbl.replace nd.taken v false;
+          send t nd v (Release { ids = tbl_get nd.uaw v ~default:IntSet.empty });
+          Hashtbl.replace nd.uaw v IntSet.empty
+        end)
+      (tkn nd)
+
+  (* onrelease(w, S): trim each uaw[v] down to the update ids that were
+     forwarded to [w] within the released window, then let the policy
+     react, then try to propagate the release. *)
+  let onrelease t nd w s =
+    (match IntSet.min_elt_opt s with
+    | None -> ()
+    | Some id ->
+      List.iter
+        (fun v ->
+          if v <> w then begin
+            let a =
+              List.filter
+                (fun (su : sntupdate) -> su.from_node = v && su.sntid >= id)
+                nd.sntupdates
+            in
+            (* A empty means every update received from [v] was forwarded
+               before the released window, i.e. consumed downstream by a
+               combine: nothing from [v] is left unaccounted (beta.rcvid
+               degenerates to +inf, so S' is empty). *)
+            (match a with
+            | [] -> Hashtbl.replace nd.uaw v IntSet.empty
+            | hd :: tl ->
+              let beta =
+                List.fold_left
+                  (fun (acc : sntupdate) su ->
+                    if su.rcvid <= acc.rcvid then su else acc)
+                  hd tl
+              in
+              let s' =
+                IntSet.filter
+                  (fun i -> i >= beta.rcvid)
+                  (tbl_get nd.uaw v ~default:IntSet.empty)
+              in
+              Hashtbl.replace nd.uaw v s')
+          end)
+        (tkn nd));
+    List.iter
+      (fun v ->
+        if v <> w && isgoodforrelease nd v then
+          nd.policy.release_policy (node_view nd) ~target:v)
+      (tkn nd);
+    forwardrelease t nd
+
+  let newid nd =
+    nd.upcntr <- nd.upcntr + 1;
+    nd.upcntr
+
+  (* Completion of a local combine: log the matching gather (ghost) and
+     fire every pending continuation with the global aggregate. *)
+  let complete_combines t nd =
+    let value = gval_of nd in
+    let callbacks = List.rev nd.pending in
+    nd.pending <- [];
+    List.iter
+      (fun k ->
+        if t.ghost then
+          nd.glog <-
+            Ghost.Combine
+              {
+                cnode = nd.id;
+                cindex = nd.completed;
+                cvalue = value;
+                crecent = ghost_recentwrites t nd;
+              }
+            :: nd.glog;
+        nd.completed <- nd.completed + 1;
+        k value)
+      callbacks
+
+  (* ------------------------------------------------------------------ *)
+  (* Transitions.                                                       *)
+
+  (* T1: combine request at [nd]. *)
+  let t1_combine t nd k =
+    nd.pending <- k :: nd.pending;
+    nd.policy.on_combine (node_view nd);
+    List.iter (fun v -> Hashtbl.replace nd.uaw v IntSet.empty) (tkn nd);
+    if not (IntSet.mem nd.id nd.pndg) then begin
+      let missing = List.filter (fun v -> not (tbl_get nd.taken v ~default:false)) nd.nbrs in
+      match missing with
+      | [] -> complete_combines t nd
+      | _ :: _ ->
+        sendprobes t nd nd.id;
+        Hashtbl.replace nd.snt nd.id (IntSet.of_list missing)
+    end
+
+  (* T2: write request at [nd]. *)
+  let t2_write t nd arg =
+    nd.value <- arg;
+    if t.ghost then
+      ghost_append_write t nd
+        { Ghost.wnode = nd.id; windex = nd.completed; warg = arg };
+    nd.completed <- nd.completed + 1;
+    nd.policy.on_write (node_view nd);
+    if grntd nd <> [] then begin
+      let id = newid nd in
+      forwardupdates t nd nd.id id
+    end
+
+  (* T3: receive probe from [w]. *)
+  let t3_probe t nd w =
+    nd.policy.probe_rcvd (node_view nd) ~from:w;
+    List.iter
+      (fun v -> if v <> w then Hashtbl.replace nd.uaw v IntSet.empty)
+      (tkn nd);
+    if not (IntSet.mem w nd.pndg) then begin
+      let missing =
+        List.filter
+          (fun v -> v <> w && not (tbl_get nd.taken v ~default:false))
+          nd.nbrs
+      in
+      match missing with
+      | [] -> sendresponse t nd w
+      | _ :: _ ->
+        sendprobes t nd w;
+        Hashtbl.replace nd.snt w (IntSet.of_list missing)
+    end
+
+  (* T4: receive response(x, flag) from [w]. *)
+  let t4_response t nd w x flag wlog_w =
+    nd.policy.response_rcvd (node_view nd) ~flag ~from:w;
+    Hashtbl.replace nd.aval w x;
+    ghost_merge t nd wlog_w;
+    Hashtbl.replace nd.taken w flag;
+    let requesters = IntSet.elements nd.pndg in
+    List.iter
+      (fun v ->
+        let s = IntSet.remove w (tbl_get nd.snt v ~default:IntSet.empty) in
+        Hashtbl.replace nd.snt v s;
+        if IntSet.is_empty s then begin
+          nd.pndg <- IntSet.remove v nd.pndg;
+          if v = nd.id then complete_combines t nd else sendresponse t nd v
+        end)
+      requesters
+
+  (* T5: receive update(x, id) from [w]. *)
+  let t5_update t nd w x id wlog_w =
+    nd.policy.update_rcvd (node_view nd) ~from:w;
+    Hashtbl.replace nd.aval w x;
+    ghost_merge t nd wlog_w;
+    Hashtbl.replace nd.uaw w (IntSet.add id (tbl_get nd.uaw w ~default:IntSet.empty));
+    let other_grantees = List.filter (fun v -> v <> w) (grntd nd) in
+    if other_grantees <> [] then begin
+      let nid = newid nd in
+      nd.sntupdates <- { from_node = w; rcvid = id; sntid = nid } :: nd.sntupdates;
+      forwardupdates t nd w nid
+    end
+    else forwardrelease t nd
+
+  (* T6: receive release(S) from [w]. *)
+  let t6_release t nd w s =
+    nd.policy.release_rcvd (node_view nd) ~from:w;
+    Hashtbl.replace nd.granted w false;
+    onrelease t nd w s
+
+  (* ------------------------------------------------------------------ *)
+  (* Public interface.                                                  *)
+
+  let create ?(ghost = false) ?on_send tree ~policy =
+    let n = Tree.n_nodes tree in
+    let mk_node id =
+      let nbrs = Tree.neighbors tree id in
+      {
+        id;
+        nbrs;
+        value = Op.identity;
+        taken = Hashtbl.create 8;
+        granted = Hashtbl.create 8;
+        aval = Hashtbl.create 8;
+        uaw = Hashtbl.create 8;
+        pndg = IntSet.empty;
+        snt = Hashtbl.create 8;
+        upcntr = 0;
+        sntupdates = [];
+        policy = policy ~node_id:id ~nbrs;
+        view = None;
+        pending = [];
+        glog = [];
+        known_writes = Hashtbl.create 64;
+        last_write = Array.make n (-1);
+        completed = 0;
+      }
+    in
+    {
+      tree;
+      net = Simul.Network.create ?on_send tree ~kind_of;
+      nodes = Array.init n mk_node;
+      ghost;
+    }
+
+  let tree t = t.tree
+  let network t = t.net
+  let policy_name t = t.nodes.(0).policy.name
+
+  let write t ~node arg = t2_write t t.nodes.(node) arg
+  let combine t ~node k = t1_combine t t.nodes.(node) k
+
+  let handler t ~src ~dst m =
+    let nd = t.nodes.(dst) in
+    match m with
+    | Probe -> t3_probe t nd src
+    | Response { x; flag; wlog } -> t4_response t nd src x flag wlog
+    | Update { x; id; wlog } -> t5_update t nd src x id wlog
+    | Release { ids } -> t6_release t nd src ids
+
+  let run_to_quiescence t =
+    Simul.Engine.run_to_quiescence t.net ~handler:(handler t)
+
+  let write_sync t ~node arg =
+    write t ~node arg;
+    ignore (run_to_quiescence t)
+
+  let combine_sync t ~node =
+    let result = ref None in
+    combine t ~node (fun v -> result := Some v);
+    ignore (run_to_quiescence t);
+    match !result with
+    | Some v -> v
+    | None -> failwith "Mechanism.combine_sync: combine did not complete"
+
+  let gather_sync t ~node =
+    if not t.ghost then
+      invalid_arg "Mechanism.gather_sync: requires a system created with ~ghost:true";
+    let value = combine_sync t ~node in
+    (* The combine just logged its gather entry; read its recentwrites. *)
+    match t.nodes.(node).glog with
+    | Ghost.Combine { crecent; _ } :: _ -> (value, crecent)
+    | _ -> failwith "Mechanism.gather_sync: combine left no gather entry"
+
+  let run_sequential t requests =
+    List.map
+      (fun (q : Op.t Request.t) ->
+        match q.op with
+        | Request.Write v ->
+          write_sync t ~node:q.node v;
+          { Request.request = q; returned = None }
+        | Request.Combine ->
+          let v = combine_sync t ~node:q.node in
+          { Request.request = q; returned = Some v })
+      requests
+
+  let local_value t u = t.nodes.(u).value
+  let gval t u = gval_of t.nodes.(u)
+  let taken t u v = tbl_get t.nodes.(u).taken v ~default:false
+  let granted t u v = tbl_get t.nodes.(u).granted v ~default:false
+  let aval t u v = tbl_get t.nodes.(u).aval v ~default:Op.identity
+  let uaw t u v = tbl_get t.nodes.(u).uaw v ~default:IntSet.empty
+  let pndg t u = t.nodes.(u).pndg
+  let snt t u v = tbl_get t.nodes.(u).snt v ~default:IntSet.empty
+  let sntupdates_length t u = List.length t.nodes.(u).sntupdates
+
+  let lease_graph_edges t =
+    List.filter (fun (u, v) -> granted t u v) (Tree.ordered_pairs t.tree)
+
+  let message_total t = Simul.Network.total t.net
+  let messages_of_kind t k = Simul.Network.total_of_kind t.net k
+
+  let cost_between t u v =
+    Simul.Network.sent t.net ~src:v ~dst:u Simul.Kind.Probe
+    + Simul.Network.sent t.net ~src:u ~dst:v Simul.Kind.Response
+    + Simul.Network.sent t.net ~src:u ~dst:v Simul.Kind.Update
+    + Simul.Network.sent t.net ~src:v ~dst:u Simul.Kind.Release
+
+  let reset_message_counters t = Simul.Network.reset_counters t.net
+
+  let log t u = List.rev t.nodes.(u).glog
+  let completed_requests t u = t.nodes.(u).completed
+end

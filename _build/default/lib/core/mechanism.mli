@@ -1,0 +1,140 @@
+(** The lease-based aggregation mechanism (paper Figures 1 and 6).
+
+    [Make (Op)] instantiates the protocol template for one aggregation
+    operator.  The resulting [system] runs any lease policy (see
+    {!Policy}) over any tree, on top of the FIFO simulator, and exposes:
+
+    - request entry points: {!Make.write} and {!Make.combine} perform
+      the paper's local transitions T2 and T1 and enqueue messages;
+    - the message {!Make.handler} implementing transitions T3-T6
+      (receipt of [probe], [response], [update], [release]);
+    - sequential conveniences ({!Make.write_sync}, {!Make.combine_sync})
+      that run the network to quiescence, giving the paper's sequential
+      executions;
+    - read-only inspection of every piece of per-node state named by the
+      paper ([taken], [granted], [aval], [uaw], [pndg], [snt]), used by
+      the tests that check the paper's invariants (Lemmas 3.1, 3.2, 3.4,
+      I(u), I4(u));
+    - optional ghost logs (Figure 6) for the causal-consistency
+      analysis of concurrent executions.
+
+    The transcription is deliberately line-by-line: each transition
+    carries a comment naming the paper's label (T1..T6) and procedures
+    keep the paper's names ([sendprobes], [forwardupdates],
+    [sendresponse], [onrelease], [forwardrelease], [gval], [subval]). *)
+
+module IntSet : Set.S with type elt = int
+
+module Make (Op : Agg.Operator.S) : sig
+  type msg =
+    | Probe
+    | Response of { x : Op.t; flag : bool; wlog : Op.t Ghost.write list }
+    | Update of { x : Op.t; id : int; wlog : Op.t Ghost.write list }
+    | Release of { ids : IntSet.t }
+
+  type t
+
+  val create :
+    ?ghost:bool ->
+    ?on_send:(src:int -> dst:int -> unit) ->
+    Tree.t ->
+    policy:Policy.factory ->
+    t
+  (** [create tree ~policy] builds the initial quiescent system: all
+      local values are the operator identity, no leases in either
+      direction, empty logs.  [ghost] (default [false]) enables the
+      Figure 6 ghost actions (write logs piggybacked on messages).
+      [on_send] is forwarded to the network — hook for virtual-time
+      scheduling ({!Simul.Devent}). *)
+
+  val tree : t -> Tree.t
+  val network : t -> msg Simul.Network.t
+  val policy_name : t -> string
+
+  (** {1 Requests (local transitions)} *)
+
+  val write : t -> node:int -> Op.t -> unit
+  (** Transition T2 at [node]: set the local value, notify lease
+      holders.  Messages are enqueued, not delivered. *)
+
+  val combine : t -> node:int -> (Op.t -> unit) -> unit
+  (** Transition T1 at [node].  The continuation receives the global
+      aggregate; it fires immediately if all neighbouring subtree
+      aggregates are covered by taken leases, otherwise after the
+      probe/response sub-protocol completes (during a later delivery). *)
+
+  (** {1 Message delivery} *)
+
+  val handler : t -> src:int -> dst:int -> msg -> unit
+  (** Transitions T3-T6, dispatched on the message constructor. *)
+
+  val run_to_quiescence : t -> int
+  (** Deliver queued messages until quiescent; returns deliveries. *)
+
+  (** {1 Sequential execution} *)
+
+  val write_sync : t -> node:int -> Op.t -> unit
+  (** T2 then run to quiescence: one sequentially executed write. *)
+
+  val combine_sync : t -> node:int -> Op.t
+  (** T1 then run to quiescence: one sequentially executed combine.
+      @raise Failure if the combine did not complete (impossible in a
+      sequential execution; indicates a protocol bug). *)
+
+  val gather_sync : t -> node:int -> Op.t * (int * int) list
+  (** The gather request of Section 5: a combine that additionally
+      returns, for every tree node, the per-node index of the most
+      recent write the aggregate reflects ([-1] if none) — the
+      [recentwrites] retval.  Requires the system to have been created
+      with [~ghost:true].
+      @raise Invalid_argument otherwise. *)
+
+  val run_sequential : t -> Op.t Request.t list -> Op.t Request.result list
+  (** Execute a whole request sequence sequentially. *)
+
+  (** {1 Inspection} *)
+
+  val local_value : t -> int -> Op.t
+  val gval : t -> int -> Op.t
+  (** The paper's [gval()]: aggregate of local value and neighbour
+      subtree caches. *)
+
+  val taken : t -> int -> int -> bool
+  (** [taken t u v] = the paper's [u.taken\[v\]]. *)
+
+  val granted : t -> int -> int -> bool
+  (** [granted t u v] = the paper's [u.granted\[v\]]. *)
+
+  val aval : t -> int -> int -> Op.t
+  (** [aval t u v] = the paper's [u.aval\[v\]]. *)
+
+  val uaw : t -> int -> int -> IntSet.t
+  (** [uaw t u v] = the paper's [u.uaw\[v\]]. *)
+
+  val pndg : t -> int -> IntSet.t
+  val snt : t -> int -> int -> IntSet.t
+  val sntupdates_length : t -> int -> int
+
+  val lease_graph_edges : t -> (int * int) list
+  (** Directed edges (u,v) with [granted t u v] — the paper's lease
+      graph G(Q). *)
+
+  val message_total : t -> int
+  val messages_of_kind : t -> Simul.Kind.t -> int
+
+  val cost_between : t -> int -> int -> int
+  (** [cost_between t u v] is the paper's [C_A(sigma, u, v)]: probes
+      v->u + responses u->v + updates u->v + releases v->u, since
+      creation (or the last counter reset). *)
+
+  val reset_message_counters : t -> unit
+
+  (** {1 Ghost logs (Section 5)} *)
+
+  val log : t -> int -> Op.t Ghost.entry list
+  (** [log t u]: node [u]'s ghost log, chronological.  Empty unless the
+      system was created with [~ghost:true]. *)
+
+  val completed_requests : t -> int -> int
+  (** Number of completed requests at a node (drives request indices). *)
+end

@@ -1,0 +1,45 @@
+module Make (Op : Agg.Operator.S) = struct
+  module M = Mechanism.Make (Op)
+
+  type t = {
+    tree : Tree.t;
+    default_policy : Policy.factory;
+    instances : (string, M.t) Hashtbl.t;
+    mutable order : string list;  (* reversed creation order *)
+  }
+
+  let create ?(default_policy = Rww.policy) tree =
+    { tree; default_policy; instances = Hashtbl.create 16; order = [] }
+
+  let tree t = t.tree
+
+  let declare t ?policy name =
+    if Hashtbl.mem t.instances name then
+      invalid_arg (Printf.sprintf "Multi.declare: attribute %S already exists" name);
+    let policy = Option.value policy ~default:t.default_policy in
+    Hashtbl.replace t.instances name (M.create t.tree ~policy);
+    t.order <- name :: t.order
+
+  let attributes t = List.rev t.order
+
+  let mem t name = Hashtbl.mem t.instances name
+
+  let find t name =
+    match Hashtbl.find_opt t.instances name with
+    | Some i -> i
+    | None ->
+      invalid_arg (Printf.sprintf "Multi: unknown attribute %S" name)
+
+  let write t ~attr ~node v =
+    if not (Hashtbl.mem t.instances attr) then declare t attr;
+    M.write_sync (find t attr) ~node v
+
+  let combine t ~attr ~node = M.combine_sync (find t attr) ~node
+
+  let message_total t =
+    Hashtbl.fold (fun _ i acc -> acc + M.message_total i) t.instances 0
+
+  let message_total_for t ~attr = M.message_total (find t attr)
+
+  let instance t ~attr = find t attr
+end

@@ -1,0 +1,51 @@
+(** Multi-attribute aggregation (the SDIMS-style frontend).
+
+    The aggregation frameworks the paper targets (SDIMS, Astrolabe)
+    manage many named attributes over one physical tree, each aggregated
+    independently — and SDIMS's central point, which this paper makes
+    adaptive, is that the propagation aggressiveness can be chosen {e per
+    attribute}.  [Make (Op)] runs one {!Mechanism} instance per
+    attribute over a shared topology, with a per-attribute lease policy
+    (defaulting to RWW), on-demand attribute creation, and aggregated
+    message accounting. *)
+
+module Make (Op : Agg.Operator.S) : sig
+  type t
+
+  val create : ?default_policy:Policy.factory -> Tree.t -> t
+  (** [create tree] — no attributes yet; the default policy (RWW unless
+      overridden) is used by attributes created on demand. *)
+
+  val tree : t -> Tree.t
+
+  val declare : t -> ?policy:Policy.factory -> string -> unit
+  (** Create an attribute explicitly, optionally with its own policy.
+      @raise Invalid_argument if it already exists. *)
+
+  val attributes : t -> string list
+  (** Declared attributes, in creation order. *)
+
+  val mem : t -> string -> bool
+
+  val write : t -> attr:string -> node:int -> Op.t -> unit
+  (** Sequential write to one attribute.  Creates the attribute with the
+      default policy if it does not exist (SDIMS-style on-demand
+      creation). *)
+
+  val combine : t -> attr:string -> node:int -> Op.t
+  (** Sequential combine on one attribute.
+      @raise Invalid_argument on an undeclared attribute (reading an
+      attribute nobody ever wrote is almost always a bug; the aggregate
+      would be the bare identity). *)
+
+  val message_total : t -> int
+  (** Messages across all attributes. *)
+
+  val message_total_for : t -> attr:string -> int
+  (** @raise Invalid_argument on an undeclared attribute. *)
+
+  val instance : t -> attr:string -> Mechanism.Make(Op).t
+  (** Escape hatch to the underlying per-attribute system (inspection,
+      concurrent drivers).
+      @raise Invalid_argument on an undeclared attribute. *)
+end

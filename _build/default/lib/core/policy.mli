@@ -1,0 +1,63 @@
+(** Lease policies.
+
+    The mechanism of the paper's Figure 1 is a protocol template: the
+    underlined calls ([oncombine], [probercvd], [responsercvd],
+    [updatercvd], [releasercvd], [setlease], [breaklease],
+    [releasepolicy]) are stubs for the {e policy} deciding when leases
+    are set and broken.  A policy instance is attached to each node; its
+    hooks are invoked by {!Mechanism} at exactly the points the paper's
+    pseudocode invokes the stubs, and may inspect the node's lease state
+    through a read-only {!view}.
+
+    One extension over the paper: an [on_write] hook invoked on a local
+    write.  RWW does not use it (the paper's stub list has no write
+    hook), but the generic (a,b)-policies of Theorem 3 need to observe
+    local writes to count "consecutive write requests in sigma(u,v)". *)
+
+(** Read-only window onto the owning node's mechanism state. *)
+type view = {
+  id : int;  (** the node this policy instance belongs to *)
+  nbrs : int list;  (** its neighbours *)
+  is_taken : int -> bool;
+      (** [is_taken v]: does this node hold a lease from neighbour [v]
+          (the paper's [u.taken\[v\]])? *)
+  is_granted : int -> bool;
+      (** [is_granted v]: has this node granted a lease to [v]
+          (the paper's [u.granted\[v\]])? *)
+  taken : unit -> int list;  (** the paper's [tkn()] *)
+  granted : unit -> int list;  (** the paper's [grntd()] *)
+  uaw_size : int -> int;
+      (** [uaw_size v]: cardinality of [uaw\[v\]], the set of identifiers
+          of updates accepted from [v] since the last reset. *)
+}
+
+type t = {
+  name : string;
+  on_combine : view -> unit;
+      (** [oncombine(u)] — a combine request was initiated locally. *)
+  on_write : view -> unit;
+      (** extension hook — a write request was executed locally. *)
+  probe_rcvd : view -> from:int -> unit;  (** [probercvd(w)] in T3. *)
+  response_rcvd : view -> flag:bool -> from:int -> unit;
+      (** [responsercvd(flag, w)] in T4. *)
+  update_rcvd : view -> from:int -> unit;  (** [updatercvd(w)] in T5. *)
+  release_rcvd : view -> from:int -> unit;  (** [releasercvd(w)] in T6. *)
+  set_lease : view -> target:int -> bool;
+      (** [setlease(w)] — consulted in [sendresponse] when this node is
+          able to grant a lease to [w]; [true] grants. *)
+  break_lease : view -> target:int -> bool;
+      (** [breaklease(v)] — consulted in [forwardrelease] when the taken
+          lease from [v] is eligible for release; [true] releases. *)
+  release_policy : view -> target:int -> unit;
+      (** [releasepolicy(v)] — invoked in [onrelease] after [uaw\[v\]]
+          has been trimmed, when [v] is good for release. *)
+}
+
+type factory = node_id:int -> nbrs:int list -> t
+(** A policy algorithm: builds one (stateful) policy instance per node. *)
+
+val noop : name:string -> set_lease:bool -> factory
+(** Stateless policy that never reacts to events, always answers
+    [set_lease] to {!set_lease} and never breaks.  [set_lease:true] is
+    the "lease everywhere" extreme (Astrolabe-like once warmed up);
+    [set_lease:false] never creates leases (MDS-2-like). *)

@@ -1,0 +1,16 @@
+type 'v op = Combine | Write of 'v
+
+type 'v t = { node : int; op : 'v op }
+
+let combine node = { node; op = Combine }
+let write node v = { node; op = Write v }
+
+let is_write q = match q.op with Write _ -> true | Combine -> false
+let is_combine q = match q.op with Combine -> true | Write _ -> false
+
+let pp pv fmt q =
+  match q.op with
+  | Combine -> Format.fprintf fmt "combine@%d" q.node
+  | Write v -> Format.fprintf fmt "write(%a)@%d" pv v q.node
+
+type 'v result = { request : 'v t; returned : 'v option }

@@ -1,0 +1,24 @@
+(** Requests.
+
+    A request is initiated at a node and is either a [write] (update the
+    node's local value to the argument) or a [combine] (return the global
+    aggregate at the node) — paper Section 2.  The [retval] and [index]
+    fields of the paper's tuple are produced by execution, not part of
+    the input, so here a request is just (node, op). *)
+
+type 'v op = Combine | Write of 'v
+
+type 'v t = { node : int; op : 'v op }
+
+val combine : int -> 'v t
+val write : int -> 'v -> 'v t
+
+val is_write : 'v t -> bool
+val is_combine : 'v t -> bool
+
+val pp :
+  (Format.formatter -> 'v -> unit) -> Format.formatter -> 'v t -> unit
+
+(** Result of executing one request: [returned] is [Some v] for a
+    completed combine, [None] for a write. *)
+type 'v result = { request : 'v t; returned : 'v option }

@@ -1,0 +1,34 @@
+(* Per-node policy state: the lease timers lt[v] of invariant I4. *)
+type state = { lt : (int, int) Hashtbl.t }
+
+let get s v = match Hashtbl.find_opt s.lt v with Some x -> x | None -> 0
+let set s v x = Hashtbl.replace s.lt v x
+
+let policy ~node_id:_ ~nbrs:_ =
+  let s = { lt = Hashtbl.create 8 } in
+  {
+    Policy.name = "rww";
+    on_combine =
+      (fun view -> List.iter (fun v -> set s v 2) (view.Policy.taken ()));
+    on_write = (fun _ -> ());
+    probe_rcvd =
+      (fun view ~from ->
+        List.iter
+          (fun v -> if v <> from then set s v 2)
+          (view.Policy.taken ()));
+    response_rcvd = (fun _ ~flag ~from -> if flag then set s from 2);
+    update_rcvd =
+      (fun view ~from ->
+        (* Decrement only when this node is a lease-graph leaf in the
+           direction away from [from] (Lemma 4.2, case T5). *)
+        let other_grantee =
+          List.exists (fun v -> v <> from) (view.Policy.granted ())
+        in
+        if not other_grantee then set s from (get s from - 1));
+    release_rcvd = (fun _ ~from:_ -> ());
+    set_lease = (fun _ ~target:_ -> true);
+    break_lease = (fun _ ~target -> get s target <= 0);
+    release_policy =
+      (fun view ~target ->
+        set s target (max 0 (get s target - view.Policy.uaw_size target)));
+  }

@@ -1,0 +1,27 @@
+(** The online lease-based algorithm RWW (paper Section 4, Figure 3).
+
+    RWW sets the lease from [u] to [v] during the execution of any
+    combine request in [subtree(v,u)], and breaks it after two
+    consecutive write requests at nodes in [subtree(u,v)] — it is the
+    (1,2)-algorithm of Corollary 4.1, and the paper's main result shows
+    it is 5/2-competitive among lease-based algorithms.
+
+    The policy state is a per-neighbour lease timer [lt] (the paper's
+    [u.lt\[v\]], introduced in the invariant I4 of Lemma 4.2):
+
+    - granting is unconditional ([setlease] always answers [true]);
+    - [lt\[v\] := 2] whenever combine activity on the far side of [v] is
+      observed (a local combine, a probe from another neighbour, or the
+      response that establishes the lease);
+    - an update from [v] decrements [lt\[v\]] when this node is a leaf
+      of the lease graph in that direction (no other grantee);
+    - when a downstream release returns, [lt\[v\]] absorbs the trimmed
+      unacknowledged-update count ([releasepolicy]);
+    - [breaklease(v)] answers [true] exactly when [lt\[v\]] reaches 0,
+      i.e. after two consecutive writes without an intervening combine.
+
+    The timer behaviour is pinned black-box by the test suite: the
+    (1,2) lease dynamics of Lemma 4.3 and the exact per-pair costs of
+    Lemma 4.5, on random trees. *)
+
+val policy : Policy.factory

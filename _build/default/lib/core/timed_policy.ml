@@ -1,0 +1,23 @@
+let policy ~now ~ttl ~node_id:_ ~nbrs:_ =
+  if ttl <= 0.0 then invalid_arg "Timed_policy.policy: ttl must be positive";
+  let last_read : (int, float) Hashtbl.t = Hashtbl.create 8 in
+  let refresh v = Hashtbl.replace last_read v (now ()) in
+  let expired v =
+    match Hashtbl.find_opt last_read v with
+    | None -> true
+    | Some t -> now () -. t > ttl
+  in
+  {
+    Policy.name = Printf.sprintf "timed(ttl=%g)" ttl;
+    on_combine = (fun view -> List.iter refresh (view.Policy.taken ()));
+    on_write = (fun _ -> ());
+    probe_rcvd =
+      (fun view ~from ->
+        List.iter (fun v -> if v <> from then refresh v) (view.Policy.taken ()));
+    response_rcvd = (fun _ ~flag ~from -> if flag then refresh from);
+    update_rcvd = (fun _ ~from:_ -> ());
+    release_rcvd = (fun _ ~from:_ -> ());
+    set_lease = (fun _ ~target:_ -> true);
+    break_lease = (fun _ ~target -> expired target);
+    release_policy = (fun _ ~target:_ -> ());
+  }

@@ -1,0 +1,24 @@
+(** Time-based leases (related-work comparison).
+
+    The paper's related work discusses the classical alternative to its
+    message-count-driven leases: time-based leases in the style of Gray
+    and Cheriton (SOSP'89) and Adaptive Leases (Duvvuri et al.), where a
+    lease simply expires after a TTL unless read activity refreshes it.
+
+    This policy embeds that idea into the paper's mechanism: granting is
+    unconditional, and a taken lease is broken (at the next opportunity
+    the mechanism offers) once no read-side activity has refreshed it
+    for [ttl] units of virtual time.  Compared to true Gray-Cheriton
+    leases the release is still an explicit message — silent expiry
+    needs synchronized clocks, which the paper's model does not assume —
+    so the comparison isolates the {e policy} (time-driven vs
+    write-count-driven) while keeping the mechanism fixed; see
+    DESIGN.md.
+
+    Requires a virtual clock ({!Simul.Devent}); pass its [now]. *)
+
+val policy : now:(unit -> float) -> ttl:float -> Policy.factory
+(** [ttl] must be positive.  Read activity that refreshes a taken lease:
+    a local combine, a probe from another neighbour, or the response
+    that establishes the lease — the same events that refresh RWW's
+    write budget. *)

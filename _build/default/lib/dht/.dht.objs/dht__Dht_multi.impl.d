@@ -1,0 +1,1 @@
+lib/dht/dht_multi.ml: Agg Array Hashtbl List Oat Plaxton Simul Tree

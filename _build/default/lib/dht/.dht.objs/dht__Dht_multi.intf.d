@@ -1,0 +1,1 @@
+lib/dht/dht_multi.mli: Agg Oat Plaxton Prng Tree

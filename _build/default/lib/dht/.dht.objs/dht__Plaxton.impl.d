@@ -1,0 +1,1 @@
+lib/dht/plaxton.ml: Array Char Hashtbl List Prng String Tree

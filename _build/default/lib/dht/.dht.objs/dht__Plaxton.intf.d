@@ -1,0 +1,1 @@
+lib/dht/plaxton.mli: Prng Tree

@@ -1,0 +1,55 @@
+module Make (Op : Agg.Operator.S) = struct
+  module M = Oat.Mechanism.Make (Op)
+
+  type attribute = { tree : Tree.t; sys : M.t }
+
+  type t = {
+    dht : Plaxton.t;
+    policy : Oat.Policy.factory;
+    attrs : (string, attribute) Hashtbl.t;
+    mutable order : string list;
+  }
+
+  let create ?(policy = Oat.Rww.policy) rng ~n ~bits =
+    { dht = Plaxton.create rng ~n ~bits; policy; attrs = Hashtbl.create 16; order = [] }
+
+  let dht t = t.dht
+
+  let attributes t = List.rev t.order
+
+  let attribute t name =
+    match Hashtbl.find_opt t.attrs name with
+    | Some a -> a
+    | None ->
+      let tree = Plaxton.tree_for_attribute t.dht name in
+      let a = { tree; sys = M.create tree ~policy:t.policy } in
+      Hashtbl.replace t.attrs name a;
+      t.order <- name :: t.order;
+      a
+
+  let tree_of t ~attr = (attribute t attr).tree
+
+  let root_of t ~attr =
+    ignore (attribute t attr);
+    Plaxton.root_for_key t.dht ~key:(Plaxton.key_of_attribute t.dht attr)
+
+  let write t ~attr ~node v = M.write_sync (attribute t attr).sys ~node v
+
+  let combine t ~attr ~node = M.combine_sync (attribute t attr).sys ~node
+
+  let message_total t =
+    Hashtbl.fold (fun _ a acc -> acc + M.message_total a.sys) t.attrs 0
+
+  let messages_per_machine t =
+    let n = Plaxton.n_nodes t.dht in
+    let load = Array.make n 0 in
+    Hashtbl.iter
+      (fun _ a ->
+        List.iter
+          (fun (u, v) ->
+            load.(u) <-
+              load.(u) + Simul.Network.sent_on_edge (M.network a.sys) ~src:u ~dst:v)
+          (Tree.ordered_pairs a.tree))
+      t.attrs;
+    load
+end

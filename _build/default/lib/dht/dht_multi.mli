@@ -1,0 +1,34 @@
+(** Multi-attribute aggregation over per-attribute DHT trees.
+
+    The full SDIMS picture: one physical population of machines, one
+    aggregation tree {e per attribute} derived from the DHT
+    ({!Plaxton.tree_for_attribute}), RWW (or any policy) running
+    independently on each tree.  Aggregation roots — and therefore
+    messaging load — spread across machines instead of concentrating at
+    a single tree root. *)
+
+module Make (Op : Agg.Operator.S) : sig
+  type t
+
+  val create :
+    ?policy:Oat.Policy.factory -> Prng.Splitmix.t -> n:int -> bits:int -> t
+
+  val dht : t -> Plaxton.t
+
+  val attributes : t -> string list
+
+  val tree_of : t -> attr:string -> Tree.t
+  (** The attribute's DHT tree (creates the attribute on first use). *)
+
+  val root_of : t -> attr:string -> int
+  (** The machine acting as this attribute's aggregation root. *)
+
+  val write : t -> attr:string -> node:int -> Op.t -> unit
+  val combine : t -> attr:string -> node:int -> Op.t
+
+  val message_total : t -> int
+
+  val messages_per_machine : t -> int array
+  (** Messages sent by each machine, across all attribute trees — the
+      load-spreading metric. *)
+end

@@ -1,0 +1,105 @@
+type t = { bits : int; ids : int array }
+
+let create rng ~n ~bits =
+  if bits < 1 || bits > 30 then invalid_arg "Plaxton.create: bits in [1,30]";
+  if n < 1 || n > 1 lsl bits then
+    invalid_arg "Plaxton.create: need 1 <= n <= 2^bits";
+  (* Distinct random identifiers via rejection. *)
+  let seen = Hashtbl.create (2 * n) in
+  let ids =
+    Array.init n (fun _ ->
+        let rec fresh () =
+          let id = Prng.Splitmix.int rng (1 lsl bits) in
+          if Hashtbl.mem seen id then fresh ()
+          else begin
+            Hashtbl.add seen id ();
+            id
+          end
+        in
+        fresh ())
+  in
+  { bits; ids }
+
+let n_nodes t = Array.length t.ids
+
+let node_id t u = t.ids.(u)
+
+let prefix_match ~bits a b =
+  let x = a lxor b in
+  if x = 0 then bits
+  else
+    (* Position of the highest set bit of x, counted from the top. *)
+    let rec go i = if x land (1 lsl (bits - 1 - i)) <> 0 then i else go (i + 1) in
+    go 0
+
+(* XOR-closest to key, ties by machine index (fold keeps the first). *)
+let closest_to t ~key candidates =
+  match candidates with
+  | [] -> invalid_arg "Plaxton.closest_to: no candidates"
+  | c :: rest ->
+    List.fold_left
+      (fun best u ->
+        if t.ids.(u) lxor key < t.ids.(best) lxor key then u else best)
+      c rest
+
+let all_nodes t = List.init (n_nodes t) (fun i -> i)
+
+let root_for_key t ~key = closest_to t ~key (all_nodes t)
+
+let parent_for_key t ~key u =
+  let root = root_for_key t ~key in
+  if u = root then None
+  else begin
+    let l = prefix_match ~bits:t.bits t.ids.(u) key in
+    let better =
+      List.filter
+        (fun v -> prefix_match ~bits:t.bits t.ids.(v) key > l)
+        (all_nodes t)
+    in
+    match better with
+    | [] ->
+      (* [u] already has the maximal prefix but is not the root: attach
+         to the root directly (same prefix class). *)
+      Some root
+    | _ ->
+      (* Correct exactly one more prefix level (Plaxton routing hops
+         level by level), and among the candidates at that level pick
+         the one XOR-closest to [u] itself — the proximity heuristic.
+         Choosing closeness to the key here would always pick the
+         global root and collapse every tree into a star. *)
+      let next_level =
+        List.fold_left
+          (fun acc v -> min acc (prefix_match ~bits:t.bits t.ids.(v) key))
+          t.bits better
+      in
+      let at_level =
+        List.filter
+          (fun v -> prefix_match ~bits:t.bits t.ids.(v) key = next_level)
+          better
+      in
+      Some (closest_to t ~key:t.ids.(u) at_level)
+  end
+
+let tree_for_key t ~key =
+  let n = n_nodes t in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    match parent_for_key t ~key u with
+    | None -> ()
+    | Some p -> edges := (u, p) :: !edges
+  done;
+  Tree.create ~n ~edges:!edges
+
+let hash_string ~bits s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      (* FNV prime multiplication, kept in 32 bits. *)
+      h := !h * 0x01000193 land 0xffffffff)
+    s;
+  !h land ((1 lsl bits) - 1)
+
+let key_of_attribute t name = hash_string ~bits:t.bits name
+
+let tree_for_attribute t name = tree_for_key t ~key:(key_of_attribute t name)

@@ -1,0 +1,55 @@
+(** DHT-derived aggregation trees (the SDIMS substrate).
+
+    SDIMS — the system whose lease knob this paper generalizes — does
+    not aggregate over one fixed tree: it "utilizes DHT trees", building
+    a separate Plaxton-style aggregation tree per attribute from the
+    DHT's prefix-routing structure, so that aggregation load for
+    different attributes lands on different nodes.
+
+    This module reproduces that construction.  Each machine draws a
+    distinct random [bits]-wide identifier.  For a key [k], a node's
+    parent is a node whose identifier shares a strictly longer prefix
+    with [k] (the deterministic XOR-closest candidate), and the root is
+    the node XOR-closest to [k] overall; the parent chains therefore
+    terminate and induce a spanning tree, one per key.  Attribute names
+    are hashed (FNV-1a) into keys.
+
+    The resulting {!Tree.t} values plug directly into the mechanism, so
+    every result in this repository applies per attribute tree. *)
+
+type t
+
+val create : Prng.Splitmix.t -> n:int -> bits:int -> t
+(** [create rng ~n ~bits] assigns [n] distinct random identifiers of
+    [bits] bits.  Requires [1 <= n <= 2^bits] and [bits <= 30]. *)
+
+val n_nodes : t -> int
+
+val node_id : t -> int -> int
+(** The identifier of a machine (machines are indexed [0..n-1], matching
+    tree node indices). *)
+
+val prefix_match : bits:int -> int -> int -> int
+(** Length of the common prefix of two identifiers (most significant
+    bit first). *)
+
+val root_for_key : t -> key:int -> int
+(** The machine whose identifier is XOR-closest to [key] (ties broken by
+    machine index). *)
+
+val parent_for_key : t -> key:int -> int -> int option
+(** [parent_for_key t ~key u] is [None] iff [u] is the root; otherwise
+    the machine owning the next hop: the XOR-closest (to [key]) machine
+    whose identifier prefix-matches [key] strictly longer than [u]'s. *)
+
+val tree_for_key : t -> key:int -> Tree.t
+(** The spanning tree induced by the parent relation. *)
+
+val hash_string : bits:int -> string -> int
+(** FNV-1a, truncated to [bits] bits. *)
+
+val key_of_attribute : t -> string -> int
+(** The attribute name hashed into this instance's identifier space. *)
+
+val tree_for_attribute : t -> string -> Tree.t
+(** [tree_for_key] of {!key_of_attribute}. *)

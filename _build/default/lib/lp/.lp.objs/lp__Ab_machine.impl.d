@@ -1,0 +1,1 @@
+lib/lp/ab_machine.ml: Array List Offline Simplex

@@ -1,0 +1,1 @@
+lib/lp/ab_machine.mli: Offline Simplex

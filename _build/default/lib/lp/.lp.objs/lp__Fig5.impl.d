@@ -1,0 +1,1 @@
+lib/lp/fig5.ml: Array List Simplex Transition_system

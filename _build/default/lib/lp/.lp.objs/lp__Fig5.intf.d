@@ -1,0 +1,1 @@
+lib/lp/fig5.mli: Simplex Transition_system

@@ -1,0 +1,1 @@
+lib/lp/transition_system.ml: Format List Offline

@@ -1,0 +1,1 @@
+lib/lp/transition_system.mli: Format Offline

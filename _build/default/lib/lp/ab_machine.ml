@@ -1,0 +1,85 @@
+module Cm = Offline.Cost_model
+
+type config = Not_granted of int | Granted of int
+
+let configs ~a ~b =
+  List.init a (fun j -> Not_granted j) @ List.init b (fun l -> Granted (l + 1))
+
+let step ~a ~b config q =
+  match (config, q) with
+  | Not_granted j, Cm.R ->
+    (* A combine against a clear lease always pays probe + response;
+       the a-th consecutive one sets the lease with a fresh budget. *)
+    if j + 1 >= a then (2, Granted b) else (2, Not_granted (j + 1))
+  | Not_granted _, Cm.W -> (0, Not_granted 0) (* streak interrupted *)
+  | (Not_granted _ as c), Cm.N -> (0, c)
+  | Granted _, Cm.R -> (0, Granted b) (* served locally; budget refreshed *)
+  | Granted l, Cm.W ->
+    if l <= 1 then (2, Not_granted 0) (* update + release *)
+    else (1, Granted (l - 1)) (* update only *)
+  | (Granted _ as c), Cm.N -> (0, c)
+
+let cost_of_sequence ~a ~b reqs =
+  let _, total =
+    List.fold_left
+      (fun (c, acc) q ->
+        let cost, c' = step ~a ~b c q in
+        (c', acc + cost))
+      (Not_granted 0, 0)
+      reqs
+  in
+  total
+
+(* ---- the product LP ---- *)
+
+type product = { opt : bool; alg : config }
+
+let product_states ~a ~b =
+  List.concat_map
+    (fun opt -> List.map (fun alg -> { opt; alg }) (configs ~a ~b))
+    [ false; true ]
+
+let var_count ~a ~b = 1 + List.length (product_states ~a ~b)
+
+let state_index ~a ~b st =
+  let rec find i = function
+    | [] -> invalid_arg "Ab_machine.state_index"
+    | x :: rest -> if x = st then i else find (i + 1) rest
+  in
+  find 0 (product_states ~a ~b)
+
+let certified_ratio ~a ~b =
+  if a < 1 || b < 1 then invalid_arg "Ab_machine.certified_ratio";
+  let n_vars = var_count ~a ~b in
+  let phi st = 1 + state_index ~a ~b st in
+  let constraints = ref [] in
+  List.iter
+    (fun source ->
+      List.iter
+        (fun q ->
+          let alg_cost, alg' = step ~a ~b source.alg q in
+          List.iter
+            (fun opt_after ->
+              match Cm.cost ~before:source.opt q ~after:opt_after with
+              | None -> ()
+              | Some opt_cost ->
+                let target = { opt = opt_after; alg = alg' } in
+                if not (q = Cm.N && source = target) then begin
+                  (* Phi(target) - Phi(source) + alg_cost <= c * opt_cost *)
+                  let row = Array.make n_vars 0.0 in
+                  row.(phi target) <- row.(phi target) +. 1.0;
+                  row.(phi source) <- row.(phi source) -. 1.0;
+                  row.(0) <- row.(0) -. float_of_int opt_cost;
+                  constraints := (row, -.float_of_int alg_cost) :: !constraints
+                end)
+            [ false; true ])
+        [ Cm.R; Cm.W; Cm.N ])
+    (product_states ~a ~b);
+  let objective = Array.make n_vars 0.0 in
+  objective.(0) <- 1.0;
+  match Simplex.solve { Simplex.objective; constraints = !constraints } with
+  | Error e -> Error e
+  | Ok { assignment; _ } -> Ok assignment.(0)
+
+let adversarial_asymptote ~a ~b =
+  float_of_int ((2 * a) + b + 1) /. float_of_int (min (2 * a) (min b 3))

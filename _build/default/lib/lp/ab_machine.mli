@@ -1,0 +1,44 @@
+(** LP-certified competitive ratios for arbitrary (a,b)-algorithms.
+
+    The paper's Figure 4/Figure 5 construction for RWW generalizes to
+    any (a,b)-algorithm: on one ordered pair, the algorithm's
+    configuration is either "lease clear after j consecutive combines"
+    (j in 0..a-1) or "lease set with write budget l" (l in 1..b) —
+    a + b states.  Taking the product with OPT's two configurations and
+    emitting the amortized-cost inequality for every non-trivial
+    transition yields a linear program whose optimum certifies the
+    (a,b)-algorithm's competitive ratio against any offline lease-based
+    algorithm on that pair (and hence, by the paper's summation
+    argument, globally).
+
+    This is the ablation behind the paper's design choice: solving the
+    LP across the (a,b) grid shows (1,2) = RWW is the unique minimum at
+    5/2, and the certified upper bounds coincide with the adversarial
+    lower bounds of Theorem 3 — the analysis is exact for the whole
+    class, not just for RWW. *)
+
+(** Configuration of an (a,b)-algorithm on one ordered pair. *)
+type config =
+  | Not_granted of int  (** j consecutive combines seen, 0 <= j < a *)
+  | Granted of int  (** write budget left, 1 <= l <= b *)
+
+val configs : a:int -> b:int -> config list
+(** All a+b configurations. *)
+
+val step : a:int -> b:int -> config -> Offline.Cost_model.req -> int * config
+(** The algorithm's deterministic move: (message cost, next config),
+    following the Figure 2 cost rows. *)
+
+val cost_of_sequence : a:int -> b:int -> Offline.Cost_model.req list -> int
+(** Total per-pair cost on a projected sequence, starting from
+    [Not_granted 0].  For (1,2) this coincides with
+    {!Transition_system.rww_cost_of_sequence}. *)
+
+val certified_ratio : a:int -> b:int -> (float, Simplex.error) result
+(** Solve the product LP: the smallest c such that a potential function
+    over product states certifies the (a,b)-algorithm to be
+    c-competitive.  [certified_ratio ~a:1 ~b:2] = 5/2. *)
+
+val adversarial_asymptote : a:int -> b:int -> float
+(** The Theorem 3 lower bound (2a+b+1)/min(2a, b, 3), the per-round
+    ratio of the (a,b)-adversary. *)

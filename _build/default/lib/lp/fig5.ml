@@ -1,0 +1,98 @@
+type row = {
+  plus : Transition_system.state;
+  minus : Transition_system.state;
+  k : int;
+  copt : int;
+}
+
+let s opt rww = { Transition_system.opt; rww }
+
+(* Figure 5, transcribed row by row in the paper's order. *)
+let literal_rows =
+  [
+    { plus = s 0 2; minus = s 0 0; k = 2; copt = 2 };
+    { plus = s 1 2; minus = s 0 0; k = 2; copt = 2 };
+    { plus = s 0 0; minus = s 0 0; k = 0; copt = 0 };
+    { plus = s 1 2; minus = s 1 0; k = 2; copt = 0 };
+    { plus = s 0 0; minus = s 1 0; k = 0; copt = 2 };
+    { plus = s 1 0; minus = s 1 0; k = 0; copt = 1 };
+    { plus = s 0 0; minus = s 1 0; k = 0; copt = 1 };
+    { plus = s 0 2; minus = s 0 2; k = 0; copt = 2 };
+    { plus = s 1 2; minus = s 0 2; k = 0; copt = 2 };
+    { plus = s 0 1; minus = s 0 2; k = 1; copt = 0 };
+    { plus = s 1 2; minus = s 1 2; k = 0; copt = 0 };
+    { plus = s 0 1; minus = s 1 2; k = 1; copt = 2 };
+    { plus = s 1 1; minus = s 1 2; k = 1; copt = 1 };
+    { plus = s 0 2; minus = s 1 2; k = 0; copt = 1 };
+    { plus = s 0 2; minus = s 0 1; k = 0; copt = 2 };
+    { plus = s 1 2; minus = s 0 1; k = 0; copt = 2 };
+    { plus = s 0 0; minus = s 0 1; k = 2; copt = 0 };
+    { plus = s 1 2; minus = s 1 1; k = 0; copt = 0 };
+    { plus = s 0 0; minus = s 1 1; k = 2; copt = 2 };
+    { plus = s 1 0; minus = s 1 1; k = 2; copt = 1 };
+    { plus = s 0 1; minus = s 1 1; k = 0; copt = 1 };
+  ]
+
+let derived_rows =
+  List.map
+    (fun (t : Transition_system.transition) ->
+      { plus = t.target; minus = t.source; k = t.rww_cost; copt = t.opt_cost })
+    Transition_system.transitions
+
+let rows_coincide () =
+  let norm rows = List.sort compare rows in
+  norm literal_rows = norm derived_rows
+
+let n_states = List.length Transition_system.states
+let n_vars = 1 + n_states
+
+let state_index st =
+  let rec find i = function
+    | [] -> invalid_arg "Fig5.state_index"
+    | x :: rest -> if x = st then i else find (i + 1) rest
+  in
+  find 0 Transition_system.states
+
+let var_index = function `C -> 0 | `Phi st -> 1 + state_index st
+
+let problem rows =
+  let objective = Array.make n_vars 0.0 in
+  objective.(var_index `C) <- 1.0;
+  let constraint_of { plus; minus; k; copt } =
+    (* Phi(plus) - Phi(minus) - copt * c <= -k *)
+    let a = Array.make n_vars 0.0 in
+    a.(var_index (`Phi plus)) <- a.(var_index (`Phi plus)) +. 1.0;
+    a.(var_index (`Phi minus)) <- a.(var_index (`Phi minus)) -. 1.0;
+    a.(var_index `C) <- a.(var_index `C) -. float_of_int copt;
+    (a, -.float_of_int k)
+  in
+  { Simplex.objective; constraints = List.map constraint_of rows }
+
+type outcome = { c : float; phi : (Transition_system.state * float) list }
+
+let solve () =
+  match Simplex.solve (problem literal_rows) with
+  | Error e -> Error e
+  | Ok { assignment; _ } ->
+    Ok
+      {
+        c = assignment.(var_index `C);
+        phi =
+          List.map
+            (fun st -> (st, assignment.(var_index (`Phi st))))
+            Transition_system.states;
+      }
+
+let paper_solution =
+  let a = Array.make n_vars 0.0 in
+  a.(var_index `C) <- 2.5;
+  a.(var_index (`Phi (s 0 0))) <- 0.0;
+  a.(var_index (`Phi (s 0 1))) <- 2.0;
+  a.(var_index (`Phi (s 0 2))) <- 3.0;
+  a.(var_index (`Phi (s 1 0))) <- 2.5;
+  a.(var_index (`Phi (s 1 1))) <- 2.0;
+  a.(var_index (`Phi (s 1 2))) <- 0.5;
+  a
+
+let paper_solution_feasible () =
+  Simplex.feasible (problem literal_rows) paper_solution

@@ -1,0 +1,210 @@
+type problem = {
+  objective : float array;
+  constraints : (float array * float) list;
+}
+
+type solution = { value : float; assignment : float array }
+
+type error = Infeasible | Unbounded
+
+let pp_error fmt = function
+  | Infeasible -> Format.pp_print_string fmt "infeasible"
+  | Unbounded -> Format.pp_print_string fmt "unbounded"
+
+let eps = 1e-9
+
+(* Tableau in equational form.  Columns: [0, n_vars) original variables,
+   [n_vars, n_vars + m) slack variables, then artificial variables, and
+   a final RHS column.  [basis.(i)] is the column basic in row [i].  The
+   cost row is stored separately in [cost] (length = n_cols) with the
+   objective value (negated) in [cost_rhs]. *)
+type tableau = {
+  rows : float array array; (* m x (n_cols + 1), last column = RHS *)
+  cost : float array;
+  mutable cost_rhs : float;
+  basis : int array;
+  n_cols : int;
+  first_artificial : int; (* columns >= this are artificial *)
+}
+
+let pivot t ~row ~col =
+  let a = t.rows.(row) in
+  let piv = a.(col) in
+  for j = 0 to t.n_cols do
+    a.(j) <- a.(j) /. piv
+  done;
+  Array.iteri
+    (fun i r ->
+      if i <> row && Float.abs r.(col) > 0.0 then begin
+        let f = r.(col) in
+        for j = 0 to t.n_cols do
+          r.(j) <- r.(j) -. (f *. a.(j))
+        done
+      end)
+    t.rows;
+  if Float.abs t.cost.(col) > 0.0 then begin
+    let f = t.cost.(col) in
+    for j = 0 to t.n_cols - 1 do
+      t.cost.(j) <- t.cost.(j) -. (f *. a.(j))
+    done;
+    t.cost_rhs <- t.cost_rhs -. (f *. a.(t.n_cols))
+  end;
+  t.basis.(row) <- col
+
+(* Bland's rule: entering = lowest-index column with negative reduced
+   cost; leaving = min-ratio row, ties broken by lowest basis index. *)
+let rec iterate ?(allow_artificial = true) t =
+  let entering = ref (-1) in
+  (try
+     for j = 0 to t.n_cols - 1 do
+       if
+         t.cost.(j) < -.eps
+         && (allow_artificial || j < t.first_artificial)
+       then begin
+         entering := j;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if !entering < 0 then Ok ()
+  else begin
+    let col = !entering in
+    let best = ref (-1) in
+    let best_ratio = ref Float.infinity in
+    Array.iteri
+      (fun i r ->
+        if r.(col) > eps then begin
+          let ratio = r.(t.n_cols) /. r.(col) in
+          if
+            ratio < !best_ratio -. eps
+            || (ratio < !best_ratio +. eps
+               && (!best < 0 || t.basis.(i) < t.basis.(!best)))
+          then begin
+            best := i;
+            best_ratio := ratio
+          end
+        end)
+      t.rows;
+    if !best < 0 then Error Unbounded
+    else begin
+      pivot t ~row:!best ~col;
+      iterate ~allow_artificial t
+    end
+  end
+
+let solve { objective; constraints } =
+  let n_vars = Array.length objective in
+  List.iter
+    (fun (a, _) ->
+      if Array.length a <> n_vars then
+        invalid_arg "Simplex.solve: constraint arity mismatch")
+    constraints;
+  let m = List.length constraints in
+  let rows_in = Array.of_list constraints in
+  (* Count artificials: one per row whose RHS is negative after adding a
+     slack (i.e. b < 0, so the row is flipped and the slack gets -1). *)
+  let needs_artificial = Array.map (fun (_, b) -> b < 0.0) rows_in in
+  let n_art = Array.fold_left (fun acc x -> acc + if x then 1 else 0) 0 needs_artificial in
+  let first_artificial = n_vars + m in
+  let n_cols = n_vars + m + n_art in
+  let rows = Array.make_matrix m (n_cols + 1) 0.0 in
+  let basis = Array.make m (-1) in
+  let art = ref 0 in
+  Array.iteri
+    (fun i (a, b) ->
+      let flip = needs_artificial.(i) in
+      let s = if flip then -1.0 else 1.0 in
+      for j = 0 to n_vars - 1 do
+        rows.(i).(j) <- s *. a.(j)
+      done;
+      rows.(i).(n_vars + i) <- s (* slack *);
+      rows.(i).(n_cols) <- s *. b;
+      if flip then begin
+        let col = first_artificial + !art in
+        incr art;
+        rows.(i).(col) <- 1.0;
+        basis.(i) <- col
+      end
+      else basis.(i) <- n_vars + i)
+    rows_in;
+  let t =
+    { rows; cost = Array.make n_cols 0.0; cost_rhs = 0.0; basis; n_cols; first_artificial }
+  in
+  (* Phase 1: minimize the sum of artificials. *)
+  let phase2 () =
+    (* Restore the real objective, priced out against the basis. *)
+    Array.fill t.cost 0 n_cols 0.0;
+    t.cost_rhs <- 0.0;
+    Array.blit objective 0 t.cost 0 n_vars;
+    Array.iteri
+      (fun i bcol ->
+        if bcol < n_vars && Float.abs t.cost.(bcol) > 0.0 then begin
+          let f = t.cost.(bcol) in
+          for j = 0 to n_cols - 1 do
+            t.cost.(j) <- t.cost.(j) -. (f *. t.rows.(i).(j))
+          done;
+          t.cost_rhs <- t.cost_rhs -. (f *. t.rows.(i).(n_cols))
+        end)
+      t.basis;
+    match iterate ~allow_artificial:false t with
+    | Error e -> Error e
+    | Ok () ->
+      let assignment = Array.make n_vars 0.0 in
+      Array.iteri
+        (fun i bcol -> if bcol < n_vars then assignment.(bcol) <- t.rows.(i).(n_cols))
+        t.basis;
+      let value =
+        Array.fold_left ( +. ) 0.0 (Array.mapi (fun j c -> c *. assignment.(j)) objective)
+      in
+      Ok { value; assignment }
+  in
+  if n_art = 0 then phase2 ()
+  else begin
+    for j = first_artificial to n_cols - 1 do
+      t.cost.(j) <- 1.0
+    done;
+    (* Price out artificial basics. *)
+    Array.iteri
+      (fun i bcol ->
+        if bcol >= first_artificial then begin
+          for j = 0 to n_cols - 1 do
+            t.cost.(j) <- t.cost.(j) -. t.rows.(i).(j)
+          done;
+          t.cost_rhs <- t.cost_rhs -. t.rows.(i).(n_cols)
+        end)
+      t.basis;
+    match iterate t with
+    | Error e -> Error e
+    | Ok () ->
+      if Float.abs t.cost_rhs > 1e-7 then Error Infeasible
+      else begin
+        (* Drive any artificial still basic (at zero) out of the basis
+           when possible; otherwise its row is redundant and harmless. *)
+        Array.iteri
+          (fun i bcol ->
+            if bcol >= first_artificial then begin
+              let found = ref (-1) in
+              (try
+                 for j = 0 to first_artificial - 1 do
+                   if Float.abs t.rows.(i).(j) > eps then begin
+                     found := j;
+                     raise Exit
+                   end
+                 done
+               with Exit -> ());
+              if !found >= 0 then pivot t ~row:i ~col:!found
+            end)
+          t.basis;
+        phase2 ()
+      end
+  end
+
+let feasible { objective; constraints } x =
+  Array.length x = Array.length objective
+  && Array.for_all (fun xi -> xi >= -.eps) x
+  && List.for_all
+       (fun (a, b) ->
+         let lhs = ref 0.0 in
+         Array.iteri (fun j aj -> lhs := !lhs +. (aj *. x.(j))) a;
+         !lhs <= b +. 1e-9)
+       constraints

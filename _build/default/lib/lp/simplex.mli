@@ -1,0 +1,30 @@
+(** A dense two-phase primal simplex solver.
+
+    Written from scratch (the container has no numerical libraries) to
+    solve the paper's Figure 5 linear program and its programmatically
+    derived twin.  Solves
+
+    {v minimize  c . x   subject to   A x <= b,  x >= 0 v}
+
+    with Bland's anti-cycling rule.  The LPs in this repository are tiny
+    (7 variables, ~21 constraints), so a dense tableau is exact to
+    floating-point round-off and instantaneous. *)
+
+type problem = {
+  objective : float array;  (** minimized *)
+  constraints : (float array * float) list;  (** rows [a . x <= b] *)
+}
+
+type solution = { value : float; assignment : float array }
+
+type error = Infeasible | Unbounded
+
+val pp_error : Format.formatter -> error -> unit
+
+val solve : problem -> (solution, error) result
+(** @raise Invalid_argument on dimension mismatches. *)
+
+val feasible : problem -> float array -> bool
+(** [feasible p x] checks that [x >= 0] satisfies every constraint of
+    [p] (within 1e-9).  Used to certify hand-written solutions such as
+    the paper's potential function. *)

@@ -1,0 +1,72 @@
+module Cm = Offline.Cost_model
+
+type state = { opt : int; rww : int }
+
+type transition = {
+  source : state;
+  req : Cm.req;
+  target : state;
+  rww_cost : int;
+  opt_cost : int;
+}
+
+let states =
+  List.concat_map (fun opt -> List.map (fun rww -> { opt; rww }) [ 0; 1; 2 ]) [ 0; 1 ]
+
+(* RWW on one ordered pair: configuration y counts the remaining write
+   budget; a combine refills it to 2, a write decrements it (and is free
+   when the lease is already gone).  Costs follow Figure 2 with
+   "granted" = (y > 0). *)
+let rww_step y q =
+  match (q, y) with
+  | Cm.R, 0 -> (2, 2) (* probe + response, lease set *)
+  | Cm.R, _ -> (0, 2) (* served from the lease *)
+  | Cm.W, 0 -> (0, 0) (* no lease: write is local *)
+  | Cm.W, 2 -> (1, 1) (* update pushed, lease kept *)
+  | Cm.W, _ -> (2, 0) (* update + release: lease broken *)
+  | Cm.N, _ -> (0, y)
+
+let all_transitions =
+  List.concat_map
+    (fun source ->
+      List.concat_map
+        (fun req ->
+          let rww_cost, rww' = rww_step source.rww req in
+          List.map
+            (fun opt_after ->
+              let opt' = if opt_after then 1 else 0 in
+              let opt_cost =
+                match Cm.cost ~before:(source.opt = 1) req ~after:opt_after with
+                | Some c -> c
+                | None -> assert false
+              in
+              {
+                source;
+                req;
+                target = { opt = opt'; rww = rww' };
+                rww_cost;
+                opt_cost;
+              })
+            (Cm.legal_after ~before:(source.opt = 1) req))
+        [ Cm.R; Cm.W; Cm.N ])
+    states
+
+(* Figure 5 omits exactly the six noop self-loops (zero cost, no state
+   change); the trivially-true R/W self-loop rows are kept. *)
+let trivial t = t.req = Cm.N && t.source = t.target
+
+let transitions = List.filter (fun t -> not (trivial t)) all_transitions
+
+let rww_cost_of_sequence reqs =
+  let _, total =
+    List.fold_left
+      (fun (y, acc) q ->
+        let c, y' = rww_step y q in
+        (y', acc + c))
+      (0, 0) reqs
+  in
+  total
+
+let pp_transition fmt t =
+  Format.fprintf fmt "S(%d,%d) --%a/rww=%d,opt=%d--> S(%d,%d)" t.source.opt
+    t.source.rww Cm.pp_req t.req t.rww_cost t.opt_cost t.target.opt t.target.rww

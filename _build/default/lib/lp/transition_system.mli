@@ -1,0 +1,42 @@
+(** The product transition system of Figure 4.
+
+    Fix an ordered pair (u,v) and run RWW and an offline lease-based
+    algorithm OPT side by side on sigma'(u,v).  The joint state S(x,y)
+    records OPT's configuration [x] (0 = lease clear, 1 = set) and RWW's
+    configuration [y] (the paper's F_RWW: 0 after two writes, 1 after
+    combine-then-write, 2 after a combine).  RWW's moves are
+    deterministic; OPT's are a nondeterministic choice among the legal
+    Figure 2 transitions.  Enumerating all non-trivial transitions of
+    this machine yields exactly the 21 inequalities of the Figure 5
+    linear program ({!Fig5} cross-checks the two). *)
+
+type state = { opt : int;  (** 0 or 1 *) rww : int  (** 0, 1 or 2 *) }
+
+type transition = {
+  source : state;
+  req : Offline.Cost_model.req;
+  target : state;
+  rww_cost : int;
+  opt_cost : int;
+}
+
+val states : state list
+(** All six states, in (opt, rww) lexicographic order. *)
+
+val rww_step : int -> Offline.Cost_model.req -> int * int
+(** [rww_step y q] = (cost, y') — RWW's deterministic move, derived from
+    Figure 2 and the (1,2) policy. *)
+
+val transitions : transition list
+(** Every non-trivial transition (the six zero-cost self-loop noops are
+    omitted, as in Figure 5): exactly 21. *)
+
+val all_transitions : transition list
+(** Including the trivial noop self-loops: 27. *)
+
+val rww_cost_of_sequence : Offline.Cost_model.req list -> int
+(** Total RWW cost of one projected sequence, predicted by the machine
+    (starting from configuration 0).  Tests check this against the real
+    mechanism on a two-node tree. *)
+
+val pp_transition : Format.formatter -> transition -> unit

@@ -1,0 +1,1 @@
+lib/offline/cost_model.ml: Format List

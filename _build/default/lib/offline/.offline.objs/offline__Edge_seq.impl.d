@@ -1,0 +1,1 @@
+lib/offline/edge_seq.ml: Cost_model List Oat Tree

@@ -1,0 +1,1 @@
+lib/offline/edge_seq.mli: Cost_model Oat Tree

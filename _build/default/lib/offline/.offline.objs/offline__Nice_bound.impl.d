@@ -1,0 +1,1 @@
+lib/offline/nice_bound.ml: Cost_model Edge_seq List

@@ -1,0 +1,1 @@
+lib/offline/nice_bound.mli: Cost_model Oat Tree

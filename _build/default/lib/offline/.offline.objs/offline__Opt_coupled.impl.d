@@ -1,0 +1,1 @@
+lib/offline/opt_coupled.ml: Array Cost_model Hashtbl List Oat Opt_lease Tree

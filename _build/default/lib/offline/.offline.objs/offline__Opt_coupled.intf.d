@@ -1,0 +1,1 @@
+lib/offline/opt_coupled.mli: Oat Tree

@@ -1,0 +1,1 @@
+lib/offline/opt_lease.ml: Array Cost_model Edge_seq List

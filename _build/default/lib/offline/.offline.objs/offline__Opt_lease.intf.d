@@ -1,0 +1,1 @@
+lib/offline/opt_lease.mli: Cost_model Oat Tree

@@ -1,0 +1,32 @@
+type req = R | W | N
+
+let req_to_string = function R -> "R" | W -> "W" | N -> "N"
+let pp_req fmt q = Format.pp_print_string fmt (req_to_string q)
+
+(* Figure 2, row by row.  A combine against a clear lease costs a probe
+   and a response (2) whether or not the response grants; a write under
+   a set lease costs an update (1) plus a release (1) if the lease is
+   dropped; a noop can drop a set lease for one release message. *)
+let rows =
+  [
+    (false, R, false, 2);
+    (false, R, true, 2);
+    (false, W, false, 0);
+    (false, N, false, 0);
+    (true, R, true, 0);
+    (true, W, false, 2);
+    (true, W, true, 1);
+    (true, N, false, 1);
+    (true, N, true, 0);
+  ]
+
+let cost ~before q ~after =
+  List.find_map
+    (fun (b, q', a, c) -> if b = before && q = q' && a = after then Some c else None)
+    rows
+
+let legal_after ~before q =
+  List.filter_map
+    (fun (b, q', a, _) -> if b = before && q = q' then Some a else None)
+    rows
+  |> List.sort_uniq compare

@@ -1,0 +1,32 @@
+(** The per-edge cost model of any lease-based algorithm — the paper's
+    Figure 2.
+
+    Fix an ordered pair of neighbouring nodes (u,v).  A request from the
+    projected sequence sigma(u,v) is a combine on v's side ({!R}), a
+    write on u's side ({!W}), or a noop ({!N}, the paper's bookkeeping
+    device for a release sent while executing a write in sigma(v,u)).
+    The request starts in a quiescent state where the lease
+    [u.granted\[v\]] is either clear or set, and ends with it clear or
+    set; Figure 2 fixes the number of messages any lease-based algorithm
+    exchanges between u and v for each legal transition.  These nine
+    rows drive both the offline DP ({!Opt_lease}) and the LP of
+    Figure 5 ({!Lp.Fig5}). *)
+
+type req = R  (** combine in sigma(u,v) *)
+         | W  (** write in sigma(u,v) *)
+         | N  (** noop: a chance to drop the lease for 1 message *)
+
+val req_to_string : req -> string
+val pp_req : Format.formatter -> req -> unit
+
+val cost : before:bool -> req -> after:bool -> int option
+(** [cost ~before q ~after] is the Figure 2 message cost of executing
+    [q] when [u.granted\[v\]] is [before] at initiation and [after] at
+    completion, or [None] when the transition is impossible for a
+    lease-based algorithm (e.g. a write cannot set a lease). *)
+
+val rows : (bool * req * bool * int) list
+(** The nine legal rows of Figure 2, in the paper's order. *)
+
+val legal_after : before:bool -> req -> bool list
+(** The possible lease states after executing [q] from [before]. *)

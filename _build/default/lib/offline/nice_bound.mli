@@ -1,0 +1,22 @@
+(** Lower bound on the cost of any nice algorithm (Theorem 2's NOPT).
+
+    A {e nice} algorithm provides strict consistency on sequential
+    executions.  The paper's Theorem 2 proof partitions sigma(u,v) into
+    epochs ending at each write-to-combine transition; within an epoch
+    the combine must observe the preceding write across the edge (u,v),
+    so any nice algorithm exchanges at least one message between u and v
+    per completed epoch.  Summing epochs over ordered pairs yields a
+    valid lower bound on NOPT's total cost; RWW pays at most 5 messages
+    per epoch, hence Theorem 2's factor 5, which experiment E5 checks
+    empirically against this bound. *)
+
+val epochs : Cost_model.req list -> int
+(** Number of completed epochs (W followed later by R, counting each
+    write-to-combine transition once) in one projected sequence. *)
+
+val per_pair : Cost_model.req list -> int
+(** Alias of {!epochs}: minimum messages a nice algorithm exchanges on
+    this ordered pair. *)
+
+val total : Tree.t -> 'v Oat.Request.t list -> int
+(** Sum over all ordered pairs of neighbours. *)

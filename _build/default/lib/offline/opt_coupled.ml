@@ -1,0 +1,103 @@
+let max_nodes = 8
+
+let pairs_of tree = Array.of_list (Tree.ordered_pairs tree)
+
+(* Closure of Lemma 3.1 + 3.2: bit (u,v) set requires bit (w,u) set for
+   every w in nbrs(u) \ {v}. *)
+let closure_requirements tree =
+  let pairs = pairs_of tree in
+  let index = Hashtbl.create 32 in
+  Array.iteri (fun i p -> Hashtbl.replace index p i) pairs;
+  Array.map
+    (fun (u, v) ->
+      List.filter_map
+        (fun w -> if w = v then None else Some (Hashtbl.find index (w, u)))
+        (Tree.neighbors tree u))
+    pairs
+
+let is_valid_config tree mask =
+  let reqs = closure_requirements tree in
+  let ok = ref true in
+  Array.iteri
+    (fun i needed ->
+      if mask land (1 lsl i) <> 0 then
+        List.iter (fun j -> if mask land (1 lsl j) = 0 then ok := false) needed)
+    reqs;
+  !ok
+
+let valid_configs tree =
+  if Tree.n_nodes tree > max_nodes then
+    invalid_arg "Opt_coupled: tree too large for exhaustive search";
+  let reqs = closure_requirements tree in
+  let m = Array.length reqs in
+  let acc = ref [] in
+  for mask = (1 lsl m) - 1 downto 0 do
+    let ok = ref true in
+    Array.iteri
+      (fun i needed ->
+        if mask land (1 lsl i) <> 0 then
+          List.iter (fun j -> if mask land (1 lsl j) = 0 then ok := false) needed)
+      reqs;
+    if !ok then acc := mask :: !acc
+  done;
+  !acc
+
+let inf = max_int / 2
+
+(* Per-pair request classification for a global request. *)
+let classify tree (q : 'v Oat.Request.t) (u, v) =
+  match q.op with
+  | Oat.Request.Write _ ->
+    if Tree.in_subtree tree u v q.node then Cost_model.W else Cost_model.N
+  | Oat.Request.Combine ->
+    if Tree.in_subtree tree v u q.node then Cost_model.R else Cost_model.N
+
+(* Cost of moving from configuration [src] to [dst] under the per-pair
+   request symbols [syms]; None if some pair's transition is illegal. *)
+let move_cost syms src dst =
+  let n = Array.length syms in
+  let rec go i acc =
+    if i >= n then Some acc
+    else
+      let before = src land (1 lsl i) <> 0 in
+      let after = dst land (1 lsl i) <> 0 in
+      match Cost_model.cost ~before syms.(i) ~after with
+      | None -> None
+      | Some c -> go (i + 1) (acc + c)
+  in
+  go 0 0
+
+let total tree sigma =
+  let configs = Array.of_list (valid_configs tree) in
+  let pairs = pairs_of tree in
+  let n_cfg = Array.length configs in
+  let cfg_index = Hashtbl.create (2 * n_cfg) in
+  Array.iteri (fun i c -> Hashtbl.replace cfg_index c i) configs;
+  let best = Array.make n_cfg inf in
+  let next = Array.make n_cfg inf in
+  best.(Hashtbl.find cfg_index 0) <- 0;
+  let noop_syms = Array.map (fun _ -> Cost_model.N) pairs in
+  let step syms =
+    Array.fill next 0 n_cfg inf;
+    Array.iteri
+      (fun si src ->
+        if best.(si) < inf then
+          Array.iteri
+            (fun di dst ->
+              match move_cost syms src dst with
+              | None -> ()
+              | Some c ->
+                if best.(si) + c < next.(di) then next.(di) <- best.(si) + c)
+            configs)
+      configs;
+    Array.blit next 0 best 0 n_cfg
+  in
+  step noop_syms;
+  List.iter
+    (fun q ->
+      step (Array.map (classify tree q) pairs);
+      step noop_syms)
+    sigma;
+  Array.fold_left min inf best
+
+let gap tree sigma = (Opt_lease.total tree sigma, total tree sigma)

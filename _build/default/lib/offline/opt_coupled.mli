@@ -1,0 +1,39 @@
+(** Globally-coupled offline lease-based optimum (exhaustive, small trees).
+
+    The per-edge DP of {!Opt_lease} relaxes the structural coupling of
+    Lemma 3.2: in the real mechanism, [u.granted\[v\]] requires
+    [u.taken\[w\]] (= [w.granted\[u\]], Lemma 3.1) for every other
+    neighbour [w], so the set of directed lease edges reachable in any
+    quiescent state is {e closed}: (u,v) present implies (w,u) present
+    for all w in nbrs(u) \ {v}.
+
+    This module computes the offline optimum over exactly the closed
+    configurations, by dynamic programming over the full configuration
+    space (2^(2(n-1)) masks filtered for closure — tractable for n <= 8).
+    Per ordered pair, transitions follow the Figure 2 cost rows; noops
+    are interleaved so leases can be dropped between requests.
+
+    Since every lease-based algorithm moves through closed
+    configurations with Figure 2 per-pair costs (Lemmas 3.1-3.8), the
+    sandwich
+
+    {v Opt_lease.total <= Opt_coupled.total <= cost of any lease-based run v}
+
+    holds, and the gap between the two bounds measures the looseness of
+    the paper's per-edge analysis (experiment E10). *)
+
+val max_nodes : int
+(** Largest tree size accepted (8: 16384 masks before filtering). *)
+
+val valid_configs : Tree.t -> int list
+(** All closed lease configurations, as bitmasks over
+    [Tree.ordered_pairs] in order.  Mask bit [i] set = pair [i] granted. *)
+
+val is_valid_config : Tree.t -> int -> bool
+
+val total : Tree.t -> 'v Oat.Request.t list -> int
+(** The coupled offline optimum.
+    @raise Invalid_argument if the tree exceeds {!max_nodes}. *)
+
+val gap : Tree.t -> 'v Oat.Request.t list -> int * int
+(** [(per_edge, coupled)] — both lower bounds at once. *)

@@ -1,0 +1,33 @@
+(** Optimal offline lease-based cost (the paper's OPT).
+
+    For one ordered pair, the offline optimum over sigma'(u,v) is a
+    shortest path in the two-state automaton {lease clear, lease set}
+    with the Figure 2 transition costs — a textbook dynamic program.
+    Summing the per-pair optima over all ordered pairs of neighbours
+    gives a lower bound on the cost of every lease-based algorithm on
+    the whole tree (by Lemma 3.9 the total cost decomposes exactly into
+    per-pair costs, and the per-pair DP relaxes the coupling of
+    Lemma 3.2 between a node's edges, so it can only be cheaper).
+    Theorem 1's guarantee — RWW <= 5/2 OPT — therefore holds a fortiori
+    against this bound, which is what the E4 experiment measures.
+
+    {!per_pair_brute_force} enumerates all lease schedules for
+    cross-checking the DP on short sequences. *)
+
+val per_pair : Cost_model.req list -> int
+(** [per_pair sigma_uv] is the optimal offline lease-based cost of one
+    projected sequence.  Noops are inserted internally (the input is the
+    plain sigma(u,v) projection).  The initial state has the lease
+    clear, as in the paper's initial quiescent state. *)
+
+val per_pair_schedule : Cost_model.req list -> int * bool list
+(** Optimal cost together with one optimal lease schedule: element [i]
+    is the lease state after executing the [i]-th request of
+    sigma'(u,v). *)
+
+val per_pair_brute_force : Cost_model.req list -> int
+(** Exponential reference implementation (use only for short inputs). *)
+
+val total : Tree.t -> 'v Oat.Request.t list -> int
+(** Sum of {!per_pair} over every ordered pair of neighbours: the
+    offline lease-based lower bound for a full request sequence. *)

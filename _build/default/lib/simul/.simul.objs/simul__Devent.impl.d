@@ -1,0 +1,1 @@
+lib/simul/devent.ml: Array Float Hashtbl

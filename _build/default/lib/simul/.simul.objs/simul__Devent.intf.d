@@ -1,0 +1,1 @@
+lib/simul/devent.mli: Tree

@@ -1,0 +1,1 @@
+lib/simul/engine.ml: Array Network Prng

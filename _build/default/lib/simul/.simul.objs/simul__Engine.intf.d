@@ -1,0 +1,1 @@
+lib/simul/engine.mli: Network Prng

@@ -1,0 +1,1 @@
+lib/simul/kind.ml: Format

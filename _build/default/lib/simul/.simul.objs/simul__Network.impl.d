@@ -1,0 +1,1 @@
+lib/simul/network.ml: Array Hashtbl Kind List Printf Prng Queue Tree

@@ -1,0 +1,1 @@
+lib/simul/network.mli: Kind Prng Tree

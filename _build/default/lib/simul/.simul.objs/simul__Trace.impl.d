@@ -1,0 +1,1 @@
+lib/simul/trace.ml: Format Kind List

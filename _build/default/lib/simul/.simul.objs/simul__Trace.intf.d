@@ -1,0 +1,1 @@
+lib/simul/trace.mli: Format Kind

@@ -1,0 +1,47 @@
+(** Virtual-time (discrete-event) delivery scheduling.
+
+    Message counts — the paper's cost model — are order-insensitive, but
+    the paper's motivation also argues about {e latency} ("a strategy
+    tuned for write-dominated workloads is likely to suffer from
+    unnecessary latency ... on read-dominated workloads").  This module
+    adds a virtual clock on top of {!Network}: every send is stamped
+    with a per-directed-edge latency, and deliveries are replayed in
+    timestamp order, so the completion time of a request becomes
+    observable (e.g. a warm RWW combine completes at latency 0; an
+    MDS-2-style combine pays a full round trip to the deepest node).
+
+    FIFO is preserved even under varying latencies: a message is never
+    scheduled before an earlier message on the same directed edge.
+
+    Usage: register {!notify} as the network's [on_send] hook, then
+    {!drain} with a callback that pops from the network and delivers. *)
+
+type t
+
+val create : Tree.t -> latency:(src:int -> dst:int -> float) -> t
+(** Fresh clock at time 0.  [latency] must be positive. *)
+
+val unit_latency : src:int -> dst:int -> float
+(** Every hop takes one time unit. *)
+
+val now : t -> float
+(** Current virtual time (the timestamp of the delivery in progress, or
+    of the last completed one). *)
+
+val advance_to : t -> float -> unit
+(** Move the clock forward (e.g. between requests of a sequential
+    workload).  Ignored if the time is in the past. *)
+
+val notify : t -> src:int -> dst:int -> unit
+(** Record a send at the current time; its delivery is scheduled at
+    [max (now + latency) (last scheduled on the same edge)]. *)
+
+val pending : t -> int
+
+val drain : t -> deliver:(src:int -> dst:int -> unit) -> int
+(** Deliver everything in timestamp order, advancing the clock; the
+    callback may trigger further {!notify}.  Returns the number of
+    deliveries. *)
+
+val step : t -> deliver:(src:int -> dst:int -> unit) -> bool
+(** Deliver the single earliest message; [false] when idle. *)

@@ -1,0 +1,46 @@
+let max_deliveries = 100_000_000
+
+let step net ~handler =
+  match Network.pop_any net with
+  | None -> false
+  | Some (src, dst, m) ->
+    handler ~src ~dst m;
+    true
+
+let run_to_quiescence net ~handler =
+  let rec loop count =
+    if count > max_deliveries then
+      failwith "Engine.run_to_quiescence: delivery budget exhausted (divergence?)";
+    if step net ~handler then loop (count + 1) else count
+  in
+  loop 0
+
+let run_concurrent ~rng net ~handler ~requests =
+  let deliver_one () =
+    match Network.pop_random net rng with
+    | None -> false
+    | Some (src, dst, m) ->
+      handler ~src ~dst m;
+      true
+  in
+  let deliver_some () =
+    (* Geometric number of deliveries: keeps schedules adversarially
+       varied while guaranteeing progress. *)
+    let rec go () =
+      if Prng.Splitmix.bernoulli rng 0.7 then
+        if deliver_one () then go ()
+    in
+    go ()
+  in
+  Array.iter
+    (fun initiate ->
+      deliver_some ();
+      initiate ())
+    requests;
+  (* Drain. *)
+  let rec drain budget =
+    if budget <= 0 then
+      failwith "Engine.run_concurrent: delivery budget exhausted (divergence?)";
+    if deliver_one () then drain (budget - 1)
+  in
+  drain max_deliveries

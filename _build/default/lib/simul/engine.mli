@@ -1,0 +1,38 @@
+(** Execution drivers.
+
+    A protocol is, to the engine, just a handler invoked on every
+    delivered message (the handler may [send] further messages).
+
+    - {!run_to_quiescence} implements the paper's {e sequential
+      executions}: a request is initiated in a quiescent state and runs
+      until the network is quiescent again.  Delivery order is
+      deterministic; the mechanism's sequential behaviour is confluent
+      (Lemmas 3.3-3.5), so any order yields the same quiescent state.
+    - {!run_concurrent} implements {e concurrent executions}: a list of
+      pending request thunks is interleaved with message deliveries under
+      a random schedule, which is the adversarial setting of the paper's
+      Section 5 (causal consistency). *)
+
+val run_to_quiescence :
+  'm Network.t -> handler:(src:int -> dst:int -> 'm -> unit) -> int
+(** Deliver messages until the network is quiescent.  Returns the number
+    of deliveries performed.
+    @raise Failure if more than [10^8] deliveries occur (divergence
+    guard). *)
+
+val step : 'm Network.t -> handler:(src:int -> dst:int -> 'm -> unit) -> bool
+(** Deliver exactly one message (deterministic choice).  [false] if the
+    network was already quiescent. *)
+
+val run_concurrent :
+  rng:Prng.Splitmix.t ->
+  'm Network.t ->
+  handler:(src:int -> dst:int -> 'm -> unit) ->
+  requests:(unit -> unit) array ->
+  unit
+(** [run_concurrent ~rng net ~handler ~requests] initiates the request
+    thunks in array order, but interleaves an arbitrary (randomly chosen)
+    number of message deliveries before, between, and after initiations;
+    after the last initiation it drains the network.  Request [i] is
+    initiated while earlier requests may still have messages in flight —
+    the paper's concurrent execution model. *)

@@ -1,0 +1,15 @@
+type t = Probe | Response | Update | Release
+
+let all = [ Probe; Response; Update; Release ]
+
+let to_string = function
+  | Probe -> "probe"
+  | Response -> "response"
+  | Update -> "update"
+  | Release -> "release"
+
+let pp fmt k = Format.pp_print_string fmt (to_string k)
+
+let index = function Probe -> 0 | Response -> 1 | Update -> 2 | Release -> 3
+
+let count = 4

@@ -1,0 +1,18 @@
+(** Message kinds.
+
+    The lease-based mechanism exchanges exactly four kinds of messages
+    (paper Section 3.1); baselines reuse the same vocabulary ([Update]
+    for pushed aggregates, [Probe]/[Response] for pull).  The network
+    layer counts sent messages per kind and per directed edge, which is
+    the paper's entire cost model. *)
+
+type t = Probe | Response | Update | Release
+
+val all : t list
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val index : t -> int
+(** Stable index in [0..3], for array-based counters. *)
+
+val count : int
+(** Number of kinds. *)

@@ -1,0 +1,113 @@
+type 'm t = {
+  tree : Tree.t;
+  (* Directed channels, indexed by [slot src dst]: for each node [src],
+     one queue per neighbour, in the neighbour's adjacency position. *)
+  chans : 'm Queue.t array array;
+  nbr_pos : (int * int, int) Hashtbl.t; (* (src,dst) -> index into chans.(src) *)
+  counters : int array array;           (* per (src-slot, dst-slot) x kind *)
+  kind_of : 'm -> Kind.t;
+  on_send : src:int -> dst:int -> unit;
+  mutable in_flight : int;
+  mutable total : int;
+  kind_totals : int array;
+}
+
+let create ?(on_send = fun ~src:_ ~dst:_ -> ()) tree ~kind_of =
+  let n = Tree.n_nodes tree in
+  let nbr_pos = Hashtbl.create (4 * n) in
+  let chans =
+    Array.init n (fun u ->
+        let nbrs = Tree.neighbors tree u in
+        List.iteri (fun i v -> Hashtbl.add nbr_pos (u, v) i) nbrs;
+        Array.init (List.length nbrs) (fun _ -> Queue.create ()))
+  in
+  let counters =
+    Array.init n (fun u -> Array.make (Array.length chans.(u) * Kind.count) 0)
+  in
+  {
+    tree;
+    chans;
+    nbr_pos;
+    counters;
+    kind_of;
+    on_send;
+    in_flight = 0;
+    total = 0;
+    kind_totals = Array.make Kind.count 0;
+  }
+
+let tree t = t.tree
+
+let slot t ~src ~dst =
+  match Hashtbl.find_opt t.nbr_pos (src, dst) with
+  | Some i -> i
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Network: (%d,%d) is not an edge of the tree" src dst)
+
+let send t ~src ~dst m =
+  let i = slot t ~src ~dst in
+  Queue.add m t.chans.(src).(i);
+  let k = Kind.index (t.kind_of m) in
+  t.counters.(src).((i * Kind.count) + k) <-
+    t.counters.(src).((i * Kind.count) + k) + 1;
+  t.kind_totals.(k) <- t.kind_totals.(k) + 1;
+  t.total <- t.total + 1;
+  t.in_flight <- t.in_flight + 1;
+  t.on_send ~src ~dst
+
+let in_flight t = t.in_flight
+
+let is_quiescent t = t.in_flight = 0
+
+let pop t ~src ~dst =
+  let i = slot t ~src ~dst in
+  if Queue.is_empty t.chans.(src).(i) then None
+  else begin
+    t.in_flight <- t.in_flight - 1;
+    Some (Queue.pop t.chans.(src).(i))
+  end
+
+let nonempty_channels t =
+  let acc = ref [] in
+  let n = Tree.n_nodes t.tree in
+  for src = n - 1 downto 0 do
+    let nbrs = Tree.neighbors t.tree src in
+    List.iteri
+      (fun i dst -> if not (Queue.is_empty t.chans.(src).(i)) then acc := (src, dst) :: !acc)
+      nbrs
+  done;
+  !acc
+
+let pop_any t =
+  match nonempty_channels t with
+  | [] -> None
+  | (src, dst) :: _ -> (
+    match pop t ~src ~dst with
+    | Some m -> Some (src, dst, m)
+    | None -> assert false)
+
+let pop_random t rng =
+  match nonempty_channels t with
+  | [] -> None
+  | channels -> (
+    let src, dst = Prng.Splitmix.pick_list rng channels in
+    match pop t ~src ~dst with
+    | Some m -> Some (src, dst, m)
+    | None -> assert false)
+
+let sent t ~src ~dst kind =
+  let i = slot t ~src ~dst in
+  t.counters.(src).((i * Kind.count) + Kind.index kind)
+
+let sent_on_edge t ~src ~dst =
+  List.fold_left (fun acc k -> acc + sent t ~src ~dst k) 0 Kind.all
+
+let total_of_kind t k = t.kind_totals.(Kind.index k)
+
+let total t = t.total
+
+let reset_counters t =
+  Array.iter (fun row -> Array.fill row 0 (Array.length row) 0) t.counters;
+  Array.fill t.kind_totals 0 Kind.count 0;
+  t.total <- 0

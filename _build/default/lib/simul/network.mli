@@ -1,0 +1,62 @@
+(** Reliable FIFO message transport over a tree topology, with message
+    accounting.
+
+    Each directed edge [(u,v)] of the tree carries an unbounded FIFO
+    channel.  [send] enqueues; delivery happens when a scheduler (see
+    {!Engine}) pops a message and hands it to the receiving node's
+    handler.  The network counts every sent message by directed edge and
+    by {!Kind.t}; the total message count is the cost measure of the
+    aggregation problem.
+
+    The payload type ['m] is chosen by the protocol; a [kind_of]
+    classifier supplied at creation drives the accounting. *)
+
+type 'm t
+
+val create :
+  ?on_send:(src:int -> dst:int -> unit) -> Tree.t -> kind_of:('m -> Kind.t) -> 'm t
+(** [on_send] is invoked for every enqueued message — the hook virtual-
+    time schedulers ({!Devent}) use to timestamp deliveries. *)
+
+val tree : 'm t -> Tree.t
+
+val send : 'm t -> src:int -> dst:int -> 'm -> unit
+(** Enqueue a message on the directed edge [(src,dst)].
+    @raise Invalid_argument if [src] and [dst] are not neighbours. *)
+
+val in_flight : 'm t -> int
+(** Number of queued (sent but undelivered) messages. *)
+
+val is_quiescent : 'm t -> bool
+(** No message in transit across any edge (condition (2) of the paper's
+    quiescent state). *)
+
+val pop : 'm t -> src:int -> dst:int -> 'm option
+(** Dequeue the oldest message on [(src,dst)], if any. *)
+
+val pop_any : 'm t -> (int * int * 'm) option
+(** Dequeue from the first non-empty directed channel in a fixed scan
+    order ([src] ascending, then [dst]).  Deterministic. *)
+
+val pop_random : 'm t -> Prng.Splitmix.t -> (int * int * 'm) option
+(** Dequeue from a uniformly chosen non-empty directed channel —
+    the adversarial interleaving used for concurrent executions. *)
+
+val nonempty_channels : 'm t -> (int * int) list
+
+(** {1 Accounting} *)
+
+val sent : 'm t -> src:int -> dst:int -> Kind.t -> int
+(** Messages of one kind sent on one directed edge since creation (or
+    the last {!reset_counters}). *)
+
+val sent_on_edge : 'm t -> src:int -> dst:int -> int
+(** All kinds on one directed edge. *)
+
+val total_of_kind : 'm t -> Kind.t -> int
+
+val total : 'm t -> int
+(** Grand total: the paper's cost [C_A (sigma)]. *)
+
+val reset_counters : 'm t -> unit
+(** Zero the counters without touching queued messages. *)

@@ -1,0 +1,40 @@
+type event =
+  | Request_initiated of { node : int; what : string }
+  | Request_completed of { node : int; what : string }
+  | Delivered of { src : int; dst : int; kind : Kind.t }
+
+type t = { enabled : bool; mutable events : event list; mutable length : int }
+
+let create ?(enabled = false) () = { enabled; events = []; length = 0 }
+
+let enabled t = t.enabled
+
+let record t e =
+  if t.enabled then begin
+    t.events <- e :: t.events;
+    t.length <- t.length + 1
+  end
+
+let events t = List.rev t.events
+
+let clear t =
+  t.events <- [];
+  t.length <- 0
+
+let length t = t.length
+
+let count_delivered t k =
+  List.fold_left
+    (fun acc -> function Delivered { kind; _ } when kind = k -> acc + 1 | _ -> acc)
+    0 t.events
+
+let pp_event fmt = function
+  | Request_initiated { node; what } -> Format.fprintf fmt "init %s@%d" what node
+  | Request_completed { node; what } -> Format.fprintf fmt "done %s@%d" what node
+  | Delivered { src; dst; kind } ->
+    Format.fprintf fmt "%a %d->%d" Kind.pp kind src dst
+
+let pp fmt t =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.fprintf fmt "@.")
+    pp_event fmt (events t)

@@ -1,0 +1,33 @@
+(** Lightweight execution traces.
+
+    Records request initiations/completions and message deliveries for
+    debugging and for tests that assert on the message-level behaviour
+    (e.g. "executing this combine sent exactly |A| probes", Lemma 3.3).
+    Tracing is opt-in and costs nothing when disabled. *)
+
+type event =
+  | Request_initiated of { node : int; what : string }
+  | Request_completed of { node : int; what : string }
+  | Delivered of { src : int; dst : int; kind : Kind.t }
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+
+val enabled : t -> bool
+
+val record : t -> event -> unit
+(** No-op when the trace is disabled. *)
+
+val events : t -> event list
+(** Events in chronological order. *)
+
+val clear : t -> unit
+
+val length : t -> int
+
+val count_delivered : t -> Kind.t -> int
+
+val pp_event : Format.formatter -> event -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,270 @@
+exception Invalid_tree of string
+
+type t = {
+  n : int;
+  adj : int array array;                 (* adj.(u) = sorted neighbours *)
+  (* Cache: for each node u, parent of every node in T rooted at u.
+     Filled lazily, one root at a time; parent_of.(u).(u) = -1. *)
+  parent_of : int array option array;
+}
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid_tree s)) fmt
+
+let create ~n ~edges =
+  if n < 1 then invalid "tree must have at least one node, got %d" n;
+  let expected = n - 1 in
+  let got = List.length edges in
+  if got <> expected then
+    invalid "a tree on %d nodes has %d edges, got %d" n expected got;
+  let adj_lists = Array.make n [] in
+  let seen = Hashtbl.create (2 * n) in
+  let add_edge (u, v) =
+    if u < 0 || u >= n || v < 0 || v >= n then
+      invalid "edge (%d,%d) out of range [0,%d)" u v n;
+    if u = v then invalid "self loop at node %d" u;
+    let key = (min u v, max u v) in
+    if Hashtbl.mem seen key then invalid "duplicate edge (%d,%d)" u v;
+    Hashtbl.add seen key ();
+    adj_lists.(u) <- v :: adj_lists.(u);
+    adj_lists.(v) <- u :: adj_lists.(v)
+  in
+  List.iter add_edge edges;
+  let adj = Array.map (fun l -> Array.of_list (List.sort compare l)) adj_lists in
+  (* Connectivity check: n-1 edges + connected <=> tree. *)
+  let visited = Array.make n false in
+  let queue = Queue.create () in
+  Queue.add 0 queue;
+  visited.(0) <- true;
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    incr count;
+    Array.iter
+      (fun v ->
+        if not visited.(v) then begin
+          visited.(v) <- true;
+          Queue.add v queue
+        end)
+      adj.(u)
+  done;
+  if !count <> n then invalid "graph is disconnected (%d of %d reachable)" !count n;
+  { n; adj; parent_of = Array.make n None }
+
+let n_nodes t = t.n
+
+let nodes t = List.init t.n (fun i -> i)
+
+let neighbors t u =
+  if u < 0 || u >= t.n then invalid "node %d out of range" u;
+  Array.to_list t.adj.(u)
+
+let degree t u =
+  if u < 0 || u >= t.n then invalid "node %d out of range" u;
+  Array.length t.adj.(u)
+
+let is_leaf t u = degree t u <= 1 && t.n > 1
+
+let are_neighbors t u v = Array.exists (fun w -> w = v) t.adj.(u)
+
+let edges t =
+  let acc = ref [] in
+  for u = t.n - 1 downto 0 do
+    Array.iter (fun v -> if u < v then acc := (u, v) :: !acc) t.adj.(u)
+  done;
+  !acc
+
+let ordered_pairs t =
+  List.concat_map (fun (u, v) -> [ (u, v); (v, u) ]) (edges t)
+
+(* Parents for the tree rooted at [root], computed once and cached. *)
+let parents t ~root =
+  if root < 0 || root >= t.n then invalid "node %d out of range" root;
+  match t.parent_of.(root) with
+  | Some p -> p
+  | None ->
+    let p = Array.make t.n (-2) in
+    p.(root) <- -1;
+    let queue = Queue.create () in
+    Queue.add root queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      Array.iter
+        (fun v ->
+          if p.(v) = -2 then begin
+            p.(v) <- u;
+            Queue.add v queue
+          end)
+        t.adj.(u)
+    done;
+    t.parent_of.(root) <- Some p;
+    p
+
+let parent_towards t ~root v =
+  if v = root then invalid_arg "Tree.parent_towards: v equals root";
+  (parents t ~root).(v)
+
+let in_subtree t u v w =
+  if not (are_neighbors t u v) then invalid "(%d,%d) is not an edge" u v;
+  (* w is on u's side of edge (u,v) iff the v-parent chain from w reaches u
+     without crossing to v; equivalently the u-rooted parent of the hop
+     structure: w is in subtree(u,v) iff w = u or the path w..v passes
+     through u; cheapest with the v-rooted parent array: w is on u's side
+     iff w <> v and walking v-parents from w we meet u before v.  Simpler:
+     w is in subtree(v,u) iff the u-rooted parent chain from w crosses the
+     edge (v,u), i.e. iff the first hop of path u->w ... Use: w in
+     subtree(u,v) iff w's u-rooted ancestor path does not start with v. *)
+  if w = u then true
+  else if w = v then false
+  else begin
+    (* First hop on the path from u to w: follow w's parents toward u. *)
+    let p = parents t ~root:u in
+    let rec first_hop x = if p.(x) = u then x else first_hop p.(x) in
+    first_hop w <> v
+  end
+
+let subtree t u v =
+  if not (are_neighbors t u v) then invalid "(%d,%d) is not an edge" u v;
+  let visited = Array.make t.n false in
+  visited.(v) <- true;
+  (* block crossing to v *)
+  visited.(u) <- true;
+  let acc = ref [ u ] in
+  let queue = Queue.create () in
+  Queue.add u queue;
+  while not (Queue.is_empty queue) do
+    let x = Queue.pop queue in
+    Array.iter
+      (fun y ->
+        if not visited.(y) then begin
+          visited.(y) <- true;
+          acc := y :: !acc;
+          Queue.add y queue
+        end)
+      t.adj.(x)
+  done;
+  List.sort compare !acc
+
+let subtree_size t u v = List.length (subtree t u v)
+
+let path t u v =
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then invalid "node out of range";
+  let p = parents t ~root:u in
+  let rec walk acc x = if x = u then u :: acc else walk (x :: acc) p.(x) in
+  walk [] v
+
+let dist t u v = List.length (path t u v) - 1
+
+let bfs_order t ~root =
+  let p = parents t ~root in
+  ignore p;
+  let visited = Array.make t.n false in
+  visited.(root) <- true;
+  let queue = Queue.create () in
+  Queue.add root queue;
+  let acc = ref [] in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    acc := u :: !acc;
+    Array.iter
+      (fun v ->
+        if not visited.(v) then begin
+          visited.(v) <- true;
+          Queue.add v queue
+        end)
+      t.adj.(u)
+  done;
+  List.rev !acc
+
+let eccentricity t u =
+  let p = parents t ~root:u in
+  let depth = Array.make t.n 0 in
+  let m = ref 0 in
+  List.iter
+    (fun v ->
+      if v <> u then begin
+        depth.(v) <- depth.(p.(v)) + 1;
+        if depth.(v) > !m then m := depth.(v)
+      end)
+    (bfs_order t ~root:u);
+  !m
+
+let diameter t =
+  (* Double BFS: farthest node from 0, then its eccentricity. *)
+  let far root =
+    let p = parents t ~root in
+    let depth = Array.make t.n 0 in
+    let best = ref root and bestd = ref 0 in
+    List.iter
+      (fun v ->
+        if v <> root then begin
+          depth.(v) <- depth.(p.(v)) + 1;
+          if depth.(v) > !bestd then begin
+            bestd := depth.(v);
+            best := v
+          end
+        end)
+      (bfs_order t ~root);
+    (!best, !bestd)
+  in
+  let a, _ = far 0 in
+  snd (far a)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<hov 2>tree(n=%d;@ edges=%a)@]" t.n
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt ",@ ")
+       (fun fmt (u, v) -> Format.fprintf fmt "%d-%d" u v))
+    (edges t)
+
+module Build = struct
+  let path n = create ~n ~edges:(List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+  let star n =
+    if n < 2 then invalid_arg "Tree.Build.star: need at least 2 nodes";
+    create ~n ~edges:(List.init (n - 1) (fun i -> (0, i + 1)))
+
+  let two_nodes () = path 2
+
+  let kary ~k n =
+    if k < 1 then invalid_arg "Tree.Build.kary: k must be >= 1";
+    create ~n ~edges:(List.init (max 0 (n - 1)) (fun i -> (i + 1, i / k)))
+
+  let binary n = kary ~k:2 n
+
+  let caterpillar ~spine ~legs =
+    if spine < 1 then invalid_arg "Tree.Build.caterpillar: spine must be >= 1";
+    let n = spine * (1 + legs) in
+    let spine_edges = List.init (spine - 1) (fun i -> (i, i + 1)) in
+    let leg_edges =
+      List.concat_map
+        (fun s -> List.init legs (fun j -> (s, spine + (s * legs) + j)))
+        (List.init spine (fun i -> i))
+    in
+    create ~n ~edges:(spine_edges @ leg_edges)
+
+  let random rng n =
+    if n < 1 then invalid_arg "Tree.Build.random: need at least 1 node";
+    create ~n
+      ~edges:(List.init (n - 1) (fun i -> (i + 1, Prng.Splitmix.int rng (i + 1))))
+
+  let random_with_degree_bound rng ~max_degree n =
+    if max_degree < 2 then
+      invalid_arg "Tree.Build.random_with_degree_bound: max_degree >= 2";
+    if n < 1 then invalid_arg "Tree.Build.random_with_degree_bound: need >= 1 node";
+    let deg = Array.make n 0 in
+    let edges = ref [] in
+    for i = 1 to n - 1 do
+      let candidates =
+        List.filter (fun j -> deg.(j) < max_degree) (List.init i (fun j -> j))
+      in
+      let j =
+        match candidates with
+        | [] -> Prng.Splitmix.int rng i
+        | l -> Prng.Splitmix.pick_list rng l
+      in
+      deg.(j) <- deg.(j) + 1;
+      deg.(i) <- deg.(i) + 1;
+      edges := (i, j) :: !edges
+    done;
+    create ~n ~edges:!edges
+end

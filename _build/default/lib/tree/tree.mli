@@ -1,0 +1,109 @@
+(** Tree network topologies.
+
+    The aggregation problem of the paper is posed over a finite set of
+    nodes arranged in an (unrooted) tree [T] with reliable FIFO channels
+    between neighbouring nodes.  This module provides the immutable
+    topology: adjacency, the [subtree(u,v)] notion used throughout the
+    paper (the component of [T - (u,v)] containing [u]), and the
+    "[u]-parent" relation (the parent of [v] in [T] rooted at [u]).
+
+    Nodes are integers [0 .. n_nodes t - 1]. *)
+
+type t
+
+exception Invalid_tree of string
+
+val create : n:int -> edges:(int * int) list -> t
+(** [create ~n ~edges] builds a tree on [n >= 1] nodes.
+
+    @raise Invalid_tree if the edge set is not a spanning tree of
+    [{0, .., n-1}] (wrong cardinality, out-of-range endpoint, self loop,
+    duplicate edge, or disconnected). *)
+
+val n_nodes : t -> int
+
+val nodes : t -> int list
+(** All nodes, ascending. *)
+
+val edges : t -> (int * int) list
+(** Undirected edges, each reported once with smaller endpoint first. *)
+
+val ordered_pairs : t -> (int * int) list
+(** All ordered pairs of neighbouring nodes: both [(u,v)] and [(v,u)]. *)
+
+val neighbors : t -> int -> int list
+(** Neighbours of a node, ascending. *)
+
+val degree : t -> int -> int
+
+val is_leaf : t -> int -> bool
+
+val are_neighbors : t -> int -> int -> bool
+
+val subtree : t -> int -> int -> int list
+(** [subtree t u v] is the node set of the component of [T - (u,v)] that
+    contains [u] (the paper's [subtree(u,v)]).  [u] and [v] must be
+    neighbours. *)
+
+val subtree_size : t -> int -> int -> int
+
+val in_subtree : t -> int -> int -> int -> bool
+(** [in_subtree t u v w] tests whether [w] is in [subtree t u v].
+    Constant time after the first query for the pair. *)
+
+val parent_towards : t -> root:int -> int -> int
+(** [parent_towards t ~root v] is the [root]-parent of [v]: the parent of
+    [v] in [T] rooted at [root], i.e. the first hop on the path from [v]
+    to [root].  Requires [v <> root]. *)
+
+val path : t -> int -> int -> int list
+(** [path t u v] is the unique simple path from [u] to [v], inclusive of
+    both endpoints. *)
+
+val dist : t -> int -> int -> int
+(** Path length in edges. *)
+
+val bfs_order : t -> root:int -> int list
+(** Nodes in breadth-first order from [root]. *)
+
+val eccentricity : t -> int -> int
+
+val diameter : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+(** Standard tree topologies used by the paper's motivating systems and
+    by our experiments: paths and stars are the extreme cases for
+    per-edge analysis; balanced k-ary trees model SDIMS/Astrolabe-style
+    aggregation hierarchies; random attachment trees model irregular
+    overlays; caterpillars stress the mix of internal path and leaf
+    fan-out. *)
+module Build : sig
+  val path : int -> t
+  (** [path n]: nodes [0 - 1 - 2 - ... - n-1]. *)
+
+  val star : int -> t
+  (** [star n]: node [0] is the hub, nodes [1..n-1] are leaves. *)
+
+  val two_nodes : unit -> t
+  (** The 2-node tree used by the Theorem 3 adversary. *)
+
+  val kary : k:int -> int -> t
+  (** [kary ~k n]: complete-as-possible k-ary tree in BFS numbering;
+      node [i]'s parent is [(i-1)/k]. *)
+
+  val binary : int -> t
+  (** [binary n] = [kary ~k:2 n]. *)
+
+  val caterpillar : spine:int -> legs:int -> t
+  (** [caterpillar ~spine ~legs]: a path of [spine] nodes, each carrying
+      [legs] leaves. *)
+
+  val random : Prng.Splitmix.t -> int -> t
+  (** [random rng n]: uniform random attachment — node [i >= 1] connects
+      to a uniformly chosen node [j < i]. *)
+
+  val random_with_degree_bound : Prng.Splitmix.t -> max_degree:int -> int -> t
+  (** Random attachment restricted to nodes whose degree is still below
+      [max_degree]. *)
+end

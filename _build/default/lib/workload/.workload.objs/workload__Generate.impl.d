@@ -1,0 +1,1 @@
+lib/workload/generate.ml: Array List Oat Prng Tree Zipf

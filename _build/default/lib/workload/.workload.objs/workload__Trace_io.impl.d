@@ -1,0 +1,1 @@
+lib/workload/trace_io.ml: Buffer Fun In_channel List Oat Printf String

@@ -1,0 +1,97 @@
+module Sm = Prng.Splitmix
+
+type spec = {
+  n_requests : int;
+  read_fraction : float;
+  write_skew : float;
+  read_skew : float;
+}
+
+let default_spec =
+  { n_requests = 1000; read_fraction = 0.5; write_skew = 0.0; read_skew = 0.0 }
+
+let mixed spec tree rng =
+  let n = Tree.n_nodes tree in
+  let writers = Zipf.create ~n ~s:spec.write_skew in
+  let readers = Zipf.create ~n ~s:spec.read_skew in
+  (* Random node relabelling so the hotspot is not always node 0. *)
+  let perm = Array.init n (fun i -> i) in
+  Sm.shuffle rng perm;
+  List.init spec.n_requests (fun _ ->
+      if Sm.bernoulli rng spec.read_fraction then
+        Oat.Request.combine perm.(Zipf.sample readers rng)
+      else
+        Oat.Request.write perm.(Zipf.sample writers rng) (Sm.float rng *. 100.0))
+
+let read_heavy tree rng ~n =
+  mixed { default_spec with n_requests = n; read_fraction = 0.9 } tree rng
+
+let write_heavy tree rng ~n =
+  mixed { default_spec with n_requests = n; read_fraction = 0.1 } tree rng
+
+let hotspot tree rng ~n =
+  mixed
+    { n_requests = n; read_fraction = 0.5; write_skew = 1.2; read_skew = 1.2 }
+    tree rng
+
+let phased tree rng ~n ~phase_len =
+  if phase_len < 1 then invalid_arg "Generate.phased: phase_len must be >= 1";
+  let n_nodes = Tree.n_nodes tree in
+  let hot = ref (Sm.int rng n_nodes) in
+  List.init n (fun i ->
+      let phase = i / phase_len in
+      if i mod phase_len = 0 then hot := Sm.int rng n_nodes;
+      if phase mod 2 = 0 then
+        (* read phase: mostly combines from anywhere *)
+        if Sm.bernoulli rng 0.9 then Oat.Request.combine (Sm.int rng n_nodes)
+        else Oat.Request.write (Sm.int rng n_nodes) (Sm.float rng *. 100.0)
+      else if
+        (* write phase: bursts of writes at the hot node *)
+        Sm.bernoulli rng 0.9
+      then Oat.Request.write !hot (Sm.float rng *. 100.0)
+      else Oat.Request.combine (Sm.int rng n_nodes))
+
+let adversarial_ab ~a ~b ~rounds =
+  if a < 1 || b < 1 || rounds < 0 then invalid_arg "Generate.adversarial_ab";
+  List.concat
+    (List.init rounds (fun round ->
+         List.init a (fun _ -> Oat.Request.combine 1)
+         @ List.init b (fun i ->
+               Oat.Request.write 0 (float_of_int ((round * b) + i)))))
+
+let read_write_alternating ~rounds =
+  List.concat
+    (List.init rounds (fun i ->
+         [ Oat.Request.combine 1; Oat.Request.write 0 (float_of_int i) ]))
+
+let rww_worst_case ~rounds =
+  List.concat
+    (List.init rounds (fun i ->
+         [
+           Oat.Request.combine 1;
+           Oat.Request.write 0 (float_of_int (2 * i));
+           Oat.Request.write 0 (float_of_int ((2 * i) + 1));
+         ]))
+
+let migrating tree rng ~n ~spot_moves =
+  if spot_moves < 1 then invalid_arg "Generate.migrating: spot_moves >= 1";
+  let n_nodes = Tree.n_nodes tree in
+  let period = max 1 (n / spot_moves) in
+  let spot = ref (Sm.int rng n_nodes) in
+  List.init n (fun i ->
+      if i mod period = 0 then begin
+        (* The working set drifts: move the hot spot to a neighbour so
+           lease structure must migrate rather than rebuild. *)
+        let nbrs = Tree.neighbors tree !spot in
+        if nbrs <> [] then spot := Sm.pick_list rng nbrs
+      end;
+      (* Requests concentrate near the hot spot: walk a short random
+         path away from it. *)
+      let node = ref !spot in
+      let steps = Sm.int rng 3 in
+      for _ = 1 to steps do
+        let nbrs = Tree.neighbors tree !node in
+        if nbrs <> [] then node := Sm.pick_list rng nbrs
+      done;
+      if Sm.bernoulli rng 0.5 then Oat.Request.combine !node
+      else Oat.Request.write !node (Sm.float rng *. 100.0))

@@ -1,0 +1,61 @@
+(** Request-sequence generators.
+
+    Every generator is deterministic given its PRNG.  The sequences
+    exercise the regimes the paper's introduction motivates:
+    read-dominated (where Astrolabe-style flooding wins), write-
+    dominated (where MDS-2-style pulling wins), mixed, hotspot
+    (Zipf-skewed node activity), phased (activity migrating between
+    regions over time), and the adversarial pattern of Theorem 3. *)
+
+type spec = {
+  n_requests : int;
+  read_fraction : float;  (** probability that a request is a combine *)
+  write_skew : float;  (** Zipf exponent for choosing writer nodes; 0 = uniform *)
+  read_skew : float;  (** Zipf exponent for choosing reader nodes *)
+}
+
+val default_spec : spec
+(** 1000 requests, read fraction 1/2, uniform node choice. *)
+
+val mixed : spec -> Tree.t -> Prng.Splitmix.t -> float Oat.Request.t list
+(** i.i.d. requests according to [spec]; write arguments are uniform
+    floats in [0, 100). *)
+
+val read_heavy : Tree.t -> Prng.Splitmix.t -> n:int -> float Oat.Request.t list
+(** [mixed] with read fraction 0.9. *)
+
+val write_heavy : Tree.t -> Prng.Splitmix.t -> n:int -> float Oat.Request.t list
+(** [mixed] with read fraction 0.1. *)
+
+val hotspot : Tree.t -> Prng.Splitmix.t -> n:int -> float Oat.Request.t list
+(** Zipf(1.2)-skewed writers and readers, read fraction 1/2. *)
+
+val phased :
+  Tree.t -> Prng.Splitmix.t -> n:int -> phase_len:int -> float Oat.Request.t list
+(** Alternates between a read-dominated phase (reads anywhere, writes
+    rare) and a write-dominated phase (writes concentrated on one
+    random node), switching every [phase_len] requests — the
+    "different nodes exhibit activity at different times" scenario that
+    motivates adaptive aggregation. *)
+
+val adversarial_ab :
+  a:int -> b:int -> rounds:int -> float Oat.Request.t list
+(** The Theorem 3 adversary on the 2-node tree {!Tree.Build.two_nodes}:
+    each round issues [a] combines at node 1 followed by [b] writes at
+    node 0 — the worst case for an (a,b)-algorithm. *)
+
+val read_write_alternating : rounds:int -> float Oat.Request.t list
+(** R W R W ... on the 2-node tree: the pattern that drives RWW's
+    competitive ratio toward its bound. *)
+
+val rww_worst_case : rounds:int -> float Oat.Request.t list
+(** R W W R W W ... on the 2-node tree: each round costs RWW 5 messages
+    (2 cold combine + 1 update + 2 update-release) while the offline
+    optimum pays 2, i.e. the matching lower-bound instance for (1,2). *)
+
+val migrating :
+  Tree.t -> Prng.Splitmix.t -> n:int -> spot_moves:int -> float Oat.Request.t list
+(** A working set that drifts through the tree: requests concentrate in
+    a small neighbourhood of a hot spot that random-walks to a
+    neighbouring node [spot_moves] times over the sequence — the regime
+    where lease structure must migrate incrementally. *)

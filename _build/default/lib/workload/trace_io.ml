@@ -1,0 +1,50 @@
+let to_string sigma =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (q : float Oat.Request.t) ->
+      match q.op with
+      | Oat.Request.Write v -> Buffer.add_string buf (Printf.sprintf "w %d %h\n" q.node v)
+      | Oat.Request.Combine -> Buffer.add_string buf (Printf.sprintf "c %d\n" q.node))
+    sigma;
+  Buffer.contents buf
+
+let parse_line lineno line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Ok None
+  else
+    match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+    | [ "c"; node ] -> (
+      match int_of_string_opt node with
+      | Some n when n >= 0 -> Ok (Some (Oat.Request.combine n))
+      | _ -> Error (Printf.sprintf "line %d: bad node %S" lineno node))
+    | [ "w"; node; value ] -> (
+      match (int_of_string_opt node, float_of_string_opt value) with
+      | Some n, Some v when n >= 0 -> Ok (Some (Oat.Request.write n v))
+      | _ -> Error (Printf.sprintf "line %d: bad write %S" lineno line))
+    | _ -> Error (Printf.sprintf "line %d: unrecognized request %S" lineno line)
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match parse_line lineno line with
+      | Error e -> Error e
+      | Ok None -> go (lineno + 1) acc rest
+      | Ok (Some q) -> go (lineno + 1) (q :: acc) rest)
+  in
+  go 1 [] lines
+
+let save path sigma =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string sigma))
+
+let load path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> of_string (In_channel.input_all ic))

@@ -1,0 +1,20 @@
+(** Plain-text serialization of request sequences.
+
+    One request per line:
+    {v
+    w NODE VALUE     a write
+    c NODE           a combine
+    v}
+    Blank lines and lines starting with [#] are ignored.  The format is
+    stable so traces can be recorded from one run (or written by hand)
+    and replayed under a different algorithm via the CLI. *)
+
+val to_string : float Oat.Request.t list -> string
+
+val of_string : string -> (float Oat.Request.t list, string) result
+(** Error messages carry the offending 1-based line number. *)
+
+val save : string -> float Oat.Request.t list -> unit
+(** [save path sigma] writes the trace to a file. *)
+
+val load : string -> (float Oat.Request.t list, string) result

@@ -1,0 +1,29 @@
+type t = { cdf : float array; pmf : float array }
+
+let create ~n ~s =
+  if n < 1 then invalid_arg "Zipf.create: n must be >= 1";
+  if s < 0.0 then invalid_arg "Zipf.create: s must be >= 0";
+  let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let pmf = Array.map (fun w -> w /. total) weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i p ->
+      acc := !acc +. p;
+      cdf.(i) <- !acc)
+    pmf;
+  cdf.(n - 1) <- 1.0;
+  { cdf; pmf }
+
+let sample t rng =
+  let u = Prng.Splitmix.float rng in
+  (* Binary search for the first index with cdf >= u. *)
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let pmf t i = t.pmf.(i)

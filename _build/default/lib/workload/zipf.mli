@@ -1,0 +1,17 @@
+(** Zipf-distributed sampling over [0..n-1].
+
+    Hotspot workloads (a few nodes receive most requests) are the
+    regime where static aggregation strategies lose badly; we model
+    them with a Zipf(s) distribution, sampled by inverse transform over
+    the precomputed CDF. *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** [create ~n ~s] prepares a sampler over ranks [0..n-1] with exponent
+    [s >= 0].  [s = 0] degenerates to the uniform distribution. *)
+
+val sample : t -> Prng.Splitmix.t -> int
+
+val pmf : t -> int -> float
+(** Probability of rank [i]. *)

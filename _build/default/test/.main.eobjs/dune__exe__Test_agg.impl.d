@@ -1,0 +1,1 @@
+test/test_agg.ml: Agg Alcotest Float List Oat QCheck QCheck_alcotest Tree

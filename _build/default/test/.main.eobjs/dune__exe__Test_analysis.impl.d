@@ -1,0 +1,1 @@
+test/test_analysis.ml: Agg Alcotest Analysis List Oat Printf Prng String Tree Workload

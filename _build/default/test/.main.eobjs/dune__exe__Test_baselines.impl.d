@@ -1,0 +1,1 @@
+test/test_baselines.ml: Agg Alcotest Array Baselines List Oat Prng Tree Workload

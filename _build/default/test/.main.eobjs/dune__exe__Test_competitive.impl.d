@@ -1,0 +1,1 @@
+test/test_competitive.ml: Agg Alcotest Analysis Array Float List Lp Oat Offline Printf Prng Tree Workload

@@ -1,0 +1,1 @@
+test/test_consistency.ml: Agg Alcotest Array Consistency Format List Oat Prng QCheck QCheck_alcotest Simul Tree

@@ -1,0 +1,1 @@
+test/test_dht.ml: Agg Alcotest Array Dht Hashtbl List Oat Printf Prng QCheck QCheck_alcotest Tree

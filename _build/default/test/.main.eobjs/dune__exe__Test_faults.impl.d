@@ -1,0 +1,1 @@
+test/test_faults.ml: Agg Alcotest Array Consistency Float List Oat Printf Prng Simul Tree

@@ -1,0 +1,1 @@
+test/test_interleavings.ml: Agg Alcotest Array Consistency List Oat Simul Tree

@@ -1,0 +1,1 @@
+test/test_latency.ml: Agg Alcotest Analysis List Oat Prng Simul Tree

@@ -1,0 +1,1 @@
+test/test_lp.ml: Agg Alcotest Array Float List Lp Oat Offline Printf Prng QCheck QCheck_alcotest Tree

@@ -1,0 +1,1 @@
+test/test_mechanism.ml: Agg Alcotest Array Float List Oat Printf Prng QCheck QCheck_alcotest Simul Tree

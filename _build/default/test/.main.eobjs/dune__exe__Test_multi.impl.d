@@ -1,0 +1,1 @@
+test/test_multi.ml: Agg Alcotest Hashtbl Oat Prng Tree

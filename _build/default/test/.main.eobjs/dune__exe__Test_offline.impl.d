@@ -1,0 +1,1 @@
+test/test_offline.ml: Agg Alcotest List Oat Offline Prng QCheck QCheck_alcotest Tree

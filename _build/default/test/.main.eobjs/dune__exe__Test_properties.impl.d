@@ -1,0 +1,1 @@
+test/test_properties.ml: Agg Array Float Fun List Lp Oat Prng QCheck QCheck_alcotest Simul Tree Workload

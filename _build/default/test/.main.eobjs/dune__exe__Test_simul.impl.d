@@ -1,0 +1,1 @@
+test/test_simul.ml: Alcotest Array List Prng Simul Tree

@@ -1,0 +1,1 @@
+test/test_stress.ml: Agg Alcotest Analysis Array Consistency Float Oat Prng Simul Tree Workload

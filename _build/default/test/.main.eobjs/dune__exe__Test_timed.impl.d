@@ -1,0 +1,1 @@
+test/test_timed.ml: Agg Alcotest Analysis Array List Oat Prng Tree

@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Format List Prng QCheck QCheck_alcotest Tree

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Analysis Array Filename Float Fun List Oat Printf Prng Sys Tree Workload

@@ -1,0 +1,110 @@
+(* Tests for aggregation operators: monoid laws (property-based) and
+   operator-specific behaviour. *)
+
+let float_arb = QCheck.float_range (-1000.0) 1000.0
+
+let monoid_laws (type a) name (module Op : Agg.Operator.S with type t = a)
+    (arb : a QCheck.arbitrary) =
+  [
+    QCheck.Test.make
+      ~name:(name ^ ": commutative")
+      ~count:300 (QCheck.pair arb arb)
+      (fun (x, y) -> Op.equal (Op.combine x y) (Op.combine y x));
+    QCheck.Test.make
+      ~name:(name ^ ": associative")
+      ~count:300
+      (QCheck.triple arb arb arb)
+      (fun (x, y, z) ->
+        Op.equal
+          (Op.combine (Op.combine x y) z)
+          (Op.combine x (Op.combine y z)));
+    QCheck.Test.make
+      ~name:(name ^ ": identity")
+      ~count:300 arb
+      (fun x ->
+        Op.equal (Op.combine Op.identity x) x
+        && Op.equal (Op.combine x Op.identity) x);
+  ]
+
+let sum_laws = monoid_laws "sum" (module Agg.Ops.Sum) float_arb
+let min_laws = monoid_laws "min" (module Agg.Ops.Min) float_arb
+let max_laws = monoid_laws "max" (module Agg.Ops.Max) float_arb
+let sum_int_laws = monoid_laws "sum-int" (module Agg.Ops.Sum_int) QCheck.small_signed_int
+
+let avg_arb =
+  QCheck.map
+    (fun (s, c) -> (s, abs c))
+    (QCheck.pair float_arb QCheck.small_signed_int)
+
+let avg_laws = monoid_laws "avg" (module Agg.Ops.Avg) avg_arb
+
+let test_sum_fold () =
+  let v = Agg.Operator.fold (module Agg.Ops.Sum) [ 1.0; 2.0; 3.5 ] in
+  Alcotest.(check (float 1e-9)) "sum" 6.5 v
+
+let test_min_fold () =
+  let v = Agg.Operator.fold (module Agg.Ops.Min) [ 3.0; -2.0; 7.0 ] in
+  Alcotest.(check (float 1e-9)) "min" (-2.0) v;
+  let empty = Agg.Operator.fold (module Agg.Ops.Min) [] in
+  Alcotest.(check bool) "empty min is +inf" true (empty = Float.infinity)
+
+let test_max_fold () =
+  let v = Agg.Operator.fold (module Agg.Ops.Max) [ 3.0; -2.0; 7.0 ] in
+  Alcotest.(check (float 1e-9)) "max" 7.0 v
+
+let test_count () =
+  let v = Agg.Operator.fold (module Agg.Ops.Count)
+      (List.map Agg.Ops.Count.of_float [ 1.0; 0.0; 3.0; 4.0 ])
+  in
+  Alcotest.(check int) "count of non-zero" 3 v
+
+let test_avg () =
+  let samples = List.map Agg.Ops.Avg.of_sample [ 2.0; 4.0; 9.0 ] in
+  let agg = Agg.Operator.fold (module Agg.Ops.Avg) samples in
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Agg.Ops.Avg.to_float agg);
+  Alcotest.(check (float 1e-9)) "empty mean" 0.0
+    (Agg.Ops.Avg.to_float Agg.Ops.Avg.identity)
+
+
+(* ---- union operator ---- *)
+
+let test_union_basics () =
+  let open Agg.Ops.Union in
+  Alcotest.(check (list int)) "union merges sorted" [ 1; 2; 3; 5 ]
+    (combine [ 1; 3 ] [ 2; 3; 5 ]);
+  Alcotest.(check (list int)) "identity" [ 4 ] (combine identity [ 4 ]);
+  Alcotest.(check bool) "mem" true (mem 3 (of_list [ 5; 3; 3; 1 ]));
+  Alcotest.(check (list int)) "of_list dedups and sorts" [ 1; 3; 5 ]
+    (of_list [ 5; 3; 3; 1 ])
+
+let union_arb =
+  QCheck.map Agg.Ops.Union.of_list QCheck.(list (int_bound 50))
+
+let union_laws = monoid_laws "union" (module Agg.Ops.Union) union_arb
+
+(* Membership aggregation end to end: each node announces its own id;
+   the global aggregate is the full membership list. *)
+let test_union_through_mechanism () =
+  let module M = Oat.Mechanism.Make (Agg.Ops.Union) in
+  let tree = Tree.Build.binary 7 in
+  let sys = M.create tree ~policy:Oat.Rww.policy in
+  for u = 0 to 6 do
+    M.write_sync sys ~node:u (Agg.Ops.Union.singleton (100 + u))
+  done;
+  Alcotest.(check (list int)) "membership list"
+    [ 100; 101; 102; 103; 104; 105; 106 ]
+    (M.combine_sync sys ~node:3)
+
+let suite =
+  [
+    Alcotest.test_case "sum fold" `Quick test_sum_fold;
+    Alcotest.test_case "min fold" `Quick test_min_fold;
+    Alcotest.test_case "max fold" `Quick test_max_fold;
+    Alcotest.test_case "count" `Quick test_count;
+    Alcotest.test_case "avg" `Quick test_avg;
+    Alcotest.test_case "union basics" `Quick test_union_basics;
+    Alcotest.test_case "union through mechanism" `Quick
+      test_union_through_mechanism;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      (sum_laws @ min_laws @ max_laws @ sum_int_laws @ avg_laws @ union_laws)

@@ -1,0 +1,202 @@
+(* End-to-end competitive-ratio tests: Theorems 1, 2 and 3 checked
+   empirically on the simulator, plus Lemma 4.5 (per-pair cost equals
+   the projected-sequence cost). *)
+
+module Sm = Prng.Splitmix
+module M = Oat.Mechanism.Make (Agg.Ops.Sum)
+module G = Workload.Generate
+
+let trees rng =
+  [
+    Tree.Build.two_nodes ();
+    Tree.Build.path 6;
+    Tree.Build.star 7;
+    Tree.Build.binary 10;
+    Tree.Build.caterpillar ~spine:3 ~legs:2;
+    Tree.Build.random rng 12;
+  ]
+
+let workloads tree rng =
+  [
+    ("mixed", G.mixed { G.default_spec with n_requests = 400 } tree rng);
+    ("read-heavy", G.read_heavy tree rng ~n:400);
+    ("write-heavy", G.write_heavy tree rng ~n:400);
+    ("hotspot", G.hotspot tree rng ~n:400);
+    ("phased", G.phased tree rng ~n:400 ~phase_len:50);
+  ]
+
+(* Theorem 1: RWW <= 5/2 x offline lease-based OPT. *)
+let test_theorem1_bound () =
+  let rng = Sm.create 20250101 in
+  List.iter
+    (fun tree ->
+      List.iter
+        (fun (name, sigma) ->
+          let run = Analysis.Ratio.measure tree ~policy:Oat.Rww.policy sigma in
+          let ratio = Analysis.Ratio.vs_opt_lease run in
+          if ratio > 2.5 +. 1e-9 then
+            Alcotest.failf "%s on %d nodes: ratio %.4f > 5/2" name
+              (Tree.n_nodes tree) ratio)
+        (workloads tree rng))
+    (trees rng)
+
+(* Theorem 2: RWW <= 5 x nice lower bound, up to one boundary epoch per
+   ordered pair. *)
+let test_theorem2_bound () =
+  let rng = Sm.create 20250202 in
+  List.iter
+    (fun tree ->
+      let pairs = List.length (Tree.ordered_pairs tree) in
+      List.iter
+        (fun (name, sigma) ->
+          let run = Analysis.Ratio.measure tree ~policy:Oat.Rww.policy sigma in
+          let bound = (5 * run.Analysis.Ratio.nice_cost) + (5 * pairs) in
+          if run.Analysis.Ratio.online_cost > bound then
+            Alcotest.failf "%s on %d nodes: cost %d > 5*%d + 5*%d" name
+              (Tree.n_nodes tree) run.Analysis.Ratio.online_cost
+              run.Analysis.Ratio.nice_cost pairs)
+        (workloads tree rng))
+    (trees rng)
+
+(* The matching worst case: the R W W pattern drives the ratio to
+   exactly 5/2 (the bound of Theorem 1 is tight). *)
+let test_theorem1_tight () =
+  let sigma = G.rww_worst_case ~rounds:100 in
+  let run =
+    Analysis.Ratio.measure (Tree.Build.two_nodes ()) ~policy:Oat.Rww.policy sigma
+  in
+  Alcotest.(check (float 1e-9)) "exactly 5/2" 2.5 (Analysis.Ratio.vs_opt_lease run)
+
+(* Theorem 3: every (a,b)-algorithm pays >= 5/2 on its own adversarial
+   sequence (asymptotically; we allow 2% slack for warm-up effects). *)
+let test_theorem3_lower_bound () =
+  List.iter
+    (fun (a, b) ->
+      let sigma = G.adversarial_ab ~a ~b ~rounds:200 in
+      let run =
+        Analysis.Ratio.measure (Tree.Build.two_nodes ())
+          ~policy:(Oat.Ab_policy.policy ~a ~b)
+          sigma
+      in
+      let ratio = Analysis.Ratio.vs_opt_lease run in
+      if ratio < 2.5 -. 0.05 then
+        Alcotest.failf "(%d,%d): adversarial ratio %.4f < 5/2" a b ratio)
+    [ (1, 1); (1, 2); (1, 3); (1, 4); (2, 1); (2, 2); (2, 3); (3, 1); (3, 3); (4, 2) ]
+
+(* Among (a,b)-algorithms, (1,2) = RWW minimizes the adversarial ratio:
+   every other choice does strictly worse on its own adversary. *)
+let test_rww_choice_is_optimal () =
+  let ratio_of a b =
+    let sigma = G.adversarial_ab ~a ~b ~rounds:200 in
+    let run =
+      Analysis.Ratio.measure (Tree.Build.two_nodes ())
+        ~policy:(Oat.Ab_policy.policy ~a ~b)
+        sigma
+    in
+    Analysis.Ratio.vs_opt_lease run
+  in
+  let rww_ratio = ratio_of 1 2 in
+  Alcotest.(check bool) "rww at 5/2" true (Float.abs (rww_ratio -. 2.5) < 0.02);
+  List.iter
+    (fun (a, b) ->
+      let r = ratio_of a b in
+      if r < rww_ratio -. 0.02 then
+        Alcotest.failf "(%d,%d) beats (1,2): %.4f < %.4f" a b r rww_ratio)
+    [ (1, 1); (1, 3); (1, 4); (2, 1); (2, 2); (2, 3); (3, 2); (4, 4) ]
+
+(* Lemma 4.5: RWW's cost between u and v equals the (1,2) machine's cost
+   on the projected sequence sigma(u,v) + sigma(v,u), on any tree. *)
+let test_lemma_4_5_per_pair_costs () =
+  let rng = Sm.create 1112 in
+  for _ = 1 to 8 do
+    let tree = Tree.Build.random rng (2 + Sm.int rng 10) in
+    let n = Tree.n_nodes tree in
+    let sigma =
+      List.init 200 (fun i ->
+          if Sm.bool rng then Oat.Request.write (Sm.int rng n) (float_of_int i)
+          else Oat.Request.combine (Sm.int rng n))
+    in
+    let sys = M.create tree ~policy:Oat.Rww.policy in
+    ignore (M.run_sequential sys sigma);
+    List.iter
+      (fun (u, v) ->
+        let predicted =
+          Lp.Transition_system.rww_cost_of_sequence
+            (Offline.Edge_seq.project tree ~u ~v sigma)
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "C(sigma,%d,%d)" u v)
+          predicted (M.cost_between sys u v))
+      (Tree.ordered_pairs tree)
+  done
+
+(* Potential-function certificate: replaying RWW against the per-pair DP
+   schedule, the amortized inequality with the paper's Phi holds at every
+   step, and telescoping rederives Lemma 4.6 on real data. *)
+let test_potential_telescopes () =
+  let phi st = Lp.Fig5.paper_solution.(Lp.Fig5.var_index (`Phi st)) in
+  let rng = Sm.create 9999 in
+  for _ = 1 to 50 do
+    let len = Sm.int rng 40 in
+    let reqs = List.init len (fun _ -> if Sm.bool rng then Offline.Cost_model.R else Offline.Cost_model.W) in
+    let reqs' = Offline.Edge_seq.with_noops reqs in
+    let _, schedule = Offline.Opt_lease.per_pair_schedule reqs in
+    let y = ref 0 and x = ref 0 in
+    List.iter2
+      (fun q after ->
+        let rww_cost, y' = Lp.Transition_system.rww_step !y q in
+        let x' = if after then 1 else 0 in
+        let opt_cost =
+          match Offline.Cost_model.cost ~before:(!x = 1) q ~after with
+          | Some c -> c
+          | None -> Alcotest.fail "illegal DP transition"
+        in
+        let lhs =
+          phi { Lp.Transition_system.opt = x'; rww = y' }
+          -. phi { Lp.Transition_system.opt = !x; rww = !y }
+          +. float_of_int rww_cost
+        in
+        if lhs > (2.5 *. float_of_int opt_cost) +. 1e-9 then
+          Alcotest.fail "amortized inequality violated on DP schedule";
+        x := x';
+        y := y')
+      reqs' schedule
+  done
+
+(* Ablation: sweep the break budget b in (1,b) on a mixed workload and on
+   the adversary; b = 2 should be the sweet spot for worst-case ratio. *)
+let test_break_budget_ablation () =
+  let worst_ratio b =
+    (* For a (1,b)-algorithm, its own adversary is a combines then b+?
+       writes; use the (1,b) adversarial sequence. *)
+    let sigma = G.adversarial_ab ~a:1 ~b ~rounds:150 in
+    let run =
+      Analysis.Ratio.measure (Tree.Build.two_nodes ())
+        ~policy:(Oat.Ab_policy.policy ~a:1 ~b)
+        sigma
+    in
+    Analysis.Ratio.vs_opt_lease run
+  in
+  let r2 = worst_ratio 2 in
+  List.iter
+    (fun b ->
+      let r = worst_ratio b in
+      if r < r2 -. 0.02 then
+        Alcotest.failf "b=%d has adversarial ratio %.4f below b=2's %.4f" b r r2)
+    [ 1; 3; 4; 5; 6 ]
+
+let suite =
+  [
+    Alcotest.test_case "Theorem 1: <= 5/2 everywhere" `Slow test_theorem1_bound;
+    Alcotest.test_case "Theorem 2: <= 5 x nice" `Slow test_theorem2_bound;
+    Alcotest.test_case "Theorem 1 is tight" `Quick test_theorem1_tight;
+    Alcotest.test_case "Theorem 3: >= 5/2 for all (a,b)" `Slow
+      test_theorem3_lower_bound;
+    Alcotest.test_case "(1,2) minimizes adversarial ratio" `Slow
+      test_rww_choice_is_optimal;
+    Alcotest.test_case "Lemma 4.5: per-pair costs" `Quick
+      test_lemma_4_5_per_pair_costs;
+    Alcotest.test_case "potential telescopes on DP schedule" `Quick
+      test_potential_telescopes;
+    Alcotest.test_case "break-budget ablation" `Slow test_break_budget_ablation;
+  ]

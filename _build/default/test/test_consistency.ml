@@ -1,0 +1,227 @@
+(* Tests for the strict- and causal-consistency checkers, including
+   causal consistency of the mechanism under adversarially interleaved
+   concurrent executions (paper Theorem 4). *)
+
+module Sm = Prng.Splitmix
+module M = Oat.Mechanism.Make (Agg.Ops.Sum)
+
+let sum = (module Agg.Ops.Sum : Agg.Operator.S with type t = float)
+
+(* ---- strict checker ---- *)
+
+let res req returned = { Oat.Request.request = req; returned }
+
+let test_strict_accepts_valid () =
+  let results =
+    [
+      res (Oat.Request.write 0 2.0) None;
+      res (Oat.Request.combine 1) (Some 2.0);
+      res (Oat.Request.write 1 3.0) None;
+      res (Oat.Request.combine 0) (Some 5.0);
+    ]
+  in
+  Alcotest.(check bool) "valid" true (Consistency.Strict.check sum ~n_nodes:2 results)
+
+let test_strict_rejects_stale () =
+  let results =
+    [
+      res (Oat.Request.write 0 2.0) None;
+      res (Oat.Request.write 0 4.0) None;
+      res (Oat.Request.combine 1) (Some 2.0) (* stale: misses the overwrite *);
+    ]
+  in
+  let vs = Consistency.Strict.violations sum ~n_nodes:2 results in
+  Alcotest.(check int) "one violation" 1 (List.length vs);
+  Alcotest.(check int) "position" 2 (List.hd vs).Consistency.Strict.position
+
+let test_strict_rejects_missing_result () =
+  let results = [ res (Oat.Request.combine 0) None ] in
+  Alcotest.(check bool) "missing result rejected" false
+    (Consistency.Strict.check sum ~n_nodes:1 results)
+
+let test_strict_initial_identity () =
+  let results = [ res (Oat.Request.combine 0) (Some 0.0) ] in
+  Alcotest.(check bool) "identity before any write" true
+    (Consistency.Strict.check sum ~n_nodes:3 results)
+
+(* ---- sequential executions are strictly consistent end-to-end ---- *)
+
+let test_mechanism_sequential_strict () =
+  let rng = Sm.create 11 in
+  for _ = 1 to 10 do
+    let tree = Tree.Build.random rng (2 + Sm.int rng 10) in
+    let n = Tree.n_nodes tree in
+    let sys = M.create tree ~policy:Oat.Rww.policy in
+    let sigma =
+      List.init 120 (fun _ ->
+          if Sm.bool rng then Oat.Request.write (Sm.int rng n) (Sm.float rng)
+          else Oat.Request.combine (Sm.int rng n))
+    in
+    let results = M.run_sequential sys sigma in
+    Alcotest.(check bool) "strictly consistent" true
+      (Consistency.Strict.check sum ~n_nodes:n results)
+  done
+
+(* ---- causal checker on hand-built histories ---- *)
+
+let w node index arg = Oat.Ghost.Write { Oat.Ghost.wnode = node; windex = index; warg = arg }
+
+let c node index value recent =
+  Oat.Ghost.Combine { cnode = node; cindex = index; cvalue = value; crecent = recent }
+
+let test_causal_accepts_trivial () =
+  (* Two nodes; node 0 writes, node 1 reads it. *)
+  let logs =
+    [|
+      [ w 0 0 2.0 ];
+      [ w 0 0 2.0; c 1 0 2.0 [ (0, 0); (1, -1) ] ];
+    |]
+  in
+  let vs = Consistency.Causal.check sum ~n_nodes:2 ~logs in
+  Alcotest.(check (list string)) "no violations" []
+    (List.map (Format.asprintf "%a" Consistency.Causal.pp_violation) vs)
+
+let test_causal_rejects_wrong_value () =
+  let logs =
+    [|
+      [ w 0 0 2.0 ];
+      [ w 0 0 2.0; c 1 0 7.0 (* wrong *) [ (0, 0); (1, -1) ] ];
+    |]
+  in
+  Alcotest.(check bool) "wrong value caught" false
+    (Consistency.Causal.is_causally_consistent sum ~n_nodes:2 ~logs)
+
+let test_causal_rejects_stale_gather () =
+  (* Node 1's gather claims to know write (0,1) but its log prefix only
+     contains (0,0): serialization check must fail. *)
+  let logs =
+    [|
+      [ w 0 0 2.0; w 0 1 3.0 ];
+      [ w 0 0 2.0; c 1 0 3.0 [ (0, 1); (1, -1) ] ];
+    |]
+  in
+  Alcotest.(check bool) "stale gather caught" false
+    (Consistency.Causal.is_causally_consistent sum ~n_nodes:2 ~logs)
+
+let test_causal_rejects_reordered_writes () =
+  (* Node 1 learned node 0's writes in the wrong order. *)
+  let logs =
+    [|
+      [ w 0 0 2.0; w 0 1 3.0 ];
+      [ w 0 1 3.0; w 0 0 2.0 ];
+    |]
+  in
+  Alcotest.(check bool) "reordered writes caught" false
+    (Consistency.Causal.is_causally_consistent sum ~n_nodes:2 ~logs)
+
+let test_causal_rejects_causality_violation () =
+  (* Node 2 sees write (1,0) but not write (0,0), although node 1 read
+     (0,0) before writing: w(0,0) ~> g(1) ~> w(1,1) must precede. *)
+  let logs =
+    [|
+      [ w 0 0 1.0 ];
+      [ w 0 0 1.0; c 1 0 1.0 [ (0, 0); (1, -1); (2, -1) ]; w 1 1 5.0 ];
+      (* node 2 has w(1,1) before w(0,0): causal order violated *)
+      [ w 1 1 5.0; c 2 0 5.0 [ (0, -1); (1, 1); (2, -1) ] ];
+    |]
+  in
+  Alcotest.(check bool) "causality violation caught" false
+    (Consistency.Causal.is_causally_consistent sum ~n_nodes:3 ~logs)
+
+(* ---- mechanism under concurrent executions ---- *)
+
+let run_concurrent_and_check ~seed ~tree ~n_requests ~policy =
+  let n = Tree.n_nodes tree in
+  let rng = Sm.create seed in
+  let sys = M.create ~ghost:true tree ~policy in
+  let requests =
+    Array.init n_requests (fun i ->
+        let node = Sm.int rng n in
+        if Sm.bool rng then fun () -> M.write sys ~node (float_of_int i)
+        else fun () -> M.combine sys ~node (fun _ -> ()))
+  in
+  Simul.Engine.run_concurrent ~rng:(Sm.split rng)
+    (M.network sys)
+    ~handler:(M.handler sys)
+    ~requests;
+  let logs = Array.init n (fun u -> M.log sys u) in
+  let violations = Consistency.Causal.check sum ~n_nodes:n ~logs in
+  List.iter
+    (fun v ->
+      Alcotest.failf "seed %d: %a" seed Consistency.Causal.pp_violation v)
+    violations
+
+let test_concurrent_rww_causal () =
+  let rng = Sm.create 2025 in
+  List.iter
+    (fun tree ->
+      for _ = 1 to 5 do
+        run_concurrent_and_check ~seed:(Sm.bits rng) ~tree ~n_requests:60
+          ~policy:Oat.Rww.policy
+      done)
+    [
+      Tree.Build.two_nodes ();
+      Tree.Build.path 5;
+      Tree.Build.star 5;
+      Tree.Build.binary 7;
+      Tree.Build.random (Sm.create 3) 9;
+    ]
+
+let test_concurrent_ab_causal () =
+  let rng = Sm.create 4242 in
+  List.iter
+    (fun (a, b) ->
+      run_concurrent_and_check ~seed:(Sm.bits rng)
+        ~tree:(Tree.Build.random (Sm.create (a + b)) 7)
+        ~n_requests:50
+        ~policy:(Oat.Ab_policy.policy ~a ~b))
+    [ (1, 1); (1, 2); (2, 2); (3, 1) ]
+
+let prop_concurrent_causal =
+  QCheck.Test.make ~name:"Theorem 4: concurrent executions are causally consistent"
+    ~count:40
+    QCheck.(pair (int_bound 1_000_000) (int_range 2 8))
+    (fun (seed, n) ->
+      let tree = Tree.Build.random (Sm.create seed) n in
+      run_concurrent_and_check ~seed:(seed + 13) ~tree ~n_requests:40
+        ~policy:Oat.Rww.policy;
+      true)
+
+(* Sequential executions, seen through the causal checker, must also
+   pass (strict implies causal). *)
+let test_sequential_also_causal () =
+  let rng = Sm.create 321 in
+  let tree = Tree.Build.random rng 8 in
+  let sys = M.create ~ghost:true tree ~policy:Oat.Rww.policy in
+  for i = 1 to 100 do
+    if Sm.bool rng then M.write_sync sys ~node:(Sm.int rng 8) (float_of_int i)
+    else ignore (M.combine_sync sys ~node:(Sm.int rng 8))
+  done;
+  let logs = Array.init 8 (fun u -> M.log sys u) in
+  Alcotest.(check bool) "causally consistent" true
+    (Consistency.Causal.is_causally_consistent sum ~n_nodes:8 ~logs)
+
+let suite =
+  [
+    Alcotest.test_case "strict accepts valid" `Quick test_strict_accepts_valid;
+    Alcotest.test_case "strict rejects stale" `Quick test_strict_rejects_stale;
+    Alcotest.test_case "strict rejects missing result" `Quick
+      test_strict_rejects_missing_result;
+    Alcotest.test_case "strict initial identity" `Quick test_strict_initial_identity;
+    Alcotest.test_case "mechanism sequential strict" `Quick
+      test_mechanism_sequential_strict;
+    Alcotest.test_case "causal accepts valid history" `Quick
+      test_causal_accepts_trivial;
+    Alcotest.test_case "causal rejects wrong value" `Quick
+      test_causal_rejects_wrong_value;
+    Alcotest.test_case "causal rejects stale gather" `Quick
+      test_causal_rejects_stale_gather;
+    Alcotest.test_case "causal rejects reordered writes" `Quick
+      test_causal_rejects_reordered_writes;
+    Alcotest.test_case "causal rejects causality violation" `Quick
+      test_causal_rejects_causality_violation;
+    Alcotest.test_case "concurrent RWW causal" `Quick test_concurrent_rww_causal;
+    Alcotest.test_case "concurrent (a,b) causal" `Quick test_concurrent_ab_causal;
+    Alcotest.test_case "sequential also causal" `Quick test_sequential_also_causal;
+    QCheck_alcotest.to_alcotest prop_concurrent_causal;
+  ]

@@ -1,0 +1,146 @@
+(* Bounded model checking of concurrent executions.
+
+   Theorem 4 quantifies over every concurrent execution; the randomized
+   tests sample schedules, while this suite enumerates EVERY
+   interleaving of small concurrent workloads — at each step the
+   scheduler may either deliver any in-flight message or initiate the
+   next pending request — by DFS with prefix replay.  Each complete
+   execution's history is checked for causal consistency and each final
+   quiescent state for the structural lease invariants (Lemmas 3.1 and
+   3.2). *)
+
+module M = Oat.Mechanism.Make (Agg.Ops.Sum)
+
+let sum = (module Agg.Ops.Sum : Agg.Operator.S with type t = float)
+
+(* One scheduling step: either deliver the i-th nonempty channel
+   (0 <= i < #channels) or, with i = #channels, initiate the next
+   pending request. *)
+let choices_of sys ~remaining =
+  let channels = Simul.Network.nonempty_channels (M.network sys) in
+  List.length channels + (if remaining > 0 then 1 else 0)
+
+let apply_choice sys ~requests ~next_request choice =
+  let channels = Simul.Network.nonempty_channels (M.network sys) in
+  if choice < List.length channels then begin
+    let src, dst = List.nth channels choice in
+    (match Simul.Network.pop (M.network sys) ~src ~dst with
+    | Some m -> M.handler sys ~src ~dst m
+    | None -> assert false);
+    next_request
+  end
+  else begin
+    (match (List.nth requests next_request : float Oat.Request.t) with
+    | { op = Oat.Request.Write v; node } -> M.write sys ~node v
+    | { op = Oat.Request.Combine; node } -> M.combine sys ~node (fun _ -> ()));
+    next_request + 1
+  end
+
+let replay ~tree ~requests schedule =
+  let sys = M.create ~ghost:true tree ~policy:Oat.Rww.policy in
+  let next = ref 0 in
+  List.iter (fun c -> next := apply_choice sys ~requests ~next_request:!next c) schedule;
+  (sys, !next)
+
+let check_final tree sys =
+  let n = Tree.n_nodes tree in
+  (* Structural invariants in the final quiescent state. *)
+  List.iter
+    (fun (u, v) ->
+      if M.taken sys u v <> M.granted sys v u then
+        Alcotest.failf "Lemma 3.1 violated at (%d,%d)" u v;
+      if M.granted sys u v then
+        List.iter
+          (fun w ->
+            if w <> v && not (M.taken sys u w) then
+              Alcotest.failf "Lemma 3.2 violated at %d" u)
+          (Tree.neighbors tree u))
+    (Tree.ordered_pairs tree);
+  (* Causal consistency of the complete history. *)
+  let logs = Array.init n (fun u -> M.log sys u) in
+  match Consistency.Causal.check sum ~n_nodes:n ~logs with
+  | [] -> ()
+  | v :: _ ->
+    Alcotest.failf "causal violation: %a" Consistency.Causal.pp_violation v
+
+(* DFS over all interleavings, with a safety cap on replays. *)
+let explore ?(cap = 400_000) ~tree ~requests () =
+  let total_requests = List.length requests in
+  let complete = ref 0 in
+  let explored = ref 0 in
+  let rec dfs schedule =
+    if !explored > cap then failwith "interleaving explosion (raise cap?)";
+    incr explored;
+    let sys, next = replay ~tree ~requests (List.rev schedule) in
+    let n_choices = choices_of sys ~remaining:(total_requests - next) in
+    if n_choices = 0 then begin
+      incr complete;
+      check_final tree sys
+    end
+    else
+      for i = 0 to n_choices - 1 do
+        dfs (i :: schedule)
+      done
+  in
+  dfs [];
+  !complete
+
+let test_two_node_write_combine () =
+  (* The combine's probe is in flight while the write is still pending:
+     the write may land before or after the probe is answered. *)
+  let tree = Tree.Build.two_nodes () in
+  let requests = [ Oat.Request.combine 1; Oat.Request.write 0 3.0 ] in
+  let n = explore ~tree ~requests () in
+  Alcotest.(check bool) "several interleavings" true (n >= 2)
+
+let test_two_node_concurrent_combines () =
+  let tree = Tree.Build.two_nodes () in
+  let requests =
+    [ Oat.Request.combine 0; Oat.Request.combine 1; Oat.Request.write 0 1.0 ]
+  in
+  let n = explore ~tree ~requests () in
+  Alcotest.(check bool) "multiple interleavings" true (n >= 4)
+
+let test_path3_write_race () =
+  (* Two writers racing with a reader across a relay node. *)
+  let tree = Tree.Build.path 3 in
+  let requests =
+    [ Oat.Request.write 0 1.0; Oat.Request.write 2 2.0; Oat.Request.combine 1 ]
+  in
+  let n = explore ~tree ~requests () in
+  Alcotest.(check bool) "explored many schedules" true (n >= 4)
+
+let test_path3_combine_collision () =
+  (* Combines racing from both ends: probe waves cross on the wire. *)
+  let tree = Tree.Build.path 3 in
+  let requests = [ Oat.Request.combine 0; Oat.Request.combine 2 ] in
+  let n = explore ~tree ~requests () in
+  Alcotest.(check bool) "explored" true (n >= 4)
+
+let test_star_concurrent_mix () =
+  let tree = Tree.Build.star 3 in
+  let requests = [ Oat.Request.combine 1; Oat.Request.write 2 5.0 ] in
+  let n = explore ~tree ~requests () in
+  Alcotest.(check bool) "explored" true (n >= 4)
+
+(* A combine warms the lease chain while two writes race behind it:
+   updates, releases, and probes interleave in every possible way. *)
+let test_warm_lease_race () =
+  let tree = Tree.Build.two_nodes () in
+  let requests =
+    [ Oat.Request.combine 1; Oat.Request.write 0 1.0; Oat.Request.write 0 2.0 ]
+  in
+  let n = explore ~tree ~requests () in
+  Alcotest.(check bool) "many interleavings" true (n >= 6)
+
+let suite =
+  [
+    Alcotest.test_case "two-node write/combine" `Quick test_two_node_write_combine;
+    Alcotest.test_case "two-node concurrent combines" `Quick
+      test_two_node_concurrent_combines;
+    Alcotest.test_case "path-3 write race" `Slow test_path3_write_race;
+    Alcotest.test_case "path-3 combine collision" `Quick
+      test_path3_combine_collision;
+    Alcotest.test_case "star concurrent mix" `Slow test_star_concurrent_mix;
+    Alcotest.test_case "warm lease race" `Quick test_warm_lease_race;
+  ]

@@ -1,0 +1,342 @@
+(* Tests for the simplex solver, the Figure 4 transition system, and the
+   Figure 5 linear program. *)
+
+module Sm = Prng.Splitmix
+module Cm = Offline.Cost_model
+module Ts = Lp.Transition_system
+
+let solve_exn p =
+  match Lp.Simplex.solve p with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "unexpected %a" Lp.Simplex.pp_error e
+
+(* ---- simplex on textbook problems ---- *)
+
+let test_simplex_basic_max () =
+  (* max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18  => 36 at (2,6).
+     As minimization: min -3x - 5y. *)
+  let p =
+    {
+      Lp.Simplex.objective = [| -3.0; -5.0 |];
+      constraints =
+        [ ([| 1.0; 0.0 |], 4.0); ([| 0.0; 2.0 |], 12.0); ([| 3.0; 2.0 |], 18.0) ];
+    }
+  in
+  let s = solve_exn p in
+  Alcotest.(check (float 1e-7)) "objective" (-36.0) s.value;
+  Alcotest.(check (float 1e-7)) "x" 2.0 s.assignment.(0);
+  Alcotest.(check (float 1e-7)) "y" 6.0 s.assignment.(1)
+
+let test_simplex_needs_phase1 () =
+  (* min x + y st x + y >= 2 (i.e. -x - y <= -2), x <= 5, y <= 5: opt 2. *)
+  let p =
+    {
+      Lp.Simplex.objective = [| 1.0; 1.0 |];
+      constraints =
+        [ ([| -1.0; -1.0 |], -2.0); ([| 1.0; 0.0 |], 5.0); ([| 0.0; 1.0 |], 5.0) ];
+    }
+  in
+  let s = solve_exn p in
+  Alcotest.(check (float 1e-7)) "objective" 2.0 s.value
+
+let test_simplex_infeasible () =
+  (* x <= 1 and -x <= -3 (x >= 3): infeasible. *)
+  let p =
+    {
+      Lp.Simplex.objective = [| 1.0 |];
+      constraints = [ ([| 1.0 |], 1.0); ([| -1.0 |], -3.0) ];
+    }
+  in
+  match Lp.Simplex.solve p with
+  | Error Lp.Simplex.Infeasible -> ()
+  | Error Lp.Simplex.Unbounded -> Alcotest.fail "expected infeasible, got unbounded"
+  | Ok _ -> Alcotest.fail "expected infeasible"
+
+let test_simplex_unbounded () =
+  (* min -x st x - y <= 1: x can grow with y. *)
+  let p =
+    {
+      Lp.Simplex.objective = [| -1.0; 0.0 |];
+      constraints = [ ([| 1.0; -1.0 |], 1.0) ];
+    }
+  in
+  match Lp.Simplex.solve p with
+  | Error Lp.Simplex.Unbounded -> ()
+  | Error Lp.Simplex.Infeasible -> Alcotest.fail "expected unbounded, got infeasible"
+  | Ok _ -> Alcotest.fail "expected unbounded"
+
+let test_simplex_degenerate () =
+  (* Degenerate vertex: Bland's rule must still terminate.
+     min -x - y st x <= 1, y <= 1, x + y <= 2 (redundant at optimum). *)
+  let p =
+    {
+      Lp.Simplex.objective = [| -1.0; -1.0 |];
+      constraints =
+        [ ([| 1.0; 0.0 |], 1.0); ([| 0.0; 1.0 |], 1.0); ([| 1.0; 1.0 |], 2.0) ];
+    }
+  in
+  let s = solve_exn p in
+  Alcotest.(check (float 1e-7)) "objective" (-2.0) s.value
+
+let test_feasible_checker () =
+  let p =
+    {
+      Lp.Simplex.objective = [| 1.0; 1.0 |];
+      constraints = [ ([| 1.0; 1.0 |], 3.0) ];
+    }
+  in
+  Alcotest.(check bool) "feasible point" true (Lp.Simplex.feasible p [| 1.0; 1.0 |]);
+  Alcotest.(check bool) "violates row" false (Lp.Simplex.feasible p [| 2.0; 2.0 |]);
+  Alcotest.(check bool) "negative var" false (Lp.Simplex.feasible p [| -1.0; 0.0 |])
+
+let prop_random_lps_sane =
+  (* On random feasible-by-construction LPs (b >= 0 so x = 0 is feasible)
+     the solver must return a feasible point at least as good as x = 0. *)
+  QCheck.Test.make ~name:"solver beats the origin on random LPs" ~count:200
+    (QCheck.int_bound 1_000_000)
+    (fun seed ->
+      let rng = Sm.create seed in
+      let n = 1 + Sm.int rng 4 and m = 1 + Sm.int rng 5 in
+      let objective = Array.init n (fun _ -> Sm.float rng -. 0.3) in
+      let constraints =
+        List.init m (fun _ ->
+            (Array.init n (fun _ -> Sm.float rng -. 0.2), Sm.float rng *. 5.0))
+      in
+      let p = { Lp.Simplex.objective; constraints } in
+      match Lp.Simplex.solve p with
+      | Error Lp.Simplex.Infeasible -> false (* origin is feasible: impossible *)
+      | Error Lp.Simplex.Unbounded -> true
+      | Ok s -> Lp.Simplex.feasible p s.assignment && s.value <= 1e-7)
+
+(* ---- transition system ---- *)
+
+let test_transition_counts () =
+  Alcotest.(check int) "6 states" 6 (List.length Ts.states);
+  Alcotest.(check int) "27 raw transitions" 27 (List.length Ts.all_transitions);
+  Alcotest.(check int) "21 non-trivial (Figure 5 rows)" 21
+    (List.length Ts.transitions)
+
+let test_rww_step_matches_figure2 () =
+  (* RWW's move must be a legal Figure 2 transition with that cost. *)
+  List.iter
+    (fun y ->
+      List.iter
+        (fun q ->
+          let cost, y' = Ts.rww_step y q in
+          let before = y > 0 and after = y' > 0 in
+          match Cm.cost ~before q ~after with
+          | None -> Alcotest.failf "illegal RWW move y=%d" y
+          | Some c -> Alcotest.(check int) "cost matches Figure 2" c cost)
+        [ Cm.R; Cm.W; Cm.N ])
+    [ 0; 1; 2 ]
+
+let test_machine_predicts_mechanism () =
+  (* The per-pair machine must predict the exact message cost of the real
+     mechanism on a 2-node tree, for random R/W sequences. *)
+  let module M = Oat.Mechanism.Make (Agg.Ops.Sum) in
+  let rng = Sm.create 3333 in
+  for _ = 1 to 30 do
+    let len = 1 + Sm.int rng 40 in
+    let reqs = List.init len (fun _ -> if Sm.bool rng then Cm.R else Cm.W) in
+    let sys = M.create (Tree.Build.two_nodes ()) ~policy:Oat.Rww.policy in
+    List.iter
+      (fun q ->
+        match q with
+        | Cm.R -> ignore (M.combine_sync sys ~node:1)
+        | Cm.W -> M.write_sync sys ~node:0 (Sm.float rng)
+        | Cm.N -> ())
+      reqs;
+    Alcotest.(check int) "machine = mechanism"
+      (Ts.rww_cost_of_sequence reqs)
+      (M.message_total sys)
+  done
+
+(* ---- Figure 5 ---- *)
+
+let test_literal_equals_derived () =
+  Alcotest.(check bool) "derived rows = literal rows" true (Lp.Fig5.rows_coincide ())
+
+let test_lp_optimum_is_5_over_2 () =
+  match Lp.Fig5.solve () with
+  | Error e -> Alcotest.failf "LP failed: %a" Lp.Simplex.pp_error e
+  | Ok { c; phi } ->
+    Alcotest.(check (float 1e-6)) "c* = 5/2" 2.5 c;
+    List.iter
+      (fun (_, p) -> Alcotest.(check bool) "potential nonnegative" true (p >= -1e-9))
+      phi
+
+let test_paper_solution_feasible () =
+  Alcotest.(check bool) "paper's (c, Phi) satisfies all 21 rows" true
+    (Lp.Fig5.paper_solution_feasible ())
+
+let test_paper_solution_not_improvable () =
+  (* Tightening c below 5/2 must make the system infeasible: add the
+     constraint c <= 2.49. *)
+  let p = Lp.Fig5.problem Lp.Fig5.literal_rows in
+  let n = Array.length p.Lp.Simplex.objective in
+  let cap = Array.make n 0.0 in
+  cap.(Lp.Fig5.var_index `C) <- 1.0;
+  let p' = { p with Lp.Simplex.constraints = (cap, 2.49) :: p.Lp.Simplex.constraints } in
+  match Lp.Simplex.solve p' with
+  | Error Lp.Simplex.Infeasible -> ()
+  | Error Lp.Simplex.Unbounded -> Alcotest.fail "unexpected unbounded"
+  | Ok s -> Alcotest.failf "expected infeasible, got c=%g" s.value
+
+let test_amortized_inequalities_on_runs () =
+  (* Replay random sequences through the machine and check the amortized
+     inequality with the paper's potentials on every step, against every
+     OPT choice. *)
+  let phi st = Lp.Fig5.paper_solution.(Lp.Fig5.var_index (`Phi st)) in
+  let c = 2.5 in
+  List.iter
+    (fun (t : Ts.transition) ->
+      let lhs = phi t.target -. phi t.source +. float_of_int t.rww_cost in
+      let rhs = c *. float_of_int t.opt_cost in
+      if lhs > rhs +. 1e-9 then
+        Alcotest.failf "amortized inequality violated: %a" Ts.pp_transition t)
+    Ts.all_transitions
+
+
+
+(* ---- (a,b) machine and LP certification ---- *)
+
+let test_ab_machine_12_is_rww () =
+  (* The (1,2) machine must coincide with the RWW machine on every
+     sequence. *)
+  let rng = Sm.create 909 in
+  for _ = 1 to 50 do
+    let reqs =
+      List.init (Sm.int rng 40) (fun _ ->
+          match Sm.int rng 3 with 0 -> Cm.R | 1 -> Cm.W | _ -> Cm.N)
+    in
+    Alcotest.(check int) "same cost"
+      (Ts.rww_cost_of_sequence reqs)
+      (Lp.Ab_machine.cost_of_sequence ~a:1 ~b:2 reqs)
+  done
+
+let test_ab_machine_matches_mechanism () =
+  (* On the 2-node tree, the (a,b) machine must predict the real
+     mechanism's message count. *)
+  let module M = Oat.Mechanism.Make (Agg.Ops.Sum) in
+  let rng = Sm.create 808 in
+  List.iter
+    (fun (a, b) ->
+      for _ = 1 to 10 do
+        let reqs =
+          List.init (1 + Sm.int rng 30) (fun _ -> if Sm.bool rng then Cm.R else Cm.W)
+        in
+        let sys =
+          M.create (Tree.Build.two_nodes ()) ~policy:(Oat.Ab_policy.policy ~a ~b)
+        in
+        List.iter
+          (fun q ->
+            match q with
+            | Cm.R -> ignore (M.combine_sync sys ~node:1)
+            | Cm.W -> M.write_sync sys ~node:0 (Sm.float rng)
+            | Cm.N -> ())
+          reqs;
+        Alcotest.(check int)
+          (Printf.sprintf "(%d,%d) machine = mechanism" a b)
+          (Lp.Ab_machine.cost_of_sequence ~a ~b reqs)
+          (M.message_total sys)
+      done)
+    [ (1, 1); (1, 2); (2, 2); (2, 3); (3, 1) ]
+
+let certified a b =
+  match Lp.Ab_machine.certified_ratio ~a ~b with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "LP failed for (%d,%d): %a" a b Lp.Simplex.pp_error e
+
+let test_ab_lp_12 () =
+  Alcotest.(check (float 1e-6)) "c*(1,2) = 5/2" 2.5 (certified 1 2)
+
+let test_ab_lp_dominates_adversary () =
+  (* The LP value is an upper bound on the competitive ratio, so it can
+     never fall below the periodic-adversary lower bound. *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let lp = certified a b in
+          let adv = Lp.Ab_machine.adversarial_asymptote ~a ~b in
+          if lp < adv -. 1e-6 then
+            Alcotest.failf "(%d,%d): LP %.4f below adversary %.4f" a b lp adv)
+        [ 1; 2; 3; 4 ])
+    [ 1; 2; 3; 4 ]
+
+let test_ab_lp_exact_for_small_a () =
+  (* For a <= 2 the periodic adversary is optimal: upper and lower
+     bounds coincide, pinning the exact competitive ratio. *)
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "(%d,%d) exact" a b)
+        (Lp.Ab_machine.adversarial_asymptote ~a ~b)
+        (certified a b))
+    [ (1, 1); (1, 2); (1, 3); (1, 4); (2, 1); (2, 2); (2, 3); (2, 4) ]
+
+let test_ab_lp_minimum_at_rww () =
+  let best = ref infinity and best_ab = ref (0, 0) in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let c = certified a b in
+          if c < !best then begin
+            best := c;
+            best_ab := (a, b)
+          end)
+        [ 1; 2; 3; 4; 5 ])
+    [ 1; 2; 3; 4 ];
+  Alcotest.(check (pair int int)) "minimum at (1,2)" (1, 2) !best_ab;
+  Alcotest.(check (float 1e-6)) "value 5/2" 2.5 !best
+
+let test_rrw_adversary_beats_streak_counters () =
+  (* The stronger adversary the LP reveals for a=3: R R W repeated keeps
+     the streak below a forever, so the algorithm re-probes every round
+     while OPT holds the lease at cost 1 per round. *)
+  let reqs =
+    List.concat (List.init 100 (fun _ -> [ Cm.R; Cm.R; Cm.W ]))
+  in
+  let alg = Lp.Ab_machine.cost_of_sequence ~a:3 ~b:3 reqs in
+  let opt = Offline.Opt_lease.per_pair reqs in
+  let ratio = float_of_int alg /. float_of_int opt in
+  Alcotest.(check bool) "RRW ratio ~4 for (3,3)" true (Float.abs (ratio -. 4.0) < 0.1);
+  Alcotest.(check (float 1e-6)) "matches the LP certificate" 4.0 (certified 3 3)
+
+let suite =
+  [
+    Alcotest.test_case "simplex: textbook max" `Quick test_simplex_basic_max;
+    Alcotest.test_case "simplex: phase-1 needed" `Quick test_simplex_needs_phase1;
+    Alcotest.test_case "simplex: infeasible" `Quick test_simplex_infeasible;
+    Alcotest.test_case "simplex: unbounded" `Quick test_simplex_unbounded;
+    Alcotest.test_case "simplex: degenerate" `Quick test_simplex_degenerate;
+    Alcotest.test_case "feasibility checker" `Quick test_feasible_checker;
+    Alcotest.test_case "figure 4: state/transition counts" `Quick
+      test_transition_counts;
+    Alcotest.test_case "figure 4: RWW moves legal" `Quick
+      test_rww_step_matches_figure2;
+    Alcotest.test_case "machine predicts mechanism" `Quick
+      test_machine_predicts_mechanism;
+    Alcotest.test_case "figure 5: literal = derived" `Quick
+      test_literal_equals_derived;
+    Alcotest.test_case "figure 5: optimum 5/2" `Quick test_lp_optimum_is_5_over_2;
+    Alcotest.test_case "figure 5: paper solution feasible" `Quick
+      test_paper_solution_feasible;
+    Alcotest.test_case "figure 5: 5/2 is tight" `Quick
+      test_paper_solution_not_improvable;
+    Alcotest.test_case "amortized inequalities hold" `Quick
+      test_amortized_inequalities_on_runs;
+    QCheck_alcotest.to_alcotest prop_random_lps_sane;
+    Alcotest.test_case "(1,2) machine = RWW machine" `Quick
+      test_ab_machine_12_is_rww;
+    Alcotest.test_case "(a,b) machine = mechanism" `Quick
+      test_ab_machine_matches_mechanism;
+    Alcotest.test_case "LP certifies (1,2) at 5/2" `Quick test_ab_lp_12;
+    Alcotest.test_case "LP dominates adversary" `Quick
+      test_ab_lp_dominates_adversary;
+    Alcotest.test_case "exact ratios for a<=2" `Quick test_ab_lp_exact_for_small_a;
+    Alcotest.test_case "grid minimum at RWW" `Quick test_ab_lp_minimum_at_rww;
+    Alcotest.test_case "RRW adversary beats streak counters" `Quick
+      test_rrw_adversary_beats_streak_counters;
+  ]

@@ -1,0 +1,671 @@
+(* Tests for the lease-based mechanism (paper Figure 1) under RWW and
+   other policies, checking the paper's lemmas on sequential executions:
+
+   - Lemma 3.1: taken[u][v] = granted[v][u] in quiescent states;
+   - Lemma 3.2: granted[u][v] implies taken[u][w] for all w <> v;
+   - Lemma 3.4: pndg and snt are empty in quiescent states;
+   - Lemma 3.12 (niceness): every combine returns the true aggregate;
+   - Lemma 4.3 / Corollary 4.1: RWW is the (1,2)-algorithm;
+   - message-count behaviour on the 2-node tree (Figure 2 rows). *)
+
+module Sm = Prng.Splitmix
+module M = Oat.Mechanism.Make (Agg.Ops.Sum)
+
+let new_rww ?(ghost = false) tree = M.create ~ghost tree ~policy:Oat.Rww.policy
+
+(* Reference semantics: fold the most recent write per node. *)
+module Reference = struct
+  type t = { values : float array }
+
+  let create n = { values = Array.make n 0.0 }
+  let write t node v = t.values.(node) <- v
+  let global t = Array.fold_left ( +. ) 0.0 t.values
+end
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --------------------------------------------------------------- *)
+(* Two-node scenarios: exact message counts.                        *)
+
+let test_two_node_lifecycle () =
+  let sys = new_rww (Tree.Build.two_nodes ()) in
+  (* write with no lease: free *)
+  M.write_sync sys ~node:0 5.0;
+  Alcotest.(check int) "write with no lease costs 0" 0 (M.message_total sys);
+  (* first combine: probe + response, lease set *)
+  check_float "combine sees the write" 5.0 (M.combine_sync sys ~node:1);
+  Alcotest.(check int) "cold combine costs 2" 2 (M.message_total sys);
+  Alcotest.(check bool) "lease granted 0->1" true (M.granted sys 0 1);
+  Alcotest.(check bool) "lease taken at 1" true (M.taken sys 1 0);
+  (* warm combine: free *)
+  check_float "warm combine" 5.0 (M.combine_sync sys ~node:1);
+  Alcotest.(check int) "warm combine costs 0" 2 (M.message_total sys);
+  (* first write under lease: one update, lease kept *)
+  M.write_sync sys ~node:0 7.0;
+  Alcotest.(check int) "update pushed" 3 (M.message_total sys);
+  Alcotest.(check bool) "lease survives one write" true (M.granted sys 0 1);
+  check_float "cache is fresh" 7.0 (M.gval sys 1);
+  (* second consecutive write: update + release, lease broken *)
+  M.write_sync sys ~node:0 9.0;
+  Alcotest.(check int) "update + release" 5 (M.message_total sys);
+  Alcotest.(check bool) "lease broken after two writes" false (M.granted sys 0 1);
+  (* combine again: probes anew and still correct *)
+  check_float "combine after break" 9.0 (M.combine_sync sys ~node:1);
+  Alcotest.(check int) "cold again" 7 (M.message_total sys)
+
+let test_two_node_write_resets_on_combine () =
+  (* W C W W: the combine between writes resets RWW's budget, so the
+     lease must survive the second write and break on the third. *)
+  let sys = new_rww (Tree.Build.two_nodes ()) in
+  ignore (M.combine_sync sys ~node:1);
+  M.write_sync sys ~node:0 1.0;
+  ignore (M.combine_sync sys ~node:1);
+  M.write_sync sys ~node:0 2.0;
+  Alcotest.(check bool) "lease survives W C W" true (M.granted sys 0 1);
+  M.write_sync sys ~node:0 3.0;
+  Alcotest.(check bool) "lease breaks on second consecutive W" false
+    (M.granted sys 0 1)
+
+let test_combine_from_writer_side () =
+  (* A combine at the writing node itself needs the lease in the other
+     direction. *)
+  let sys = new_rww (Tree.Build.two_nodes ()) in
+  M.write_sync sys ~node:0 4.0;
+  M.write_sync sys ~node:1 6.0;
+  check_float "combine at 0" 10.0 (M.combine_sync sys ~node:0);
+  Alcotest.(check bool) "lease 1->0" true (M.granted sys 1 0);
+  Alcotest.(check bool) "no lease 0->1" false (M.granted sys 0 1)
+
+(* --------------------------------------------------------------- *)
+(* Path scenarios: propagation across multiple hops.                *)
+
+let test_path_first_combine_cost () =
+  (* From the initial (lease-free) state, a combine at an end of an
+     n-node path probes every other node: 2(n-1) messages
+     (Lemma 3.3 with |A| = n-1). *)
+  List.iter
+    (fun n ->
+      let sys = new_rww (Tree.Build.path n) in
+      ignore (M.combine_sync sys ~node:0);
+      Alcotest.(check int)
+        (Printf.sprintf "path %d cold combine" n)
+        (2 * (n - 1))
+        (M.message_total sys))
+    [ 2; 3; 5; 9 ]
+
+let test_path_leases_point_at_requester () =
+  let sys = new_rww (Tree.Build.path 4) in
+  ignore (M.combine_sync sys ~node:0);
+  (* all leases directed toward node 0 *)
+  Alcotest.(check bool) "3->2" true (M.granted sys 3 2);
+  Alcotest.(check bool) "2->1" true (M.granted sys 2 1);
+  Alcotest.(check bool) "1->0" true (M.granted sys 1 0);
+  Alcotest.(check bool) "not 0->1" false (M.granted sys 0 1)
+
+let test_path_write_propagates () =
+  let sys = new_rww (Tree.Build.path 4) in
+  ignore (M.combine_sync sys ~node:0);
+  M.reset_message_counters sys;
+  M.write_sync sys ~node:3 2.5;
+  (* The write travels the whole lease chain: updates 3->2, 2->1, 1->0
+     (Lemma 3.5 with |A| = 3). *)
+  Alcotest.(check int) "3 updates" 3 (M.message_total sys);
+  Alcotest.(check int) "all updates" 3 (M.messages_of_kind sys Simul.Kind.Update);
+  check_float "node 0 cache fresh" 2.5 (M.gval sys 0)
+
+let test_path_second_write_releases_chain () =
+  let sys = new_rww (Tree.Build.path 4) in
+  ignore (M.combine_sync sys ~node:0);
+  M.write_sync sys ~node:3 1.0;
+  M.reset_message_counters sys;
+  M.write_sync sys ~node:3 2.0;
+  (* Second consecutive write: 3 updates + releases all the way back
+     (Lemma 4.3's cascade). *)
+  Alcotest.(check int) "updates" 3 (M.messages_of_kind sys Simul.Kind.Update);
+  Alcotest.(check int) "releases" 3 (M.messages_of_kind sys Simul.Kind.Release);
+  Alcotest.(check bool) "1->0 broken" false (M.granted sys 1 0);
+  Alcotest.(check bool) "2->1 broken" false (M.granted sys 2 1);
+  Alcotest.(check bool) "3->2 broken" false (M.granted sys 3 2)
+
+let test_combine_both_ends () =
+  let sys = new_rww (Tree.Build.path 3) in
+  ignore (M.combine_sync sys ~node:0);
+  M.reset_message_counters sys;
+  ignore (M.combine_sync sys ~node:2);
+  (* Node 2 needs leases 0->1 and 1->2: 2 probes + 2 responses. *)
+  Alcotest.(check int) "4 messages" 4 (M.message_total sys);
+  (* Now every edge is leased in both directions: combines are free. *)
+  M.reset_message_counters sys;
+  ignore (M.combine_sync sys ~node:1);
+  Alcotest.(check int) "free combine" 0 (M.message_total sys)
+
+let test_star_hub_write () =
+  let sys = new_rww (Tree.Build.star 5) in
+  (* leaves all combine: leases toward each leaf *)
+  for i = 1 to 4 do
+    ignore (M.combine_sync sys ~node:i)
+  done;
+  M.reset_message_counters sys;
+  M.write_sync sys ~node:0 3.0;
+  (* hub pushes one update per leaf *)
+  Alcotest.(check int) "4 updates" 4 (M.message_total sys);
+  for i = 1 to 4 do
+    check_float "leaf sees value" 3.0 (M.gval sys i)
+  done
+
+(* --------------------------------------------------------------- *)
+(* Paper invariants checked along random sequential executions.     *)
+
+let random_request rng n =
+  if Sm.bernoulli rng 0.5 then Oat.Request.write (Sm.int rng n) (Sm.float rng)
+  else Oat.Request.combine (Sm.int rng n)
+
+let run_checking_invariants ~policy ~seed ~n_requests tree =
+  let n = Tree.n_nodes tree in
+  let rng = Sm.create seed in
+  let sys = M.create tree ~policy in
+  let reference = Reference.create n in
+  for step = 1 to n_requests do
+    let q = random_request rng n in
+    (match q.Oat.Request.op with
+    | Oat.Request.Write v ->
+      M.write_sync sys ~node:q.Oat.Request.node v;
+      Reference.write reference q.Oat.Request.node v
+    | Oat.Request.Combine ->
+      let got = M.combine_sync sys ~node:q.Oat.Request.node in
+      let want = Reference.global reference in
+      if Float.abs (got -. want) > 1e-9 then
+        Alcotest.failf "step %d: combine@%d returned %g, expected %g" step
+          q.Oat.Request.node got want);
+    (* Quiescent-state invariants. *)
+    List.iter
+      (fun (u, v) ->
+        if M.taken sys u v <> M.granted sys v u then
+          Alcotest.failf "step %d: Lemma 3.1 violated at (%d,%d)" step u v;
+        if M.granted sys u v then
+          List.iter
+            (fun w ->
+              if w <> v && not (M.taken sys u w) then
+                Alcotest.failf "step %d: Lemma 3.2 violated at %d (v=%d w=%d)"
+                  step u v w)
+            (Tree.neighbors tree u))
+      (Tree.ordered_pairs tree);
+    List.iter
+      (fun u ->
+        if not (Oat.Mechanism.IntSet.is_empty (M.pndg sys u)) then
+          Alcotest.failf "step %d: Lemma 3.4 violated (pndg at %d)" step u;
+        List.iter
+          (fun v ->
+            if not (Oat.Mechanism.IntSet.is_empty (M.snt sys u v)) then
+              Alcotest.failf "step %d: Lemma 3.4 violated (snt at %d)" step u)
+          (u :: Tree.neighbors tree u))
+      (Tree.nodes tree)
+  done
+
+let test_invariants_rww () =
+  let rng = Sm.create 1234 in
+  List.iter
+    (fun tree -> run_checking_invariants ~policy:Oat.Rww.policy ~seed:(Sm.bits rng) ~n_requests:150 tree)
+    [
+      Tree.Build.two_nodes ();
+      Tree.Build.path 5;
+      Tree.Build.star 6;
+      Tree.Build.binary 7;
+      Tree.Build.random (Sm.create 5) 12;
+    ]
+
+let test_invariants_ab_policies () =
+  let rng = Sm.create 4321 in
+  List.iter
+    (fun (a, b) ->
+      run_checking_invariants
+        ~policy:(Oat.Ab_policy.policy ~a ~b)
+        ~seed:(Sm.bits rng) ~n_requests:120
+        (Tree.Build.random (Sm.create (100 + a + (10 * b))) 9))
+    [ (1, 1); (1, 3); (2, 2); (3, 1); (2, 4) ]
+
+let test_invariants_degenerate_policies () =
+  run_checking_invariants ~policy:Oat.Ab_policy.always_lease ~seed:77
+    ~n_requests:120 (Tree.Build.binary 6);
+  run_checking_invariants ~policy:Oat.Ab_policy.never_lease ~seed:78
+    ~n_requests:120 (Tree.Build.binary 6);
+  run_checking_invariants ~policy:(Oat.Policy.noop ~name:"noop-t" ~set_lease:true)
+    ~seed:79 ~n_requests:120 (Tree.Build.path 5);
+  run_checking_invariants ~policy:(Oat.Policy.noop ~name:"noop-f" ~set_lease:false)
+    ~seed:80 ~n_requests:120 (Tree.Build.path 5)
+
+(* A policy drawing set/break decisions at random: Lemma 3.12 promises
+   strict consistency for EVERY lease-based algorithm, so even this one
+   must return exact aggregates. *)
+let random_policy seed : Oat.Policy.factory =
+ fun ~node_id ~nbrs:_ ->
+  let rng = Sm.create (seed + (node_id * 7919)) in
+  {
+    Oat.Policy.name = "random";
+    on_combine = (fun _ -> ());
+    on_write = (fun _ -> ());
+    probe_rcvd = (fun _ ~from:_ -> ());
+    response_rcvd = (fun _ ~flag:_ ~from:_ -> ());
+    update_rcvd = (fun _ ~from:_ -> ());
+    release_rcvd = (fun _ ~from:_ -> ());
+    set_lease = (fun _ ~target:_ -> Sm.bool rng);
+    break_lease = (fun _ ~target:_ -> Sm.bool rng);
+    release_policy = (fun _ ~target:_ -> ());
+  }
+
+let prop_random_policy_is_nice =
+  QCheck.Test.make ~name:"any lease-based algorithm is nice (Lemma 3.12)"
+    ~count:60
+    QCheck.(pair (int_bound 1_000_000) (int_range 2 12))
+    (fun (seed, n) ->
+      let rng = Sm.create seed in
+      let tree = Tree.Build.random rng n in
+      run_checking_invariants ~policy:(random_policy seed) ~seed:(seed + 1)
+        ~n_requests:60 tree;
+      true)
+
+(* --------------------------------------------------------------- *)
+(* RWW is the (1,2)-algorithm (Lemma 4.3, Corollary 4.1).           *)
+
+let test_rww_is_one_two () =
+  let rng = Sm.create 2026 in
+  let tree = Tree.Build.random rng 8 in
+  let n = Tree.n_nodes tree in
+  let sys = new_rww tree in
+  (* After a combine at w, every ordered pair (u,v) with w on v's side
+     has granted[u][v]. *)
+  let w = 3 in
+  ignore (M.combine_sync sys ~node:w);
+  List.iter
+    (fun (u, v) ->
+      if Tree.in_subtree tree v u w then
+        Alcotest.(check bool)
+          (Printf.sprintf "granted %d->%d after combine@%d" u v w)
+          true (M.granted sys u v))
+    (Tree.ordered_pairs tree);
+  (* After two consecutive writes at x, every pair (u,v) with x on u's
+     side has lost the lease. *)
+  let x = (w + 1) mod n in
+  M.write_sync sys ~node:x 1.0;
+  M.write_sync sys ~node:x 2.0;
+  List.iter
+    (fun (u, v) ->
+      if Tree.in_subtree tree u v x then
+        Alcotest.(check bool)
+          (Printf.sprintf "broken %d->%d after writes@%d" u v x)
+          false (M.granted sys u v))
+    (Tree.ordered_pairs tree)
+
+let test_ab12_equals_rww () =
+  (* The (1,2)-policy and RWW must generate identical costs and identical
+     lease states on any sequential run. *)
+  let rng = Sm.create 555 in
+  for _ = 1 to 10 do
+    let tree = Tree.Build.random rng (2 + Sm.int rng 9) in
+    let n = Tree.n_nodes tree in
+    let a = new_rww tree in
+    let b = M.create tree ~policy:(Oat.Ab_policy.policy ~a:1 ~b:2) in
+    for _ = 1 to 80 do
+      let q = random_request rng n in
+      (match q.Oat.Request.op with
+      | Oat.Request.Write v ->
+        M.write_sync a ~node:q.Oat.Request.node v;
+        M.write_sync b ~node:q.Oat.Request.node v
+      | Oat.Request.Combine ->
+        let va = M.combine_sync a ~node:q.Oat.Request.node in
+        let vb = M.combine_sync b ~node:q.Oat.Request.node in
+        check_float "same value" va vb);
+      Alcotest.(check int) "same cumulative cost" (M.message_total a)
+        (M.message_total b);
+      List.iter
+        (fun (u, v) ->
+          Alcotest.(check bool) "same lease state" (M.granted a u v)
+            (M.granted b u v))
+        (Tree.ordered_pairs tree)
+    done
+  done
+
+let test_always_never_extremes () =
+  let tree = Tree.Build.path 4 in
+  (* always_lease: after one warm-up combine, writes push updates and
+     combines are free. *)
+  let sys = M.create tree ~policy:Oat.Ab_policy.always_lease in
+  ignore (M.combine_sync sys ~node:0);
+  M.reset_message_counters sys;
+  for _ = 1 to 5 do
+    M.write_sync sys ~node:3 1.0
+  done;
+  Alcotest.(check int) "always: 3 updates per write, no releases" 15
+    (M.message_total sys);
+  Alcotest.(check int) "always: no releases" 0
+    (M.messages_of_kind sys Simul.Kind.Release);
+  (* never_lease: every combine pays full probing, writes are free. *)
+  let sys = M.create tree ~policy:Oat.Ab_policy.never_lease in
+  for _ = 1 to 3 do
+    M.write_sync sys ~node:3 1.0
+  done;
+  Alcotest.(check int) "never: writes free" 0 (M.message_total sys);
+  ignore (M.combine_sync sys ~node:0);
+  ignore (M.combine_sync sys ~node:0);
+  Alcotest.(check int) "never: 6 messages per combine" 12 (M.message_total sys)
+
+(* --------------------------------------------------------------- *)
+(* Operators other than sum.                                        *)
+
+module Mmin = Oat.Mechanism.Make (Agg.Ops.Min)
+module Mmax = Oat.Mechanism.Make (Agg.Ops.Max)
+
+let test_min_max_operators () =
+  let tree = Tree.Build.binary 7 in
+  let smin = Mmin.create tree ~policy:Oat.Rww.policy in
+  let smax = Mmax.create tree ~policy:Oat.Rww.policy in
+  let values = [ (0, 4.0); (1, -2.0); (2, 9.0); (3, 0.5); (4, 7.0); (5, 1.0); (6, 3.0) ] in
+  List.iter
+    (fun (node, v) ->
+      Mmin.write_sync smin ~node v;
+      Mmax.write_sync smax ~node v)
+    values;
+  (* Min of written values and the identity of unwritten... all written. *)
+  check_float "min" (-2.0) (Mmin.combine_sync smin ~node:6);
+  check_float "max" 9.0 (Mmax.combine_sync smax ~node:6)
+
+(* --------------------------------------------------------------- *)
+(* Cost decomposition (Lemma 3.9): the grand total equals the sum of
+   C(sigma,u,v) over ordered pairs.                                  *)
+
+let test_cost_decomposition () =
+  let rng = Sm.create 31415 in
+  for _ = 1 to 10 do
+    let tree = Tree.Build.random rng (2 + Sm.int rng 10) in
+    let n = Tree.n_nodes tree in
+    let sys = new_rww tree in
+    for _ = 1 to 100 do
+      match random_request rng n with
+      | { Oat.Request.op = Oat.Request.Write v; node } -> M.write_sync sys ~node v
+      | { Oat.Request.op = Oat.Request.Combine; node } ->
+        ignore (M.combine_sync sys ~node)
+    done;
+    let total = M.message_total sys in
+    let decomposed =
+      List.fold_left
+        (fun acc (u, v) -> acc + M.cost_between sys u v)
+        0 (Tree.ordered_pairs tree)
+    in
+    Alcotest.(check int) "Lemma 3.9 decomposition" total decomposed
+  done
+
+(* --------------------------------------------------------------- *)
+(* Ghost logs.                                                      *)
+
+let test_ghost_log_basic () =
+  let sys = new_rww ~ghost:true (Tree.Build.path 3) in
+  M.write_sync sys ~node:0 2.0;
+  ignore (M.combine_sync sys ~node:2);
+  M.write_sync sys ~node:1 3.0;
+  ignore (M.combine_sync sys ~node:2);
+  let log2 = M.log sys 2 in
+  (* Node 2's log contains both writes and its two combines. *)
+  let writes = List.filter Oat.Ghost.is_write log2 in
+  Alcotest.(check int) "2 writes known" 2 (List.length writes);
+  let combines = List.filter (fun e -> not (Oat.Ghost.is_write e)) log2 in
+  Alcotest.(check int) "2 combines logged" 2 (List.length combines);
+  (* The second combine's recentwrites names both writers. *)
+  (match List.rev combines with
+  | Oat.Ghost.Combine { crecent; cvalue; _ } :: _ ->
+    check_float "combine value" 5.0 cvalue;
+    Alcotest.(check bool) "recent write at 0" true (List.mem_assoc 0 crecent);
+    Alcotest.(check int) "index at 0" 0 (List.assoc 0 crecent);
+    Alcotest.(check int) "no write at 2" (-1) (List.assoc 2 crecent)
+  | _ -> Alcotest.fail "expected combine entry");
+  Alcotest.(check int) "completed at 2" 2 (M.completed_requests sys 2)
+
+let test_ghost_disabled_by_default () =
+  let sys = new_rww (Tree.Build.path 3) in
+  M.write_sync sys ~node:0 2.0;
+  ignore (M.combine_sync sys ~node:2);
+  Alcotest.(check int) "no log" 0 (List.length (M.log sys 2))
+
+let suite =
+  [
+    Alcotest.test_case "two-node lifecycle" `Quick test_two_node_lifecycle;
+    Alcotest.test_case "combine resets write budget" `Quick
+      test_two_node_write_resets_on_combine;
+    Alcotest.test_case "combine from writer side" `Quick
+      test_combine_from_writer_side;
+    Alcotest.test_case "cold combine cost on paths" `Quick
+      test_path_first_combine_cost;
+    Alcotest.test_case "leases point at requester" `Quick
+      test_path_leases_point_at_requester;
+    Alcotest.test_case "write propagates along chain" `Quick
+      test_path_write_propagates;
+    Alcotest.test_case "second write releases chain" `Quick
+      test_path_second_write_releases_chain;
+    Alcotest.test_case "combines at both ends" `Quick test_combine_both_ends;
+    Alcotest.test_case "star hub write" `Quick test_star_hub_write;
+    Alcotest.test_case "invariants under RWW" `Quick test_invariants_rww;
+    Alcotest.test_case "invariants under (a,b)" `Quick test_invariants_ab_policies;
+    Alcotest.test_case "invariants under degenerate policies" `Quick
+      test_invariants_degenerate_policies;
+    Alcotest.test_case "RWW is (1,2)" `Quick test_rww_is_one_two;
+    Alcotest.test_case "ab(1,2) == RWW" `Quick test_ab12_equals_rww;
+    Alcotest.test_case "always/never extremes" `Quick test_always_never_extremes;
+    Alcotest.test_case "min/max operators" `Quick test_min_max_operators;
+    Alcotest.test_case "cost decomposition (Lemma 3.9)" `Quick
+      test_cost_decomposition;
+    Alcotest.test_case "ghost log basic" `Quick test_ghost_log_basic;
+    Alcotest.test_case "ghost disabled by default" `Quick
+      test_ghost_disabled_by_default;
+    QCheck_alcotest.to_alcotest prop_random_policy_is_nice;
+  ]
+
+(* Appended tests: gather requests, sequential confluence, and empty
+   releases. *)
+
+let test_gather_returns_recentwrites () =
+  let sys = new_rww ~ghost:true (Tree.Build.path 3) in
+  M.write_sync sys ~node:0 2.0;
+  M.write_sync sys ~node:0 3.0;
+  M.write_sync sys ~node:2 5.0;
+  let value, recent = M.gather_sync sys ~node:1 in
+  check_float "gather value" 8.0 value;
+  Alcotest.(check int) "node 0's last write index" 1 (List.assoc 0 recent);
+  Alcotest.(check int) "node 2's last write index" 0 (List.assoc 2 recent);
+  Alcotest.(check int) "node 1 never wrote" (-1) (List.assoc 1 recent);
+  (* A later gather sees newer indices. *)
+  M.write_sync sys ~node:1 1.0;
+  let _, recent = M.gather_sync sys ~node:1 in
+  Alcotest.(check int) "node 1 now at 0... (after its first gather)" 1
+    (List.assoc 1 recent)
+
+let test_gather_requires_ghost () =
+  let sys = new_rww (Tree.Build.path 3) in
+  match M.gather_sync sys ~node:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_sequential_confluence () =
+  (* Within one sequential request, the quiescent outcome must not
+     depend on message delivery order: run the same request sequence
+     with deterministic scan-order delivery and with randomized
+     delivery, and compare final states and message counts. *)
+  let rng = Sm.create 13579 in
+  for _ = 1 to 10 do
+    let tree = Tree.Build.random rng (2 + Sm.int rng 9) in
+    let n = Tree.n_nodes tree in
+    let sigma =
+      List.init 80 (fun i ->
+          if Sm.bool rng then Oat.Request.write (Sm.int rng n) (float_of_int i)
+          else Oat.Request.combine (Sm.int rng n))
+    in
+    let det = new_rww tree in
+    let rnd = new_rww tree in
+    let shuffle_rng = Sm.split rng in
+    let run_random_order (q : float Oat.Request.t) =
+      (match q.op with
+      | Oat.Request.Write v -> M.write rnd ~node:q.node v
+      | Oat.Request.Combine -> M.combine rnd ~node:q.node (fun _ -> ()));
+      let rec drain () =
+        match Simul.Network.pop_random (M.network rnd) shuffle_rng with
+        | None -> ()
+        | Some (src, dst, m) ->
+          M.handler rnd ~src ~dst m;
+          drain ()
+      in
+      drain ()
+    in
+    List.iter
+      (fun (q : float Oat.Request.t) ->
+        (match q.op with
+        | Oat.Request.Write v -> M.write_sync det ~node:q.node v
+        | Oat.Request.Combine -> ignore (M.combine_sync det ~node:q.node));
+        run_random_order q;
+        (* same quiescent lease state and same cumulative cost *)
+        List.iter
+          (fun (u, v) ->
+            Alcotest.(check bool) "same lease" (M.granted det u v)
+              (M.granted rnd u v))
+          (Tree.ordered_pairs tree);
+        Alcotest.(check int) "same cost" (M.message_total det)
+          (M.message_total rnd))
+      sigma
+  done
+
+let test_empty_release_handled () =
+  (* A policy that breaks leases it never received updates on sends a
+     release with an empty id set; onrelease must survive it. *)
+  let break_everything : Oat.Policy.factory =
+   fun ~node_id:_ ~nbrs:_ ->
+    {
+      Oat.Policy.name = "break-everything";
+      on_combine = (fun _ -> ());
+      on_write = (fun _ -> ());
+      probe_rcvd = (fun _ ~from:_ -> ());
+      response_rcvd = (fun _ ~flag:_ ~from:_ -> ());
+      update_rcvd = (fun _ ~from:_ -> ());
+      release_rcvd = (fun _ ~from:_ -> ());
+      set_lease = (fun _ ~target:_ -> true);
+      break_lease = (fun _ ~target:_ -> true);
+      release_policy = (fun _ ~target:_ -> ());
+    }
+  in
+  let sys = M.create (Tree.Build.star 5) ~policy:break_everything in
+  (* Exercise combine/write cycles; every update triggers eager releases
+     with whatever (possibly empty) uaw sets exist. *)
+  for i = 1 to 4 do
+    ignore (M.combine_sync sys ~node:i)
+  done;
+  M.write_sync sys ~node:0 1.0;
+  M.write_sync sys ~node:1 2.0;
+  ignore (M.combine_sync sys ~node:2);
+  check_float "still strictly consistent" 3.0 (M.combine_sync sys ~node:3)
+
+let prop_confluence_small =
+  QCheck.Test.make ~name:"sequential executions are confluent" ~count:30
+    QCheck.(pair (int_bound 1_000_000) (int_range 2 7))
+    (fun (seed, n) ->
+      let rng = Sm.create seed in
+      let tree = Tree.Build.random rng n in
+      let det = new_rww tree in
+      let rnd = new_rww tree in
+      let shuffle_rng = Sm.split rng in
+      for i = 1 to 40 do
+        let node = Sm.int rng n in
+        if Sm.bool rng then begin
+          M.write_sync det ~node (float_of_int i);
+          M.write rnd ~node (float_of_int i)
+        end
+        else begin
+          ignore (M.combine_sync det ~node);
+          M.combine rnd ~node (fun _ -> ())
+        end;
+        let rec drain () =
+          match Simul.Network.pop_random (M.network rnd) shuffle_rng with
+          | None -> ()
+          | Some (src, dst, m) ->
+            M.handler rnd ~src ~dst m;
+            drain ()
+        in
+        drain ()
+      done;
+      M.message_total det = M.message_total rnd
+      && List.for_all
+           (fun (u, v) -> M.granted det u v = M.granted rnd u v)
+           (Tree.ordered_pairs tree))
+
+let extra_suite =
+  [
+    Alcotest.test_case "gather returns recentwrites" `Quick
+      test_gather_returns_recentwrites;
+    Alcotest.test_case "gather requires ghost" `Quick test_gather_requires_ghost;
+    Alcotest.test_case "sequential confluence" `Quick test_sequential_confluence;
+    Alcotest.test_case "empty releases handled" `Quick test_empty_release_handled;
+    QCheck_alcotest.to_alcotest prop_confluence_small;
+  ]
+
+let suite = suite @ extra_suite
+
+(* Message-kind purity (Lemma 3.3(3) and Lemma 3.5(3)): a combine never
+   sends updates or releases; a write never sends probes or responses. *)
+let test_message_kind_purity () =
+  let rng = Sm.create 864 in
+  for _ = 1 to 10 do
+    let tree = Tree.Build.random rng (2 + Sm.int rng 9) in
+    let n = Tree.n_nodes tree in
+    let sys = new_rww tree in
+    for i = 1 to 60 do
+      let node = Sm.int rng n in
+      let before k = M.messages_of_kind sys k in
+      if Sm.bool rng then begin
+        let p = before Simul.Kind.Probe and r = before Simul.Kind.Response in
+        M.write_sync sys ~node (float_of_int i);
+        Alcotest.(check int) "write sends no probes" p
+          (M.messages_of_kind sys Simul.Kind.Probe);
+        Alcotest.(check int) "write sends no responses" r
+          (M.messages_of_kind sys Simul.Kind.Response)
+      end
+      else begin
+        let u = before Simul.Kind.Update and rl = before Simul.Kind.Release in
+        ignore (M.combine_sync sys ~node);
+        Alcotest.(check int) "combine sends no updates" u
+          (M.messages_of_kind sys Simul.Kind.Update);
+        Alcotest.(check int) "combine sends no releases" rl
+          (M.messages_of_kind sys Simul.Kind.Release)
+      end
+    done
+  done
+
+(* Gather returns exactly the most recent write index per node
+   (the recentwrites oracle, on random sequential runs). *)
+let prop_gather_matches_reference =
+  QCheck.Test.make ~name:"gather retval = reference recentwrites" ~count:40
+    QCheck.(pair (int_bound 1_000_000) (int_range 2 9))
+    (fun (seed, n) ->
+      let rng = Sm.create seed in
+      let tree = Tree.Build.random rng n in
+      let sys = new_rww ~ghost:true tree in
+      let last = Array.make n (-1) in
+      let counter = Array.make n 0 in
+      let ok = ref true in
+      for i = 1 to 60 do
+        let node = Sm.int rng n in
+        if Sm.bool rng then begin
+          M.write_sync sys ~node (float_of_int i);
+          last.(node) <- counter.(node);
+          counter.(node) <- counter.(node) + 1
+        end
+        else begin
+          let _, recent = M.gather_sync sys ~node in
+          List.iter
+            (fun (u, idx) -> if idx <> last.(u) then ok := false)
+            recent;
+          counter.(node) <- counter.(node) + 1
+        end
+      done;
+      !ok)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "message-kind purity" `Quick test_message_kind_purity;
+      QCheck_alcotest.to_alcotest prop_gather_matches_reference;
+    ]

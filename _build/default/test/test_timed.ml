@@ -1,0 +1,97 @@
+(* Tests for the time-based (TTL) lease policy. *)
+
+module Sm = Prng.Splitmix
+module M = Oat.Mechanism.Make (Agg.Ops.Sum)
+
+let test_ttl_validation () =
+  match
+    Oat.Timed_policy.policy ~now:(fun () -> 0.0) ~ttl:0.0 ~node_id:0 ~nbrs:[]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_lease_expires_without_reads () =
+  (* Manual clock: lease granted at t=0; writes at t beyond the TTL must
+     find the lease released at the first break opportunity. *)
+  let now = ref 0.0 in
+  let policy = Oat.Timed_policy.policy ~now:(fun () -> !now) ~ttl:10.0 in
+  let sys = M.create (Tree.Build.two_nodes ()) ~policy in
+  ignore (M.combine_sync sys ~node:1);
+  Alcotest.(check bool) "granted" true (M.granted sys 0 1);
+  (* Within the TTL: writes keep the lease (update received, no expiry). *)
+  now := 5.0;
+  M.write_sync sys ~node:0 1.0;
+  Alcotest.(check bool) "lease survives inside ttl" true (M.granted sys 0 1);
+  (* Beyond the TTL: the next update gives node 1 a break opportunity. *)
+  now := 20.0;
+  M.write_sync sys ~node:0 2.0;
+  Alcotest.(check bool) "lease expired" false (M.granted sys 0 1)
+
+let test_reads_refresh_lease () =
+  let now = ref 0.0 in
+  let policy = Oat.Timed_policy.policy ~now:(fun () -> !now) ~ttl:10.0 in
+  let sys = M.create (Tree.Build.two_nodes ()) ~policy in
+  ignore (M.combine_sync sys ~node:1);
+  (* Keep reading: each combine refreshes, so even late writes find a
+     fresh lease. *)
+  now := 8.0;
+  ignore (M.combine_sync sys ~node:1);
+  now := 16.0;
+  ignore (M.combine_sync sys ~node:1);
+  now := 24.0;
+  M.write_sync sys ~node:0 1.0;
+  Alcotest.(check bool) "refreshed lease survives" true (M.granted sys 0 1)
+
+let test_timed_policy_is_nice () =
+  (* Still a lease-based algorithm: strict consistency must hold
+     whatever the TTL (Lemma 3.12). *)
+  let rng = Sm.create 99 in
+  List.iter
+    (fun ttl ->
+      let now = ref 0.0 in
+      let policy = Oat.Timed_policy.policy ~now:(fun () -> !now) ~ttl in
+      let tree = Tree.Build.random (Sm.create 7) 8 in
+      let sys = M.create tree ~policy in
+      let latest = Array.make 8 0.0 in
+      for i = 1 to 150 do
+        now := float_of_int i;
+        let node = Sm.int rng 8 in
+        if Sm.bool rng then begin
+          latest.(node) <- float_of_int i;
+          M.write_sync sys ~node (float_of_int i)
+        end
+        else begin
+          let got = M.combine_sync sys ~node in
+          let want = Array.fold_left ( +. ) 0.0 latest in
+          Alcotest.(check (float 1e-6)) "strict under ttl" want got
+        end
+      done)
+    [ 0.5; 3.0; 50.0 ]
+
+let test_run_timed_integration () =
+  let tree = Tree.Build.path 5 in
+  let sigma =
+    List.concat
+      (List.init 20 (fun i ->
+           [ Oat.Request.combine 0; Oat.Request.write 4 (float_of_int i) ]))
+  in
+  let r =
+    Analysis.Latency.run_timed ~inter_arrival:1.0 tree
+      ~policy:(fun ~now -> Oat.Timed_policy.policy ~now ~ttl:8.0)
+      sigma
+  in
+  Alcotest.(check int) "20 combines measured" 20
+    (List.length r.Analysis.Latency.combine_latencies);
+  Alcotest.(check bool) "messages flowed" true (r.Analysis.Latency.messages > 0);
+  Alcotest.(check bool) "time advanced" true
+    (r.Analysis.Latency.virtual_makespan >= 40.0)
+
+let suite =
+  [
+    Alcotest.test_case "ttl validation" `Quick test_ttl_validation;
+    Alcotest.test_case "lease expires without reads" `Quick
+      test_lease_expires_without_reads;
+    Alcotest.test_case "reads refresh lease" `Quick test_reads_refresh_lease;
+    Alcotest.test_case "timed policy is nice" `Quick test_timed_policy_is_nice;
+    Alcotest.test_case "run_timed integration" `Quick test_run_timed_integration;
+  ]

@@ -1,0 +1,216 @@
+(* Tests for workload generators. *)
+
+module Sm = Prng.Splitmix
+module G = Workload.Generate
+
+let count_reads sigma = List.length (List.filter Oat.Request.is_combine sigma)
+let count_writes sigma = List.length (List.filter Oat.Request.is_write sigma)
+
+let in_range tree sigma =
+  List.for_all
+    (fun (q : float Oat.Request.t) -> q.node >= 0 && q.node < Tree.n_nodes tree)
+    sigma
+
+let test_zipf_uniform () =
+  let z = Workload.Zipf.create ~n:4 ~s:0.0 in
+  for i = 0 to 3 do
+    Alcotest.(check (float 1e-9)) "uniform pmf" 0.25 (Workload.Zipf.pmf z i)
+  done
+
+let test_zipf_skew () =
+  let z = Workload.Zipf.create ~n:10 ~s:1.0 in
+  Alcotest.(check bool) "rank 0 heaviest" true
+    (Workload.Zipf.pmf z 0 > Workload.Zipf.pmf z 1);
+  Alcotest.(check bool) "monotone" true
+    (Workload.Zipf.pmf z 1 > Workload.Zipf.pmf z 9);
+  (* pmf sums to 1 *)
+  let total = ref 0.0 in
+  for i = 0 to 9 do
+    total := !total +. Workload.Zipf.pmf z i
+  done;
+  Alcotest.(check (float 1e-9)) "normalized" 1.0 !total
+
+let test_zipf_sampling_matches_pmf () =
+  let rng = Sm.create 42 in
+  let z = Workload.Zipf.create ~n:5 ~s:1.5 in
+  let counts = Array.make 5 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Workload.Zipf.sample z rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  for i = 0 to 4 do
+    let freq = float_of_int counts.(i) /. float_of_int n in
+    Alcotest.(check bool)
+      (Printf.sprintf "rank %d frequency" i)
+      true
+      (Float.abs (freq -. Workload.Zipf.pmf z i) < 0.01)
+  done
+
+let test_mixed_read_fraction () =
+  let rng = Sm.create 7 in
+  let tree = Tree.Build.binary 15 in
+  let sigma =
+    G.mixed { G.default_spec with n_requests = 10_000; read_fraction = 0.7 } tree rng
+  in
+  Alcotest.(check int) "length" 10_000 (List.length sigma);
+  Alcotest.(check bool) "nodes in range" true (in_range tree sigma);
+  let frac = float_of_int (count_reads sigma) /. 10_000.0 in
+  Alcotest.(check bool) "read fraction near 0.7" true (Float.abs (frac -. 0.7) < 0.03)
+
+let test_read_write_heavy () =
+  let rng = Sm.create 8 in
+  let tree = Tree.Build.path 6 in
+  let rh = G.read_heavy tree rng ~n:2000 in
+  let wh = G.write_heavy tree rng ~n:2000 in
+  Alcotest.(check bool) "read heavy" true (count_reads rh > 3 * count_writes rh);
+  Alcotest.(check bool) "write heavy" true (count_writes wh > 3 * count_reads wh)
+
+let test_hotspot_concentration () =
+  let rng = Sm.create 9 in
+  let tree = Tree.Build.star 20 in
+  let sigma = G.hotspot tree rng ~n:5000 in
+  let counts = Array.make 20 0 in
+  List.iter (fun (q : float Oat.Request.t) -> counts.(q.node) <- counts.(q.node) + 1) sigma;
+  let max_count = Array.fold_left max 0 counts in
+  (* With s = 1.2 the hottest node takes a large share. *)
+  Alcotest.(check bool) "hotspot dominates" true (max_count > 5000 / 5)
+
+let test_phased_structure () =
+  let rng = Sm.create 10 in
+  let tree = Tree.Build.path 8 in
+  let sigma = G.phased tree rng ~n:4000 ~phase_len:500 in
+  Alcotest.(check int) "length" 4000 (List.length sigma);
+  Alcotest.(check bool) "in range" true (in_range tree sigma);
+  let arr = Array.of_list sigma in
+  (* Even phases are read-heavy, odd phases write-heavy. *)
+  let phase_reads p =
+    let r = ref 0 in
+    for i = p * 500 to ((p + 1) * 500) - 1 do
+      if Oat.Request.is_combine arr.(i) then incr r
+    done;
+    !r
+  in
+  Alcotest.(check bool) "phase 0 read heavy" true (phase_reads 0 > 350);
+  Alcotest.(check bool) "phase 1 write heavy" true (phase_reads 1 < 150)
+
+let test_adversarial_shape () =
+  let sigma = G.adversarial_ab ~a:2 ~b:3 ~rounds:4 in
+  Alcotest.(check int) "length" 20 (List.length sigma);
+  (* first round: R R at node 1 then W W W at node 0 *)
+  let arr = Array.of_list sigma in
+  for i = 0 to 1 do
+    Alcotest.(check bool) "combine at 1" true
+      (Oat.Request.is_combine arr.(i) && arr.(i).node = 1)
+  done;
+  for i = 2 to 4 do
+    Alcotest.(check bool) "write at 0" true
+      (Oat.Request.is_write arr.(i) && arr.(i).node = 0)
+  done
+
+let test_worst_case_shape () =
+  let sigma = G.rww_worst_case ~rounds:3 in
+  Alcotest.(check int) "length" 9 (List.length sigma);
+  Alcotest.(check int) "3 combines" 3 (count_reads sigma);
+  Alcotest.(check int) "6 writes" 6 (count_writes sigma);
+  let alt = G.read_write_alternating ~rounds:5 in
+  Alcotest.(check int) "alternating length" 10 (List.length alt)
+
+let test_determinism () =
+  let tree = Tree.Build.binary 7 in
+  let s1 = G.mixed G.default_spec tree (Sm.create 123) in
+  let s2 = G.mixed G.default_spec tree (Sm.create 123) in
+  Alcotest.(check bool) "same seed, same workload" true (s1 = s2)
+
+
+(* ---- trace I/O ---- *)
+
+let test_trace_roundtrip () =
+  let tree = Tree.Build.binary 9 in
+  let sigma = G.mixed G.default_spec tree (Sm.create 55) in
+  match Workload.Trace_io.of_string (Workload.Trace_io.to_string sigma) with
+  | Error e -> Alcotest.fail e
+  | Ok sigma' -> Alcotest.(check bool) "roundtrip identical" true (sigma = sigma')
+
+let test_trace_parse_flexible () =
+  let text = "# a comment\n\n  c 3\nw 1 2.5\n\n# trailing\n" in
+  match Workload.Trace_io.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok [ q1; q2 ] ->
+    Alcotest.(check bool) "combine at 3" true
+      (Oat.Request.is_combine q1 && q1.Oat.Request.node = 3);
+    Alcotest.(check bool) "write at 1" true
+      (Oat.Request.is_write q2 && q2.Oat.Request.node = 1)
+  | Ok _ -> Alcotest.fail "expected two requests"
+
+let test_trace_parse_errors () =
+  let bad lines =
+    match Workload.Trace_io.of_string lines with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected parse error for %S" lines
+  in
+  bad "x 3";
+  bad "c minusone";
+  bad "c -1";
+  bad "w 0";
+  bad "w 0 abc"
+
+let test_trace_file_io () =
+  let path = Filename.temp_file "oat" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let sigma = [ Oat.Request.write 0 1.5; Oat.Request.combine 2 ] in
+      Workload.Trace_io.save path sigma;
+      match Workload.Trace_io.load path with
+      | Error e -> Alcotest.fail e
+      | Ok sigma' -> Alcotest.(check bool) "file roundtrip" true (sigma = sigma'))
+
+
+let test_migrating_locality () =
+  let rng = Sm.create 21 in
+  let tree = Tree.Build.binary 31 in
+  let sigma = G.migrating tree rng ~n:2000 ~spot_moves:8 in
+  Alcotest.(check int) "length" 2000 (List.length sigma);
+  Alcotest.(check bool) "in range" true (in_range tree sigma);
+  (* Locality: within any window the touched nodes stay in a small
+     neighbourhood (diameter of touched set <= 6: spot + 3-step walks). *)
+  let arr = Array.of_list sigma in
+  for w = 0 to 6 do
+    let base = w * 250 in
+    let touched = ref [] in
+    for i = base to base + 200 do
+      touched := arr.(i).Oat.Request.node :: !touched
+    done;
+    let distinct = List.sort_uniq compare !touched in
+    let max_d =
+      List.fold_left
+        (fun acc u ->
+          List.fold_left (fun acc v -> max acc (Tree.dist tree u v)) acc distinct)
+        0 distinct
+    in
+    Alcotest.(check bool) "window is local" true (max_d <= 8)
+  done;
+  (* And the mechanism stays strictly consistent on it (sanity). *)
+  let run = Analysis.Ratio.measure tree ~policy:Oat.Rww.policy sigma in
+  Alcotest.(check bool) "within Theorem 1" true
+    (Analysis.Ratio.vs_opt_lease run <= 2.5 +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "zipf uniform" `Quick test_zipf_uniform;
+    Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+    Alcotest.test_case "zipf sampling" `Quick test_zipf_sampling_matches_pmf;
+    Alcotest.test_case "mixed read fraction" `Quick test_mixed_read_fraction;
+    Alcotest.test_case "read/write heavy" `Quick test_read_write_heavy;
+    Alcotest.test_case "hotspot concentration" `Quick test_hotspot_concentration;
+    Alcotest.test_case "phased structure" `Quick test_phased_structure;
+    Alcotest.test_case "adversarial shape" `Quick test_adversarial_shape;
+    Alcotest.test_case "worst-case shape" `Quick test_worst_case_shape;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "trace roundtrip" `Quick test_trace_roundtrip;
+    Alcotest.test_case "trace parsing" `Quick test_trace_parse_flexible;
+    Alcotest.test_case "trace parse errors" `Quick test_trace_parse_errors;
+    Alcotest.test_case "trace file io" `Quick test_trace_file_io;
+    Alcotest.test_case "migrating locality" `Quick test_migrating_locality;
+  ]
