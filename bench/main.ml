@@ -6,7 +6,13 @@
    wall-clock cost of its core computation.
 
    `dune exec bench/main.exe -- --tables-only` skips the timing pass;
-   `-- --bench-only` skips the tables. *)
+   `-- --bench-only` skips the tables.  `-- --json [FILE]` additionally
+   writes the per-benchmark OLS estimates as JSON (default file:
+   `BENCH_<yyyy-mm-dd>.json`), giving successive PRs a machine-readable
+   performance trajectory.  With `--tables-only` the process exits
+   non-zero if any experiment shape deviates, so a `dune build
+   @bench-smoke` (run as part of `dune runtest`) catches experiment
+   regressions. *)
 
 module Sm = Prng.Splitmix
 module M = Oat.Mechanism.Make (Agg.Ops.Sum)
@@ -65,7 +71,8 @@ let run_tables () =
     && e10 = 0 && e11 = 1 && e12 = 1 && e13 = 1 && e14 = 1 && e15 = 1
   in
   Printf.printf "\nOverall: %s\n"
-    (if ok then "ALL SHAPES REPRODUCED" else "DEVIATIONS FOUND")
+    (if ok then "ALL SHAPES REPRODUCED" else "DEVIATIONS FOUND");
+  ok
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment/table.      *)
@@ -189,10 +196,50 @@ let bench_tests =
     let b = List.init 100 (fun i -> (2 * i) + 1) in
     Agg.Ops.Union.combine a b
   in
+  (* Scheduler hot path at a size where an O(n)-per-delivery scheduler
+     is visibly quadratic: push one message per child->parent edge of a
+     1023-node binary tree, then drain through pop_any.  The network is
+     reused across runs (it drains back to empty), so this times the
+     send/pop_any cycle alone. *)
+  let popany_n = 1023 in
+  let popany_net =
+    Simul.Network.create (Tree.Build.binary popany_n)
+      ~kind_of:(fun () -> Simul.Kind.Update)
+  in
+  let micro_popany () =
+    for u = 1 to popany_n - 1 do
+      Simul.Network.send popany_net ~src:u ~dst:((u - 1) / 2) ()
+    done;
+    let rec drain acc =
+      match Simul.Network.pop_any popany_net with
+      | Some _ -> drain (acc + 1)
+      | None -> acc
+    in
+    drain 0
+  in
+  (* Full concurrent execution of the mechanism on a 255-node tree:
+     exercises pop_random (one PRNG pick per delivery) under protocol
+     traffic. *)
+  let concurrent_tree = Tree.Build.binary 255 in
+  let micro_concurrent () =
+    let rng = Sm.create 2024 in
+    let sys = M.create concurrent_tree ~policy:Oat.Rww.policy in
+    let requests =
+      Array.init 60 (fun i ->
+          let node = Sm.int rng 255 in
+          if Sm.bool rng then fun () -> M.write sys ~node (float_of_int i)
+          else fun () -> M.combine sys ~node (fun _ -> ()))
+    in
+    Simul.Engine.run_concurrent ~rng (M.network sys) ~handler:(M.handler sys)
+      ~requests;
+    M.message_total sys
+  in
   [
     Test.make ~name:"micro-prng-1k-ints" (Staged.stage micro_prng);
     Test.make ~name:"micro-subtree-n127" (Staged.stage micro_subtree);
     Test.make ~name:"micro-network-100-msgs" (Staged.stage micro_network);
+    Test.make ~name:"micro-popany-n1023" (Staged.stage micro_popany);
+    Test.make ~name:"micro-concurrent-run-n255" (Staged.stage micro_concurrent);
     Test.make ~name:"micro-union-200-elts" (Staged.stage micro_union);
     Test.make ~name:"e1-figure2-lifecycle" (Staged.stage fig2_core);
     Test.make ~name:"e2-figure4-machine" (Staged.stage fig4_core);
@@ -212,7 +259,44 @@ let bench_tests =
     Test.make ~name:"e15-dht-tree-build" (Staged.stage e15_core);
   ]
 
-let run_bechamel ~quota () =
+(* Serialize the OLS estimates so successive PRs can diff benchmark
+   timings mechanically.  Schema: a top-level object with the run date
+   and one row per benchmark; times in nanoseconds per run. *)
+let write_json ~file rows =
+  let escape s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  let json_float x =
+    if Float.is_nan x then "null" else Printf.sprintf "%.6g" x
+  in
+  let oc = open_out file in
+  let tm = Unix.localtime (Unix.time ()) in
+  Printf.fprintf oc "{\n  \"date\": \"%04d-%02d-%02d\",\n"
+    (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday;
+  Printf.fprintf oc "  \"unit\": \"ns/run\",\n  \"benchmarks\": [\n";
+  List.iteri
+    (fun i (name, estimate, r2) ->
+      Printf.fprintf oc
+        "    { \"name\": \"%s\", \"time\": %s, \"r_square\": %s }%s\n"
+        (escape name) (json_float estimate) (json_float r2)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nWrote OLS estimates to %s\n" file
+
+let run_bechamel ~quota ~json () =
   let open Bechamel in
   print_newline ();
   print_endline "Bechamel timing (monotonic clock, OLS estimate per run)";
@@ -230,7 +314,17 @@ let run_bechamel ~quota () =
       (Test.make_grouped ~name:"oat" ~fmt:"%s/%s" bench_tests)
   in
   let results = Analyze.all ols instance raw in
-  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  let rows =
+    Hashtbl.fold
+      (fun name r acc ->
+        let estimate =
+          match Analyze.OLS.estimates r with Some (e :: _) -> e | _ -> nan
+        in
+        let r2 = match Analyze.OLS.r_square r with Some x -> x | None -> nan in
+        (name, estimate, r2) :: acc)
+      results []
+    |> List.sort compare
+  in
   let t =
     Analysis.Table.create
       ~columns:
@@ -247,14 +341,11 @@ let run_bechamel ~quota () =
     else Printf.sprintf "%.1f ns" ns
   in
   List.iter
-    (fun (name, r) ->
-      let estimate =
-        match Analyze.OLS.estimates r with Some (e :: _) -> e | _ -> nan
-      in
-      let r2 = match Analyze.OLS.r_square r with Some x -> x | None -> nan in
+    (fun (name, estimate, r2) ->
       Analysis.Table.add_row t [ name; pp_time estimate; Printf.sprintf "%.4f" r2 ])
-    (List.sort compare rows);
-  Analysis.Table.print t
+    rows;
+  Analysis.Table.print t;
+  match json with None -> () | Some file -> write_json ~file rows
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -270,5 +361,21 @@ let () =
     in
     find args
   in
-  if tables then run_tables ();
-  if bench then run_bechamel ~quota ()
+  let json =
+    (* --json [FILE]: dump OLS estimates; FILE defaults to a dated name. *)
+    let default () =
+      let tm = Unix.localtime (Unix.time ()) in
+      Printf.sprintf "BENCH_%04d-%02d-%02d.json" (tm.Unix.tm_year + 1900)
+        (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+    in
+    let rec find = function
+      | "--json" :: v :: _ when String.length v > 0 && v.[0] <> '-' -> Some v
+      | "--json" :: _ -> Some (default ())
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let tables_ok = if tables then run_tables () else true in
+  if bench then run_bechamel ~quota ~json ();
+  if not tables_ok then exit 1

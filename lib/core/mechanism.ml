@@ -20,6 +20,7 @@ module Make (Op : Agg.Operator.S) = struct
   type node = {
     id : int;
     nbrs : int list;
+    nbrs_arr : int array;  (* same contents as [nbrs]; broadcast loops *)
     mutable value : Op.t;  (* the paper's [val] *)
     taken : (int, bool) Hashtbl.t;
     granted : (int, bool) Hashtbl.t;
@@ -81,17 +82,17 @@ module Make (Op : Agg.Operator.S) = struct
 
   (* The paper's gval(): local value folded with all neighbour caches. *)
   let gval_of nd =
-    List.fold_left
+    Array.fold_left
       (fun x v -> Op.combine x (tbl_get nd.aval v ~default:Op.identity))
-      nd.value nd.nbrs
+      nd.value nd.nbrs_arr
 
   (* The paper's subval(w): gval() excluding the cache for [w]. *)
   let subval nd w =
-    List.fold_left
+    Array.fold_left
       (fun x v ->
         if v = w then x
         else Op.combine x (tbl_get nd.aval v ~default:Op.identity))
-      nd.value nd.nbrs
+      nd.value nd.nbrs_arr
 
   (* ------------------------------------------------------------------ *)
   (* Ghost actions (Figure 6).                                          *)
@@ -130,9 +131,9 @@ module Make (Op : Agg.Operator.S) = struct
   let sendprobes t nd w =
     nd.pndg <- IntSet.add w nd.pndg;
     let skip = IntSet.add w (IntSet.union (IntSet.of_list (tkn nd)) (sntprobes nd)) in
-    List.iter
+    Array.iter
       (fun v -> if not (IntSet.mem v skip) then send t nd v Probe)
-      nd.nbrs
+      nd.nbrs_arr
 
   (* forwardupdates(w, id): push fresh subtree aggregates to every
      grantee except [w]. *)
@@ -146,7 +147,7 @@ module Make (Op : Agg.Operator.S) = struct
      neighbour is covered by a taken lease and the policy agrees. *)
   let sendresponse t nd w =
     let others_covered =
-      List.for_all (fun v -> v = w || tbl_get nd.taken v ~default:false) nd.nbrs
+      Array.for_all (fun v -> v = w || tbl_get nd.taken v ~default:false) nd.nbrs_arr
     in
     if others_covered then
       Hashtbl.replace nd.granted w
@@ -334,10 +335,12 @@ module Make (Op : Agg.Operator.S) = struct
   let create ?(ghost = false) ?on_send tree ~policy =
     let n = Tree.n_nodes tree in
     let mk_node id =
-      let nbrs = Tree.neighbors tree id in
+      let nbrs_arr = Tree.neighbors_arr tree id in
+      let nbrs = Array.to_list nbrs_arr in
       {
         id;
         nbrs;
+        nbrs_arr;
         value = Op.identity;
         taken = Hashtbl.create 8;
         granted = Hashtbl.create 8;

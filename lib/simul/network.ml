@@ -1,10 +1,23 @@
+(* Channels live in a flat id space: channel (src,dst) has id
+   [chan_base.(src) + i] where [i] is dst's position in src's sorted
+   adjacency.  On top of the flat queues sits the active-channel
+   registry: a dense array of the ids of all nonempty channels, with the
+   position of each active channel tracked in [reg_pos].  [send] and
+   [pop] maintain it incrementally, so the scheduler never scans the
+   tree: [pop_any] reads the registry head and [pop_random] picks a
+   uniform index and swap-removes — both O(1) per delivery and
+   allocation-free apart from the returned tuple. *)
+
 type 'm t = {
   tree : Tree.t;
-  (* Directed channels, indexed by [slot src dst]: for each node [src],
-     one queue per neighbour, in the neighbour's adjacency position. *)
-  chans : 'm Queue.t array array;
-  nbr_pos : (int * int, int) Hashtbl.t; (* (src,dst) -> index into chans.(src) *)
-  counters : int array array;           (* per (src-slot, dst-slot) x kind *)
+  queues : 'm Queue.t array;  (* FIFO per directed edge, by channel id *)
+  chan_base : int array;      (* length n+1: first channel id of each src *)
+  src_of : int array;         (* channel id -> src node *)
+  dst_of : int array;         (* channel id -> dst node *)
+  registry : int array;       (* ids of nonempty channels: dense prefix *)
+  reg_pos : int array;        (* channel id -> index in registry, or -1 *)
+  mutable reg_len : int;
+  counters : int array;       (* per channel id x kind *)
   kind_of : 'm -> Kind.t;
   on_send : src:int -> dst:int -> unit;
   mutable in_flight : int;
@@ -14,21 +27,31 @@ type 'm t = {
 
 let create ?(on_send = fun ~src:_ ~dst:_ -> ()) tree ~kind_of =
   let n = Tree.n_nodes tree in
-  let nbr_pos = Hashtbl.create (4 * n) in
-  let chans =
-    Array.init n (fun u ->
-        let nbrs = Tree.neighbors tree u in
-        List.iteri (fun i v -> Hashtbl.add nbr_pos (u, v) i) nbrs;
-        Array.init (List.length nbrs) (fun _ -> Queue.create ()))
-  in
-  let counters =
-    Array.init n (fun u -> Array.make (Array.length chans.(u) * Kind.count) 0)
-  in
+  let chan_base = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    chan_base.(u + 1) <- chan_base.(u) + Tree.degree tree u
+  done;
+  let n_chans = chan_base.(n) in
+  let src_of = Array.make n_chans 0 in
+  let dst_of = Array.make n_chans 0 in
+  for u = 0 to n - 1 do
+    let base = chan_base.(u) in
+    Array.iteri
+      (fun i v ->
+        src_of.(base + i) <- u;
+        dst_of.(base + i) <- v)
+      (Tree.neighbors_arr tree u)
+  done;
   {
     tree;
-    chans;
-    nbr_pos;
-    counters;
+    queues = Array.init n_chans (fun _ -> Queue.create ());
+    chan_base;
+    src_of;
+    dst_of;
+    registry = Array.make (max 1 n_chans) (-1);
+    reg_pos = Array.make n_chans (-1);
+    reg_len = 0;
+    counters = Array.make (n_chans * Kind.count) 0;
     kind_of;
     on_send;
     in_flight = 0;
@@ -38,19 +61,40 @@ let create ?(on_send = fun ~src:_ ~dst:_ -> ()) tree ~kind_of =
 
 let tree t = t.tree
 
-let slot t ~src ~dst =
-  match Hashtbl.find_opt t.nbr_pos (src, dst) with
-  | Some i -> i
-  | None ->
+(* Flat channel id of the directed edge (src,dst). *)
+let chan t ~src ~dst =
+  let n = Tree.n_nodes t.tree in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg
+      (Printf.sprintf "Network: (%d,%d) is not an edge of the tree" src dst);
+  match Tree.neighbor_index t.tree src dst with
+  | -1 ->
     invalid_arg
       (Printf.sprintf "Network: (%d,%d) is not an edge of the tree" src dst)
+  | i -> t.chan_base.(src) + i
+
+let registry_add t cid =
+  t.registry.(t.reg_len) <- cid;
+  t.reg_pos.(cid) <- t.reg_len;
+  t.reg_len <- t.reg_len + 1
+
+let registry_remove t cid =
+  let i = t.reg_pos.(cid) in
+  let last = t.reg_len - 1 in
+  let moved = t.registry.(last) in
+  t.registry.(i) <- moved;
+  t.reg_pos.(moved) <- i;
+  t.reg_len <- last;
+  t.reg_pos.(cid) <- -1
 
 let send t ~src ~dst m =
-  let i = slot t ~src ~dst in
-  Queue.add m t.chans.(src).(i);
+  let cid = chan t ~src ~dst in
+  let q = t.queues.(cid) in
+  if Queue.is_empty q then registry_add t cid;
+  Queue.add m q;
   let k = Kind.index (t.kind_of m) in
-  t.counters.(src).((i * Kind.count) + k) <-
-    t.counters.(src).((i * Kind.count) + k) + 1;
+  let ci = (cid * Kind.count) + k in
+  t.counters.(ci) <- t.counters.(ci) + 1;
   t.kind_totals.(k) <- t.kind_totals.(k) + 1;
   t.total <- t.total + 1;
   t.in_flight <- t.in_flight + 1;
@@ -60,45 +104,45 @@ let in_flight t = t.in_flight
 
 let is_quiescent t = t.in_flight = 0
 
+let pop_chan t cid =
+  let q = t.queues.(cid) in
+  let m = Queue.pop q in
+  if Queue.is_empty q then registry_remove t cid;
+  t.in_flight <- t.in_flight - 1;
+  m
+
 let pop t ~src ~dst =
-  let i = slot t ~src ~dst in
-  if Queue.is_empty t.chans.(src).(i) then None
+  let cid = chan t ~src ~dst in
+  if Queue.is_empty t.queues.(cid) then None else Some (pop_chan t cid)
+
+let pop_any t =
+  if t.reg_len = 0 then None
   else begin
-    t.in_flight <- t.in_flight - 1;
-    Some (Queue.pop t.chans.(src).(i))
+    let cid = t.registry.(0) in
+    Some (t.src_of.(cid), t.dst_of.(cid), pop_chan t cid)
   end
 
+let pop_random t rng =
+  if t.reg_len = 0 then None
+  else begin
+    (* Exactly one PRNG draw per delivery. *)
+    let cid = t.registry.(Prng.Splitmix.int rng t.reg_len) in
+    Some (t.src_of.(cid), t.dst_of.(cid), pop_chan t cid)
+  end
+
+(* Debug view only: O(edges) scan in (src, dst) order.  The scheduler
+   never calls this; use [pop_any]/[pop_random]. *)
 let nonempty_channels t =
   let acc = ref [] in
-  let n = Tree.n_nodes t.tree in
-  for src = n - 1 downto 0 do
-    let nbrs = Tree.neighbors t.tree src in
-    List.iteri
-      (fun i dst -> if not (Queue.is_empty t.chans.(src).(i)) then acc := (src, dst) :: !acc)
-      nbrs
+  for cid = Array.length t.queues - 1 downto 0 do
+    if not (Queue.is_empty t.queues.(cid)) then
+      acc := (t.src_of.(cid), t.dst_of.(cid)) :: !acc
   done;
   !acc
 
-let pop_any t =
-  match nonempty_channels t with
-  | [] -> None
-  | (src, dst) :: _ -> (
-    match pop t ~src ~dst with
-    | Some m -> Some (src, dst, m)
-    | None -> assert false)
-
-let pop_random t rng =
-  match nonempty_channels t with
-  | [] -> None
-  | channels -> (
-    let src, dst = Prng.Splitmix.pick_list rng channels in
-    match pop t ~src ~dst with
-    | Some m -> Some (src, dst, m)
-    | None -> assert false)
-
 let sent t ~src ~dst kind =
-  let i = slot t ~src ~dst in
-  t.counters.(src).((i * Kind.count) + Kind.index kind)
+  let cid = chan t ~src ~dst in
+  t.counters.((cid * Kind.count) + Kind.index kind)
 
 let sent_on_edge t ~src ~dst =
   List.fold_left (fun acc k -> acc + sent t ~src ~dst k) 0 Kind.all
@@ -108,6 +152,37 @@ let total_of_kind t k = t.kind_totals.(Kind.index k)
 let total t = t.total
 
 let reset_counters t =
-  Array.iter (fun row -> Array.fill row 0 (Array.length row) 0) t.counters;
+  Array.fill t.counters 0 (Array.length t.counters) 0;
   Array.fill t.kind_totals 0 Kind.count 0;
   t.total <- 0
+
+let check_invariants t =
+  let fail fmt = Format.kasprintf failwith ("Network.check_invariants: " ^^ fmt) in
+  let n_chans = Array.length t.queues in
+  if t.reg_len < 0 || t.reg_len > n_chans then
+    fail "registry length %d out of range [0,%d]" t.reg_len n_chans;
+  let queued = ref 0 in
+  for cid = 0 to n_chans - 1 do
+    queued := !queued + Queue.length t.queues.(cid);
+    let active = not (Queue.is_empty t.queues.(cid)) in
+    let pos = t.reg_pos.(cid) in
+    if active && pos = -1 then
+      fail "nonempty channel %d->%d missing from registry" t.src_of.(cid)
+        t.dst_of.(cid);
+    if (not active) && pos <> -1 then
+      fail "empty channel %d->%d still registered" t.src_of.(cid) t.dst_of.(cid);
+    if pos <> -1 then begin
+      if pos < 0 || pos >= t.reg_len then
+        fail "registry position %d of channel %d out of range [0,%d)" pos cid
+          t.reg_len;
+      if t.registry.(pos) <> cid then
+        fail "registry slot %d holds %d, expected %d" pos t.registry.(pos) cid
+    end
+  done;
+  if t.in_flight <> !queued then
+    fail "in_flight %d but %d messages queued" t.in_flight !queued;
+  let counted = Array.fold_left ( + ) 0 t.counters in
+  if counted <> t.total then
+    fail "per-channel counters sum to %d but total is %d" counted t.total;
+  if Array.fold_left ( + ) 0 t.kind_totals <> t.total then
+    fail "kind totals do not sum to total %d" t.total

@@ -9,7 +9,15 @@
     aggregation problem.
 
     The payload type ['m] is chosen by the protocol; a [kind_of]
-    classifier supplied at creation drives the accounting. *)
+    classifier supplied at creation drives the accounting.
+
+    Delivery is O(1) per message independently of tree size: the network
+    maintains an active-channel registry (the set of nonempty directed
+    channels) incrementally under [send] and the [pop] family, so the
+    schedulers never rescan the topology.  All scheduling decisions are
+    deterministic functions of the operation history (and, for
+    {!pop_random}, of the supplied PRNG), so same-seed runs are
+    reproducible byte for byte. *)
 
 type 'm t
 
@@ -35,14 +43,20 @@ val pop : 'm t -> src:int -> dst:int -> 'm option
 (** Dequeue the oldest message on [(src,dst)], if any. *)
 
 val pop_any : 'm t -> (int * int * 'm) option
-(** Dequeue from the first non-empty directed channel in a fixed scan
-    order ([src] ascending, then [dst]).  Deterministic. *)
+(** Dequeue from the head of the active-channel registry (the channel
+    that has been continuously nonempty the longest, up to swap-removal
+    order).  Deterministic — a pure function of the operation history —
+    and O(1). *)
 
 val pop_random : 'm t -> Prng.Splitmix.t -> (int * int * 'm) option
-(** Dequeue from a uniformly chosen non-empty directed channel —
-    the adversarial interleaving used for concurrent executions. *)
+(** Dequeue from a uniformly chosen non-empty directed channel — the
+    adversarial interleaving used for concurrent executions.  O(1);
+    draws exactly one PRNG value per delivered message. *)
 
 val nonempty_channels : 'm t -> (int * int) list
+(** Debug view: all nonempty directed channels in scan order ([src]
+    ascending, then [dst]).  O(edges) — not for use on the delivery hot
+    path; the schedulers above maintain this set incrementally. *)
 
 (** {1 Accounting} *)
 
@@ -59,4 +73,13 @@ val total : 'm t -> int
 (** Grand total: the paper's cost [C_A (sigma)]. *)
 
 val reset_counters : 'm t -> unit
-(** Zero the counters without touching queued messages. *)
+(** Zero the counters without touching queued messages (or the
+    active-channel registry, which reflects queue contents only). *)
+
+val check_invariants : 'm t -> unit
+(** Validate the internal bookkeeping: the active-channel registry holds
+    exactly the nonempty channels (each exactly once, with consistent
+    back-pointers), [in_flight] equals the total number of queued
+    messages, and the per-channel/per-kind counters sum to [total].
+    @raise Failure describing the first violated invariant.  Intended
+    for tests; O(edges + queued messages). *)

@@ -58,6 +58,31 @@ let neighbors t u =
   if u < 0 || u >= t.n then invalid "node %d out of range" u;
   Array.to_list t.adj.(u)
 
+let neighbors_arr t u =
+  if u < 0 || u >= t.n then invalid "node %d out of range" u;
+  t.adj.(u)
+
+let iter_neighbors t u f =
+  if u < 0 || u >= t.n then invalid "node %d out of range" u;
+  Array.iter f t.adj.(u)
+
+let neighbor_index t u v =
+  if u < 0 || u >= t.n then invalid "node %d out of range" u;
+  (* adj.(u) is sorted: binary search, no allocation. *)
+  let a = t.adj.(u) in
+  let lo = ref 0 and hi = ref (Array.length a - 1) and found = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let w = Array.unsafe_get a mid in
+    if w = v then begin
+      found := mid;
+      lo := !hi + 1
+    end
+    else if w < v then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
 let degree t u =
   if u < 0 || u >= t.n then invalid "node %d out of range" u;
   Array.length t.adj.(u)
@@ -144,7 +169,17 @@ let subtree t u v =
   done;
   List.sort compare !acc
 
-let subtree_size t u v = List.length (subtree t u v)
+let subtree_size t u v =
+  if not (are_neighbors t u v) then invalid "(%d,%d) is not an edge" u v;
+  (* Trees are acyclic, so a DFS that remembers the node it came from
+     needs no visited array: O(|subtree|) time and stack space, no node
+     list built or sorted. *)
+  let rec count node from acc =
+    Array.fold_left
+      (fun acc w -> if w = from then acc else count w node (acc + 1))
+      acc t.adj.(node)
+  in
+  count u v 1
 
 let path t u v =
   if u < 0 || u >= t.n || v < 0 || v >= t.n then invalid "node out of range";
@@ -155,8 +190,7 @@ let path t u v =
 let dist t u v = List.length (path t u v) - 1
 
 let bfs_order t ~root =
-  let p = parents t ~root in
-  ignore p;
+  if root < 0 || root >= t.n then invalid "node %d out of range" root;
   let visited = Array.make t.n false in
   visited.(root) <- true;
   let queue = Queue.create () in

@@ -34,6 +34,21 @@ val ordered_pairs : t -> (int * int) list
 val neighbors : t -> int -> int list
 (** Neighbours of a node, ascending. *)
 
+val neighbors_arr : t -> int -> int array
+(** Neighbours of a node, ascending, as an array.  This is the tree's
+    internal adjacency array, returned without copying so hot paths
+    (message scheduling, broadcast loops) can iterate allocation-free:
+    callers must not mutate it. *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** [iter_neighbors t u f] applies [f] to each neighbour of [u] in
+    ascending order, without allocating. *)
+
+val neighbor_index : t -> int -> int -> int
+(** [neighbor_index t u v] is the position of [v] in [neighbors_arr t u]
+    (binary search over the sorted adjacency, O(log degree)), or [-1] if
+    [v] is not a neighbour of [u]. *)
+
 val degree : t -> int -> int
 
 val is_leaf : t -> int -> bool
@@ -46,6 +61,8 @@ val subtree : t -> int -> int -> int list
     neighbours. *)
 
 val subtree_size : t -> int -> int -> int
+(** [subtree_size t u v] = [List.length (subtree t u v)], computed in
+    O(|subtree|) time without materialising the node list. *)
 
 val in_subtree : t -> int -> int -> int -> bool
 (** [in_subtree t u v w] tests whether [w] is in [subtree t u v].

@@ -137,6 +137,107 @@ let test_trace () =
   Simul.Trace.record off (Simul.Trace.Request_initiated { node = 0; what = "w" });
   Alcotest.(check int) "disabled records nothing" 0 (Simul.Trace.length off)
 
+(* ---- active-channel registry: scheduler/bookkeeping invariants ---- *)
+
+(* pop_random must only ever surface channels that the O(edges) debug
+   view [nonempty_channels] also reports. *)
+let prop_pop_random_subset_of_nonempty =
+  QCheck.Test.make ~count:100 ~name:"pop_random returns a nonempty channel"
+    QCheck.(pair (int_range 2 24) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Sm.create seed in
+      let t = Tree.Build.random rng n in
+      let net = Simul.Network.create t ~kind_of in
+      (* Random fill: up to 3 messages on up to n random directed edges. *)
+      for _ = 1 to 1 + Sm.int rng n do
+        let u = Sm.int rng n in
+        match Tree.neighbors_arr t u with
+        | [||] -> ()
+        | nbrs ->
+          let v = Sm.pick rng nbrs in
+          for _ = 1 to 1 + Sm.int rng 3 do
+            Simul.Network.send net ~src:u ~dst:v (Ping u)
+          done
+      done;
+      let ok = ref true in
+      let rec drain () =
+        let visible = Simul.Network.nonempty_channels net in
+        match Simul.Network.pop_random net rng with
+        | None -> if visible <> [] then ok := false
+        | Some (src, dst, _) ->
+          if not (List.mem (src, dst) visible) then ok := false;
+          drain ()
+      in
+      drain ();
+      !ok && Simul.Network.is_quiescent net)
+
+(* Interleaving sends, targeted pops, scheduler pops, and counter resets
+   must never desynchronise the registry from the queues. *)
+let test_fuzz_invariants () =
+  let rng = Sm.create 20240806 in
+  for round = 1 to 4 do
+    let n = 2 + Sm.int rng 28 in
+    let t = Tree.Build.random rng n in
+    let net = Simul.Network.create t ~kind_of in
+    let random_edge () =
+      let u = Sm.int rng n in
+      let nbrs = Tree.neighbors_arr t u in
+      (u, Sm.pick rng nbrs)
+    in
+    for op = 1 to 2500 do
+      (match Sm.int rng 10 with
+      | 0 | 1 | 2 | 3 ->
+        let src, dst = random_edge () in
+        Simul.Network.send net ~src ~dst (Ping op)
+      | 4 | 5 ->
+        let src, dst = random_edge () in
+        ignore (Simul.Network.pop net ~src ~dst)
+      | 6 -> ignore (Simul.Network.pop_any net)
+      | 7 | 8 -> ignore (Simul.Network.pop_random net rng)
+      | _ -> Simul.Network.reset_counters net);
+      Simul.Network.check_invariants net
+    done;
+    (* The registry must also survive a reset with traffic in flight. *)
+    Simul.Network.reset_counters net;
+    Simul.Network.check_invariants net;
+    let rec drain () =
+      match Simul.Network.pop_any net with
+      | Some _ ->
+        Simul.Network.check_invariants net;
+        drain ()
+      | None -> ()
+    in
+    drain ();
+    Alcotest.(check bool)
+      (Printf.sprintf "round %d drained" round)
+      true
+      (Simul.Network.is_quiescent net)
+  done
+
+(* Fixed-seed regression pinning the schedule of an E8-style concurrent
+   run: [run_concurrent] must keep drawing exactly one PRNG pick per
+   delivery and the registry order must stay a deterministic function of
+   the operation history, so the total message cost of this run is a
+   constant.  If this number moves, the scheduler's same-seed behaviour
+   changed. *)
+let test_concurrent_fixed_seed_regression () =
+  let module M = Oat.Mechanism.Make (Agg.Ops.Sum) in
+  let n = 31 in
+  let tree = Tree.Build.binary n in
+  let rng = Sm.create 4242 in
+  let sys = M.create tree ~policy:Oat.Rww.policy in
+  let requests =
+    Array.init 200 (fun i ->
+        let node = Sm.int rng n in
+        if Sm.bool rng then fun () -> M.write sys ~node (float_of_int i)
+        else fun () -> M.combine sys ~node (fun _ -> ()))
+  in
+  Simul.Engine.run_concurrent ~rng:(Sm.split rng) (M.network sys)
+    ~handler:(M.handler sys) ~requests;
+  Simul.Network.check_invariants (M.network sys);
+  Alcotest.(check bool) "quiescent" true (Simul.Network.is_quiescent (M.network sys));
+  Alcotest.(check int) "pinned total message count" 1171 (M.message_total sys)
+
 let suite =
   [
     Alcotest.test_case "send/pop fifo" `Quick test_send_pop_fifo;
@@ -147,6 +248,10 @@ let suite =
     Alcotest.test_case "pop_random exhausts" `Quick test_pop_random_exhausts;
     Alcotest.test_case "run_concurrent" `Quick test_run_concurrent_initiates_all;
     Alcotest.test_case "trace" `Quick test_trace;
+    QCheck_alcotest.to_alcotest prop_pop_random_subset_of_nonempty;
+    Alcotest.test_case "registry invariants under fuzz" `Quick test_fuzz_invariants;
+    Alcotest.test_case "fixed-seed concurrent regression" `Quick
+      test_concurrent_fixed_seed_regression;
   ]
 
 (* The run-to-quiescence divergence guard must trip on a protocol that
