@@ -217,6 +217,35 @@ let bench_tests =
     in
     drain 0
   in
+  (* Mechanism hot path, sequential: a mixed RWW workload over a 63-node
+     binary tree.  Times the per-transition constant factors (lease
+     state reads/writes, gval/subval folds) with no ghost machinery. *)
+  let rww_seq_tree = Tree.Build.binary 63 in
+  let sigma_rww_seq =
+    Workload.Generate.mixed
+      { Workload.Generate.default_spec with n_requests = 300 }
+      rww_seq_tree (Sm.create 42)
+  in
+  let micro_rww_seq () =
+    let sys = M.create rww_seq_tree ~policy:Oat.Rww.policy in
+    ignore (M.run_sequential sys sigma_rww_seq);
+    M.message_total sys
+  in
+  (* Ghost-log shipping: alternating write/combine keeps the lease chain
+     of a 15-node path alive, so every write pushes updates down the
+     whole chain with the write log piggybacked.  An implementation that
+     ships the entire log per message is quadratic in the number of
+     writes; delta-encoding per channel makes this linear. *)
+  let ghost_tree = Tree.Build.path 15 in
+  let micro_ghost_writes () =
+    let sys = M.create ~ghost:true ghost_tree ~policy:Oat.Rww.policy in
+    ignore (M.combine_sync sys ~node:0);
+    for i = 1 to 100 do
+      M.write_sync sys ~node:14 (float_of_int i);
+      ignore (M.combine_sync sys ~node:0)
+    done;
+    M.message_total sys
+  in
   (* Full concurrent execution of the mechanism on a 255-node tree:
      exercises pop_random (one PRNG pick per delivery) under protocol
      traffic. *)
@@ -240,6 +269,8 @@ let bench_tests =
     Test.make ~name:"micro-network-100-msgs" (Staged.stage micro_network);
     Test.make ~name:"micro-popany-n1023" (Staged.stage micro_popany);
     Test.make ~name:"micro-concurrent-run-n255" (Staged.stage micro_concurrent);
+    Test.make ~name:"micro-rww-seq" (Staged.stage micro_rww_seq);
+    Test.make ~name:"micro-ghost-writes" (Staged.stage micro_ghost_writes);
     Test.make ~name:"micro-union-200-elts" (Staged.stage micro_union);
     Test.make ~name:"e1-figure2-lifecycle" (Staged.stage fig2_core);
     Test.make ~name:"e2-figure4-machine" (Staged.stage fig4_core);
@@ -296,7 +327,112 @@ let write_json ~file rows =
   close_out oc;
   Printf.printf "\nWrote OLS estimates to %s\n" file
 
-let run_bechamel ~quota ~json () =
+(* ------------------------------------------------------------------ *)
+(* Baseline comparison: --compare BASELINE.json fails the run when any
+   benchmark's fresh OLS estimate regresses past the tolerance.        *)
+
+(* Minimal parser for the JSON this harness writes (see [write_json]):
+   scans for ["name": "...", "time": <float>] pairs line by line. *)
+let read_baseline file =
+  let ic = open_in file in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       let find_field key =
+         let pat = Printf.sprintf "\"%s\":" key in
+         let plen = String.length pat in
+         let llen = String.length line in
+         let rec scan i =
+           if i + plen > llen then None
+           else if String.sub line i plen = pat then Some (i + plen)
+           else scan (i + 1)
+         in
+         scan 0
+       in
+       match find_field "name" with
+       | None -> ()
+       | Some i -> (
+         let q1 = String.index_from line i '"' in
+         let q2 = String.index_from line (q1 + 1) '"' in
+         let name = String.sub line (q1 + 1) (q2 - q1 - 1) in
+         match find_field "time" with
+         | None -> ()
+         | Some j ->
+           let rec skip k =
+             if k < String.length line && line.[k] = ' ' then skip (k + 1) else k
+           in
+           let s = skip j in
+           let e = ref s in
+           while
+             !e < String.length line
+             && (match line.[!e] with
+                | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+                | _ -> false)
+           do
+             incr e
+           done;
+           (match float_of_string_opt (String.sub line s (!e - s)) with
+           | Some t -> rows := (name, t) :: !rows
+           | None -> ()))
+     done
+   with End_of_file -> ());
+  close_in ic;
+  !rows
+
+let compare_with_baseline ~file ~tolerance rows =
+  let baseline = read_baseline file in
+  Printf.printf "\nComparison against %s (tolerance %.0f%%)\n" file
+    ((tolerance -. 1.0) *. 100.0);
+  let t =
+    Analysis.Table.create
+      ~columns:
+        [
+          ("benchmark", Analysis.Table.Left);
+          ("baseline", Analysis.Table.Right);
+          ("current", Analysis.Table.Right);
+          ("ratio", Analysis.Table.Right);
+          ("verdict", Analysis.Table.Left);
+        ]
+  in
+  let regressions = ref [] in
+  List.iter
+    (fun (name, current, _) ->
+      match List.assoc_opt name baseline with
+      | None -> ()
+      | Some base when base > 0.0 && not (Float.is_nan current) ->
+        let ratio = current /. base in
+        let verdict =
+          if ratio > tolerance then begin
+            regressions := name :: !regressions;
+            "REGRESSION"
+          end
+          else if ratio < 1.0 /. tolerance then "improved"
+          else "ok"
+        in
+        Analysis.Table.add_row t
+          [
+            name;
+            Printf.sprintf "%.3g ns" base;
+            Printf.sprintf "%.3g ns" current;
+            Printf.sprintf "%.2fx" ratio;
+            verdict;
+          ]
+      | Some _ -> ())
+    rows;
+  Analysis.Table.print t;
+  match !regressions with
+  | [] ->
+    print_endline "No regressions past tolerance.";
+    true
+  | l ->
+    Printf.printf "%d benchmark(s) regressed more than %.0f%%: %s\n"
+      (List.length l)
+      ((tolerance -. 1.0) *. 100.0)
+      (String.concat ", " (List.rev l));
+    false
+
+let run_bechamel ~quota ~json ~compare_to ~tolerance () =
   let open Bechamel in
   print_newline ();
   print_endline "Bechamel timing (monotonic clock, OLS estimate per run)";
@@ -345,7 +481,10 @@ let run_bechamel ~quota ~json () =
       Analysis.Table.add_row t [ name; pp_time estimate; Printf.sprintf "%.4f" r2 ])
     rows;
   Analysis.Table.print t;
-  match json with None -> () | Some file -> write_json ~file rows
+  (match json with None -> () | Some file -> write_json ~file rows);
+  match compare_to with
+  | None -> true
+  | Some file -> compare_with_baseline ~file ~tolerance rows
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -376,6 +515,29 @@ let () =
     in
     find args
   in
+  let compare_to =
+    (* --compare BASELINE.json: after the timing pass, fail if any
+       benchmark regressed past the tolerance vs. the baseline dump. *)
+    let rec find = function
+      | "--compare" :: v :: _ when String.length v > 0 && v.[0] <> '-' -> Some v
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let tolerance =
+    (* --compare-tolerance RATIO: allowed current/baseline ratio before a
+       regression is declared (default 1.25, i.e. >25% slower fails). *)
+    let rec find = function
+      | "--compare-tolerance" :: v :: _ -> (
+        match float_of_string_opt v with Some x when x >= 1.0 -> x | _ -> 1.25)
+      | _ :: rest -> find rest
+      | [] -> 1.25
+    in
+    find args
+  in
   let tables_ok = if tables then run_tables () else true in
-  if bench then run_bechamel ~quota ~json ();
-  if not tables_ok then exit 1
+  let bench_ok =
+    if bench then run_bechamel ~quota ~json ~compare_to ~tolerance () else true
+  in
+  if not (tables_ok && bench_ok) then exit 1

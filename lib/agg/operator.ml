@@ -4,6 +4,7 @@ module type S = sig
   val name : string
   val identity : t
   val combine : t -> t -> t
+  val inverse : (t -> t -> t) option
   val equal : t -> t -> bool
   val pp : Format.formatter -> t -> unit
   val of_float : float -> t

@@ -20,6 +20,14 @@ module type S = sig
   (** The aggregation operator.  Must be commutative and associative with
       {!identity} as identity (checked by property tests). *)
 
+  val inverse : (t -> t -> t) option
+  (** [Some sub] when the monoid is a group (or close enough): [sub
+      (combine x y) y] must equal [x] up to {!equal}'s tolerance.  SUM
+      and COUNT are invertible; MIN/MAX/UNION are not ([None]).  The
+      mechanism uses this to answer [subval] (the aggregate excluding
+      one neighbour's cache) in O(1) from a cached [gval] instead of
+      re-folding all neighbour caches. *)
+
   val equal : t -> t -> bool
 
   val pp : Format.formatter -> t -> unit

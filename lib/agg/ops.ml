@@ -9,6 +9,7 @@ module Sum = struct
   let name = "sum"
   let identity = 0.0
   let combine = ( +. )
+  let inverse = Some ( -. )
   let equal = float_equal
   let pp = Format.pp_print_float
   let of_float f = f
@@ -20,6 +21,7 @@ module Min = struct
   let name = "min"
   let identity = Float.infinity
   let combine = Float.min
+  let inverse = None
   let equal = float_equal
   let pp = Format.pp_print_float
   let of_float f = f
@@ -31,6 +33,7 @@ module Max = struct
   let name = "max"
   let identity = Float.neg_infinity
   let combine = Float.max
+  let inverse = None
   let equal = float_equal
   let pp = Format.pp_print_float
   let of_float f = f
@@ -42,6 +45,7 @@ module Sum_int = struct
   let name = "sum-int"
   let identity = 0
   let combine = ( + )
+  let inverse = Some ( - )
   let equal = Int.equal
   let pp = Format.pp_print_int
   let of_float f = int_of_float f
@@ -53,6 +57,7 @@ module Count = struct
   let name = "count"
   let identity = 0
   let combine = ( + )
+  let inverse = Some ( - )
   let equal = Int.equal
   let pp = Format.pp_print_int
   let of_float f = if f <> 0.0 then 1 else 0
@@ -64,6 +69,7 @@ module Avg = struct
   let name = "avg"
   let identity = (0.0, 0)
   let combine (s1, c1) (s2, c2) = (s1 +. s2, c1 + c2)
+  let inverse = Some (fun (s1, c1) (s2, c2) -> (s1 -. s2, c1 - c2))
   let equal (s1, c1) (s2, c2) = float_equal s1 s2 && c1 = c2
   let pp fmt (s, c) = Format.fprintf fmt "(sum=%g,count=%d)" s c
   let of_float f = (f, 1)
@@ -87,6 +93,8 @@ module Union = struct
       if x < y then x :: combine xs b
       else if y < x then y :: combine a ys
       else x :: combine xs ys
+
+  let inverse = None
 
   let equal = ( = )
 

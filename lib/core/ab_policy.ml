@@ -5,53 +5,50 @@ let name ~a ~b =
   Printf.sprintf "ab(%s,%s)" (side a) (side b)
 
 type state = {
-  lt : (int, int) Hashtbl.t;  (* write budget for taken leases, as in RWW *)
-  cc : (int, int) Hashtbl.t;  (* consecutive combines observed per grantee *)
+  lt : int array;  (* write budget for taken leases, as in RWW *)
+  cc : int array;  (* consecutive combines observed per grantee *)
 }
 
-let get tbl v = match Hashtbl.find_opt tbl v with Some x -> x | None -> 0
-let set tbl v x = Hashtbl.replace tbl v x
+(* Both tables are indexed directly by neighbour id. *)
+let make_state nbrs =
+  let size = List.fold_left max 0 nbrs + 1 in
+  { lt = Array.make size 0; cc = Array.make size 0 }
 
-let policy ~a ~b ~node_id:_ ~nbrs:_ =
+let policy ~a ~b ~node_id:_ ~nbrs =
   if a < 1 || b < 1 then invalid_arg "Ab_policy.policy: a and b must be >= 1";
-  let s = { lt = Hashtbl.create 8; cc = Hashtbl.create 8 } in
+  let s = make_state nbrs in
   {
     Policy.name = name ~a ~b;
-    on_combine =
-      (fun view -> List.iter (fun v -> set s.lt v b) (view.Policy.taken ()));
+    on_combine = (fun view -> view.Policy.iter_taken (fun v -> s.lt.(v) <- b));
     on_write =
       (fun view ->
         (* A local write is a write in sigma(u,v) for every neighbour v:
            it interrupts every consecutive-combine streak. *)
-        List.iter (fun v -> set s.cc v 0) view.Policy.nbrs);
+        List.iter (fun v -> s.cc.(v) <- 0) view.Policy.nbrs);
     probe_rcvd =
       (fun view ~from ->
-        List.iter
-          (fun v -> if v <> from then set s.lt v b)
-          (view.Policy.taken ());
-        set s.cc from (get s.cc from + 1));
-    response_rcvd = (fun _ ~flag ~from -> if flag then set s.lt from b);
+        view.Policy.iter_taken (fun v -> if v <> from then s.lt.(v) <- b);
+        s.cc.(from) <- s.cc.(from) + 1);
+    response_rcvd = (fun _ ~flag ~from -> if flag then s.lt.(from) <- b);
     update_rcvd =
       (fun view ~from ->
-        let other_grantee =
-          List.exists (fun v -> v <> from) (view.Policy.granted ())
-        in
-        if not other_grantee then set s.lt from (get s.lt from - 1);
+        if not (view.Policy.other_grantee from) then
+          s.lt.(from) <- s.lt.(from) - 1;
         (* A write on [from]'s side lies in sigma(u,v) for every other
            neighbour v: it interrupts their combine streaks. *)
-        List.iter (fun v -> if v <> from then set s.cc v 0) view.Policy.nbrs);
+        List.iter (fun v -> if v <> from then s.cc.(v) <- 0) view.Policy.nbrs);
     release_rcvd = (fun _ ~from:_ -> ());
     set_lease =
       (fun _ ~target ->
-        if get s.cc target >= a then begin
-          set s.cc target 0;
+        if s.cc.(target) >= a then begin
+          s.cc.(target) <- 0;
           true
         end
         else false);
-    break_lease = (fun _ ~target -> get s.lt target <= 0);
+    break_lease = (fun _ ~target -> s.lt.(target) <= 0);
     release_policy =
       (fun view ~target ->
-        set s.lt target (max 0 (get s.lt target - view.Policy.uaw_size target)));
+        s.lt.(target) <- max 0 (s.lt.(target) - view.Policy.uaw_size target));
   }
 
 let always_lease ~node_id ~nbrs = policy ~a:1 ~b:infinity_budget ~node_id ~nbrs

@@ -13,29 +13,63 @@ module Make (Op : Agg.Operator.S) = struct
     | Update _ -> Simul.Kind.Update
     | Release _ -> Simul.Kind.Release
 
-  (* One tuple of the paper's [sntupdates] set: an update received from
-     [from_node] with identifier [rcvid] was forwarded under [sntid]. *)
-  type sntupdate = { from_node : int; rcvid : int; sntid : int }
+  (* Per-channel log of forwarded updates, replacing the paper's global
+     [sntupdates] set.  Entry [j] records that the update received from
+     this neighbour under [rcvids.(j)] was forwarded under [sntids.(j)].
+     Both sequences are strictly increasing (FIFO receipt of a sender's
+     monotone counter; [upcntr] is monotone), so [onrelease] can locate
+     the paper's beta by binary search instead of a linear scan, and
+     entries whose [rcvid] can never again be the minimum of [uaw] are
+     pruned from the front ([start]).  [pruned_hi] remembers the largest
+     pruned [sntid]: a released window reaching at most that far is known
+     to be fully consumed without consulting the (gone) entries. *)
+  type sntlog = {
+    mutable rcvids : int array;
+    mutable sntids : int array;
+    mutable start : int;  (* first live entry *)
+    mutable len : int;  (* one past the last live entry *)
+    mutable pruned_hi : int;  (* largest pruned sntid; 0 if none *)
+  }
 
   type node = {
     id : int;
     nbrs : int list;
-    nbrs_arr : int array;  (* same contents as [nbrs]; broadcast loops *)
+    nbrs_arr : int array;  (* sorted ascending; slot i = i-th neighbour *)
+    deg : int;  (* Array.length nbrs_arr *)
+    self_pos : int;  (* # neighbours with id < self (requester order) *)
     mutable value : Op.t;  (* the paper's [val] *)
-    taken : (int, bool) Hashtbl.t;
-    granted : (int, bool) Hashtbl.t;
-    aval : (int, Op.t) Hashtbl.t;
-    uaw : (int, IntSet.t) Hashtbl.t;
-    mutable pndg : IntSet.t;
-    snt : (int, IntSet.t) Hashtbl.t;  (* keyed by requester: nbrs + self *)
+    (* Dense per-neighbour-slot lease state (the paper's taken[v],
+       granted[v], aval[v], uaw[v]), with incrementally maintained
+       cardinalities so tkn()/grntd()-style predicates are O(1). *)
+    taken : bool array;
+    mutable tkn_count : int;
+    granted : bool array;
+    mutable grntd_count : int;
+    aval : Op.t array;
+    mutable gval_cache : Op.t;  (* fold of value+avals when [not gval_dirty] *)
+    mutable gval_dirty : bool;
+    uaw : IntSet.t array;
+    uaw_size : int array;
+    (* Requester slots: 0..deg-1 = neighbours, deg = self. *)
+    pndg : bool array;  (* deg+1 slots *)
+    snt : bool array array;  (* requester slot -> mask over neighbour slots *)
+    snt_count : int array;  (* popcount of each mask *)
+    probed : int array;  (* per neighbour slot: # masks containing it *)
     mutable upcntr : int;
-    mutable sntupdates : sntupdate list;
+    sntlogs : sntlog array;  (* per neighbour slot *)
     policy : Policy.t;
     mutable view : Policy.view option;  (* built once, after allocation *)
     mutable pending : (Op.t -> unit) list;  (* callbacks of pending local combines *)
-    (* Ghost state (Figure 6). *)
+    (* Ghost state (Figure 6).  [gwrites] mirrors the write subsequence
+       of [glog] in chronological order; [shipped.(i)] is the prefix of
+       it already sent to neighbour slot [i], so outgoing wlogs carry
+       only the unshipped suffix (FIFO channels + merge-on-receipt make
+       the receiver's log a superset of every previously shipped
+       prefix). *)
     mutable glog : Op.t Ghost.entry list;  (* reversed *)
-    known_writes : (int * int, unit) Hashtbl.t;  (* (node,index) in glog *)
+    mutable gwrites : Op.t Ghost.write array;
+    mutable gwrites_len : int;
+    shipped : int array;
     last_write : int array;  (* per tree node: index of most recent write in glog, -1 if none *)
     mutable completed : int;  (* completed requests at this node *)
   }
@@ -48,18 +82,130 @@ module Make (Op : Agg.Operator.S) = struct
   }
 
   (* ------------------------------------------------------------------ *)
-  (* State accessors (the paper's nbrs(), tkn(), grntd(), sntprobes()). *)
+  (* Slot arithmetic.                                                   *)
 
-  let tbl_get tbl k ~default =
-    match Hashtbl.find_opt tbl k with Some v -> v | None -> default
+  (* Position of neighbour [v] in [nbrs_arr], -1 if not a neighbour. *)
+  let slot nd v =
+    let a = nd.nbrs_arr in
+    let lo = ref 0 and hi = ref (nd.deg - 1) and found = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let w = Array.unsafe_get a mid in
+      if w = v then begin
+        found := mid;
+        lo := !hi + 1
+      end
+      else if w < v then lo := mid + 1
+      else hi := mid - 1
+    done;
+    !found
 
-  let tkn nd = List.filter (fun v -> tbl_get nd.taken v ~default:false) nd.nbrs
+  let self_slot nd = nd.deg
 
-  let grntd nd =
-    List.filter (fun v -> tbl_get nd.granted v ~default:false) nd.nbrs
+  (* Requester slots in ascending order of node id, self included at its
+     sorted position — the iteration order of the old
+     [IntSet.elements pndg] snapshot in T4. *)
+  let iter_requester_slots nd f =
+    for i = 0 to nd.self_pos - 1 do
+      f i
+    done;
+    f nd.deg;
+    for i = nd.self_pos to nd.deg - 1 do
+      f i
+    done
 
-  let sntprobes nd =
-    Hashtbl.fold (fun _ s acc -> IntSet.union s acc) nd.snt IntSet.empty
+  let set_taken nd i flag =
+    if nd.taken.(i) <> flag then begin
+      nd.taken.(i) <- flag;
+      nd.tkn_count <- (if flag then nd.tkn_count + 1 else nd.tkn_count - 1)
+    end
+
+  let set_granted nd i flag =
+    if nd.granted.(i) <> flag then begin
+      nd.granted.(i) <- flag;
+      nd.grntd_count <- (if flag then nd.grntd_count + 1 else nd.grntd_count - 1)
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* sntlog maintenance.                                                *)
+
+  let sntlog_create () =
+    { rcvids = [||]; sntids = [||]; start = 0; len = 0; pruned_hi = 0 }
+
+  let sntlog_length sl = sl.len - sl.start
+
+  let sntlog_append sl ~rcvid ~sntid =
+    let cap = Array.length sl.rcvids in
+    if sl.len = cap then begin
+      let live = sl.len - sl.start in
+      if sl.start > 0 && live * 2 <= cap then begin
+        (* plenty of pruned slack at the front: compact in place *)
+        Array.blit sl.rcvids sl.start sl.rcvids 0 live;
+        Array.blit sl.sntids sl.start sl.sntids 0 live
+      end
+      else begin
+        let ncap = max 8 (2 * cap) in
+        let r = Array.make ncap 0 and s = Array.make ncap 0 in
+        Array.blit sl.rcvids sl.start r 0 live;
+        Array.blit sl.sntids sl.start s 0 live;
+        sl.rcvids <- r;
+        sl.sntids <- s
+      end;
+      sl.start <- 0;
+      sl.len <- live
+    end;
+    sl.rcvids.(sl.len) <- rcvid;
+    sl.sntids.(sl.len) <- sntid;
+    sl.len <- sl.len + 1
+
+  (* Drop the prefix of entries whose [rcvid] is no longer reachable by a
+     future release window: once uaw[v] has been trimmed (or reset), any
+     entry with [rcvid <= min uaw] — all of them when uaw is empty — can
+     never again contribute a beta with a live effect, because a later
+     release either lands past it ([pruned_hi] answers) or inside the
+     remaining live entries. *)
+  let sntlog_prune sl ~uaw_min =
+    let keep_from =
+      match uaw_min with
+      | None -> sl.len
+      | Some m ->
+        let j = ref sl.start in
+        while !j < sl.len && sl.rcvids.(!j) <= m do
+          incr j
+        done;
+        !j
+    in
+    if keep_from > sl.start then begin
+      sl.pruned_hi <- sl.sntids.(keep_from - 1);
+      sl.start <- keep_from;
+      if sl.start = sl.len then begin
+        sl.start <- 0;
+        sl.len <- 0
+      end
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* uaw maintenance (cached cardinality + sntlog co-pruning).          *)
+
+  let uaw_reset nd i =
+    nd.uaw.(i) <- IntSet.empty;
+    nd.uaw_size.(i) <- 0;
+    sntlog_prune nd.sntlogs.(i) ~uaw_min:None
+
+  let uaw_add nd i id =
+    let s = nd.uaw.(i) in
+    if not (IntSet.mem id s) then begin
+      nd.uaw.(i) <- IntSet.add id s;
+      nd.uaw_size.(i) <- nd.uaw_size.(i) + 1
+    end
+
+  let uaw_set nd i s =
+    nd.uaw.(i) <- s;
+    nd.uaw_size.(i) <- IntSet.cardinal s;
+    sntlog_prune nd.sntlogs.(i) ~uaw_min:(IntSet.min_elt_opt s)
+
+  (* ------------------------------------------------------------------ *)
+  (* Views for the policy layer.                                        *)
 
   let node_view nd =
     match nd.view with
@@ -69,51 +215,117 @@ module Make (Op : Agg.Operator.S) = struct
         {
           Policy.id = nd.id;
           nbrs = nd.nbrs;
-          is_taken = (fun w -> tbl_get nd.taken w ~default:false);
-          is_granted = (fun w -> tbl_get nd.granted w ~default:false);
-          taken = (fun () -> tkn nd);
-          granted = (fun () -> grntd nd);
+          degree = nd.deg;
+          is_taken =
+            (fun w ->
+              let i = slot nd w in
+              i >= 0 && nd.taken.(i));
+          is_granted =
+            (fun w ->
+              let i = slot nd w in
+              i >= 0 && nd.granted.(i));
+          iter_taken =
+            (fun f ->
+              for i = 0 to nd.deg - 1 do
+                if nd.taken.(i) then f nd.nbrs_arr.(i)
+              done);
+          iter_granted =
+            (fun f ->
+              for i = 0 to nd.deg - 1 do
+                if nd.granted.(i) then f nd.nbrs_arr.(i)
+              done);
+          tkn_count = (fun () -> nd.tkn_count);
+          grntd_count = (fun () -> nd.grntd_count);
+          other_grantee =
+            (fun w ->
+              nd.grntd_count > 1
+              || nd.grntd_count = 1
+                 && not
+                      (let i = slot nd w in
+                       i >= 0 && nd.granted.(i)));
           uaw_size =
-            (fun w -> IntSet.cardinal (tbl_get nd.uaw w ~default:IntSet.empty));
+            (fun w ->
+              let i = slot nd w in
+              if i >= 0 then nd.uaw_size.(i) else 0);
         }
       in
       nd.view <- Some v;
       v
 
-  (* The paper's gval(): local value folded with all neighbour caches. *)
+  (* The paper's gval(): local value folded with all neighbour caches.
+     Cached between writes; the recomputation folds in ascending slot
+     order, exactly the old per-call fold, so cached and uncached values
+     are bit-identical even for floats. *)
   let gval_of nd =
-    Array.fold_left
-      (fun x v -> Op.combine x (tbl_get nd.aval v ~default:Op.identity))
-      nd.value nd.nbrs_arr
+    if nd.gval_dirty then begin
+      let x = ref nd.value in
+      for i = 0 to nd.deg - 1 do
+        x := Op.combine !x nd.aval.(i)
+      done;
+      nd.gval_cache <- !x;
+      nd.gval_dirty <- false
+    end;
+    nd.gval_cache
 
-  (* The paper's subval(w): gval() excluding the cache for [w]. *)
-  let subval nd w =
-    Array.fold_left
-      (fun x v ->
-        if v = w then x
-        else Op.combine x (tbl_get nd.aval v ~default:Op.identity))
-      nd.value nd.nbrs_arr
+  (* The paper's subval(w): gval() excluding the cache for [w] (given
+     here by slot).  O(1) via the group inverse when the operator has
+     one; otherwise the old fold, skipping slot [i]. *)
+  let subval nd i =
+    match Op.inverse with
+    | Some sub -> sub (gval_of nd) nd.aval.(i)
+    | None ->
+      let x = ref nd.value in
+      for j = 0 to nd.deg - 1 do
+        if j <> i then x := Op.combine !x nd.aval.(j)
+      done;
+      !x
 
   (* ------------------------------------------------------------------ *)
   (* Ghost actions (Figure 6).                                          *)
 
-  let ghost_wlog t nd = if t.ghost then Ghost.wlog (List.rev nd.glog) else []
+  let gwrites_push nd w =
+    let cap = Array.length nd.gwrites in
+    if nd.gwrites_len = cap then begin
+      let a = Array.make (max 16 (2 * cap)) w in
+      Array.blit nd.gwrites 0 a 0 cap;
+      nd.gwrites <- a
+    end;
+    nd.gwrites.(nd.gwrites_len) <- w;
+    nd.gwrites_len <- nd.gwrites_len + 1
+
+  (* Delta encoding: ship to neighbour slot [i] only the suffix of the
+     write log it has not been sent yet.  Sound because channels are
+     FIFO and the receiver merges every wlog it gets, so its log already
+     contains each previously shipped prefix. *)
+  let ghost_wlog_to t nd i =
+    if not t.ghost then []
+    else begin
+      let start = nd.shipped.(i) and stop = nd.gwrites_len in
+      nd.shipped.(i) <- stop;
+      let acc = ref [] in
+      for j = stop - 1 downto start do
+        acc := nd.gwrites.(j) :: !acc
+      done;
+      !acc
+    end
 
   let ghost_append_write t nd (w : Op.t Ghost.write) =
     if t.ghost then begin
       nd.glog <- Ghost.Write w :: nd.glog;
-      Hashtbl.replace nd.known_writes (Ghost.write_id w) ();
+      gwrites_push nd w;
       nd.last_write.(w.wnode) <- w.windex
     end
 
   (* log := log . (wlog_w - log): append the writes of the received wlog
-     that are not yet in our log, preserving their order. *)
+     that are not yet in our log, preserving their order.  Every log
+     holds, per origin, a prefix of that origin's write sequence (writes
+     are indexed densely and merged in order), so membership is just an
+     index comparison against [last_write]. *)
   let ghost_merge t nd wlog_w =
     if t.ghost then
       List.iter
-        (fun w ->
-          if not (Hashtbl.mem nd.known_writes (Ghost.write_id w)) then
-            ghost_append_write t nd w)
+        (fun (w : Op.t Ghost.write) ->
+          if w.windex > nd.last_write.(w.wnode) then ghost_append_write t nd w)
         wlog_w
 
   let ghost_recentwrites t nd =
@@ -127,94 +339,110 @@ module Make (Op : Agg.Operator.S) = struct
   let send t nd dst m = Simul.Network.send t.net ~src:nd.id ~dst m
 
   (* sendprobes(w): mark [w] pending and probe every neighbour whose
-     subtree aggregate is neither leased nor already being probed. *)
+     subtree aggregate is neither leased ([taken]) nor already being
+     probed ([probed], the paper's sntprobes() membership counter). *)
   let sendprobes t nd w =
-    nd.pndg <- IntSet.add w nd.pndg;
-    let skip = IntSet.add w (IntSet.union (IntSet.of_list (tkn nd)) (sntprobes nd)) in
-    Array.iter
-      (fun v -> if not (IntSet.mem v skip) then send t nd v Probe)
-      nd.nbrs_arr
+    let r = if w = nd.id then self_slot nd else slot nd w in
+    nd.pndg.(r) <- true;
+    for i = 0 to nd.deg - 1 do
+      let v = nd.nbrs_arr.(i) in
+      if v <> w && (not nd.taken.(i)) && nd.probed.(i) = 0 then
+        send t nd v Probe
+    done
+
+  (* Record the snt set for requester slot [r]: every neighbour slot not
+     covered by a taken lease, except [exclude] (the requester itself,
+     for probes from a neighbour; -1 for a local combine). *)
+  let set_snt_mask nd r ~exclude =
+    let mask = nd.snt.(r) in
+    for i = 0 to nd.deg - 1 do
+      if i <> exclude && not nd.taken.(i) then begin
+        mask.(i) <- true;
+        nd.snt_count.(r) <- nd.snt_count.(r) + 1;
+        nd.probed.(i) <- nd.probed.(i) + 1
+      end
+    done
 
   (* forwardupdates(w, id): push fresh subtree aggregates to every
      grantee except [w]. *)
   let forwardupdates t nd w id =
-    let wl = ghost_wlog t nd in
-    List.iter
-      (fun v -> if v <> w then send t nd v (Update { x = subval nd v; id; wlog = wl }))
-      (grntd nd)
+    for i = 0 to nd.deg - 1 do
+      let v = nd.nbrs_arr.(i) in
+      if nd.granted.(i) && v <> w then
+        send t nd v (Update { x = subval nd i; id; wlog = ghost_wlog_to t nd i })
+    done
 
   (* sendresponse(w): answer a probe; grant a lease iff every other
      neighbour is covered by a taken lease and the policy agrees. *)
   let sendresponse t nd w =
+    let i = slot nd w in
     let others_covered =
-      Array.for_all (fun v -> v = w || tbl_get nd.taken v ~default:false) nd.nbrs_arr
+      nd.tkn_count = nd.deg || (nd.tkn_count = nd.deg - 1 && not nd.taken.(i))
     in
     if others_covered then
-      Hashtbl.replace nd.granted w
-        (nd.policy.set_lease (node_view nd) ~target:w);
-    let flag = tbl_get nd.granted w ~default:false in
-    send t nd w (Response { x = subval nd w; flag; wlog = ghost_wlog t nd })
+      set_granted nd i (nd.policy.set_lease (node_view nd) ~target:w);
+    let flag = nd.granted.(i) in
+    send t nd w (Response { x = subval nd i; flag; wlog = ghost_wlog_to t nd i })
 
-  let isgoodforrelease nd w =
-    match grntd nd with [] -> true | [ v ] -> v = w | _ -> false
+  let isgoodforrelease nd i =
+    nd.grntd_count = 0 || (nd.grntd_count = 1 && nd.granted.(i))
 
   (* forwardrelease(): break every eligible taken lease the policy wants
      to drop, sending back the accumulated unacknowledged-update ids. *)
   let forwardrelease t nd =
-    List.iter
-      (fun v ->
-        if
-          isgoodforrelease nd v
-          && tbl_get nd.taken v ~default:false
-          && nd.policy.break_lease (node_view nd) ~target:v
-        then begin
-          Hashtbl.replace nd.taken v false;
-          send t nd v (Release { ids = tbl_get nd.uaw v ~default:IntSet.empty });
-          Hashtbl.replace nd.uaw v IntSet.empty
-        end)
-      (tkn nd)
+    for i = 0 to nd.deg - 1 do
+      if
+        isgoodforrelease nd i && nd.taken.(i)
+        && nd.policy.break_lease (node_view nd) ~target:nd.nbrs_arr.(i)
+      then begin
+        set_taken nd i false;
+        send t nd nd.nbrs_arr.(i) (Release { ids = nd.uaw.(i) });
+        uaw_reset nd i
+      end
+    done
 
   (* onrelease(w, S): trim each uaw[v] down to the update ids that were
      forwarded to [w] within the released window, then let the policy
-     react, then try to propagate the release. *)
+     react, then try to propagate the release.
+
+     The paper's beta — the earliest-received sntupdate forwarded at or
+     after min S — is found by binary search: per channel, rcvids and
+     sntids both increase, so the candidate set {sntid >= min S} is a
+     suffix and its rcvid-minimum is its first element. *)
   let onrelease t nd w s =
     (match IntSet.min_elt_opt s with
     | None -> ()
     | Some id ->
-      List.iter
-        (fun v ->
-          if v <> w then begin
-            let a =
-              List.filter
-                (fun (su : sntupdate) -> su.from_node = v && su.sntid >= id)
-                nd.sntupdates
-            in
-            (* A empty means every update received from [v] was forwarded
+      for i = 0 to nd.deg - 1 do
+        if nd.nbrs_arr.(i) <> w && nd.taken.(i) then begin
+          let sl = nd.sntlogs.(i) in
+          let last =
+            if sl.len > sl.start then sl.sntids.(sl.len - 1) else sl.pruned_hi
+          in
+          if last < id then
+            (* A empty: every update from this neighbour was forwarded
                before the released window, i.e. consumed downstream by a
-               combine: nothing from [v] is left unaccounted (beta.rcvid
-               degenerates to +inf, so S' is empty). *)
-            (match a with
-            | [] -> Hashtbl.replace nd.uaw v IntSet.empty
-            | hd :: tl ->
-              let beta =
-                List.fold_left
-                  (fun (acc : sntupdate) su ->
-                    if su.rcvid <= acc.rcvid then su else acc)
-                  hd tl
-              in
-              let s' =
-                IntSet.filter
-                  (fun i -> i >= beta.rcvid)
-                  (tbl_get nd.uaw v ~default:IntSet.empty)
-              in
-              Hashtbl.replace nd.uaw v s')
-          end)
-        (tkn nd));
-    List.iter
-      (fun v ->
-        if v <> w && isgoodforrelease nd v then
-          nd.policy.release_policy (node_view nd) ~target:v)
-      (tkn nd);
+               combine — nothing left unaccounted. *)
+            uaw_reset nd i
+          else if id > sl.pruned_hi then begin
+            (* beta is a live entry: first with sntid >= id. *)
+            let lo = ref sl.start and hi = ref (sl.len - 1) in
+            while !lo < !hi do
+              let mid = (!lo + !hi) / 2 in
+              if sl.sntids.(mid) >= id then hi := mid else lo := mid + 1
+            done;
+            let beta_rcvid = sl.rcvids.(!lo) in
+            uaw_set nd i (IntSet.filter (fun j -> j >= beta_rcvid) nd.uaw.(i))
+          end
+          (* else beta fell in the pruned prefix: its rcvid was <= some
+             earlier min uaw, so the filter {>= beta.rcvid} keeps all of
+             uaw — a no-op. *)
+        end
+      done);
+    for i = 0 to nd.deg - 1 do
+      if nd.nbrs_arr.(i) <> w && nd.taken.(i) && isgoodforrelease nd i then
+        nd.policy.release_policy (node_view nd) ~target:nd.nbrs_arr.(i)
+    done;
     forwardrelease t nd
 
   let newid nd =
@@ -250,25 +478,27 @@ module Make (Op : Agg.Operator.S) = struct
   let t1_combine t nd k =
     nd.pending <- k :: nd.pending;
     nd.policy.on_combine (node_view nd);
-    List.iter (fun v -> Hashtbl.replace nd.uaw v IntSet.empty) (tkn nd);
-    if not (IntSet.mem nd.id nd.pndg) then begin
-      let missing = List.filter (fun v -> not (tbl_get nd.taken v ~default:false)) nd.nbrs in
-      match missing with
-      | [] -> complete_combines t nd
-      | _ :: _ ->
+    for i = 0 to nd.deg - 1 do
+      if nd.taken.(i) then uaw_reset nd i
+    done;
+    if not nd.pndg.(self_slot nd) then begin
+      if nd.tkn_count = nd.deg then complete_combines t nd
+      else begin
         sendprobes t nd nd.id;
-        Hashtbl.replace nd.snt nd.id (IntSet.of_list missing)
+        set_snt_mask nd (self_slot nd) ~exclude:(-1)
+      end
     end
 
   (* T2: write request at [nd]. *)
   let t2_write t nd arg =
     nd.value <- arg;
+    nd.gval_dirty <- true;
     if t.ghost then
       ghost_append_write t nd
         { Ghost.wnode = nd.id; windex = nd.completed; warg = arg };
     nd.completed <- nd.completed + 1;
     nd.policy.on_write (node_view nd);
-    if grntd nd <> [] then begin
+    if nd.grntd_count > 0 then begin
       let id = newid nd in
       forwardupdates t nd nd.id id
     end
@@ -276,49 +506,55 @@ module Make (Op : Agg.Operator.S) = struct
   (* T3: receive probe from [w]. *)
   let t3_probe t nd w =
     nd.policy.probe_rcvd (node_view nd) ~from:w;
-    List.iter
-      (fun v -> if v <> w then Hashtbl.replace nd.uaw v IntSet.empty)
-      (tkn nd);
-    if not (IntSet.mem w nd.pndg) then begin
+    for i = 0 to nd.deg - 1 do
+      if nd.taken.(i) && nd.nbrs_arr.(i) <> w then uaw_reset nd i
+    done;
+    let r = slot nd w in
+    if not nd.pndg.(r) then begin
       let missing =
-        List.filter
-          (fun v -> v <> w && not (tbl_get nd.taken v ~default:false))
-          nd.nbrs
+        nd.deg - nd.tkn_count - (if nd.taken.(r) then 0 else 1)
       in
-      match missing with
-      | [] -> sendresponse t nd w
-      | _ :: _ ->
+      if missing = 0 then sendresponse t nd w
+      else begin
         sendprobes t nd w;
-        Hashtbl.replace nd.snt w (IntSet.of_list missing)
+        set_snt_mask nd r ~exclude:r
+      end
     end
 
   (* T4: receive response(x, flag) from [w]. *)
   let t4_response t nd w x flag wlog_w =
     nd.policy.response_rcvd (node_view nd) ~flag ~from:w;
-    Hashtbl.replace nd.aval w x;
+    let sw = slot nd w in
+    nd.aval.(sw) <- x;
+    nd.gval_dirty <- true;
     ghost_merge t nd wlog_w;
-    Hashtbl.replace nd.taken w flag;
-    let requesters = IntSet.elements nd.pndg in
-    List.iter
-      (fun v ->
-        let s = IntSet.remove w (tbl_get nd.snt v ~default:IntSet.empty) in
-        Hashtbl.replace nd.snt v s;
-        if IntSet.is_empty s then begin
-          nd.pndg <- IntSet.remove v nd.pndg;
-          if v = nd.id then complete_combines t nd else sendresponse t nd v
+    set_taken nd sw flag;
+    iter_requester_slots nd (fun r ->
+        if nd.pndg.(r) && nd.snt.(r).(sw) then begin
+          nd.snt.(r).(sw) <- false;
+          nd.snt_count.(r) <- nd.snt_count.(r) - 1;
+          nd.probed.(sw) <- nd.probed.(sw) - 1;
+          if nd.snt_count.(r) = 0 then begin
+            nd.pndg.(r) <- false;
+            if r = self_slot nd then complete_combines t nd
+            else sendresponse t nd nd.nbrs_arr.(r)
+          end
         end)
-      requesters
 
   (* T5: receive update(x, id) from [w]. *)
   let t5_update t nd w x id wlog_w =
     nd.policy.update_rcvd (node_view nd) ~from:w;
-    Hashtbl.replace nd.aval w x;
+    let sw = slot nd w in
+    nd.aval.(sw) <- x;
+    nd.gval_dirty <- true;
     ghost_merge t nd wlog_w;
-    Hashtbl.replace nd.uaw w (IntSet.add id (tbl_get nd.uaw w ~default:IntSet.empty));
-    let other_grantees = List.filter (fun v -> v <> w) (grntd nd) in
-    if other_grantees <> [] then begin
+    uaw_add nd sw id;
+    let other_grantees =
+      nd.grntd_count > 1 || (nd.grntd_count = 1 && not nd.granted.(sw))
+    in
+    if other_grantees then begin
       let nid = newid nd in
-      nd.sntupdates <- { from_node = w; rcvid = id; sntid = nid } :: nd.sntupdates;
+      sntlog_append nd.sntlogs.(sw) ~rcvid:id ~sntid:nid;
       forwardupdates t nd w nid
     end
     else forwardrelease t nd
@@ -326,7 +562,7 @@ module Make (Op : Agg.Operator.S) = struct
   (* T6: receive release(S) from [w]. *)
   let t6_release t nd w s =
     nd.policy.release_rcvd (node_view nd) ~from:w;
-    Hashtbl.replace nd.granted w false;
+    set_granted nd (slot nd w) false;
     onrelease t nd w s
 
   (* ------------------------------------------------------------------ *)
@@ -337,24 +573,41 @@ module Make (Op : Agg.Operator.S) = struct
     let mk_node id =
       let nbrs_arr = Tree.neighbors_arr tree id in
       let nbrs = Array.to_list nbrs_arr in
+      let deg = Array.length nbrs_arr in
+      let self_pos =
+        let p = ref 0 in
+        Array.iter (fun v -> if v < id then incr p) nbrs_arr;
+        !p
+      in
       {
         id;
         nbrs;
         nbrs_arr;
+        deg;
+        self_pos;
         value = Op.identity;
-        taken = Hashtbl.create 8;
-        granted = Hashtbl.create 8;
-        aval = Hashtbl.create 8;
-        uaw = Hashtbl.create 8;
-        pndg = IntSet.empty;
-        snt = Hashtbl.create 8;
+        taken = Array.make deg false;
+        tkn_count = 0;
+        granted = Array.make deg false;
+        grntd_count = 0;
+        aval = Array.make deg Op.identity;
+        gval_cache = Op.identity;
+        gval_dirty = true;
+        uaw = Array.make deg IntSet.empty;
+        uaw_size = Array.make deg 0;
+        pndg = Array.make (deg + 1) false;
+        snt = Array.init (deg + 1) (fun _ -> Array.make deg false);
+        snt_count = Array.make (deg + 1) 0;
+        probed = Array.make deg 0;
         upcntr = 0;
-        sntupdates = [];
+        sntlogs = Array.init deg (fun _ -> sntlog_create ());
         policy = policy ~node_id:id ~nbrs;
         view = None;
         pending = [];
         glog = [];
-        known_writes = Hashtbl.create 64;
+        gwrites = [||];
+        gwrites_len = 0;
+        shipped = Array.make deg 0;
         last_write = Array.make n (-1);
         completed = 0;
       }
@@ -419,13 +672,53 @@ module Make (Op : Agg.Operator.S) = struct
 
   let local_value t u = t.nodes.(u).value
   let gval t u = gval_of t.nodes.(u)
-  let taken t u v = tbl_get t.nodes.(u).taken v ~default:false
-  let granted t u v = tbl_get t.nodes.(u).granted v ~default:false
-  let aval t u v = tbl_get t.nodes.(u).aval v ~default:Op.identity
-  let uaw t u v = tbl_get t.nodes.(u).uaw v ~default:IntSet.empty
-  let pndg t u = t.nodes.(u).pndg
-  let snt t u v = tbl_get t.nodes.(u).snt v ~default:IntSet.empty
-  let sntupdates_length t u = List.length t.nodes.(u).sntupdates
+
+  let taken t u v =
+    let nd = t.nodes.(u) in
+    let i = slot nd v in
+    i >= 0 && nd.taken.(i)
+
+  let granted t u v =
+    let nd = t.nodes.(u) in
+    let i = slot nd v in
+    i >= 0 && nd.granted.(i)
+
+  let aval t u v =
+    let nd = t.nodes.(u) in
+    let i = slot nd v in
+    if i >= 0 then nd.aval.(i) else Op.identity
+
+  let uaw t u v =
+    let nd = t.nodes.(u) in
+    let i = slot nd v in
+    if i >= 0 then nd.uaw.(i) else IntSet.empty
+
+  let pndg t u =
+    let nd = t.nodes.(u) in
+    let s = ref IntSet.empty in
+    for i = 0 to nd.deg - 1 do
+      if nd.pndg.(i) then s := IntSet.add nd.nbrs_arr.(i) !s
+    done;
+    if nd.pndg.(nd.deg) then s := IntSet.add nd.id !s;
+    !s
+
+  let snt t u v =
+    let nd = t.nodes.(u) in
+    let r = if v = u then self_slot nd else slot nd v in
+    if r < 0 then IntSet.empty
+    else begin
+      let s = ref IntSet.empty in
+      let mask = nd.snt.(r) in
+      for i = 0 to nd.deg - 1 do
+        if mask.(i) then s := IntSet.add nd.nbrs_arr.(i) !s
+      done;
+      !s
+    end
+
+  let sntupdates_length t u =
+    Array.fold_left
+      (fun acc sl -> acc + sntlog_length sl)
+      0 t.nodes.(u).sntlogs
 
   let lease_graph_edges t =
     List.filter (fun (u, v) -> granted t u v) (Tree.ordered_pairs t.tree)
@@ -443,4 +736,97 @@ module Make (Op : Agg.Operator.S) = struct
 
   let log t u = List.rev t.nodes.(u).glog
   let completed_requests t u = t.nodes.(u).completed
+
+  (* ------------------------------------------------------------------ *)
+  (* Internal-consistency audit.                                        *)
+
+  let check_invariants t =
+    let fail fmt = Printf.ksprintf failwith fmt in
+    Array.iter
+      (fun nd ->
+        let u = nd.id in
+        (* dense counters vs recomputed cardinalities *)
+        let count a = Array.fold_left (fun n b -> if b then n + 1 else n) 0 a in
+        if count nd.taken <> nd.tkn_count then
+          fail "node %d: tkn_count %d <> %d" u nd.tkn_count (count nd.taken);
+        if count nd.granted <> nd.grntd_count then
+          fail "node %d: grntd_count %d <> %d" u nd.grntd_count
+            (count nd.granted);
+        for i = 0 to nd.deg - 1 do
+          if IntSet.cardinal nd.uaw.(i) <> nd.uaw_size.(i) then
+            fail "node %d: uaw_size[%d] %d <> %d" u i nd.uaw_size.(i)
+              (IntSet.cardinal nd.uaw.(i))
+        done;
+        (* gval cache *)
+        if not nd.gval_dirty then begin
+          let x = ref nd.value in
+          for i = 0 to nd.deg - 1 do
+            x := Op.combine !x nd.aval.(i)
+          done;
+          if not (Op.equal !x nd.gval_cache) then
+            fail "node %d: stale gval cache" u
+        end;
+        (* snt masks vs their counters, probed counters, pndg linkage *)
+        let probed' = Array.make nd.deg 0 in
+        for r = 0 to nd.deg do
+          let c = count nd.snt.(r) in
+          if c <> nd.snt_count.(r) then
+            fail "node %d: snt_count[%d] %d <> %d" u r nd.snt_count.(r) c;
+          if nd.pndg.(r) <> (c > 0) then
+            fail "node %d: pndg[%d]=%b but |snt|=%d" u r nd.pndg.(r) c;
+          for i = 0 to nd.deg - 1 do
+            if nd.snt.(r).(i) then probed'.(i) <- probed'.(i) + 1
+          done
+        done;
+        for i = 0 to nd.deg - 1 do
+          if probed'.(i) <> nd.probed.(i) then
+            fail "node %d: probed[%d] %d <> %d" u i nd.probed.(i) probed'.(i)
+        done;
+        (* sntlogs: monotone ids, pruning watermark below live entries *)
+        Array.iter
+          (fun sl ->
+            if sl.start < 0 || sl.start > sl.len then
+              fail "node %d: sntlog window [%d,%d)" u sl.start sl.len;
+            for j = sl.start + 1 to sl.len - 1 do
+              if sl.rcvids.(j) <= sl.rcvids.(j - 1) then
+                fail "node %d: sntlog rcvids not increasing" u;
+              if sl.sntids.(j) <= sl.sntids.(j - 1) then
+                fail "node %d: sntlog sntids not increasing" u
+            done;
+            if sl.len > sl.start && sl.pruned_hi >= sl.sntids.(sl.start) then
+              fail "node %d: pruned_hi overlaps live sntlog" u;
+            if sl.len > sl.start && sl.sntids.(sl.len - 1) > nd.upcntr then
+              fail "node %d: sntid beyond upcntr" u)
+          nd.sntlogs;
+        (* ghost: gwrites mirrors glog's write subsequence; per-origin
+           indices increase chronologically; last_write is their max *)
+        let writes = Ghost.wlog (List.rev nd.glog) in
+        if List.length writes <> nd.gwrites_len then
+          fail "node %d: gwrites_len %d <> %d writes in glog" u nd.gwrites_len
+            (List.length writes);
+        List.iteri
+          (fun j (w : Op.t Ghost.write) ->
+            let w' = nd.gwrites.(j) in
+            if w'.Ghost.wnode <> w.wnode || w'.windex <> w.windex then
+              fail "node %d: gwrites[%d] diverges from glog" u j)
+          writes;
+        let hi = Array.make (Array.length nd.last_write) (-1) in
+        List.iter
+          (fun (w : Op.t Ghost.write) ->
+            if w.windex <= hi.(w.wnode) then
+              fail "node %d: write (%d,%d) breaks per-origin prefix order" u
+                w.wnode w.windex;
+            hi.(w.wnode) <- w.windex)
+          writes;
+        Array.iteri
+          (fun v h ->
+            if h <> nd.last_write.(v) then
+              fail "node %d: last_write[%d] %d <> %d" u v nd.last_write.(v) h)
+          hi;
+        Array.iteri
+          (fun i s ->
+            if s < 0 || s > nd.gwrites_len then
+              fail "node %d: shipped[%d]=%d out of range" u i s)
+          nd.shipped)
+      t.nodes
 end

@@ -21,7 +21,21 @@
     The transcription is deliberately line-by-line: each transition
     carries a comment naming the paper's label (T1..T6) and procedures
     keep the paper's names ([sendprobes], [forwardupdates],
-    [sendresponse], [onrelease], [forwardrelease], [gval], [subval]). *)
+    [sendresponse], [onrelease], [forwardrelease], [gval], [subval]).
+
+    Internally the per-node state named by the paper is stored densely,
+    indexed by neighbour {e slot} (position in the sorted neighbour
+    array) rather than hashed by neighbour id: [taken]/[granted] are
+    bool arrays with incrementally maintained cardinalities, [aval] is a
+    value array behind a cached [gval] (so [subval] is O(1) for
+    operators with a group inverse), [uaw]/[snt] carry cached sizes, and
+    [sntupdates] is a per-channel log with monotone ids that is binary
+    searched and pruned as releases consume it.  Ghost write logs are
+    delta-encoded per channel: each message carries only the suffix of
+    the write log not previously shipped on that channel.  None of this
+    changes the protocol: message sequences are identical to the plain
+    transcription (pinned by golden tests), and {!Make.check_invariants}
+    audits the representation against the naive recomputation. *)
 
 module IntSet : Set.S with type elt = int
 
@@ -128,6 +142,17 @@ module Make (Op : Agg.Operator.S) : sig
       creation (or the last counter reset). *)
 
   val reset_message_counters : t -> unit
+
+  val check_invariants : t -> unit
+  (** Audit the internal representation: the dense per-slot lease arrays
+      against their incrementally maintained cardinalities ([tkn_count],
+      [grntd_count], uaw sizes, snt popcounts, the sntprobes membership
+      counters), the cached [gval] against a fresh fold, the per-channel
+      [sntupdates] logs (strictly increasing ids, pruning watermark below
+      the live window) and the ghost state (write array mirrors the log,
+      per-origin prefix order, [last_write] high-water marks).  Safe to
+      call between any two request/delivery steps.
+      @raise Failure on the first violated invariant. *)
 
   (** {1 Ghost logs (Section 5)} *)
 

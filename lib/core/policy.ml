@@ -1,10 +1,14 @@
 type view = {
   id : int;
   nbrs : int list;
+  degree : int;
   is_taken : int -> bool;
   is_granted : int -> bool;
-  taken : unit -> int list;
-  granted : unit -> int list;
+  iter_taken : (int -> unit) -> unit;
+  iter_granted : (int -> unit) -> unit;
+  tkn_count : unit -> int;
+  grntd_count : unit -> int;
+  other_grantee : int -> bool;
   uaw_size : int -> int;
 }
 

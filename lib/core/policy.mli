@@ -14,21 +14,37 @@
     hook), but the generic (a,b)-policies of Theorem 3 need to observe
     local writes to count "consecutive write requests in sigma(u,v)". *)
 
-(** Read-only window onto the owning node's mechanism state. *)
+(** Read-only window onto the owning node's mechanism state.
+
+    The accessors are backed by the mechanism's dense per-slot lease
+    arrays: the predicates and counters are O(log degree) / O(1) and
+    allocation-free, and the [iter_*] functions visit neighbours in
+    ascending order without building intermediate lists (the paper's
+    [tkn()] and [grntd()] are [iter_taken]/[iter_granted] fused with
+    their consumer's loop). *)
 type view = {
   id : int;  (** the node this policy instance belongs to *)
-  nbrs : int list;  (** its neighbours *)
+  nbrs : int list;  (** its neighbours, ascending *)
+  degree : int;  (** [List.length nbrs] *)
   is_taken : int -> bool;
       (** [is_taken v]: does this node hold a lease from neighbour [v]
           (the paper's [u.taken\[v\]])? *)
   is_granted : int -> bool;
       (** [is_granted v]: has this node granted a lease to [v]
           (the paper's [u.granted\[v\]])? *)
-  taken : unit -> int list;  (** the paper's [tkn()] *)
-  granted : unit -> int list;  (** the paper's [grntd()] *)
+  iter_taken : (int -> unit) -> unit;
+      (** Visit the paper's [tkn()] — every neighbour [v] with
+          [taken\[v\]] — in ascending order, allocation-free. *)
+  iter_granted : (int -> unit) -> unit;
+      (** Visit the paper's [grntd()] in ascending order. *)
+  tkn_count : unit -> int;  (** [|tkn()|], O(1). *)
+  grntd_count : unit -> int;  (** [|grntd()|], O(1). *)
+  other_grantee : int -> bool;
+      (** [other_grantee w]: does a grantee other than [w] exist
+          ([List.exists (fun v -> v <> w) (grntd ())])?  O(log degree). *)
   uaw_size : int -> int;
       (** [uaw_size v]: cardinality of [uaw\[v\]], the set of identifiers
-          of updates accepted from [v] since the last reset. *)
+          of updates accepted from [v] since the last reset.  O(1). *)
 }
 
 type t = {

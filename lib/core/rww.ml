@@ -1,34 +1,31 @@
-(* Per-node policy state: the lease timers lt[v] of invariant I4. *)
-type state = { lt : (int, int) Hashtbl.t }
+(* Per-node policy state: the lease timers lt[v] of invariant I4,
+   indexed directly by neighbour id. *)
+type state = { lt : int array }
 
-let get s v = match Hashtbl.find_opt s.lt v with Some x -> x | None -> 0
-let set s v x = Hashtbl.replace s.lt v x
+let make_state nbrs =
+  { lt = Array.make (List.fold_left max 0 nbrs + 1) 0 }
 
-let policy ~node_id:_ ~nbrs:_ =
-  let s = { lt = Hashtbl.create 8 } in
+let policy ~node_id:_ ~nbrs =
+  let s = make_state nbrs in
   {
     Policy.name = "rww";
     on_combine =
-      (fun view -> List.iter (fun v -> set s v 2) (view.Policy.taken ()));
+      (fun view -> view.Policy.iter_taken (fun v -> s.lt.(v) <- 2));
     on_write = (fun _ -> ());
     probe_rcvd =
       (fun view ~from ->
-        List.iter
-          (fun v -> if v <> from then set s v 2)
-          (view.Policy.taken ()));
-    response_rcvd = (fun _ ~flag ~from -> if flag then set s from 2);
+        view.Policy.iter_taken (fun v -> if v <> from then s.lt.(v) <- 2));
+    response_rcvd = (fun _ ~flag ~from -> if flag then s.lt.(from) <- 2);
     update_rcvd =
       (fun view ~from ->
         (* Decrement only when this node is a lease-graph leaf in the
            direction away from [from] (Lemma 4.2, case T5). *)
-        let other_grantee =
-          List.exists (fun v -> v <> from) (view.Policy.granted ())
-        in
-        if not other_grantee then set s from (get s from - 1));
+        if not (view.Policy.other_grantee from) then
+          s.lt.(from) <- s.lt.(from) - 1);
     release_rcvd = (fun _ ~from:_ -> ());
     set_lease = (fun _ ~target:_ -> true);
-    break_lease = (fun _ ~target -> get s target <= 0);
+    break_lease = (fun _ ~target -> s.lt.(target) <= 0);
     release_policy =
       (fun view ~target ->
-        set s target (max 0 (get s target - view.Policy.uaw_size target)));
+        s.lt.(target) <- max 0 (s.lt.(target) - view.Policy.uaw_size target));
   }

@@ -1,19 +1,19 @@
-let policy ~now ~ttl ~node_id:_ ~nbrs:_ =
+let policy ~now ~ttl ~node_id:_ ~nbrs =
   if ttl <= 0.0 then invalid_arg "Timed_policy.policy: ttl must be positive";
-  let last_read : (int, float) Hashtbl.t = Hashtbl.create 8 in
-  let refresh v = Hashtbl.replace last_read v (now ()) in
-  let expired v =
-    match Hashtbl.find_opt last_read v with
-    | None -> true
-    | Some t -> now () -. t > ttl
+  (* last_read.(v) = time of the last combine/probe that read through the
+     lease taken from v; neg_infinity = never read, always expired. *)
+  let last_read =
+    Array.make (List.fold_left max 0 nbrs + 1) Float.neg_infinity
   in
+  let refresh v = last_read.(v) <- now () in
+  let expired v = now () -. last_read.(v) > ttl in
   {
     Policy.name = Printf.sprintf "timed(ttl=%g)" ttl;
-    on_combine = (fun view -> List.iter refresh (view.Policy.taken ()));
+    on_combine = (fun view -> view.Policy.iter_taken refresh);
     on_write = (fun _ -> ());
     probe_rcvd =
       (fun view ~from ->
-        List.iter (fun v -> if v <> from then refresh v) (view.Policy.taken ()));
+        view.Policy.iter_taken (fun v -> if v <> from then refresh v));
     response_rcvd = (fun _ ~flag ~from -> if flag then refresh from);
     update_rcvd = (fun _ ~from:_ -> ());
     release_rcvd = (fun _ ~from:_ -> ());

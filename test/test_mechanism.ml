@@ -669,3 +669,158 @@ let suite =
       Alcotest.test_case "message-kind purity" `Quick test_message_kind_purity;
       QCheck_alcotest.to_alcotest prop_gather_matches_reference;
     ]
+
+(* --------------------------------------------------------------- *)
+(* Golden message counts: fixed-seed RWW workloads on the paper's
+   stock topologies, with the realized totals pinned.  Any change to
+   these numbers means the mechanism's externally visible behaviour
+   changed — a representation refactor must keep them bit-identical. *)
+
+let golden_requests n ~seed ~n_requests =
+  let rng = Sm.create seed in
+  List.init n_requests (fun i ->
+      let node = Sm.int rng n in
+      if Sm.bool rng then Oat.Request.write node (float_of_int i)
+      else Oat.Request.combine node)
+
+let kind_counts sys =
+  ( M.messages_of_kind sys Simul.Kind.Probe,
+    M.messages_of_kind sys Simul.Kind.Response,
+    M.messages_of_kind sys Simul.Kind.Update,
+    M.messages_of_kind sys Simul.Kind.Release )
+
+let golden_seq name tree ~seed ~expect =
+  let sys = new_rww tree in
+  ignore
+    (M.run_sequential sys
+       (golden_requests (Tree.n_nodes tree) ~seed ~n_requests:200));
+  Alcotest.(check (pair int (pair (pair int int) (pair int int))))
+    name
+    expect
+    (M.message_total sys, (kind_counts sys |> fun (p, r, u, l) -> ((p, r), (u, l))))
+
+let test_golden_sequential_totals () =
+  golden_seq "line-16" (Tree.Build.path 16) ~seed:101
+    ~expect:(1557, ((281, 281), (739, 256)));
+  golden_seq "star-16" (Tree.Build.star 16) ~seed:102
+    ~expect:(574, ((106, 106), (273, 89)));
+  golden_seq "binary-15" (Tree.Build.binary 15) ~seed:103
+    ~expect:(974, ((168, 168), (483, 155)))
+
+(* Fixed-seed concurrent run with ghost logs on: pins the realized total
+   of an adversarially interleaved execution, so both the dense lease
+   state and the delta-encoded ghost shipping are provably inert to the
+   schedule.  The causal verdict must stay clean. *)
+let test_golden_concurrent_total () =
+  let n = 31 in
+  let tree = Tree.Build.binary n in
+  let rng = Sm.create 777 in
+  let sys = new_rww ~ghost:true tree in
+  let requests =
+    Array.init 150 (fun i ->
+        let node = Sm.int rng n in
+        if Sm.bool rng then fun () -> M.write sys ~node (float_of_int i)
+        else fun () -> M.combine sys ~node (fun _ -> ()))
+  in
+  Simul.Engine.run_concurrent ~rng:(Sm.split rng) (M.network sys)
+    ~handler:(M.handler sys) ~requests;
+  Alcotest.(check int) "pinned concurrent total" 438 (M.message_total sys);
+  let logs = Array.init n (fun u -> M.log sys u) in
+  Alcotest.(check int) "causally consistent" 0
+    (List.length
+       (Consistency.Causal.check
+          (module Agg.Ops.Sum : Agg.Operator.S with type t = float)
+          ~n_nodes:n ~logs))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "golden sequential totals" `Quick
+        test_golden_sequential_totals;
+      Alcotest.test_case "golden concurrent total" `Quick
+        test_golden_concurrent_total;
+    ]
+
+(* --------------------------------------------------------------- *)
+(* Representation audit: Mechanism.check_invariants compares every
+   incrementally maintained piece of dense state (lease counters, gval
+   cache, snt popcounts, sntprobes membership counts, per-channel
+   sntupdates logs, delta-encoded ghost state) against a from-scratch
+   recomputation.  Fuzzed over 10k operations: sequential mixed
+   workloads on the stock topologies, plus a concurrent run audited
+   after every single request initiation and message delivery. *)
+
+let test_fuzz_invariants_sequential () =
+  let rng = Sm.create 20260806 in
+  List.iter
+    (fun tree ->
+      let n = Tree.n_nodes tree in
+      let sys = new_rww tree in
+      for i = 1 to 1250 do
+        let node = Sm.int rng n in
+        if Sm.bool rng then M.write_sync sys ~node (float_of_int i)
+        else ignore (M.combine_sync sys ~node);
+        M.check_invariants sys
+      done)
+    [
+      Tree.Build.path 9;
+      Tree.Build.star 8;
+      Tree.Build.binary 15;
+      Tree.Build.random (Sm.create 9) 12;
+    ]
+
+let test_fuzz_invariants_concurrent () =
+  let n = 15 in
+  let tree = Tree.Build.binary n in
+  let rng = Sm.create 4242 in
+  let sys = new_rww ~ghost:true tree in
+  for op = 1 to 5000 do
+    (if Sm.bernoulli rng 0.3 then begin
+       let node = Sm.int rng n in
+       if Sm.bool rng then M.write sys ~node (float_of_int op)
+       else M.combine sys ~node (fun _ -> ())
+     end
+     else ignore (Simul.Engine.step (M.network sys) ~handler:(M.handler sys)));
+    M.check_invariants sys
+  done;
+  ignore (M.run_to_quiescence sys);
+  M.check_invariants sys
+
+(* Regression for the unbounded sntupdates leak: the transcription kept
+   every forwarded-update tuple forever (onrelease only filtered a copy),
+   so a write-heavy workload through a relay node grew the set linearly
+   with the execution.  The per-channel log must instead stay bounded:
+   releases and uaw resets consume its entries. *)
+let test_sntupdates_bounded () =
+  let tree = Tree.Build.path 8 in
+  let n = Tree.n_nodes tree in
+  let rng = Sm.create 909 in
+  let sys = new_rww tree in
+  let high_water = ref 0 in
+  let forwarded = ref 0 in
+  for i = 1 to 2000 do
+    let node = Sm.int rng n in
+    (* write-heavy: relays keep forwarding updates through live leases *)
+    if Sm.bernoulli rng 0.8 then M.write_sync sys ~node (float_of_int i)
+    else ignore (M.combine_sync sys ~node);
+    for u = 0 to n - 1 do
+      high_water := max !high_water (M.sntupdates_length sys u)
+    done;
+    forwarded := max !forwarded (M.messages_of_kind sys Simul.Kind.Update)
+  done;
+  if !high_water > 16 then
+    Alcotest.failf "sntupdates high-water %d: leak is back (forwarded %d)"
+      !high_water !forwarded;
+  (* sanity: the workload really did route updates through relays *)
+  Alcotest.(check bool) "updates flowed" true (!forwarded > 1000)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "invariant audit, sequential fuzz" `Quick
+        test_fuzz_invariants_sequential;
+      Alcotest.test_case "invariant audit, concurrent fuzz" `Quick
+        test_fuzz_invariants_concurrent;
+      Alcotest.test_case "sntupdates stays bounded" `Quick
+        test_sntupdates_bounded;
+    ]
