@@ -231,6 +231,17 @@ let bench_tests =
     ignore (M.run_sequential sys sigma_rww_seq);
     M.message_total sys
   in
+  (* Same workload with the metrics registry attached and a null sink:
+     the gap to micro-rww-seq is the full cost of enabled metrics plus
+     disabled event recording on every hot path. *)
+  let telemetry_metrics = Telemetry.Metrics.create () in
+  let micro_telemetry_overhead () =
+    let sys =
+      M.create ~metrics:telemetry_metrics rww_seq_tree ~policy:Oat.Rww.policy
+    in
+    ignore (M.run_sequential sys sigma_rww_seq);
+    M.message_total sys
+  in
   (* Ghost-log shipping: alternating write/combine keeps the lease chain
      of a 15-node path alive, so every write pushes updates down the
      whole chain with the write log piggybacked.  An implementation that
@@ -270,6 +281,8 @@ let bench_tests =
     Test.make ~name:"micro-popany-n1023" (Staged.stage micro_popany);
     Test.make ~name:"micro-concurrent-run-n255" (Staged.stage micro_concurrent);
     Test.make ~name:"micro-rww-seq" (Staged.stage micro_rww_seq);
+    Test.make ~name:"micro-telemetry-overhead"
+      (Staged.stage micro_telemetry_overhead);
     Test.make ~name:"micro-ghost-writes" (Staged.stage micro_ghost_writes);
     Test.make ~name:"micro-union-200-elts" (Staged.stage micro_union);
     Test.make ~name:"e1-figure2-lifecycle" (Staged.stage fig2_core);

@@ -77,15 +77,81 @@ let build_algo spec tree =
     | Error e -> Error e)
   | other -> Error (Printf.sprintf "unknown policy %S" other)
 
+(* Lease-policy specs drivable through Mechanism.Make directly (where the
+   telemetry instrumentation lives); the standalone baselines astrolabe
+   and mds2 bypass the mechanism and cannot be traced. *)
+let build_lease_policy spec =
+  match spec with
+  | "rww" -> Ok Oat.Rww.policy
+  | "always" -> Ok Oat.Ab_policy.always_lease
+  | "never" -> Ok Oat.Ab_policy.never_lease
+  | s when String.length s > 3 && String.sub s 0 3 = "ab:" -> (
+    match parse_ab (String.sub s 3 (String.length s - 3)) with
+    | Ok (a, b) -> Ok (Oat.Ab_policy.policy ~a ~b)
+    | Error e -> Error e)
+  | ("astrolabe" | "mds2" | "mds-2") as s ->
+    Error
+      (Printf.sprintf
+         "%S is a standalone baseline; telemetry needs a lease policy (rww, \
+          always, never, ab:A,B)"
+         s)
+  | other -> Error (Printf.sprintf "unknown lease policy %S" other)
+
 let or_die = function
   | Ok v -> v
   | Error msg ->
     prerr_endline ("oat: " ^ msg);
     exit 2
 
+(* ---- instrumented mechanism runs (simulate --trace/--metrics, metrics) ---- *)
+
+module M = Oat.Mechanism.Make (Agg.Ops.Sum)
+
+let kind_name i = Simul.Kind.to_string (Simul.Kind.of_index i)
+
+(* Drive sigma through an instrumented mechanism on virtual time
+   (mirrors Analysis.Latency.run_timed, with telemetry plugged in and
+   every combine checked against the exact aggregate). *)
+let run_instrumented tree sigma ~policy ~metrics ~sink =
+  let dclock = Simul.Devent.create tree ~latency:Simul.Devent.unit_latency in
+  let on_send ~src ~dst = Simul.Devent.notify dclock ~src ~dst in
+  let sys =
+    M.create ~on_send ~metrics ~sink
+      ~clock:(Simul.Devent.clock dclock)
+      tree ~policy
+  in
+  let deliver ~src ~dst =
+    match Simul.Network.pop (M.network sys) ~src ~dst with
+    | Some m -> M.handler sys ~src ~dst m
+    | None -> failwith "simulate: clock/network desynchronized"
+  in
+  let latest = Array.make (Tree.n_nodes tree) 0.0 in
+  List.iter
+    (fun (q : float Oat.Request.t) ->
+      match q.op with
+      | Oat.Request.Write v ->
+        latest.(q.node) <- v;
+        M.write sys ~node:q.node v;
+        ignore (Simul.Devent.drain dclock ~deliver)
+      | Oat.Request.Combine ->
+        let result = ref None in
+        M.combine sys ~node:q.node (fun value -> result := Some value);
+        ignore (Simul.Devent.drain dclock ~deliver);
+        (match !result with
+        | None -> or_die (Error "combine did not complete")
+        | Some value ->
+          let expected = Array.fold_left ( +. ) 0.0 latest in
+          if
+            Float.abs (value -. expected)
+            > 1e-6 *. Float.max 1.0 (Float.abs expected)
+          then or_die (Error "strict consistency violated")))
+    sigma;
+  (sys, Simul.Devent.now dclock)
+
 (* ---- simulate ---- *)
 
-let simulate seed tree_kind n requests read_fraction policy =
+let simulate seed tree_kind n requests read_fraction policy trace_out
+    metrics_out =
   let tree = or_die (build_tree tree_kind n seed) in
   let rng = Sm.create seed in
   let sigma =
@@ -98,21 +164,81 @@ let simulate seed tree_kind n requests read_fraction policy =
       }
       tree rng
   in
-  let algo = or_die (build_algo policy tree) in
-  let cost = Baselines.Algorithm.run algo sigma in
-  let opt = Offline.Opt_lease.total tree sigma in
-  let nice = Offline.Nice_bound.total tree sigma in
-  Printf.printf "tree:              %s (n=%d, diameter=%d)\n" tree_kind
-    (Tree.n_nodes tree) (Tree.diameter tree);
-  Printf.printf "workload:          %d requests, read fraction %.2f, seed %d\n"
-    requests read_fraction seed;
-  Printf.printf "algorithm:         %s\n" algo.Baselines.Algorithm.name;
-  Printf.printf "messages:          %d\n" cost;
-  Printf.printf "offline lease OPT: %d  (ratio %.3f)\n" opt
-    (if opt > 0 then float_of_int cost /. float_of_int opt else 1.0);
-  Printf.printf "nice lower bound:  %d  (ratio %.3f)\n" nice
-    (if nice > 0 then float_of_int cost /. float_of_int nice else 1.0);
-  Printf.printf "strict consistency: verified (every combine checked)\n"
+  let report name cost =
+    let opt = Offline.Opt_lease.total tree sigma in
+    let nice = Offline.Nice_bound.total tree sigma in
+    Printf.printf "tree:              %s (n=%d, diameter=%d)\n" tree_kind
+      (Tree.n_nodes tree) (Tree.diameter tree);
+    Printf.printf
+      "workload:          %d requests, read fraction %.2f, seed %d\n" requests
+      read_fraction seed;
+    Printf.printf "algorithm:         %s\n" name;
+    Printf.printf "messages:          %d\n" cost;
+    Printf.printf "offline lease OPT: %d  (ratio %.3f)\n" opt
+      (if opt > 0 then float_of_int cost /. float_of_int opt else 1.0);
+    Printf.printf "nice lower bound:  %d  (ratio %.3f)\n" nice
+      (if nice > 0 then float_of_int cost /. float_of_int nice else 1.0);
+    Printf.printf "strict consistency: verified (every combine checked)\n"
+  in
+  match (trace_out, metrics_out) with
+  | None, None ->
+    let algo = or_die (build_algo policy tree) in
+    let cost = Baselines.Algorithm.run algo sigma in
+    report algo.Baselines.Algorithm.name cost
+  | _ ->
+    let policy = or_die (build_lease_policy policy) in
+    let metrics = Telemetry.Metrics.create () in
+    let ring =
+      match trace_out with
+      | Some _ -> Some (Telemetry.Sink.ring ~capacity:(1 lsl 20))
+      | None -> None
+    in
+    let sink =
+      match ring with
+      | Some r -> Telemetry.Sink.of_ring r
+      | None -> Telemetry.Sink.null
+    in
+    let sys, makespan = run_instrumented tree sigma ~policy ~metrics ~sink in
+    report (M.policy_name sys) (M.message_total sys);
+    Printf.printf "virtual makespan:  %.0f hops\n" makespan;
+    (match (trace_out, ring) with
+    | Some path, Some r ->
+      let events = Telemetry.Sink.ring_events r in
+      Telemetry.Export.write_file path
+        (Telemetry.Export.chrome_trace ~kind_name
+           ~n_nodes:(Tree.n_nodes tree) events);
+      let dropped = Telemetry.Sink.ring_dropped r in
+      Printf.printf "trace:             %s (%d events%s)\n" path
+        (List.length events)
+        (if dropped > 0 then Printf.sprintf ", %d oldest dropped" dropped
+         else "")
+    | _ -> ());
+    (match metrics_out with
+    | Some path ->
+      let body =
+        if Filename.check_suffix path ".json" then
+          Telemetry.Metrics.to_json metrics
+        else Telemetry.Metrics.to_text metrics
+      in
+      Telemetry.Export.write_file path body;
+      Printf.printf "metrics:           %s\n" path
+    | None -> ())
+
+let trace_arg =
+  let doc =
+    "Write a Chrome trace-event JSON file of the run, loadable in \
+     chrome://tracing or Perfetto.  Switches simulate to an instrumented \
+     mechanism run on virtual time; requires a lease policy (rww, always, \
+     never, ab:A,B)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_file_arg =
+  let doc =
+    "Write a metrics snapshot of the run to $(docv) (JSON if it ends in \
+     .json, aligned text otherwise).  Requires a lease policy."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
 let simulate_cmd =
   let doc = "Run a synthetic workload and report message costs and ratios." in
@@ -120,7 +246,44 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       const simulate $ seed_arg $ tree_arg $ nodes_arg $ requests_arg
-      $ read_fraction_arg $ policy_arg)
+      $ read_fraction_arg $ policy_arg $ trace_arg $ metrics_file_arg)
+
+(* ---- metrics ---- *)
+
+let metrics_run seed tree_kind n requests read_fraction policy json =
+  let tree = or_die (build_tree tree_kind n seed) in
+  let policy = or_die (build_lease_policy policy) in
+  let sigma =
+    Workload.Generate.mixed
+      {
+        Workload.Generate.n_requests = requests;
+        read_fraction;
+        write_skew = 0.0;
+        read_skew = 0.0;
+      }
+      tree (Sm.create seed)
+  in
+  let metrics = Telemetry.Metrics.create () in
+  let _sys, _makespan =
+    run_instrumented tree sigma ~policy ~metrics ~sink:Telemetry.Sink.null
+  in
+  print_string
+    (if json then Telemetry.Metrics.to_json metrics
+     else Telemetry.Metrics.to_text metrics)
+
+let metrics_cmd =
+  let doc =
+    "Run a workload under an instrumented mechanism and print the metrics \
+     snapshot."
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of a table.")
+  in
+  Cmd.v
+    (Cmd.info "metrics" ~doc)
+    Term.(
+      const metrics_run $ seed_arg $ tree_arg $ nodes_arg $ requests_arg
+      $ read_fraction_arg $ policy_arg $ json_arg)
 
 (* ---- lp ---- *)
 
@@ -344,16 +507,7 @@ let latency_cmd =
 
 let profile seed tree_kind n requests read_fraction policy_spec =
   let tree = or_die (build_tree tree_kind n seed) in
-  let policy =
-    match policy_spec with
-    | "rww" -> Oat.Rww.policy
-    | "always" -> Oat.Ab_policy.always_lease
-    | "never" -> Oat.Ab_policy.never_lease
-    | s when String.length s > 3 && String.sub s 0 3 = "ab:" ->
-      let a, b = or_die (parse_ab (String.sub s 3 (String.length s - 3))) in
-      Oat.Ab_policy.policy ~a ~b
-    | other -> or_die (Error (Printf.sprintf "unknown lease policy %S" other))
-  in
+  let policy = or_die (build_lease_policy policy_spec) in
   let sigma =
     Workload.Generate.mixed
       {
@@ -435,6 +589,7 @@ let () =
        (Cmd.group info
           [
             simulate_cmd;
+            metrics_cmd;
             lp_cmd;
             adversary_cmd;
             sweep_cmd;

@@ -24,9 +24,27 @@ let () =
   print_endline "=============================================================";
 
   (* Two aggregate attributes over the same tree: max load and average
-     load, each running its own RWW-managed instance. *)
-  let max_sys = Mmax.create tree ~policy:Oat.Rww.policy in
-  let avg_sys = Mavg.create tree ~policy:Oat.Rww.policy in
+     load, each running its own RWW-managed instance.  Both share one
+     metrics registry (registration is by name, so the two instances
+     accumulate into the same counters — a cluster-wide view). *)
+  let metrics = Telemetry.Metrics.create () in
+  let max_sys = Mmax.create ~metrics tree ~policy:Oat.Rww.policy in
+  let avg_sys = Mavg.create ~metrics tree ~policy:Oat.Rww.policy in
+  (* Messages needed to answer one operator query, both attributes; the
+     tail (p95/p99) is what an on-call dashboard user experiences. *)
+  let query_cost = Telemetry.Metrics.histogram metrics "query.cost" in
+
+  (* Per-phase snapshot: print the registry and zero it (registrations
+     and handles survive a reset), so each phase reports its own lease
+     churn, per-kind message counts, and query-cost tail. *)
+  let report_phase label =
+    Printf.printf "\n%s metrics:\n" label;
+    List.iter
+      (fun line -> if line <> "" then Printf.printf "  | %s\n" line)
+      (String.split_on_char '\n' (Telemetry.Metrics.to_text metrics));
+    print_newline ();
+    Telemetry.Metrics.reset metrics
+  in
 
   let report_load machine load =
     Mmax.write_sync max_sys ~node:machine load;
@@ -40,14 +58,19 @@ let () =
 
   let messages () = Mmax.message_total max_sys + Mavg.message_total avg_sys in
 
+  (* Boot traffic is not interesting per-phase data. *)
+  Telemetry.Metrics.reset metrics;
+
   (* Quiet phase: dashboards at random nodes poll both aggregates. *)
   let before = messages () in
   let polls = 200 in
   for _ = 1 to polls do
     let dashboard = Sm.int rng n in
+    let poll_before = messages () in
     let worst = Mmax.combine_sync max_sys ~node:dashboard in
     let mean = Agg.Ops.Avg.to_float (Mavg.combine_sync avg_sys ~node:dashboard) in
     ignore (worst, mean);
+    Telemetry.Metrics.observe query_cost (messages () - poll_before);
     (* background churn: one machine in fifty refreshes its load *)
     if Sm.bernoulli rng 0.02 then
       report_load (Sm.int rng n) (5.0 +. Sm.float rng)
@@ -55,6 +78,7 @@ let () =
   Printf.printf "quiet phase:    %4d polls cost %6d messages (%.2f/poll)\n" polls
     (messages () - before)
     (float_of_int (messages () - before) /. float_of_int polls);
+  report_phase "quiet phase";
 
   (* Incident: machines in pod 1 (subtree of node 1) go hot and churn. *)
   let before = messages () in
@@ -66,7 +90,9 @@ let () =
     report_load machine (50.0 +. Sm.float rng *. 50.0);
     (* the on-call engineer checks occasionally *)
     if i mod 40 = 0 then begin
+      let check_before = messages () in
       let worst = Mmax.combine_sync max_sys ~node:0 in
+      Telemetry.Metrics.observe query_cost (messages () - check_before);
       Printf.printf "  incident check %d: max load %.1f\n" (i / 40) worst
     end
   done;
@@ -74,6 +100,7 @@ let () =
     churns
     (messages () - before)
     (float_of_int (messages () - before) /. float_of_int churns);
+  report_phase "incident phase";
 
   (* Sanity: the aggregates are exact. *)
   let final_max = Mmax.combine_sync max_sys ~node:(n - 1) in

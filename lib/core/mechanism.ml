@@ -59,7 +59,11 @@ module Make (Op : Agg.Operator.S) = struct
     sntlogs : sntlog array;  (* per neighbour slot *)
     policy : Policy.t;
     mutable view : Policy.view option;  (* built once, after allocation *)
-    mutable pending : (Op.t -> unit) list;  (* callbacks of pending local combines *)
+    (* Pending local combines.  [pending_spans] carries the matching
+       telemetry span ids, in the same order; it stays [[]] (no
+       per-combine allocation) when no sink is recording. *)
+    mutable pending : (Op.t -> unit) list;
+    mutable pending_spans : int list;
     (* Ghost state (Figure 6).  [gwrites] mirrors the write subsequence
        of [glog] in chronological order; [shipped.(i)] is the prefix of
        it already sent to neighbour slot [i], so outgoing wlogs carry
@@ -74,11 +78,28 @@ module Make (Op : Agg.Operator.S) = struct
     mutable completed : int;  (* completed requests at this node *)
   }
 
+  (* Pre-registered telemetry handles (see Simul.Network for the same
+     pattern): one [match] on the option per instrumented site. *)
+  type mech_tel = {
+    lease_set : Telemetry.Metrics.counter;
+    lease_break : Telemetry.Metrics.counter;
+    lease_deny : Telemetry.Metrics.counter;
+    update_fanout : Telemetry.Metrics.histogram;
+    release_cascade : Telemetry.Metrics.histogram;
+    ghost_log : Telemetry.Metrics.gauge; (* hwm = ghost write-log high-water *)
+  }
+
   type t = {
     tree : Tree.t;
     net : msg Simul.Network.t;
     nodes : node array;
     ghost : bool;
+    tel : mech_tel option;
+    sink : Telemetry.Sink.t;
+    recording : bool; (* [Sink.enabled sink], cached for the hot path *)
+    obs : bool; (* metrics or sink active: one hot-path branch *)
+    clock : unit -> float; (* shared with the network *)
+    spans : Telemetry.Span.allocator;
   }
 
   (* ------------------------------------------------------------------ *)
@@ -313,7 +334,10 @@ module Make (Op : Agg.Operator.S) = struct
     if t.ghost then begin
       nd.glog <- Ghost.Write w :: nd.glog;
       gwrites_push nd w;
-      nd.last_write.(w.wnode) <- w.windex
+      nd.last_write.(w.wnode) <- w.windex;
+      match t.tel with
+      | None -> ()
+      | Some tel -> Telemetry.Metrics.gauge_set tel.ghost_log nd.gwrites_len
     end
 
   (* log := log . (wlog_w - log): append the writes of the received wlog
@@ -366,11 +390,51 @@ module Make (Op : Agg.Operator.S) = struct
   (* forwardupdates(w, id): push fresh subtree aggregates to every
      grantee except [w]. *)
   let forwardupdates t nd w id =
-    for i = 0 to nd.deg - 1 do
-      let v = nd.nbrs_arr.(i) in
-      if nd.granted.(i) && v <> w then
-        send t nd v (Update { x = subval nd i; id; wlog = ghost_wlog_to t nd i })
-    done
+    match t.tel with
+    | None ->
+      for i = 0 to nd.deg - 1 do
+        let v = nd.nbrs_arr.(i) in
+        if nd.granted.(i) && v <> w then
+          send t nd v
+            (Update { x = subval nd i; id; wlog = ghost_wlog_to t nd i })
+      done
+    | Some tel ->
+      let fanout = ref 0 in
+      for i = 0 to nd.deg - 1 do
+        let v = nd.nbrs_arr.(i) in
+        if nd.granted.(i) && v <> w then begin
+          send t nd v
+            (Update { x = subval nd i; id; wlog = ghost_wlog_to t nd i });
+          incr fanout
+        end
+      done;
+      Telemetry.Metrics.observe tel.update_fanout !fanout
+
+  (* Out-of-line lease-lifecycle observers (see Simul.Network for the
+     same pattern): hot paths pay one [t.obs] branch when telemetry is
+     off. *)
+  let observe_grant t nd w grant =
+    (match t.tel with
+    | None -> ()
+    | Some tel ->
+      Telemetry.Metrics.incr (if grant then tel.lease_set else tel.lease_deny));
+    if t.recording then
+      Telemetry.Sink.record t.sink
+        (if grant then
+           Telemetry.Sink.Lease_set
+             { time = t.clock (); granter = nd.id; grantee = w }
+         else
+           Telemetry.Sink.Lease_denied
+             { time = t.clock (); granter = nd.id; grantee = w })
+
+  let observe_break t nd ~granter =
+    (match t.tel with
+    | None -> ()
+    | Some tel -> Telemetry.Metrics.incr tel.lease_break);
+    if t.recording then
+      Telemetry.Sink.record t.sink
+        (Telemetry.Sink.Lease_broken
+           { time = t.clock (); granter; grantee = nd.id })
 
   (* sendresponse(w): answer a probe; grant a lease iff every other
      neighbour is covered by a taken lease and the policy agrees. *)
@@ -379,8 +443,11 @@ module Make (Op : Agg.Operator.S) = struct
     let others_covered =
       nd.tkn_count = nd.deg || (nd.tkn_count = nd.deg - 1 && not nd.taken.(i))
     in
-    if others_covered then
-      set_granted nd i (nd.policy.set_lease (node_view nd) ~target:w);
+    if others_covered then begin
+      let grant = nd.policy.set_lease (node_view nd) ~target:w in
+      set_granted nd i grant;
+      if t.obs then observe_grant t nd w grant
+    end;
     let flag = nd.granted.(i) in
     send t nd w (Response { x = subval nd i; flag; wlog = ghost_wlog_to t nd i })
 
@@ -397,7 +464,10 @@ module Make (Op : Agg.Operator.S) = struct
       then begin
         set_taken nd i false;
         send t nd nd.nbrs_arr.(i) (Release { ids = nd.uaw.(i) });
-        uaw_reset nd i
+        uaw_reset nd i;
+        (* The lease on neighbour [v]'s subtree was granted by [v] to
+           this node; breaking it is the grantee's move. *)
+        if t.obs then observe_break t nd ~granter:nd.nbrs_arr.(i)
       end
     done
 
@@ -454,9 +524,13 @@ module Make (Op : Agg.Operator.S) = struct
   let complete_combines t nd =
     let value = gval_of nd in
     let callbacks = List.rev nd.pending in
+    let spans = List.rev nd.pending_spans in
     nd.pending <- [];
-    List.iter
-      (fun k ->
+    nd.pending_spans <- [];
+    let rec fire callbacks spans =
+      match callbacks with
+      | [] -> ()
+      | k :: callbacks ->
         if t.ghost then
           nd.glog <-
             Ghost.Combine
@@ -468,14 +542,29 @@ module Make (Op : Agg.Operator.S) = struct
               }
             :: nd.glog;
         nd.completed <- nd.completed + 1;
-        k value)
-      callbacks
+        let spans =
+          match spans with
+          | [] -> []
+          | span :: rest ->
+            Telemetry.Span.finish t.sink ~clock:t.clock ~node:nd.id
+              ~name:"combine" ~id:span;
+            rest
+        in
+        k value;
+        fire callbacks spans
+    in
+    fire callbacks spans
 
   (* ------------------------------------------------------------------ *)
   (* Transitions.                                                       *)
 
   (* T1: combine request at [nd]. *)
   let t1_combine t nd k =
+    if t.recording then
+      nd.pending_spans <-
+        Telemetry.Span.start t.sink t.spans ~clock:t.clock ~node:nd.id
+          ~name:"combine"
+        :: nd.pending_spans;
     nd.pending <- k :: nd.pending;
     nd.policy.on_combine (node_view nd);
     for i = 0 to nd.deg - 1 do
@@ -491,6 +580,9 @@ module Make (Op : Agg.Operator.S) = struct
 
   (* T2: write request at [nd]. *)
   let t2_write t nd arg =
+    if t.recording then
+      Telemetry.Sink.record t.sink
+        (Telemetry.Sink.Mark { time = t.clock (); node = nd.id; name = "write" });
     nd.value <- arg;
     nd.gval_dirty <- true;
     if t.ghost then
@@ -563,12 +655,21 @@ module Make (Op : Agg.Operator.S) = struct
   let t6_release t nd w s =
     nd.policy.release_rcvd (node_view nd) ~from:w;
     set_granted nd (slot nd w) false;
-    onrelease t nd w s
+    match t.tel with
+    | None -> onrelease t nd w s
+    | Some tel ->
+      (* Cascade width: releases this node forwards while handling one
+         received release (chains of these per-hop forwards are the
+         release cascades of a cooling subtree). *)
+      let before = Simul.Network.total_of_kind t.net Simul.Kind.Release in
+      onrelease t nd w s;
+      Telemetry.Metrics.observe tel.release_cascade
+        (Simul.Network.total_of_kind t.net Simul.Kind.Release - before)
 
   (* ------------------------------------------------------------------ *)
   (* Public interface.                                                  *)
 
-  let create ?(ghost = false) ?on_send tree ~policy =
+  let create ?(ghost = false) ?on_send ?metrics ?sink ?clock tree ~policy =
     let n = Tree.n_nodes tree in
     let mk_node id =
       let nbrs_arr = Tree.neighbors_arr tree id in
@@ -604,6 +705,7 @@ module Make (Op : Agg.Operator.S) = struct
         policy = policy ~node_id:id ~nbrs;
         view = None;
         pending = [];
+        pending_spans = [];
         glog = [];
         gwrites = [||];
         gwrites_len = 0;
@@ -612,11 +714,36 @@ module Make (Op : Agg.Operator.S) = struct
         completed = 0;
       }
     in
+    let net = Simul.Network.create ?on_send ?metrics ?sink ?clock tree ~kind_of in
+    let tel =
+      match metrics with
+      | None -> None
+      | Some m ->
+        Some
+          {
+            lease_set = Telemetry.Metrics.counter m "mech.lease.set";
+            lease_break = Telemetry.Metrics.counter m "mech.lease.break";
+            lease_deny = Telemetry.Metrics.counter m "mech.lease.deny";
+            update_fanout = Telemetry.Metrics.histogram m "mech.update.fanout";
+            release_cascade =
+              Telemetry.Metrics.histogram m "mech.release.cascade";
+            ghost_log = Telemetry.Metrics.gauge m "mech.ghost.log";
+          }
+    in
     {
       tree;
-      net = Simul.Network.create ?on_send tree ~kind_of;
+      net;
       nodes = Array.init n mk_node;
       ghost;
+      tel;
+      sink = (match sink with Some s -> s | None -> Telemetry.Sink.null);
+      recording =
+        (match sink with Some s -> Telemetry.Sink.enabled s | None -> false);
+      obs =
+        (tel <> None
+        || match sink with Some s -> Telemetry.Sink.enabled s | None -> false);
+      clock = Simul.Network.clock net;
+      spans = Telemetry.Span.allocator ();
     }
 
   let tree t = t.tree

@@ -51,6 +51,9 @@ module Make (Op : Agg.Operator.S) : sig
   val create :
     ?ghost:bool ->
     ?on_send:(src:int -> dst:int -> unit) ->
+    ?metrics:Telemetry.Metrics.t ->
+    ?sink:Telemetry.Sink.t ->
+    ?clock:(unit -> float) ->
     Tree.t ->
     policy:Policy.factory ->
     t
@@ -59,7 +62,22 @@ module Make (Op : Agg.Operator.S) : sig
       direction, empty logs.  [ghost] (default [false]) enables the
       Figure 6 ghost actions (write logs piggybacked on messages).
       [on_send] is forwarded to the network — hook for virtual-time
-      scheduling ({!Simul.Devent}). *)
+      scheduling ({!Simul.Devent}).
+
+      Telemetry (all optional, zero-cost when absent):
+      - [metrics] registers mechanism-level instruments alongside the
+        network's: counters [mech.lease.set] / [mech.lease.break] /
+        [mech.lease.deny], histograms [mech.update.fanout] (updates
+        pushed per forwardupdates call) and [mech.release.cascade]
+        (releases forwarded while handling one received release), and
+        gauge [mech.ghost.log] (ghost write-log length; its high-water
+        mark bounds piggyback memory).
+      - [sink] receives lease-lifecycle events, a [Mark] per write, and
+        a [combine] span per T1 request (begun at initiation, finished
+        at completion).
+      - [clock] stamps events; both the mechanism and the network
+        default to the network's op-tick clock, so pass
+        [Simul.Devent.clock] to put everything on virtual time. *)
 
   val tree : t -> Tree.t
   val network : t -> msg Simul.Network.t

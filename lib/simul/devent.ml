@@ -67,6 +67,8 @@ let unit_latency ~src:_ ~dst:_ = 1.0
 
 let now t = t.now
 
+let clock t () = t.now
+
 let advance_to t time = if time > t.now then t.now <- time
 
 let notify t ~src ~dst =

@@ -28,6 +28,11 @@ val now : t -> float
 (** Current virtual time (the timestamp of the delivery in progress, or
     of the last completed one). *)
 
+val clock : t -> unit -> float
+(** {!now} as a closure — the clock to hand to instrumented components
+    ({!Network.create}'s [clock]) so telemetry events carry virtual-time
+    stamps. *)
+
 val advance_to : t -> float -> unit
 (** Move the clock forward (e.g. between requests of a sequential
     workload).  Ignored if the time is in the past. *)

@@ -15,7 +15,9 @@ let run_to_quiescence net ~handler =
   in
   loop 0
 
-let run_concurrent ~rng net ~handler ~requests =
+let run_concurrent ?(sink = Telemetry.Sink.null) ?clock ~rng net ~handler
+    ~requests =
+  let clock = match clock with Some c -> c | None -> Network.clock net in
   let deliver_one () =
     match Network.pop_random net rng with
     | None -> false
@@ -32,9 +34,12 @@ let run_concurrent ~rng net ~handler ~requests =
     in
     go ()
   in
-  Array.iter
-    (fun initiate ->
+  Array.iteri
+    (fun i initiate ->
       deliver_some ();
+      if Telemetry.Sink.enabled sink then
+        Telemetry.Sink.record sink
+          (Telemetry.Sink.Mark { time = clock (); node = i; name = "initiate" });
       initiate ())
     requests;
   (* Drain. *)

@@ -25,6 +25,8 @@ val step : 'm Network.t -> handler:(src:int -> dst:int -> 'm -> unit) -> bool
     network was already quiescent. *)
 
 val run_concurrent :
+  ?sink:Telemetry.Sink.t ->
+  ?clock:(unit -> float) ->
   rng:Prng.Splitmix.t ->
   'm Network.t ->
   handler:(src:int -> dst:int -> 'm -> unit) ->
@@ -35,4 +37,8 @@ val run_concurrent :
     number of message deliveries before, between, and after initiations;
     after the last initiation it drains the network.  Request [i] is
     initiated while earlier requests may still have messages in flight —
-    the paper's concurrent execution model. *)
+    the paper's concurrent execution model.
+
+    [sink] receives a [Mark] event per initiation (the [node] field
+    carries the request's array index), stamped by [clock] (default: the
+    network's own clock, so marks share the message events' time axis). *)

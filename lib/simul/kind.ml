@@ -12,4 +12,11 @@ let pp fmt k = Format.pp_print_string fmt (to_string k)
 
 let index = function Probe -> 0 | Response -> 1 | Update -> 2 | Release -> 3
 
+let of_index = function
+  | 0 -> Probe
+  | 1 -> Response
+  | 2 -> Update
+  | 3 -> Release
+  | i -> invalid_arg (Printf.sprintf "Kind.of_index: %d" i)
+
 let count = 4

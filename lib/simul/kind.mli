@@ -14,5 +14,9 @@ val pp : Format.formatter -> t -> unit
 val index : t -> int
 (** Stable index in [0..3], for array-based counters. *)
 
+val of_index : int -> t
+(** Inverse of {!index} (telemetry events carry kinds as indices).
+    @raise Invalid_argument outside [0..3]. *)
+
 val count : int
 (** Number of kinds. *)

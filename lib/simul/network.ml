@@ -8,6 +8,15 @@
    uniform index and swap-removes — both O(1) per delivery and
    allocation-free apart from the returned tuple. *)
 
+(* Pre-registered telemetry handles: resolved once at creation so the
+   hot path pays one [match] on the option plus O(1) metric updates. *)
+type net_tel = {
+  sent_k : Telemetry.Metrics.counter array;      (* per kind *)
+  delivered_k : Telemetry.Metrics.counter array; (* per kind *)
+  inflight : Telemetry.Metrics.gauge;            (* hwm = in-flight high-water *)
+  occupancy : Telemetry.Metrics.gauge;           (* hwm = channel occupancy high-water *)
+}
+
 type 'm t = {
   tree : Tree.t;
   queues : 'm Queue.t array;  (* FIFO per directed edge, by channel id *)
@@ -23,9 +32,16 @@ type 'm t = {
   mutable in_flight : int;
   mutable total : int;
   kind_totals : int array;
+  tel : net_tel option;
+  sink : Telemetry.Sink.t;
+  recording : bool;           (* [Sink.enabled sink], cached for the hot path *)
+  obs : bool;                 (* metrics or sink active: one hot-path branch *)
+  mutable clock : unit -> float;
+  mutable tick : int;         (* send+delivery count: the default clock *)
 }
 
-let create ?(on_send = fun ~src:_ ~dst:_ -> ()) tree ~kind_of =
+let create ?(on_send = fun ~src:_ ~dst:_ -> ()) ?metrics
+    ?(sink = Telemetry.Sink.null) ?clock tree ~kind_of =
   let n = Tree.n_nodes tree in
   let chan_base = Array.make (n + 1) 0 in
   for u = 0 to n - 1 do
@@ -42,7 +58,24 @@ let create ?(on_send = fun ~src:_ ~dst:_ -> ()) tree ~kind_of =
         dst_of.(base + i) <- v)
       (Tree.neighbors_arr tree u)
   done;
-  {
+  let tel =
+    match metrics with
+    | None -> None
+    | Some m ->
+      let per_kind prefix =
+        Array.init Kind.count (fun i ->
+            Telemetry.Metrics.counter m
+              (prefix ^ Kind.to_string (Kind.of_index i)))
+      in
+      Some
+        {
+          sent_k = per_kind "net.sent.";
+          delivered_k = per_kind "net.delivered.";
+          inflight = Telemetry.Metrics.gauge m "net.in_flight";
+          occupancy = Telemetry.Metrics.gauge m "net.channel_occupancy";
+        }
+  in
+  let t = {
     tree;
     queues = Array.init n_chans (fun _ -> Queue.create ());
     chan_base;
@@ -57,9 +90,23 @@ let create ?(on_send = fun ~src:_ ~dst:_ -> ()) tree ~kind_of =
     in_flight = 0;
     total = 0;
     kind_totals = Array.make Kind.count 0;
+    tel;
+    sink;
+    recording = Telemetry.Sink.enabled sink;
+    obs = tel <> None || Telemetry.Sink.enabled sink;
+    clock = (fun () -> 0.0);
+    tick = 0;
   }
+  in
+  (t.clock <-
+     (match clock with
+     | Some c -> c
+     | None -> fun () -> float_of_int t.tick));
+  t
 
 let tree t = t.tree
+
+let clock t = t.clock
 
 (* Flat channel id of the directed edge (src,dst). *)
 let chan t ~src ~dst =
@@ -87,6 +134,19 @@ let registry_remove t cid =
   t.reg_len <- last;
   t.reg_pos.(cid) <- -1
 
+(* Out-of-line observers: the hot path pays a single [t.obs] branch when
+   telemetry is off; the static call below only happens when it is on. *)
+let observe_send t ~src ~dst k qlen =
+  (match t.tel with
+  | None -> ()
+  | Some tel ->
+    Telemetry.Metrics.incr tel.sent_k.(k);
+    Telemetry.Metrics.gauge_set tel.inflight t.in_flight;
+    Telemetry.Metrics.gauge_set tel.occupancy qlen);
+  if t.recording then
+    Telemetry.Sink.record t.sink
+      (Telemetry.Sink.Sent { time = t.clock (); src; dst; kind = k })
+
 let send t ~src ~dst m =
   let cid = chan t ~src ~dst in
   let q = t.queues.(cid) in
@@ -98,17 +158,39 @@ let send t ~src ~dst m =
   t.kind_totals.(k) <- t.kind_totals.(k) + 1;
   t.total <- t.total + 1;
   t.in_flight <- t.in_flight + 1;
+  t.tick <- t.tick + 1;
+  if t.obs then observe_send t ~src ~dst k (Queue.length q);
   t.on_send ~src ~dst
 
 let in_flight t = t.in_flight
 
 let is_quiescent t = t.in_flight = 0
 
+let observe_pop t cid m qlen =
+  let k = Kind.index (t.kind_of m) in
+  (match t.tel with
+  | None -> ()
+  | Some tel ->
+    Telemetry.Metrics.incr tel.delivered_k.(k);
+    Telemetry.Metrics.gauge_set tel.inflight t.in_flight;
+    Telemetry.Metrics.gauge_set tel.occupancy qlen);
+  if t.recording then
+    Telemetry.Sink.record t.sink
+      (Telemetry.Sink.Delivered
+         {
+           time = t.clock ();
+           src = t.src_of.(cid);
+           dst = t.dst_of.(cid);
+           kind = k;
+         })
+
 let pop_chan t cid =
   let q = t.queues.(cid) in
   let m = Queue.pop q in
   if Queue.is_empty q then registry_remove t cid;
   t.in_flight <- t.in_flight - 1;
+  t.tick <- t.tick + 1;
+  if t.obs then observe_pop t cid m (Queue.length q);
   m
 
 let pop t ~src ~dst =

@@ -22,11 +22,33 @@
 type 'm t
 
 val create :
-  ?on_send:(src:int -> dst:int -> unit) -> Tree.t -> kind_of:('m -> Kind.t) -> 'm t
+  ?on_send:(src:int -> dst:int -> unit) ->
+  ?metrics:Telemetry.Metrics.t ->
+  ?sink:Telemetry.Sink.t ->
+  ?clock:(unit -> float) ->
+  Tree.t ->
+  kind_of:('m -> Kind.t) ->
+  'm t
 (** [on_send] is invoked for every enqueued message — the hook virtual-
-    time schedulers ({!Devent}) use to timestamp deliveries. *)
+    time schedulers ({!Devent}) use to timestamp deliveries.
+
+    [metrics] registers per-kind send/delivery counters
+    ([net.sent.<kind>], [net.delivered.<kind>]), an in-flight gauge with
+    high-water mark ([net.in_flight]) and a per-channel occupancy
+    high-water gauge ([net.channel_occupancy]).  [sink] (default
+    {!Telemetry.Sink.null}) receives a [Sent]/[Delivered] event per
+    message, stamped by [clock]; the default clock counts network
+    operations (each send and each delivery is one tick), so pass
+    {!Devent.clock} to get virtual-time stamps.  With the defaults the
+    instrumentation is allocation-free and costs one branch per
+    operation. *)
 
 val tree : 'm t -> Tree.t
+
+val clock : 'm t -> unit -> float
+(** The effective event clock (the [clock] argument, or the internal
+    operation-tick counter) — share it with other instrumented layers so
+    all events of one run are stamped on the same axis. *)
 
 val send : 'm t -> src:int -> dst:int -> 'm -> unit
 (** Enqueue a message on the directed edge [(src,dst)].

@@ -1,32 +1,88 @@
+(* Message-level execution traces, stored in a bounded telemetry ring
+   buffer instead of the old unbounded list.  A Trace.t is a thin facade
+   over Telemetry.Sink: [record] converts the legacy event constructors
+   into sink events ([Request_initiated] -> [Span_begin], etc.), and
+   [as_sink] exposes the underlying ring so the trace can be plugged
+   directly into any instrumented component (network, mechanism,
+   engine).  Events are stamped with a local sequence number. *)
+
 type event =
   | Request_initiated of { node : int; what : string }
   | Request_completed of { node : int; what : string }
   | Delivered of { src : int; dst : int; kind : Kind.t }
 
-type t = { enabled : bool; mutable events : event list; mutable length : int }
+type t = {
+  enabled : bool;
+  ring : Telemetry.Sink.ring option; (* None iff disabled *)
+  sink : Telemetry.Sink.t;
+  mutable seq : int;
+}
 
-let create ?(enabled = false) () = { enabled; events = []; length = 0 }
+let default_capacity = 65_536
+
+let create ?(enabled = false) ?(capacity = default_capacity) () =
+  if enabled then begin
+    let ring = Telemetry.Sink.ring ~capacity in
+    { enabled; ring = Some ring; sink = Telemetry.Sink.of_ring ring; seq = 0 }
+  end
+  else { enabled; ring = None; sink = Telemetry.Sink.null; seq = 0 }
 
 let enabled t = t.enabled
 
+let as_sink t = t.sink
+
 let record t e =
   if t.enabled then begin
-    t.events <- e :: t.events;
-    t.length <- t.length + 1
+    t.seq <- t.seq + 1;
+    let time = float_of_int t.seq in
+    Telemetry.Sink.record t.sink
+      (match e with
+      | Request_initiated { node; what } ->
+        Telemetry.Sink.Span_begin { time; node; name = what; id = t.seq }
+      | Request_completed { node; what } ->
+        Telemetry.Sink.Span_end { time; node; name = what; id = t.seq }
+      | Delivered { src; dst; kind } ->
+        Telemetry.Sink.Delivered { time; src; dst; kind = Kind.index kind })
   end
 
-let events t = List.rev t.events
+(* Raw sink events retained in the ring, oldest first.  Includes events
+   recorded through [as_sink] by instrumented components. *)
+let sink_events t =
+  match t.ring with None -> [] | Some r -> Telemetry.Sink.ring_events r
+
+(* Legacy view: the events representable by the original constructors.
+   Sink events with no legacy counterpart ([Sent], lease events, marks)
+   are skipped. *)
+let events t =
+  List.filter_map
+    (fun (e : Telemetry.Sink.event) ->
+      match e with
+      | Telemetry.Sink.Span_begin { node; name; _ } ->
+        Some (Request_initiated { node; what = name })
+      | Telemetry.Sink.Span_end { node; name; _ } ->
+        Some (Request_completed { node; what = name })
+      | Telemetry.Sink.Delivered { src; dst; kind; _ } ->
+        Some (Delivered { src; dst; kind = Kind.of_index kind })
+      | _ -> None)
+    (sink_events t)
 
 let clear t =
-  t.events <- [];
-  t.length <- 0
+  t.seq <- 0;
+  match t.ring with None -> () | Some r -> Telemetry.Sink.ring_clear r
 
-let length t = t.length
+let length t =
+  match t.ring with None -> 0 | Some r -> Telemetry.Sink.ring_length r
+
+let dropped t =
+  match t.ring with None -> 0 | Some r -> Telemetry.Sink.ring_dropped r
+
+let capacity t =
+  match t.ring with None -> 0 | Some r -> Telemetry.Sink.ring_capacity r
 
 let count_delivered t k =
   List.fold_left
     (fun acc -> function Delivered { kind; _ } when kind = k -> acc + 1 | _ -> acc)
-    0 t.events
+    0 (events t)
 
 let pp_event fmt = function
   | Request_initiated { node; what } -> Format.fprintf fmt "init %s@%d" what node

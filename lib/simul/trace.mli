@@ -1,9 +1,16 @@
-(** Lightweight execution traces.
+(** Lightweight execution traces over a bounded ring buffer.
 
     Records request initiations/completions and message deliveries for
     debugging and for tests that assert on the message-level behaviour
     (e.g. "executing this combine sent exactly |A| probes", Lemma 3.3).
-    Tracing is opt-in and costs nothing when disabled. *)
+    Tracing is opt-in and costs nothing when disabled.
+
+    Since the telemetry subsystem landed, a trace is a facade over a
+    {!Telemetry.Sink} ring buffer: storage is bounded ([capacity],
+    overwriting the oldest events once full instead of growing a list
+    without bound), and {!as_sink} plugs the same ring into any
+    instrumented component so its events land alongside the ones
+    recorded through {!record}. *)
 
 type event =
   | Request_initiated of { node : int; what : string }
@@ -12,19 +19,39 @@ type event =
 
 type t
 
-val create : ?enabled:bool -> unit -> t
+val create : ?enabled:bool -> ?capacity:int -> unit -> t
+(** [capacity] (default 65536) bounds retained events; recording past it
+    overwrites the oldest ({!dropped} counts the overwritten ones). *)
 
 val enabled : t -> bool
+
+val as_sink : t -> Telemetry.Sink.t
+(** The trace's ring as a telemetry sink ({!Telemetry.Sink.null} when
+    the trace is disabled) — pass it to [Network.create],
+    [Mechanism.Make.create] or [Engine.run_concurrent] to capture their
+    events in this trace. *)
 
 val record : t -> event -> unit
 (** No-op when the trace is disabled. *)
 
 val events : t -> event list
-(** Events in chronological order. *)
+(** Retained events in chronological order, restricted to the legacy
+    constructors above (telemetry-only events captured via {!as_sink} —
+    sends, lease transitions, marks — are skipped; see {!sink_events}). *)
+
+val sink_events : t -> Telemetry.Sink.event list
+(** All retained ring events, chronological. *)
 
 val clear : t -> unit
 
 val length : t -> int
+(** Number of retained ring events. *)
+
+val dropped : t -> int
+(** Events overwritten since creation or the last {!clear}. *)
+
+val capacity : t -> int
+(** 0 when disabled. *)
 
 val count_delivered : t -> Kind.t -> int
 

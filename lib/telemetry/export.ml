@@ -1,0 +1,121 @@
+(* Chrome trace-event JSON export (the "JSON Object Format" understood
+   by chrome://tracing and Perfetto).  One process, one thread track per
+   tree node: completed request spans become "X" (complete) events with
+   a duration, everything else becomes "i" (instant) events on the track
+   of the node where it happened.  Timestamps are virtual times scaled
+   by [time_scale] (default 1000, so one virtual time unit displays as
+   one millisecond — the "ts" field is in microseconds). *)
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let default_kind_name i = "kind" ^ string_of_int i
+
+let chrome_trace ?(kind_name = default_kind_name) ?(time_scale = 1000.0)
+    ?n_nodes events =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  let emit fields =
+    if !first then first := false else Buffer.add_string b ",";
+    Buffer.add_string b "\n{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "\"%s\":%s" k v))
+      fields;
+    Buffer.add_char b '}'
+  in
+  let str s = Printf.sprintf "\"%s\"" (escape s) in
+  let ts time = Printf.sprintf "%.3f" (time *. time_scale) in
+  (* Name the per-node tracks. *)
+  (match n_nodes with
+  | None -> ()
+  | Some n ->
+    for u = 0 to n - 1 do
+      emit
+        [
+          ("name", str "thread_name");
+          ("ph", str "M");
+          ("pid", "0");
+          ("tid", string_of_int u);
+          ("args", Printf.sprintf "{\"name\":%s}" (str ("node " ^ string_of_int u)));
+        ]
+    done);
+  let completed, _unmatched = Span.pair events in
+  let paired = Hashtbl.create 64 in
+  List.iter (fun (s : Span.completed) -> Hashtbl.replace paired s.id ()) completed;
+  List.iter
+    (fun (s : Span.completed) ->
+      emit
+        [
+          ("name", str s.name);
+          ("cat", str "request");
+          ("ph", str "X");
+          ("ts", ts s.t0);
+          ("dur", Printf.sprintf "%.3f" ((s.t1 -. s.t0) *. time_scale));
+          ("pid", "0");
+          ("tid", string_of_int s.node);
+          ("args", Printf.sprintf "{\"span\":%d}" s.id);
+        ])
+    completed;
+  let instant ~name ~cat ~time ~tid ~args =
+    emit
+      [
+        ("name", str name);
+        ("cat", str cat);
+        ("ph", str "i");
+        ("ts", ts time);
+        ("pid", "0");
+        ("tid", string_of_int tid);
+        ("s", str "t");
+        ("args", args);
+      ]
+  in
+  List.iter
+    (fun e ->
+      match e with
+      | Sink.Sent { time; src; dst; kind } ->
+        instant ~name:("send " ^ kind_name kind) ~cat:"net" ~time ~tid:src
+          ~args:(Printf.sprintf "{\"src\":%d,\"dst\":%d}" src dst)
+      | Sink.Delivered { time; src; dst; kind } ->
+        instant ~name:("recv " ^ kind_name kind) ~cat:"net" ~time ~tid:dst
+          ~args:(Printf.sprintf "{\"src\":%d,\"dst\":%d}" src dst)
+      | Sink.Lease_set { time; granter; grantee } ->
+        instant ~name:"lease set" ~cat:"lease" ~time ~tid:granter
+          ~args:(Printf.sprintf "{\"grantee\":%d}" grantee)
+      | Sink.Lease_broken { time; granter; grantee } ->
+        instant ~name:"lease break" ~cat:"lease" ~time ~tid:granter
+          ~args:(Printf.sprintf "{\"grantee\":%d}" grantee)
+      | Sink.Lease_denied { time; granter; grantee } ->
+        instant ~name:"lease deny" ~cat:"lease" ~time ~tid:granter
+          ~args:(Printf.sprintf "{\"grantee\":%d}" grantee)
+      | Sink.Mark { time; node; name } ->
+        instant ~name ~cat:"mark" ~time ~tid:(max node 0) ~args:"{}"
+      | Sink.Span_begin { time; node; name; id } ->
+        if not (Hashtbl.mem paired id) then
+          instant ~name:(name ^ " (open)") ~cat:"request" ~time ~tid:node
+            ~args:(Printf.sprintf "{\"span\":%d}" id)
+      | Sink.Span_end { time; node; name; id } ->
+        if not (Hashtbl.mem paired id) then
+          instant ~name:(name ^ " (end)") ~cat:"request" ~time ~tid:node
+            ~args:(Printf.sprintf "{\"span\":%d}" id))
+    events;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc

@@ -1,0 +1,24 @@
+(** Chrome trace-event export.
+
+    {!chrome_trace} renders a recorded event list as trace-event JSON
+    ("JSON Object Format") loadable in [chrome://tracing] or Perfetto:
+    pid 0, one thread track per tree node, completed request spans as
+    ["X"] complete events with durations, message / lease / mark events
+    as ["i"] instants on the track of the node where they happened, and
+    ["M"] metadata events naming the tracks. *)
+
+val chrome_trace :
+  ?kind_name:(int -> string) ->
+  ?time_scale:float ->
+  ?n_nodes:int ->
+  Sink.event list ->
+  string
+(** [kind_name] maps the integer kind indices carried by [Sent] /
+    [Delivered] events back to names (pass the simulator's
+    [Kind.to_string ∘ Kind.of_index]; defaults to ["kind<i>"]).
+    [time_scale] (default 1000) converts event times to the microsecond
+    ["ts"] field, so one virtual time unit displays as 1 ms.  [n_nodes]
+    emits named per-node tracks. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents]: create/truncate [path] and write. *)

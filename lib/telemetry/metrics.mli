@@ -1,0 +1,88 @@
+(** Named metrics registry: counters, gauges, and log-scale histograms.
+
+    A registry holds named metrics.  Registration ({!counter}, {!gauge},
+    {!histogram}) looks the name up once and returns a handle; all
+    subsequent operations on the handle are O(1) and allocation-free, so
+    instrumented hot paths pay only an array/field update.  Registering
+    the same name twice returns the same handle (handy for reading a
+    metric back by name in tests).
+
+    - Counters are monotone ints ({!incr}, {!add}).
+    - Gauges hold a current value and remember their high-water mark.
+    - Histograms bucket non-negative ints by powers of two (bucket [b]
+      covers [[2^(b-1), 2^b)]), with exact count/sum/max and upper-bound
+      quantile estimates.
+
+    Snapshots render as an aligned text table or as JSON. *)
+
+type t
+
+type counter
+
+type gauge
+
+type histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** @raise Invalid_argument if the name is registered as another type. *)
+
+val gauge : t -> string -> gauge
+
+val histogram : t -> string -> histogram
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val counter_value : counter -> int
+
+val gauge_set : gauge -> int -> unit
+(** Sets the value and raises the high-water mark if exceeded. *)
+
+val gauge_add : gauge -> int -> unit
+
+val gauge_value : gauge -> int
+
+val gauge_hwm : gauge -> int
+
+val observe : histogram -> int -> unit
+
+val histogram_count : histogram -> int
+
+val histogram_sum : histogram -> int
+
+val histogram_max : histogram -> int
+
+val quantile : histogram -> float -> int
+(** [quantile h q] for [q] in [0,1]: the inclusive upper edge of the
+    bucket holding the [q]-quantile observation, clamped to the observed
+    maximum.  0 if the histogram is empty. *)
+
+type row =
+  | Counter_row of { name : string; value : int }
+  | Gauge_row of { name : string; value : int; hwm : int }
+  | Histogram_row of {
+      name : string;
+      count : int;
+      sum : int;
+      max : int;
+      p50 : int;
+      p95 : int;
+      p99 : int;
+    }
+
+val snapshot : t -> row list
+(** All metrics, sorted by name. *)
+
+val to_text : t -> string
+(** Aligned, human-readable table, one metric per line. *)
+
+val to_json : t -> string
+
+val reset : t -> unit
+(** Zero every metric (counters, gauge values and high-water marks,
+    histogram buckets) without dropping registrations — the handles held
+    by instrumented components stay valid.  Useful for per-phase
+    snapshots. *)

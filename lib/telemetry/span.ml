@@ -1,0 +1,56 @@
+(* Request spans: a begin/end event pair sharing an id, stamped with the
+   caller's clock (virtual time under Devent scheduling, network ticks
+   otherwise).  [start]/[finish] do nothing — and allocate nothing — when
+   the sink is disabled; [pair] reassembles completed spans from a
+   recorded event list for export. *)
+
+type allocator = { mutable next_id : int }
+
+let allocator () = { next_id = 0 }
+
+let fresh a =
+  a.next_id <- a.next_id + 1;
+  a.next_id
+
+let start sink alloc ~clock ~node ~name =
+  if Sink.enabled sink then begin
+    let id = fresh alloc in
+    Sink.record sink (Sink.Span_begin { time = clock (); node; name; id });
+    id
+  end
+  else -1
+
+let finish sink ~clock ~node ~name ~id =
+  if id >= 0 && Sink.enabled sink then
+    Sink.record sink (Sink.Span_end { time = clock (); node; name; id })
+
+type completed = {
+  node : int;
+  name : string;
+  id : int;
+  t0 : float;
+  t1 : float;
+}
+
+let pair events =
+  let open_spans = Hashtbl.create 64 in
+  let completed = ref [] in
+  let unmatched = ref [] in
+  List.iter
+    (fun e ->
+      match e with
+      | Sink.Span_begin { time; node; name; id } ->
+        Hashtbl.replace open_spans id (time, node, name)
+      | Sink.Span_end { time; id; _ } -> (
+        match Hashtbl.find_opt open_spans id with
+        | Some (t0, node, name) ->
+          Hashtbl.remove open_spans id;
+          completed := { node; name; id; t0; t1 = time } :: !completed
+        | None -> unmatched := e :: !unmatched)
+      | _ -> ())
+    events;
+  Hashtbl.iter
+    (fun id (time, node, name) ->
+      unmatched := Sink.Span_begin { time; node; name; id } :: !unmatched)
+    open_spans;
+  (List.rev !completed, List.rev !unmatched)

@@ -1,0 +1,36 @@
+(** Request-lifetime spans over a {!Sink}.
+
+    A span is a [Span_begin]/[Span_end] event pair sharing an id.  The
+    mechanism opens one per combine request and closes it on completion;
+    under virtual-time scheduling the pair bounds the request's latency,
+    otherwise it bounds its delivery-count window. *)
+
+type allocator
+
+val allocator : unit -> allocator
+(** Fresh id source (ids are positive, strictly increasing). *)
+
+val start :
+  Sink.t -> allocator -> clock:(unit -> float) -> node:int -> name:string -> int
+(** Emit [Span_begin] and return its id.  Returns [-1] — without
+    allocating an id, calling the clock, or emitting anything — when the
+    sink is disabled. *)
+
+val finish :
+  Sink.t -> clock:(unit -> float) -> node:int -> name:string -> id:int -> unit
+(** Emit the matching [Span_end].  No-op when [id < 0] or the sink is
+    disabled. *)
+
+type completed = {
+  node : int;
+  name : string;
+  id : int;
+  t0 : float;
+  t1 : float;
+}
+
+val pair : Sink.event list -> completed list * Sink.event list
+(** Match begin/end events by id: [(completed, unmatched)] where
+    [completed] spans are ordered by completion and [unmatched] holds
+    span events whose partner is missing (e.g. overwritten in a ring, or
+    a request still in flight). *)

@@ -1,0 +1,517 @@
+(* Telemetry subsystem: metrics registry, sinks, spans, Chrome-trace
+   export, and the instrumentation contracts of the network and the
+   mechanism (counter conservation, zero allocation when disabled,
+   golden trace of a fixed-seed concurrent run). *)
+
+module Sm = Prng.Splitmix
+module M = Oat.Mechanism.Make (Agg.Ops.Sum)
+
+(* ---- metrics registry ---- *)
+
+let test_counter () =
+  let m = Telemetry.Metrics.create () in
+  let c = Telemetry.Metrics.counter m "c" in
+  Telemetry.Metrics.incr c;
+  Telemetry.Metrics.add c 10;
+  Alcotest.(check int) "value" 11 (Telemetry.Metrics.counter_value c);
+  (* registration is idempotent: same name, same handle *)
+  let c' = Telemetry.Metrics.counter m "c" in
+  Telemetry.Metrics.incr c';
+  Alcotest.(check int) "shared handle" 12 (Telemetry.Metrics.counter_value c);
+  Alcotest.check_raises "type clash"
+    (Invalid_argument
+       "Metrics.gauge: \"c\" already registered with another type") (fun () ->
+      ignore (Telemetry.Metrics.gauge m "c"))
+
+let test_gauge_hwm () =
+  let m = Telemetry.Metrics.create () in
+  let g = Telemetry.Metrics.gauge m "g" in
+  Telemetry.Metrics.gauge_set g 5;
+  Telemetry.Metrics.gauge_set g 3;
+  Telemetry.Metrics.gauge_add g 1;
+  Alcotest.(check int) "value" 4 (Telemetry.Metrics.gauge_value g);
+  Alcotest.(check int) "hwm" 5 (Telemetry.Metrics.gauge_hwm g)
+
+let test_histogram () =
+  let m = Telemetry.Metrics.create () in
+  let h = Telemetry.Metrics.histogram m "h" in
+  List.iter (Telemetry.Metrics.observe h) [ 0; 1; 2; 3; 4; 100 ];
+  Alcotest.(check int) "count" 6 (Telemetry.Metrics.histogram_count h);
+  Alcotest.(check int) "sum" 110 (Telemetry.Metrics.histogram_sum h);
+  Alcotest.(check int) "max" 100 (Telemetry.Metrics.histogram_max h);
+  (* p50: rank 3 of {0,1,2,3,4,100} is 2, bucket [2,4) upper edge 3 *)
+  Alcotest.(check int) "p50" 3 (Telemetry.Metrics.quantile h 0.5);
+  (* p99 lands in the max's bucket, so the clamp makes it exact *)
+  Alcotest.(check int) "p99" 100 (Telemetry.Metrics.quantile h 0.99);
+  Alcotest.(check int) "empty quantile" 0
+    (Telemetry.Metrics.quantile (Telemetry.Metrics.histogram m "h2") 0.5)
+
+let test_reset_keeps_handles () =
+  let m = Telemetry.Metrics.create () in
+  let c = Telemetry.Metrics.counter m "c" in
+  let g = Telemetry.Metrics.gauge m "g" in
+  Telemetry.Metrics.incr c;
+  Telemetry.Metrics.gauge_set g 7;
+  Telemetry.Metrics.reset m;
+  Alcotest.(check int) "counter zeroed" 0 (Telemetry.Metrics.counter_value c);
+  Alcotest.(check int) "gauge hwm zeroed" 0 (Telemetry.Metrics.gauge_hwm g);
+  Telemetry.Metrics.incr c;
+  Alcotest.(check int) "handle still live" 1 (Telemetry.Metrics.counter_value c)
+
+(* ---- ring-buffer sink ---- *)
+
+let mark i = Telemetry.Sink.Mark { time = float_of_int i; node = i; name = "m" }
+
+let test_ring_bounded () =
+  let r = Telemetry.Sink.ring ~capacity:4 in
+  let sink = Telemetry.Sink.of_ring r in
+  for i = 1 to 10 do
+    Telemetry.Sink.record sink (mark i)
+  done;
+  Alcotest.(check int) "length capped" 4 (Telemetry.Sink.ring_length r);
+  Alcotest.(check int) "total" 10 (Telemetry.Sink.ring_total r);
+  Alcotest.(check int) "dropped" 6 (Telemetry.Sink.ring_dropped r);
+  (* oldest overwritten first: events 7..10 remain, in order *)
+  let nodes =
+    List.map
+      (function Telemetry.Sink.Mark { node; _ } -> node | _ -> -1)
+      (Telemetry.Sink.ring_events r)
+  in
+  Alcotest.(check (list int)) "oldest first" [ 7; 8; 9; 10 ] nodes;
+  Telemetry.Sink.ring_clear r;
+  Alcotest.(check int) "cleared" 0 (Telemetry.Sink.ring_length r);
+  Alcotest.(check int) "total cleared" 0 (Telemetry.Sink.ring_total r)
+
+let test_null_sink_no_alloc () =
+  let sink = Telemetry.Sink.null in
+  Alcotest.(check bool) "disabled" false (Telemetry.Sink.enabled sink);
+  let before = Gc.minor_words () in
+  for i = 1 to 10_000 do
+    (* the guarded instrumentation pattern used by every hot path *)
+    if Telemetry.Sink.enabled sink then
+      Telemetry.Sink.record sink
+        (Telemetry.Sink.Sent { time = 0.0; src = i; dst = 0; kind = 0 })
+  done;
+  let delta = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "10k disabled records allocate nothing (%g words)" delta)
+    true (delta < 1000.0)
+
+let test_span_disabled_is_free () =
+  let alloc = Telemetry.Span.allocator () in
+  let clock () = Alcotest.fail "clock consulted behind a disabled sink" in
+  let id =
+    Telemetry.Span.start Telemetry.Sink.null alloc ~clock ~node:0 ~name:"s"
+  in
+  Alcotest.(check bool) "sentinel id" true (id < 0);
+  Telemetry.Span.finish Telemetry.Sink.null ~clock ~node:0 ~name:"s" ~id
+
+(* ---- Trace facade over the ring (legacy API) ---- *)
+
+let test_trace_ring_facade () =
+  let tr = Simul.Trace.create ~enabled:true ~capacity:4 () in
+  for i = 1 to 10 do
+    Simul.Trace.record tr
+      (Simul.Trace.Request_initiated { node = i; what = "r" })
+  done;
+  Alcotest.(check int) "length capped" 4 (Simul.Trace.length tr);
+  Alcotest.(check int) "dropped" 6 (Simul.Trace.dropped tr);
+  Alcotest.(check int) "capacity" 4 (Simul.Trace.capacity tr);
+  (match Simul.Trace.events tr with
+  | Simul.Trace.Request_initiated { node; _ } :: _ ->
+    Alcotest.(check int) "oldest retained" 7 node
+  | _ -> Alcotest.fail "expected a Request_initiated event");
+  (* events recorded through the sink view land in the same ring *)
+  Simul.Trace.clear tr;
+  Telemetry.Sink.record (Simul.Trace.as_sink tr)
+    (Telemetry.Sink.Delivered { time = 0.0; src = 0; dst = 1; kind = 0 });
+  Alcotest.(check int) "sink event counted" 1
+    (Simul.Trace.count_delivered tr Simul.Kind.Probe)
+
+(* ---- counter conservation: network bookkeeping vs telemetry ---- *)
+
+let prop_counter_conservation =
+  QCheck.Test.make ~count:50 ~name:"network counters = telemetry counters"
+    QCheck.(pair (int_range 2 16) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Sm.create seed in
+      let t = Tree.Build.random rng n in
+      let metrics = Telemetry.Metrics.create () in
+      let net = Simul.Network.create ~metrics t ~kind_of:(fun k -> k) in
+      let kinds = Array.of_list Simul.Kind.all in
+      for _ = 1 to 1000 do
+        if Sm.bool rng then begin
+          let u = Sm.int rng n in
+          match Tree.neighbors_arr t u with
+          | [||] -> ()
+          | nbrs ->
+            Simul.Network.send net ~src:u ~dst:(Sm.pick rng nbrs)
+              (Sm.pick rng kinds)
+        end
+        else ignore (Simul.Network.pop_random net rng)
+      done;
+      let delivered_total = ref 0 in
+      List.iter
+        (fun k ->
+          let name = Simul.Kind.to_string k in
+          let sent_ctr =
+            Telemetry.Metrics.counter_value
+              (Telemetry.Metrics.counter metrics ("net.sent." ^ name))
+          in
+          let delivered_ctr =
+            Telemetry.Metrics.counter_value
+              (Telemetry.Metrics.counter metrics ("net.delivered." ^ name))
+          in
+          delivered_total := !delivered_total + delivered_ctr;
+          if Simul.Network.total_of_kind net k <> sent_ctr then
+            QCheck.Test.fail_reportf "kind %s: total %d <> sent counter %d"
+              name
+              (Simul.Network.total_of_kind net k)
+              sent_ctr;
+          (* per-edge counters sum to the same per-kind total *)
+          let edge_sum = ref 0 in
+          for u = 0 to n - 1 do
+            Array.iter
+              (fun v -> edge_sum := !edge_sum + Simul.Network.sent net ~src:u ~dst:v k)
+              (Tree.neighbors_arr t u)
+          done;
+          if !edge_sum <> sent_ctr then
+            QCheck.Test.fail_reportf "kind %s: edge sum %d <> sent counter %d"
+              name !edge_sum sent_ctr)
+        Simul.Kind.all;
+      (* sent - delivered = in flight, and the gauge agrees *)
+      Simul.Network.total net - !delivered_total = Simul.Network.in_flight net
+      && Telemetry.Metrics.gauge_value
+           (Telemetry.Metrics.gauge metrics "net.in_flight")
+         = Simul.Network.in_flight net)
+
+(* ---- mechanism lease-lifecycle counters (deterministic pin) ---- *)
+
+let test_mechanism_counters () =
+  let tree = Tree.Build.binary 15 in
+  let sigma =
+    Workload.Generate.mixed
+      { Workload.Generate.default_spec with n_requests = 200 }
+      tree (Sm.create 7)
+  in
+  let metrics = Telemetry.Metrics.create () in
+  let sys = M.create ~metrics tree ~policy:Oat.Rww.policy in
+  ignore (M.run_sequential sys sigma);
+  let counter name =
+    Telemetry.Metrics.counter_value (Telemetry.Metrics.counter metrics name)
+  in
+  (* every grant answered a probe, so set + deny <= probes delivered *)
+  Alcotest.(check bool) "grants bounded by probes" true
+    (counter "mech.lease.set" + counter "mech.lease.deny"
+    <= counter "net.delivered.probe");
+  (* every break sent exactly one release *)
+  Alcotest.(check int) "breaks = releases sent" (counter "net.sent.release")
+    (counter "mech.lease.break");
+  (* fanout histogram sums to the updates actually sent *)
+  Alcotest.(check int) "fanout sum = updates sent"
+    (counter "net.sent.update")
+    (Telemetry.Metrics.histogram_sum
+       (Telemetry.Metrics.histogram metrics "mech.update.fanout"));
+  (* network totals agree with the mechanism's own accessors *)
+  Alcotest.(check int) "sent probes" (M.messages_of_kind sys Simul.Kind.Probe)
+    (counter "net.sent.probe");
+  (* pinned lifecycle counts for this fixed seed *)
+  Alcotest.(check int) "lease sets" 174 (counter "mech.lease.set");
+  Alcotest.(check int) "lease breaks" 157 (counter "mech.lease.break");
+  Alcotest.(check int) "lease denials" 0 (counter "mech.lease.deny")
+
+(* ---- minimal JSON parser (stdlib only, for the golden trace test) ---- *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if peek () = c then incr pos
+    else fail (Printf.sprintf "expected %c, got %c" c (peek ()))
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          incr pos;
+          (match peek () with
+          | 'n' ->
+            Buffer.add_char b '\n';
+            incr pos
+          | 'u' ->
+            Buffer.add_char b '?';
+            pos := !pos + 5
+          | c ->
+            Buffer.add_char b c;
+            incr pos);
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = '}' then begin
+        incr pos;
+        Jobj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            incr pos;
+            members ((key, v) :: acc)
+          | '}' ->
+            incr pos;
+            List.rev ((key, v) :: acc)
+          | _ -> fail "expected , or } in object"
+        in
+        Jobj (members [])
+      end
+    | '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = ']' then begin
+        incr pos;
+        Jarr []
+      end
+      else begin
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            incr pos;
+            elems (v :: acc)
+          | ']' ->
+            incr pos;
+            List.rev (v :: acc)
+          | _ -> fail "expected , or ] in array"
+        in
+        Jarr (elems [])
+      end
+    | '"' -> Jstr (parse_string ())
+    | 't' ->
+      pos := !pos + 4;
+      Jbool true
+    | 'f' ->
+      pos := !pos + 5;
+      Jbool false
+    | 'n' ->
+      pos := !pos + 4;
+      Jnull
+    | _ ->
+      let start = !pos in
+      while
+        !pos < n
+        &&
+        match s.[!pos] with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      do
+        incr pos
+      done;
+      if !pos = start then fail "unexpected character";
+      (match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Jnum f
+      | None -> fail "bad number")
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member key = function
+  | Jobj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+(* ---- golden Chrome trace of a fixed-seed concurrent run ---- *)
+
+(* Fixed-seed concurrent execution on a 7-node binary tree with a ring
+   sink plugged into the mechanism, the network, and the engine.  The
+   event and trace-entry counts are pinned: a change means the
+   instrumentation points (or the schedule) moved. *)
+let golden_run () =
+  let tree = Tree.Build.binary 7 in
+  let rng = Sm.create 2026 in
+  let metrics = Telemetry.Metrics.create () in
+  let ring = Telemetry.Sink.ring ~capacity:100_000 in
+  let sink = Telemetry.Sink.of_ring ring in
+  let sys = M.create ~metrics ~sink tree ~policy:Oat.Rww.policy in
+  let requests =
+    Array.init 30 (fun i ->
+        let node = Sm.int rng 7 in
+        if Sm.bool rng then fun () -> M.write sys ~node (float_of_int i)
+        else fun () -> M.combine sys ~node (fun _ -> ()))
+  in
+  Simul.Engine.run_concurrent ~sink ~rng (M.network sys)
+    ~handler:(M.handler sys) ~requests;
+  (ring, sys)
+
+let golden_events = 228
+
+let test_golden_event_count () =
+  let ring, sys = golden_run () in
+  Alcotest.(check int) "ring event count" golden_events
+    (Telemetry.Sink.ring_length ring);
+  Alcotest.(check int) "no events dropped" 0 (Telemetry.Sink.ring_dropped ring);
+  (* every message both ways through the sink: a Sent and a Delivered
+     per message, and the run drained *)
+  let sent, delivered =
+    List.fold_left
+      (fun (s, d) e ->
+        match e with
+        | Telemetry.Sink.Sent _ -> (s + 1, d)
+        | Telemetry.Sink.Delivered _ -> (s, d + 1)
+        | _ -> (s, d))
+      (0, 0)
+      (Telemetry.Sink.ring_events ring)
+  in
+  Alcotest.(check int) "sent events = message total" (M.message_total sys) sent;
+  Alcotest.(check int) "delivered = sent" sent delivered
+
+let test_golden_chrome_trace () =
+  let ring, _sys = golden_run () in
+  let trace =
+    Telemetry.Export.chrome_trace
+      ~kind_name:(fun i -> Simul.Kind.to_string (Simul.Kind.of_index i))
+      ~n_nodes:7
+      (Telemetry.Sink.ring_events ring)
+  in
+  let j =
+    try parse_json trace with Bad_json msg -> Alcotest.fail ("bad JSON: " ^ msg)
+  in
+  let events =
+    match member "traceEvents" j with
+    | Some (Jarr l) -> l
+    | _ -> Alcotest.fail "missing traceEvents array"
+  in
+  (match member "displayTimeUnit" j with
+  | Some (Jstr "ms") -> ()
+  | _ -> Alcotest.fail "missing displayTimeUnit");
+  (* 7 thread_name metadata entries + one entry per recorded event
+     (spans pair up: each begin/end pair collapses to one "X" entry) *)
+  let spans, others =
+    List.fold_left
+      (fun (sp, ot) e ->
+        match e with
+        | Telemetry.Sink.Span_begin _ | Telemetry.Sink.Span_end _ ->
+          (sp + 1, ot)
+        | _ -> (sp, ot + 1))
+      (0, 0)
+      (Telemetry.Sink.ring_events ring)
+  in
+  Alcotest.(check bool) "spans all paired" true (spans mod 2 = 0);
+  Alcotest.(check int) "trace entry count"
+    (7 + others + (spans / 2))
+    (List.length events);
+  (* every entry Perfetto-requires name/ph/pid/tid; timed phases need ts *)
+  List.iter
+    (fun e ->
+      let str_field f =
+        match member f e with
+        | Some (Jstr s) -> s
+        | _ -> Alcotest.fail ("event missing string field " ^ f)
+      in
+      let num_field f =
+        match member f e with
+        | Some (Jnum x) -> x
+        | _ -> Alcotest.fail ("event missing numeric field " ^ f)
+      in
+      ignore (str_field "name");
+      let ph = str_field "ph" in
+      Alcotest.(check bool) "known phase" true
+        (List.mem ph [ "M"; "X"; "i" ]);
+      Alcotest.(check (float 0.0)) "pid 0" 0.0 (num_field "pid");
+      let tid = num_field "tid" in
+      Alcotest.(check bool) "tid is a node or request track" true
+        (tid >= 0.0 && tid < 30.0);
+      if ph <> "M" then begin
+        Alcotest.(check bool) "ts >= 0" true (num_field "ts" >= 0.0);
+        if ph = "X" then
+          Alcotest.(check bool) "dur >= 0" true (num_field "dur" >= 0.0)
+      end)
+    events
+
+(* ---- exports parse back (text and JSON snapshots) ---- *)
+
+let test_metrics_json_parses () =
+  let _ring, _sys = golden_run () in
+  let metrics = Telemetry.Metrics.create () in
+  let sys2 = M.create ~metrics (Tree.Build.binary 7) ~policy:Oat.Rww.policy in
+  M.write_sync sys2 ~node:3 1.0;
+  ignore (M.combine_sync sys2 ~node:0);
+  match parse_json (Telemetry.Metrics.to_json metrics) with
+  | exception Bad_json msg -> Alcotest.fail ("bad JSON: " ^ msg)
+  | j -> (
+    match member "metrics" j with
+    | Some (Jarr rows) ->
+      Alcotest.(check bool) "has rows" true (List.length rows > 0);
+      List.iter
+        (fun r ->
+          match (member "name" r, member "type" r) with
+          | Some (Jstr _), Some (Jstr ty) ->
+            Alcotest.(check bool) "known type" true
+              (List.mem ty [ "counter"; "gauge"; "histogram" ])
+          | _ -> Alcotest.fail "row missing name/type")
+        rows
+    | _ -> Alcotest.fail "missing metrics array")
+
+let suite =
+  [
+    Alcotest.test_case "counter" `Quick test_counter;
+    Alcotest.test_case "gauge hwm" `Quick test_gauge_hwm;
+    Alcotest.test_case "histogram quantiles" `Quick test_histogram;
+    Alcotest.test_case "reset keeps handles" `Quick test_reset_keeps_handles;
+    Alcotest.test_case "ring bounded" `Quick test_ring_bounded;
+    Alcotest.test_case "null sink allocation-free" `Quick
+      test_null_sink_no_alloc;
+    Alcotest.test_case "span disabled is free" `Quick
+      test_span_disabled_is_free;
+    Alcotest.test_case "trace ring facade" `Quick test_trace_ring_facade;
+    QCheck_alcotest.to_alcotest prop_counter_conservation;
+    Alcotest.test_case "mechanism lease counters" `Quick
+      test_mechanism_counters;
+    Alcotest.test_case "golden event count" `Quick test_golden_event_count;
+    Alcotest.test_case "golden chrome trace" `Quick test_golden_chrome_trace;
+    Alcotest.test_case "metrics JSON parses" `Quick test_metrics_json_parses;
+  ]
