@@ -151,7 +151,7 @@ let run_instrumented tree sigma ~policy ~metrics ~sink =
 (* ---- simulate ---- *)
 
 let simulate seed tree_kind n requests read_fraction policy trace_out
-    metrics_out =
+    metrics_out faults =
   let tree = or_die (build_tree tree_kind n seed) in
   let rng = Sm.create seed in
   let sigma =
@@ -180,12 +180,45 @@ let simulate seed tree_kind n requests read_fraction policy trace_out
       (if nice > 0 then float_of_int cost /. float_of_int nice else 1.0);
     Printf.printf "strict consistency: verified (every combine checked)\n"
   in
-  match (trace_out, metrics_out) with
-  | None, None ->
-    let algo = or_die (build_algo policy tree) in
-    let cost = Baselines.Algorithm.run algo sigma in
-    report algo.Baselines.Algorithm.name cost
-  | _ ->
+  match faults with
+  | Some spec_str ->
+    (* faulty run: mechanism over the reliable transport over a network
+       with the seeded fault plan installed (see Fault.Runner) *)
+    let spec = or_die (Fault.Plan.spec_of_string spec_str) in
+    let policy = or_die (build_lease_policy policy) in
+    let metrics = Telemetry.Metrics.create () in
+    let plan = Fault.Plan.create ~metrics ~seed spec in
+    let module R = Fault.Runner.Make (Agg.Ops.Sum) in
+    let o = R.run ~metrics ~plan ~tree ~policy ~requests:sigma () in
+    Printf.printf "tree:              %s (n=%d, diameter=%d)\n" tree_kind
+      (Tree.n_nodes tree) (Tree.diameter tree);
+    Printf.printf
+      "workload:          %d requests, read fraction %.2f, seed %d\n" requests
+      read_fraction seed;
+    Printf.printf "fault plan:        %s\n"
+      (Fault.Plan.spec_to_string (Fault.Plan.spec plan));
+    Format.printf "%a@." R.pp_outcome o;
+    Printf.printf "causal consistency: %s\n"
+      (if o.R.causal_violations = 0 then "verified (ghost-log checker)"
+       else "VIOLATED");
+    (match metrics_out with
+    | Some path ->
+      let body =
+        if Filename.check_suffix path ".json" then
+          Telemetry.Metrics.to_json metrics
+        else Telemetry.Metrics.to_text metrics
+      in
+      Telemetry.Export.write_file path body;
+      Printf.printf "metrics:           %s\n" path
+    | None -> ());
+    if o.R.causal_violations > 0 then exit 1
+  | None -> (
+    match (trace_out, metrics_out) with
+    | None, None ->
+      let algo = or_die (build_algo policy tree) in
+      let cost = Baselines.Algorithm.run algo sigma in
+      report algo.Baselines.Algorithm.name cost
+    | _ ->
     let policy = or_die (build_lease_policy policy) in
     let metrics = Telemetry.Metrics.create () in
     let ring =
@@ -222,7 +255,7 @@ let simulate seed tree_kind n requests read_fraction policy trace_out
       in
       Telemetry.Export.write_file path body;
       Printf.printf "metrics:           %s\n" path
-    | None -> ())
+    | None -> ()))
 
 let trace_arg =
   let doc =
@@ -240,13 +273,26 @@ let metrics_file_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let faults_arg =
+  let doc =
+    "Run under a seeded fault plan and report recovery behaviour.  $(docv) \
+     is comma-separated: drop=P, dup=P, reorder=P[:DEPTH], delay=P[:MAX], \
+     crash=NODE@AT+DOWNTIME (repeatable), e.g. \
+     'drop=0.1,dup=0.05,crash=3@40+25'.  The mechanism then runs over a \
+     reliable transport (sequence numbers, acks, retransmission) on a \
+     faulty network; the execution history is checked causally and the \
+     whole run is deterministic in --seed.  Requires a lease policy."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+
 let simulate_cmd =
   let doc = "Run a synthetic workload and report message costs and ratios." in
   Cmd.v
     (Cmd.info "simulate" ~doc)
     Term.(
       const simulate $ seed_arg $ tree_arg $ nodes_arg $ requests_arg
-      $ read_fraction_arg $ policy_arg $ trace_arg $ metrics_file_arg)
+      $ read_fraction_arg $ policy_arg $ trace_arg $ metrics_file_arg
+      $ faults_arg)
 
 (* ---- metrics ---- *)
 
@@ -385,7 +431,7 @@ let record seed tree_kind n requests read_fraction out =
       }
       tree (Sm.create seed)
   in
-  Workload.Trace_io.save out sigma;
+  or_die (Workload.Trace_io.save out sigma);
   Printf.printf "wrote %d requests to %s (tree %s, n=%d, seed %d)\n"
     (List.length sigma) out tree_kind n seed
 
@@ -557,6 +603,7 @@ let all_experiments : (string * (unit -> unit)) list =
     ("e13", fun () -> ignore (Experiments.e13_timed_leases ()));
     ("e14", fun () -> ignore (Experiments.e14_cost_profile ()));
     ("e15", fun () -> ignore (Experiments.e15_dht_load_spread ()));
+    ("e16", fun () -> ignore (Experiments.e16_fault_sweep ()));
   ]
 
 let tables only =

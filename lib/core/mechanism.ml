@@ -3,15 +3,22 @@ module IntSet = Set.Make (Int)
 module Make (Op : Agg.Operator.S) = struct
   type msg =
     | Probe
-    | Response of { x : Op.t; flag : bool; wlog : Op.t Ghost.write list }
-    | Update of { x : Op.t; id : int; wlog : Op.t Ghost.write list }
+    | Response of {
+        x : Op.t;
+        flag : bool;
+        cut : int list;  (* unreachable subtree roots behind the sender *)
+        wlog : Op.t Ghost.write list;
+      }
+    | Update of { x : Op.t; id : int; cut : int list; wlog : Op.t Ghost.write list }
     | Release of { ids : IntSet.t }
+    | Hello of { epoch : int }  (* post-restart resynchronization *)
 
   let kind_of = function
     | Probe -> Simul.Kind.Probe
     | Response _ -> Simul.Kind.Response
     | Update _ -> Simul.Kind.Update
     | Release _ -> Simul.Kind.Release
+    | Hello _ -> Simul.Kind.Hello
 
   (* Per-channel log of forwarded updates, replacing the paper's global
      [sntupdates] set.  Entry [j] records that the update received from
@@ -59,10 +66,26 @@ module Make (Op : Agg.Operator.S) = struct
     sntlogs : sntlog array;  (* per neighbour slot *)
     policy : Policy.t;
     mutable view : Policy.view option;  (* built once, after allocation *)
-    (* Pending local combines.  [pending_spans] carries the matching
-       telemetry span ids, in the same order; it stays [[]] (no
-       per-combine allocation) when no sink is recording. *)
-    mutable pending : (Op.t -> unit) list;
+    (* Crash/recovery state.  All of it is inert in fault-free runs:
+       [alive] stays true, [down_count] 0, [any_cut] false, so every
+       guard below reduces to the pre-fault behaviour. *)
+    mutable alive : bool;
+    mutable epoch : int;  (* incarnation, bumped on restart *)
+    nbr_epoch : int array;  (* last epoch heard per neighbour slot; -1 none *)
+    down : bool array;  (* per neighbour slot: known crashed *)
+    mutable down_count : int;
+    resync : bool array;  (* next probe to this slot is a recovery re-probe *)
+    refresh : bool array;
+    (* Slot recovered via Hello: when its next response arrives, push
+       fresh updates to grantees so their caches (and cuts) heal. *)
+    subcut : IntSet.t array;  (* per slot: unreachable roots it reported *)
+    mutable any_cut : bool;  (* down_count > 0 or some subcut nonempty *)
+    (* Pending local combines.  Continuations take the aggregate and the
+       cut (unreachable subtree roots; [] on a full aggregate).
+       [pending_spans] carries the matching telemetry span ids, in the
+       same order; it stays [[]] (no per-combine allocation) when no
+       sink is recording. *)
+    mutable pending : (Op.t -> int list -> unit) list;
     mutable pending_spans : int list;
     (* Ghost state (Figure 6).  [gwrites] mirrors the write subsequence
        of [glog] in chronological order; [shipped.(i)] is the prefix of
@@ -87,6 +110,8 @@ module Make (Op : Agg.Operator.S) = struct
     update_fanout : Telemetry.Metrics.histogram;
     release_cascade : Telemetry.Metrics.histogram;
     ghost_log : Telemetry.Metrics.gauge; (* hwm = ghost write-log high-water *)
+    recovery_reprobes : Telemetry.Metrics.counter;
+    partial_combines : Telemetry.Metrics.counter;
   }
 
   type t = {
@@ -205,6 +230,11 @@ module Make (Op : Agg.Operator.S) = struct
       end
     end
 
+  let sntlog_clear sl =
+    sl.start <- 0;
+    sl.len <- 0;
+    sl.pruned_hi <- 0
+
   (* ------------------------------------------------------------------ *)
   (* uaw maintenance (cached cardinality + sntlog co-pruning).          *)
 
@@ -224,6 +254,50 @@ module Make (Op : Agg.Operator.S) = struct
     nd.uaw.(i) <- s;
     nd.uaw_size.(i) <- IntSet.cardinal s;
     sntlog_prune nd.sntlogs.(i) ~uaw_min:(IntSet.min_elt_opt s)
+
+  (* ------------------------------------------------------------------ *)
+  (* Cut tracking: which subtree roots are unreachable.                 *)
+
+  let up_count nd = nd.deg - nd.down_count
+
+  let refresh_any_cut nd =
+    let any = ref (nd.down_count > 0) in
+    if not !any then
+      for j = 0 to nd.deg - 1 do
+        if not (IntSet.is_empty nd.subcut.(j)) then any := true
+      done;
+    nd.any_cut <- !any
+
+  (* Unreachable subtree roots visible from [nd], excluding slot [excl]
+     (the direction a report travels; -1 for a local combine): crashed
+     neighbours contribute themselves, live ones their reported cut.
+     [] — allocation-free — whenever [any_cut] is unset, i.e. always in
+     fault-free runs. *)
+  let cut_to nd excl =
+    if not nd.any_cut then []
+    else begin
+      let s = ref IntSet.empty in
+      for j = 0 to nd.deg - 1 do
+        if j <> excl then
+          if nd.down.(j) then s := IntSet.add nd.nbrs_arr.(j) !s
+          else if not (IntSet.is_empty nd.subcut.(j)) then
+            s := IntSet.union nd.subcut.(j) !s
+      done;
+      IntSet.elements !s
+    end
+
+  (* Adopt the cut a neighbour reported alongside a response/update (the
+     latest report replaces the previous one for that subtree). *)
+  let set_subcut nd i cut =
+    match cut with
+    | [] ->
+      if not (IntSet.is_empty nd.subcut.(i)) then begin
+        nd.subcut.(i) <- IntSet.empty;
+        refresh_any_cut nd
+      end
+    | l ->
+      nd.subcut.(i) <- IntSet.of_list l;
+      nd.any_cut <- true
 
   (* ------------------------------------------------------------------ *)
   (* Views for the policy layer.                                        *)
@@ -365,13 +439,24 @@ module Make (Op : Agg.Operator.S) = struct
   (* sendprobes(w): mark [w] pending and probe every neighbour whose
      subtree aggregate is neither leased ([taken]) nor already being
      probed ([probed], the paper's sntprobes() membership counter). *)
+  let count_reprobe t nd i =
+    if nd.resync.(i) then begin
+      nd.resync.(i) <- false;
+      match t.tel with
+      | None -> ()
+      | Some tel -> Telemetry.Metrics.incr tel.recovery_reprobes
+    end
+
   let sendprobes t nd w =
     let r = if w = nd.id then self_slot nd else slot nd w in
     nd.pndg.(r) <- true;
     for i = 0 to nd.deg - 1 do
       let v = nd.nbrs_arr.(i) in
-      if v <> w && (not nd.taken.(i)) && nd.probed.(i) = 0 then
+      if v <> w && (not nd.taken.(i)) && nd.probed.(i) = 0 && not nd.down.(i)
+      then begin
+        count_reprobe t nd i;
         send t nd v Probe
+      end
     done
 
   (* Record the snt set for requester slot [r]: every neighbour slot not
@@ -380,7 +465,7 @@ module Make (Op : Agg.Operator.S) = struct
   let set_snt_mask nd r ~exclude =
     let mask = nd.snt.(r) in
     for i = 0 to nd.deg - 1 do
-      if i <> exclude && not nd.taken.(i) then begin
+      if i <> exclude && (not nd.taken.(i)) && not nd.down.(i) then begin
         mask.(i) <- true;
         nd.snt_count.(r) <- nd.snt_count.(r) + 1;
         nd.probed.(i) <- nd.probed.(i) + 1
@@ -396,7 +481,13 @@ module Make (Op : Agg.Operator.S) = struct
         let v = nd.nbrs_arr.(i) in
         if nd.granted.(i) && v <> w then
           send t nd v
-            (Update { x = subval nd i; id; wlog = ghost_wlog_to t nd i })
+            (Update
+               {
+                 x = subval nd i;
+                 id;
+                 cut = cut_to nd i;
+                 wlog = ghost_wlog_to t nd i;
+               })
       done
     | Some tel ->
       let fanout = ref 0 in
@@ -404,7 +495,13 @@ module Make (Op : Agg.Operator.S) = struct
         let v = nd.nbrs_arr.(i) in
         if nd.granted.(i) && v <> w then begin
           send t nd v
-            (Update { x = subval nd i; id; wlog = ghost_wlog_to t nd i });
+            (Update
+               {
+                 x = subval nd i;
+                 id;
+                 cut = cut_to nd i;
+                 wlog = ghost_wlog_to t nd i;
+               });
           incr fanout
         end
       done;
@@ -440,8 +537,11 @@ module Make (Op : Agg.Operator.S) = struct
      neighbour is covered by a taken lease and the policy agrees. *)
   let sendresponse t nd w =
     let i = slot nd w in
+    (* every neighbour other than [w] that is still up holds a taken
+       lease (crashed subtrees are excluded from coverage — their
+       absence is reported via [cut] instead) *)
     let others_covered =
-      nd.tkn_count = nd.deg || (nd.tkn_count = nd.deg - 1 && not nd.taken.(i))
+      nd.tkn_count - (if nd.taken.(i) then 1 else 0) = up_count nd - 1
     in
     if others_covered then begin
       let grant = nd.policy.set_lease (node_view nd) ~target:w in
@@ -449,7 +549,14 @@ module Make (Op : Agg.Operator.S) = struct
       if t.obs then observe_grant t nd w grant
     end;
     let flag = nd.granted.(i) in
-    send t nd w (Response { x = subval nd i; flag; wlog = ghost_wlog_to t nd i })
+    send t nd w
+      (Response
+         {
+           x = subval nd i;
+           flag;
+           cut = cut_to nd i;
+           wlog = ghost_wlog_to t nd i;
+         })
 
   let isgoodforrelease nd i =
     nd.grntd_count = 0 || (nd.grntd_count = 1 && nd.granted.(i))
@@ -520,9 +627,22 @@ module Make (Op : Agg.Operator.S) = struct
     nd.upcntr
 
   (* Completion of a local combine: log the matching gather (ghost) and
-     fire every pending continuation with the global aggregate. *)
+     fire every pending continuation with the global aggregate.
+
+     With unreachable subtrees the aggregate is partial: the value
+     covers only the reachable component and the continuation gets the
+     cut (the roots of the missing subtrees).  Partial combines are a
+     degraded read outside the consistency contract, so they are not
+     ghost-logged and do not advance [completed] — the causal checker
+     judges exact results only. *)
   let complete_combines t nd =
     let value = gval_of nd in
+    let cut = cut_to nd (-1) in
+    let exact = cut = [] in
+    (if not exact then
+       match t.tel with
+       | None -> ()
+       | Some tel -> Telemetry.Metrics.incr tel.partial_combines);
     let callbacks = List.rev nd.pending in
     let spans = List.rev nd.pending_spans in
     nd.pending <- [];
@@ -531,17 +651,19 @@ module Make (Op : Agg.Operator.S) = struct
       match callbacks with
       | [] -> ()
       | k :: callbacks ->
-        if t.ghost then
-          nd.glog <-
-            Ghost.Combine
-              {
-                cnode = nd.id;
-                cindex = nd.completed;
-                cvalue = value;
-                crecent = ghost_recentwrites t nd;
-              }
-            :: nd.glog;
-        nd.completed <- nd.completed + 1;
+        if exact then begin
+          if t.ghost then
+            nd.glog <-
+              Ghost.Combine
+                {
+                  cnode = nd.id;
+                  cindex = nd.completed;
+                  cvalue = value;
+                  crecent = ghost_recentwrites t nd;
+                }
+              :: nd.glog;
+          nd.completed <- nd.completed + 1
+        end;
         let spans =
           match spans with
           | [] -> []
@@ -550,7 +672,7 @@ module Make (Op : Agg.Operator.S) = struct
               ~name:"combine" ~id:span;
             rest
         in
-        k value;
+        k value cut;
         fire callbacks spans
     in
     fire callbacks spans
@@ -571,7 +693,7 @@ module Make (Op : Agg.Operator.S) = struct
       if nd.taken.(i) then uaw_reset nd i
     done;
     if not nd.pndg.(self_slot nd) then begin
-      if nd.tkn_count = nd.deg then complete_combines t nd
+      if nd.tkn_count = up_count nd then complete_combines t nd
       else begin
         sendprobes t nd nd.id;
         set_snt_mask nd (self_slot nd) ~exclude:(-1)
@@ -604,7 +726,7 @@ module Make (Op : Agg.Operator.S) = struct
     let r = slot nd w in
     if not nd.pndg.(r) then begin
       let missing =
-        nd.deg - nd.tkn_count - (if nd.taken.(r) then 0 else 1)
+        up_count nd - nd.tkn_count - (if nd.taken.(r) then 0 else 1)
       in
       if missing = 0 then sendresponse t nd w
       else begin
@@ -613,12 +735,14 @@ module Make (Op : Agg.Operator.S) = struct
       end
     end
 
-  (* T4: receive response(x, flag) from [w]. *)
-  let t4_response t nd w x flag wlog_w =
+  (* T4: receive response(x, flag, cut) from [w]. *)
+  let t4_response t nd w x flag cut wlog_w =
     nd.policy.response_rcvd (node_view nd) ~flag ~from:w;
     let sw = slot nd w in
     nd.aval.(sw) <- x;
     nd.gval_dirty <- true;
+    nd.resync.(sw) <- false;
+    set_subcut nd sw cut;
     ghost_merge t nd wlog_w;
     set_taken nd sw flag;
     iter_requester_slots nd (fun r ->
@@ -631,14 +755,26 @@ module Make (Op : Agg.Operator.S) = struct
             if r = self_slot nd then complete_combines t nd
             else sendresponse t nd nd.nbrs_arr.(r)
           end
-        end)
+        end);
+    (* Recovery refresh: this response re-reads a subtree that went
+       through a crash; grantees upstream still cache the pre-crash
+       aggregate (or a cut excluding it), and no write will push it to
+       them.  Re-originate an update, as a write would (T2). *)
+    if nd.refresh.(sw) then begin
+      nd.refresh.(sw) <- false;
+      if nd.grntd_count > 0 then begin
+        let id = newid nd in
+        forwardupdates t nd w id
+      end
+    end
 
-  (* T5: receive update(x, id) from [w]. *)
-  let t5_update t nd w x id wlog_w =
+  (* T5: receive update(x, id, cut) from [w]. *)
+  let t5_update t nd w x id cut wlog_w =
     nd.policy.update_rcvd (node_view nd) ~from:w;
     let sw = slot nd w in
     nd.aval.(sw) <- x;
     nd.gval_dirty <- true;
+    set_subcut nd sw cut;
     ghost_merge t nd wlog_w;
     uaw_add nd sw id;
     let other_grantees =
@@ -665,6 +801,177 @@ module Make (Op : Agg.Operator.S) = struct
       onrelease t nd w s;
       Telemetry.Metrics.observe tel.release_cascade
         (Simul.Network.total_of_kind t.net Simul.Kind.Release - before)
+
+  (* T7: receive hello(epoch) from [w] — the neighbour announces a new
+     incarnation after a restart.  Any state involving its previous
+     incarnation is void: leases both ways, its cached aggregate,
+     unacknowledged updates, the forwarded-update log, its reported cut,
+     and the shipped-ghost-prefix watermark (the session teardown may
+     have eaten frames already marked shipped, so the full log is
+     reshipped; the receiver's merge deduplicates).  Requests still
+     pending here were counting on the old incarnation's lease or on its
+     down-ness, so the fresh subtree is re-probed on their behalf.
+     Reply with our own epoch so the handshake converges from either
+     side (a repeated epoch is ignored, which terminates it). *)
+  let t7_hello t nd w epoch =
+    let i = slot nd w in
+    if epoch > nd.nbr_epoch.(i) then begin
+      nd.nbr_epoch.(i) <- epoch;
+      if nd.down.(i) then begin
+        nd.down.(i) <- false;
+        nd.down_count <- nd.down_count - 1;
+        refresh_any_cut nd
+      end;
+      set_taken nd i false;
+      set_granted nd i false;
+      nd.aval.(i) <- Op.identity;
+      nd.gval_dirty <- true;
+      uaw_reset nd i;
+      sntlog_clear nd.sntlogs.(i);
+      set_subcut nd i [];
+      nd.shipped.(i) <- 0;
+      nd.resync.(i) <- true;
+      nd.refresh.(i) <- true;
+      let probed_before = nd.probed.(i) in
+      iter_requester_slots nd (fun r ->
+          if r <> i && nd.pndg.(r) && not nd.snt.(r).(i) then begin
+            nd.snt.(r).(i) <- true;
+            nd.snt_count.(r) <- nd.snt_count.(r) + 1;
+            nd.probed.(i) <- nd.probed.(i) + 1
+          end);
+      if nd.probed.(i) > probed_before && probed_before = 0 then begin
+        count_reprobe t nd i;
+        send t nd w Probe
+      end
+      else if nd.probed.(i) = 0 && nd.grntd_count > 0 then begin
+        (* No request is waiting on this subtree, but grantees cache it:
+           pull the fresh value with a bare probe (no snt bookkeeping —
+           its response completes nothing, it only feeds the refresh
+           push above) so their caches heal without waiting for the next
+           write below the recovered node. *)
+        count_reprobe t nd i;
+        send t nd w Probe
+      end;
+      send t nd w (Hello { epoch = nd.epoch })
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* Crash and recovery (perfect failure detector model: neighbours     *)
+  (* learn of a crash synchronously; in-flight messages of the dead     *)
+  (* incarnation are discarded by the transport's session teardown).    *)
+
+  (* A neighbour of the crashed node [u] (slot [j] here) voids all state
+     involving [u] and cancels every probe exchange with it: [u] as a
+     requester gets no response, and probes sent to [u] are struck from
+     the outstanding sets — completing requests partially (the cut now
+     contains [u]) rather than hanging. *)
+  let notify_down t nv j =
+    if not nv.down.(j) then begin
+      nv.down.(j) <- true;
+      nv.down_count <- nv.down_count + 1;
+      nv.any_cut <- true;
+      set_taken nv j false;
+      set_granted nv j false;
+      nv.aval.(j) <- Op.identity;
+      nv.gval_dirty <- true;
+      nv.uaw.(j) <- IntSet.empty;
+      nv.uaw_size.(j) <- 0;
+      sntlog_clear nv.sntlogs.(j);
+      nv.subcut.(j) <- IntSet.empty;
+      nv.shipped.(j) <- 0;
+      nv.resync.(j) <- false;
+      nv.refresh.(j) <- false;
+      nv.nbr_epoch.(j) <- -1;
+      (* the dead requester's pending probe set *)
+      if nv.pndg.(j) then begin
+        for i = 0 to nv.deg - 1 do
+          if nv.snt.(j).(i) then begin
+            nv.snt.(j).(i) <- false;
+            nv.probed.(i) <- nv.probed.(i) - 1
+          end
+        done;
+        nv.snt_count.(j) <- 0;
+        nv.pndg.(j) <- false
+      end;
+      (* probes sent to the dead node can never be answered *)
+      iter_requester_slots nv (fun r ->
+          if r <> j && nv.pndg.(r) && nv.snt.(r).(j) then begin
+            nv.snt.(r).(j) <- false;
+            nv.snt_count.(r) <- nv.snt_count.(r) - 1;
+            nv.probed.(j) <- nv.probed.(j) - 1;
+            if nv.snt_count.(r) = 0 then begin
+              nv.pndg.(r) <- false;
+              if r = self_slot nv then complete_combines t nv
+              else sendresponse t nv nv.nbrs_arr.(r)
+            end
+          end)
+    end
+
+  let crash t ~node =
+    let nd = t.nodes.(node) in
+    if not nd.alive then invalid_arg "Mechanism.crash: node already down";
+    nd.alive <- false;
+    (* Volatile state is lost.  [value] survives (the node's input is
+       durable — rereading it on restart is the recovery model), as do
+       the ghost log and [completed] (analysis-only shadow state, kept
+       so the causal checker can still account for pre-crash history). *)
+    Array.fill nd.taken 0 nd.deg false;
+    nd.tkn_count <- 0;
+    Array.fill nd.granted 0 nd.deg false;
+    nd.grntd_count <- 0;
+    Array.fill nd.aval 0 nd.deg Op.identity;
+    nd.gval_dirty <- true;
+    for i = 0 to nd.deg - 1 do
+      nd.uaw.(i) <- IntSet.empty;
+      nd.uaw_size.(i) <- 0;
+      sntlog_clear nd.sntlogs.(i);
+      nd.subcut.(i) <- IntSet.empty;
+      nd.shipped.(i) <- 0;
+      nd.resync.(i) <- false;
+      nd.refresh.(i) <- false;
+      nd.down.(i) <- false;
+      nd.nbr_epoch.(i) <- -1;
+      nd.probed.(i) <- 0
+    done;
+    nd.down_count <- 0;
+    nd.any_cut <- false;
+    for r = 0 to nd.deg do
+      nd.pndg.(r) <- false;
+      Array.fill nd.snt.(r) 0 nd.deg false;
+      nd.snt_count.(r) <- 0
+    done;
+    nd.upcntr <- 0;
+    (* pending combines die with the node; close their spans *)
+    nd.pending <- [];
+    List.iter
+      (fun span ->
+        Telemetry.Span.finish t.sink ~clock:t.clock ~node:nd.id ~name:"combine"
+          ~id:span)
+      nd.pending_spans;
+    nd.pending_spans <- [];
+    for i = 0 to nd.deg - 1 do
+      let nv = t.nodes.(nd.nbrs_arr.(i)) in
+      if nv.alive then notify_down t nv (slot nv node)
+    done
+
+  let restart t ~node =
+    let nd = t.nodes.(node) in
+    if nd.alive then invalid_arg "Mechanism.restart: node is up";
+    nd.alive <- true;
+    nd.epoch <- nd.epoch + 1;
+    (* perfect failure detector: learn which neighbours are down right
+       now, and announce the new incarnation to the live ones *)
+    for i = 0 to nd.deg - 1 do
+      if t.nodes.(nd.nbrs_arr.(i)).alive then begin
+        nd.resync.(i) <- true;
+        send t nd nd.nbrs_arr.(i) (Hello { epoch = nd.epoch })
+      end
+      else begin
+        nd.down.(i) <- true;
+        nd.down_count <- nd.down_count + 1
+      end
+    done;
+    nd.any_cut <- nd.down_count > 0
 
   (* ------------------------------------------------------------------ *)
   (* Public interface.                                                  *)
@@ -704,6 +1011,15 @@ module Make (Op : Agg.Operator.S) = struct
         sntlogs = Array.init deg (fun _ -> sntlog_create ());
         policy = policy ~node_id:id ~nbrs;
         view = None;
+        alive = true;
+        epoch = 0;
+        nbr_epoch = Array.make deg (-1);
+        down = Array.make deg false;
+        down_count = 0;
+        resync = Array.make deg false;
+        refresh = Array.make deg false;
+        subcut = Array.make deg IntSet.empty;
+        any_cut = false;
         pending = [];
         pending_spans = [];
         glog = [];
@@ -728,6 +1044,10 @@ module Make (Op : Agg.Operator.S) = struct
             release_cascade =
               Telemetry.Metrics.histogram m "mech.release.cascade";
             ghost_log = Telemetry.Metrics.gauge m "mech.ghost.log";
+            recovery_reprobes =
+              Telemetry.Metrics.counter m "mech.recovery.reprobes";
+            partial_combines =
+              Telemetry.Metrics.counter m "mech.recovery.partial_combines";
           }
     in
     {
@@ -750,19 +1070,40 @@ module Make (Op : Agg.Operator.S) = struct
   let network t = t.net
   let policy_name t = t.nodes.(0).policy.name
 
-  let write t ~node arg = t2_write t t.nodes.(node) arg
-  let combine t ~node k = t1_combine t t.nodes.(node) k
+  let require_alive nd op =
+    if not nd.alive then
+      invalid_arg (Printf.sprintf "Mechanism.%s: node %d is down" op nd.id)
+
+  let write t ~node arg =
+    let nd = t.nodes.(node) in
+    require_alive nd "write";
+    t2_write t nd arg
+
+  let combine_tagged t ~node k =
+    let nd = t.nodes.(node) in
+    require_alive nd "combine";
+    t1_combine t nd (fun v cut -> k v ~cut)
+
+  let combine t ~node k =
+    let nd = t.nodes.(node) in
+    require_alive nd "combine";
+    t1_combine t nd (fun v _cut -> k v)
 
   let handler t ~src ~dst m =
     let nd = t.nodes.(dst) in
-    match m with
-    | Probe -> t3_probe t nd src
-    | Response { x; flag; wlog } -> t4_response t nd src x flag wlog
-    | Update { x; id; wlog } -> t5_update t nd src x id wlog
-    | Release { ids } -> t6_release t nd src ids
+    if nd.alive then
+      (* a crashed destination silently loses the message — the reliable
+         transport already filters these, but plain-network drivers may
+         still deliver in-flight messages of a dead incarnation *)
+      match m with
+      | Probe -> t3_probe t nd src
+      | Response { x; flag; cut; wlog } -> t4_response t nd src x flag cut wlog
+      | Update { x; id; cut; wlog } -> t5_update t nd src x id cut wlog
+      | Release { ids } -> t6_release t nd src ids
+      | Hello { epoch } -> t7_hello t nd src epoch
 
-  let run_to_quiescence t =
-    Simul.Engine.run_to_quiescence t.net ~handler:(handler t)
+  let run_to_quiescence ?max_deliveries t =
+    Simul.Engine.run_to_quiescence ?max_deliveries t.net ~handler:(handler t)
 
   let write_sync t ~node arg =
     write t ~node arg;
@@ -863,6 +1204,16 @@ module Make (Op : Agg.Operator.S) = struct
 
   let log t u = List.rev t.nodes.(u).glog
   let completed_requests t u = t.nodes.(u).completed
+  let alive t u = t.nodes.(u).alive
+  let epoch t u = t.nodes.(u).epoch
+
+  let known_down t u =
+    let nd = t.nodes.(u) in
+    let s = ref IntSet.empty in
+    for i = 0 to nd.deg - 1 do
+      if nd.down.(i) then s := IntSet.add nd.nbrs_arr.(i) !s
+    done;
+    !s
 
   (* ------------------------------------------------------------------ *)
   (* Internal-consistency audit.                                        *)
@@ -879,6 +1230,29 @@ module Make (Op : Agg.Operator.S) = struct
         if count nd.granted <> nd.grntd_count then
           fail "node %d: grntd_count %d <> %d" u nd.grntd_count
             (count nd.granted);
+        (* crash/recovery bookkeeping *)
+        if count nd.down <> nd.down_count then
+          fail "node %d: down_count %d <> %d" u nd.down_count (count nd.down);
+        for i = 0 to nd.deg - 1 do
+          if nd.down.(i) then begin
+            if nd.taken.(i) then fail "node %d: taken lease on down slot %d" u i;
+            if nd.granted.(i) then
+              fail "node %d: granted lease to down slot %d" u i;
+            if not (IntSet.is_empty nd.subcut.(i)) then
+              fail "node %d: nonempty subcut on down slot %d" u i
+          end
+        done;
+        let any' =
+          nd.down_count > 0
+          || Array.exists (fun s -> not (IntSet.is_empty s)) nd.subcut
+        in
+        if nd.any_cut <> any' then
+          fail "node %d: any_cut %b inconsistent" u nd.any_cut;
+        if not nd.alive then begin
+          if nd.tkn_count <> 0 || nd.grntd_count <> 0 then
+            fail "node %d: crashed but holds lease state" u;
+          if nd.pending <> [] then fail "node %d: crashed with pending combines" u
+        end;
         for i = 0 to nd.deg - 1 do
           if IntSet.cardinal nd.uaw.(i) <> nd.uaw_size.(i) then
             fail "node %d: uaw_size[%d] %d <> %d" u i nd.uaw_size.(i)

@@ -42,9 +42,24 @@ module IntSet : Set.S with type elt = int
 module Make (Op : Agg.Operator.S) : sig
   type msg =
     | Probe
-    | Response of { x : Op.t; flag : bool; wlog : Op.t Ghost.write list }
-    | Update of { x : Op.t; id : int; wlog : Op.t Ghost.write list }
+    | Response of {
+        x : Op.t;
+        flag : bool;
+        cut : int list;
+            (** roots of unreachable subtrees behind the sender;
+                [[]] in fault-free runs *)
+        wlog : Op.t Ghost.write list;
+      }
+    | Update of { x : Op.t; id : int; cut : int list; wlog : Op.t Ghost.write list }
     | Release of { ids : IntSet.t }
+    | Hello of { epoch : int }
+        (** post-restart resynchronization: announces a new incarnation
+            (transition T7; never sent in fault-free runs) *)
+
+  val kind_of : msg -> Simul.Kind.t
+  (** Accounting classifier — also the one to derive a frame classifier
+      from when running over {!Simul.Reliable}
+      ([Simul.Reliable.frame_kind kind_of]). *)
 
   type t
 
@@ -69,9 +84,12 @@ module Make (Op : Agg.Operator.S) : sig
         network's: counters [mech.lease.set] / [mech.lease.break] /
         [mech.lease.deny], histograms [mech.update.fanout] (updates
         pushed per forwardupdates call) and [mech.release.cascade]
-        (releases forwarded while handling one received release), and
-        gauge [mech.ghost.log] (ghost write-log length; its high-water
-        mark bounds piggyback memory).
+        (releases forwarded while handling one received release), gauge
+        [mech.ghost.log] (ghost write-log length; its high-water mark
+        bounds piggyback memory), and recovery counters
+        [mech.recovery.reprobes] (first probe to a recovered neighbour)
+        and [mech.recovery.partial_combines] (combines completed with a
+        nonempty cut).
       - [sink] receives lease-lifecycle events, a [Mark] per write, and
         a [combine] span per T1 request (begun at initiation, finished
         at completion).
@@ -93,15 +111,61 @@ module Make (Op : Agg.Operator.S) : sig
   (** Transition T1 at [node].  The continuation receives the global
       aggregate; it fires immediately if all neighbouring subtree
       aggregates are covered by taken leases, otherwise after the
-      probe/response sub-protocol completes (during a later delivery). *)
+      probe/response sub-protocol completes (during a later delivery).
+      During a partition the aggregate may be partial — use
+      {!combine_tagged} to observe the cut. *)
+
+  val combine_tagged : t -> node:int -> (Op.t -> cut:int list -> unit) -> unit
+  (** Like {!combine}, but the continuation also receives the {e cut}:
+      the roots of the subtrees the aggregate could not reach (crashed
+      neighbours and cuts reported from deeper in the tree).  [cut = []]
+      means the result is the exact global aggregate.  Partial results
+      (nonempty cut) are degraded reads outside the consistency
+      contract: they are not ghost-logged and do not advance
+      {!completed_requests}. *)
 
   (** {1 Message delivery} *)
 
   val handler : t -> src:int -> dst:int -> msg -> unit
-  (** Transitions T3-T6, dispatched on the message constructor. *)
+  (** Transitions T3-T7, dispatched on the message constructor.
+      Messages addressed to a crashed node are silently dropped. *)
 
-  val run_to_quiescence : t -> int
-  (** Deliver queued messages until quiescent; returns deliveries. *)
+  val run_to_quiescence : ?max_deliveries:int -> t -> int
+  (** Deliver queued messages until quiescent; returns deliveries.
+      @raise Simul.Engine.Divergence past [max_deliveries] (default
+      {!Simul.Engine.default_max_deliveries}). *)
+
+  (** {1 Crash and recovery}
+
+      The failure model: a {!crash}ed node loses all volatile protocol
+      state (leases in both directions, cached aggregates, pending
+      combines, probe bookkeeping) but keeps its durable input [value],
+      and its analysis-only ghost log.  Neighbours learn of the crash
+      synchronously (perfect failure detector): they void all state
+      involving the dead incarnation, cancel probe exchanges with it
+      (completing affected combines {e partially}, tagged with the cut,
+      rather than hanging), and exclude it from lease coverage.
+      {!restart} bumps the node's lease epoch and announces the new
+      incarnation with [Hello] messages; on receipt (T7) neighbours
+      break any leftover leases, re-probe the fresh subtree on behalf of
+      still-pending requests, and reply with their own epoch.  In-flight
+      messages of a dead incarnation must be discarded by the transport
+      ({!Simul.Reliable}'s session teardown); with a plain network the
+      handler's alive-guard drops them on delivery. *)
+
+  val crash : t -> node:int -> unit
+  (** @raise Invalid_argument if already down. *)
+
+  val restart : t -> node:int -> unit
+  (** @raise Invalid_argument if not down. *)
+
+  val alive : t -> int -> bool
+
+  val epoch : t -> int -> int
+  (** Lease epoch (incarnation number): restarts so far. *)
+
+  val known_down : t -> int -> IntSet.t
+  (** Neighbours a node currently believes to be crashed. *)
 
   (** {1 Sequential execution} *)
 

@@ -58,3 +58,10 @@ val e15_dht_load_spread : ?n_attrs:int -> unit -> int
 (** E15: per-machine load with one shared aggregation tree vs SDIMS-style
     per-attribute DHT trees.  Returns 1 iff the DHT configuration has
     the flatter load profile. *)
+
+val e16_fault_sweep : ?requests:int -> unit -> int
+(** E16: message cost and combine latency vs loss rate on line, star
+    and binary trees, through the reliable transport under a seeded
+    fault plan.  Returns 1 iff the lossless wire costs exactly one ack
+    per data frame, loss only adds wire overhead and latency, and every
+    run is causally consistent. *)

@@ -1,0 +1,309 @@
+(* Seeded, deterministic fault plans.  Every per-message decision is a
+   stateless hash of (seed, stream, src, dst, attempt) fed through
+   SplitMix64 — no shared generator state — so decisions are independent
+   of scheduler interleaving and retransmission counts on other edges,
+   and a (seed, spec, workload) triple reproduces byte for byte. *)
+
+type crash = { node : int; at : float; down_for : float }
+
+type spec = {
+  drop : float;
+  duplicate : float;
+  reorder : float;
+  reorder_depth : int;
+  delay : float;
+  delay_max : int;
+  crashes : crash list;
+}
+
+let none =
+  {
+    drop = 0.0;
+    duplicate = 0.0;
+    reorder = 0.0;
+    reorder_depth = 3;
+    delay = 0.0;
+    delay_max = 4;
+    crashes = [];
+  }
+
+let validate s =
+  let prob what p lim =
+    if Float.is_nan p || p < 0.0 || p >= lim then
+      Error (Printf.sprintf "%s: probability %g out of range" what p)
+    else Ok ()
+  in
+  let ( let* ) r f = match r with Error _ as e -> e | Ok () -> f () in
+  let* () = prob "drop" s.drop 1.0 in
+  let* () = prob "dup" s.duplicate 1.0 in
+  let* () = prob "reorder" s.reorder 1.0 in
+  let* () = prob "delay" s.delay 1.0 in
+  let* () =
+    if s.reorder > 0.0 && s.reorder_depth < 1 then
+      Error "reorder: depth must be >= 1"
+    else Ok ()
+  in
+  let* () =
+    if s.delay > 0.0 && s.delay_max < 1 then Error "delay: max must be >= 1"
+    else Ok ()
+  in
+  let* () =
+    List.fold_left
+      (fun acc c ->
+        let* () = acc in
+        if c.node < 0 then Error (Printf.sprintf "crash: node %d < 0" c.node)
+        else if
+          (not (Float.is_finite c.at))
+          || (not (Float.is_finite c.down_for))
+          || c.at < 0.0
+        then Error "crash: times must be finite and non-negative"
+        else if c.down_for <= 0.0 then Error "crash: downtime must be positive"
+        else Ok ())
+      (Ok ()) s.crashes
+  in
+  (* per-node crash intervals must not overlap: a node cannot crash
+     again before it restarted *)
+  let by_node = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      let l = try Hashtbl.find by_node c.node with Not_found -> [] in
+      Hashtbl.replace by_node c.node ((c.at, c.at +. c.down_for) :: l))
+    s.crashes;
+  let overlap = ref None in
+  Hashtbl.iter
+    (fun node l ->
+      let l = List.sort compare l in
+      let rec chk = function
+        | (_, hi) :: ((lo, _) :: _ as rest) ->
+          if lo < hi then overlap := Some node else chk rest
+        | _ -> ()
+      in
+      chk l)
+    by_node;
+  match !overlap with
+  | Some node ->
+    Error (Printf.sprintf "crash: overlapping downtimes for node %d" node)
+  | None -> Ok s
+
+(* ---- spec parsing / printing ------------------------------------- *)
+
+exception Bad of string
+
+let float_field key v =
+  match float_of_string_opt v with
+  | Some x -> x
+  | None -> raise (Bad (Printf.sprintf "%s: not a number: %S" key v))
+
+let int_field key v =
+  match int_of_string_opt v with
+  | Some x -> x
+  | None -> raise (Bad (Printf.sprintf "%s: not an integer: %S" key v))
+
+(* "P" or "P:BOUND" *)
+let prob_with_bound key v default_bound =
+  match String.index_opt v ':' with
+  | None -> (float_field key v, default_bound)
+  | Some i ->
+    ( float_field key (String.sub v 0 i),
+      int_field key (String.sub v (i + 1) (String.length v - i - 1)) )
+
+(* "NODE@AT+DOWNTIME" *)
+let crash_field v =
+  try Scanf.sscanf v "%d@%f+%f%!" (fun node at down_for -> { node; at; down_for })
+  with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+    raise (Bad (Printf.sprintf "crash: expected NODE@AT+DOWNTIME, got %S" v))
+
+let spec_of_string str =
+  let str = String.trim str in
+  if str = "" || str = "none" then Ok none
+  else
+    try
+      let s =
+        List.fold_left
+          (fun s field ->
+            let field = String.trim field in
+            match String.index_opt field '=' with
+            | None -> raise (Bad (Printf.sprintf "expected key=value, got %S" field))
+            | Some i ->
+              let key = String.sub field 0 i in
+              let v = String.sub field (i + 1) (String.length field - i - 1) in
+              (match key with
+              | "drop" -> { s with drop = float_field key v }
+              | "dup" | "duplicate" -> { s with duplicate = float_field key v }
+              | "reorder" ->
+                let p, d = prob_with_bound key v s.reorder_depth in
+                { s with reorder = p; reorder_depth = d }
+              | "delay" ->
+                let p, d = prob_with_bound key v s.delay_max in
+                { s with delay = p; delay_max = d }
+              | "crash" -> { s with crashes = s.crashes @ [ crash_field v ] }
+              | _ -> raise (Bad (Printf.sprintf "unknown field %S" key))))
+          none
+          (String.split_on_char ',' str)
+      in
+      validate s
+    with Bad m -> Error m
+
+let spec_to_string s =
+  let b = Buffer.create 64 in
+  let field fmt =
+    if Buffer.length b > 0 then Buffer.add_char b ',';
+    Printf.ksprintf (Buffer.add_string b) fmt
+  in
+  if s.drop > 0.0 then field "drop=%g" s.drop;
+  if s.duplicate > 0.0 then field "dup=%g" s.duplicate;
+  if s.reorder > 0.0 then field "reorder=%g:%d" s.reorder s.reorder_depth;
+  if s.delay > 0.0 then field "delay=%g:%d" s.delay s.delay_max;
+  List.iter
+    (fun c -> field "crash=%d@%g+%g" c.node c.at c.down_for)
+    s.crashes;
+  if Buffer.length b = 0 then "none" else Buffer.contents b
+
+let pp_spec ppf s = Format.pp_print_string ppf (spec_to_string s)
+
+(* ---- plans -------------------------------------------------------- *)
+
+type tel = {
+  c_drop : Telemetry.Metrics.counter;
+  c_dup : Telemetry.Metrics.counter;
+  c_reorder : Telemetry.Metrics.counter;
+  c_delay : Telemetry.Metrics.counter;
+  c_crash : Telemetry.Metrics.counter;
+  c_restart : Telemetry.Metrics.counter;
+}
+
+type t = {
+  seed : int;
+  spec : spec;
+  mutable drops : int;
+  mutable dups : int;
+  mutable reorders : int;
+  mutable delays : int;
+  mutable crash_count : int;
+  mutable restart_count : int;
+  tel : tel option;
+}
+
+let create ?metrics ~seed spec =
+  let spec =
+    match validate spec with
+    | Ok s -> s
+    | Error m -> invalid_arg ("Fault.Plan.create: " ^ m)
+  in
+  let tel =
+    match metrics with
+    | None -> None
+    | Some m ->
+      let c = Telemetry.Metrics.counter m in
+      Some
+        {
+          c_drop = c "fault.injected.drop";
+          c_dup = c "fault.injected.duplicate";
+          c_reorder = c "fault.injected.reorder";
+          c_delay = c "fault.injected.delay";
+          c_crash = c "fault.injected.crash";
+          c_restart = c "fault.injected.restart";
+        }
+  in
+  {
+    seed;
+    spec;
+    drops = 0;
+    dups = 0;
+    reorders = 0;
+    delays = 0;
+    crash_count = 0;
+    restart_count = 0;
+    tel;
+  }
+
+let seed t = t.seed
+
+let spec t = t.spec
+
+(* The generator for one decision point: a distinct, well-mixed
+   SplitMix64 stream per (seed, stream, src, dst, attempt).  The odd
+   multipliers keep distinct tuples at distinct 63-bit keys for all
+   realistic sizes; SplitMix64's output function then provides the
+   avalanche. *)
+let keyed t ~stream ~src ~dst ~attempt =
+  let k =
+    ((((t.seed * 1_000_003) + stream) * 999_983) + src) * 1_000_033 + dst
+  in
+  Prng.Splitmix.create ((k * 786_433) + attempt)
+
+let count_drop t =
+  t.drops <- t.drops + 1;
+  match t.tel with None -> () | Some x -> Telemetry.Metrics.incr x.c_drop
+
+let count_dup t =
+  t.dups <- t.dups + 1;
+  match t.tel with None -> () | Some x -> Telemetry.Metrics.incr x.c_dup
+
+let count_reorder t =
+  t.reorders <- t.reorders + 1;
+  match t.tel with None -> () | Some x -> Telemetry.Metrics.incr x.c_reorder
+
+let count_delay t =
+  t.delays <- t.delays + 1;
+  match t.tel with None -> () | Some x -> Telemetry.Metrics.incr x.c_delay
+
+let count_crash t =
+  t.crash_count <- t.crash_count + 1;
+  match t.tel with None -> () | Some x -> Telemetry.Metrics.incr x.c_crash
+
+let count_restart t =
+  t.restart_count <- t.restart_count + 1;
+  match t.tel with None -> () | Some x -> Telemetry.Metrics.incr x.c_restart
+
+let hook t ~src ~dst ~attempt =
+  let g = keyed t ~stream:0 ~src ~dst ~attempt in
+  (* fixed draw order, independent of which faults are enabled *)
+  let drop = Prng.Splitmix.bernoulli g t.spec.drop in
+  let duplicate = Prng.Splitmix.bernoulli g t.spec.duplicate in
+  let reorder = Prng.Splitmix.bernoulli g t.spec.reorder in
+  if drop then begin
+    count_drop t;
+    { Simul.Network.drop = true; duplicate = false; reorder_depth = 0 }
+  end
+  else begin
+    if duplicate then count_dup t;
+    let reorder_depth =
+      if reorder then begin
+        count_reorder t;
+        1 + Prng.Splitmix.int g t.spec.reorder_depth
+      end
+      else 0
+    in
+    { Simul.Network.drop = false; duplicate; reorder_depth }
+  end
+
+let latency t ~base =
+  if t.spec.delay <= 0.0 then base
+  else begin
+    (* per-directed-edge call counter: the delay analogue of the
+       network's send-attempt counter *)
+    let calls : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+    fun ~src ~dst ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt calls (src, dst)) in
+      Hashtbl.replace calls (src, dst) (n + 1);
+      let b = base ~src ~dst in
+      let g = keyed t ~stream:1 ~src ~dst ~attempt:n in
+      if Prng.Splitmix.bernoulli g t.spec.delay then begin
+        count_delay t;
+        b +. float_of_int (1 + Prng.Splitmix.int g t.spec.delay_max)
+      end
+      else b
+  end
+
+let drops t = t.drops
+
+let duplicates t = t.dups
+
+let reorders t = t.reorders
+
+let delays t = t.delays
+
+let crashes_executed t = t.crash_count
+
+let restarts_executed t = t.restart_count

@@ -1,0 +1,96 @@
+(** Seeded, deterministic fault plans.
+
+    A plan is a pure function from an integer seed and a {!spec} to a
+    complete adversary: per-message drop/duplicate/reorder decisions
+    (installed as a {!Simul.Network.fault_hook}), per-message extra
+    latency (wrapped around a {!Simul.Devent} latency function), and a
+    schedule of node crashes with restart times.
+
+    Every decision is a stateless hash of
+    [(seed, stream, src, dst, attempt)] — not a draw from a shared
+    mutable generator — so the decision for the [k]-th transmission on a
+    directed edge does not depend on what any other edge did, on
+    scheduler interleaving, or on how many retransmissions the transport
+    issued elsewhere.  Same seed, same spec, same workload: byte-for-
+    byte identical runs.  That is what makes faulty executions
+    regression-testable (golden outcome records in [test_recovery.ml])
+    and CLI-reproducible ([oat simulate --faults SPEC --seed N]). *)
+
+type crash = {
+  node : int;
+  at : float;  (** virtual time of the crash *)
+  down_for : float;  (** restart happens at [at +. down_for] *)
+}
+
+type spec = {
+  drop : float;  (** P(message lost on the wire), in [\[0, 1)] *)
+  duplicate : float;  (** P(message enqueued twice) *)
+  reorder : float;  (** P(message jumps ahead in its channel queue) *)
+  reorder_depth : int;
+      (** max messages jumped over (uniform in [\[1, depth\]]) *)
+  delay : float;  (** P(a send pays extra latency) *)
+  delay_max : int;
+      (** max extra latency in whole time units (uniform in
+          [\[1, delay_max\]]) *)
+  crashes : crash list;
+}
+
+val none : spec
+(** All probabilities zero, no crashes — the identity adversary. *)
+
+val validate : spec -> (spec, string) result
+(** Probabilities in range ([drop < 1] so retransmission terminates),
+    depths/bounds positive where the matching probability is, crash
+    times finite and non-negative with positive downtime, and per-node
+    crash intervals non-overlapping. *)
+
+val spec_of_string : string -> (spec, string) result
+(** Parse a comma-separated spec, e.g.
+    ["drop=0.1,dup=0.05,reorder=0.1:3,delay=0.2:4,crash=3@40+25"].
+    Fields (all optional; omitted = off): [drop=P], [dup=P],
+    [reorder=P\[:DEPTH\]], [delay=P\[:MAX\]], [crash=NODE@AT+DOWNTIME]
+    (repeatable).  [""] and ["none"] parse to {!none}.  The result is
+    {!validate}d. *)
+
+val spec_to_string : spec -> string
+(** Canonical round-trippable form ([{!spec_of_string}] inverse);
+    ["none"] for the identity adversary. *)
+
+val pp_spec : Format.formatter -> spec -> unit
+
+type t
+(** A plan: a validated spec bound to a seed, with injection
+    counters. *)
+
+val create : ?metrics:Telemetry.Metrics.t -> seed:int -> spec -> t
+(** [metrics] registers counters [fault.injected.drop], [.duplicate],
+    [.reorder], [.delay], [.crash], [.restart].
+    @raise Invalid_argument if the spec does not {!validate}. *)
+
+val seed : t -> int
+val spec : t -> spec
+
+val hook : t -> Simul.Network.fault_hook
+(** The drop/duplicate/reorder adversary, for
+    {!Simul.Network.create}'s [fault]. *)
+
+val latency : t -> base:(src:int -> dst:int -> float) -> src:int -> dst:int -> float
+(** The delay adversary: [base] plus a seeded extra on a [delay]-coin
+    per call, counted per directed edge.  Returns [base] itself when
+    [delay = 0]. *)
+
+(** {1 Injection accounting}
+
+    [count_crash]/[count_restart] are called by the driver
+    ({!Runner}) when it executes a scheduled crash/restart, so that
+    all six [fault.injected.*] counters live in one place. *)
+
+val count_crash : t -> unit
+val count_restart : t -> unit
+
+val drops : t -> int
+val duplicates : t -> int
+val reorders : t -> int
+val delays : t -> int
+val crashes_executed : t -> int
+val restarts_executed : t -> int

@@ -1,0 +1,213 @@
+(* Mechanism over Reliable over a faulty Network, all on one Devent
+   virtual-time axis.  The mechanism's internal network never carries a
+   message for longer than one call: its on_send hook pops the message
+   it just enqueued and hands it to the transport (the "outbox" trick),
+   which keeps the mechanism completely unaware of the transport while
+   its counters keep measuring logical protocol cost. *)
+
+module Make (Op : Agg.Operator.S) = struct
+  module M = Oat.Mechanism.Make (Op)
+  module Net = Simul.Network
+  module Rel = Simul.Reliable
+  module Dev = Simul.Devent
+
+  type outcome = {
+    n_requests : int;
+    issued : int;
+    skipped : int;
+    writes : int;
+    combines : int;
+    exact : int;
+    partial : int;
+    lost : int;
+    logical_msgs : int;
+    physical_msgs : int;
+    retransmits : int;
+    dedup_drops : int;
+    stale_drops : int;
+    teardown_drops : int;
+    faults_dropped : int;
+    faults_duplicated : int;
+    faults_reordered : int;
+    faults_delayed : int;
+    crashes : int;
+    events : int;
+    makespan : float;
+    mean_combine_latency : float;
+    causal_violations : int;
+  }
+
+  let pp_outcome ppf o =
+    let line k ppv =
+      Format.fprintf ppf "%-22s %t@," (k ^ ":") ppv
+    in
+    let int k v = line k (fun ppf -> Format.pp_print_int ppf v) in
+    let flt k v = line k (fun ppf -> Format.fprintf ppf "%.2f" v) in
+    Format.pp_open_vbox ppf 0;
+    int "requests" o.n_requests;
+    int "issued" o.issued;
+    int "skipped" o.skipped;
+    int "writes" o.writes;
+    int "combines" o.combines;
+    int "exact" o.exact;
+    int "partial" o.partial;
+    int "lost" o.lost;
+    int "logical msgs" o.logical_msgs;
+    int "physical msgs" o.physical_msgs;
+    int "retransmits" o.retransmits;
+    int "dedup drops" o.dedup_drops;
+    int "stale drops" o.stale_drops;
+    int "teardown drops" o.teardown_drops;
+    int "faults dropped" o.faults_dropped;
+    int "faults duplicated" o.faults_duplicated;
+    int "faults reordered" o.faults_reordered;
+    int "faults delayed" o.faults_delayed;
+    int "crashes" o.crashes;
+    int "events" o.events;
+    flt "makespan" o.makespan;
+    flt "mean combine latency" o.mean_combine_latency;
+    int "causal violations" o.causal_violations;
+    Format.pp_close_box ppf ()
+
+  let run ?metrics ?plan ?(rto = 4.0) ?(spacing = 2.0) ~tree ~policy ~requests
+      () =
+    if spacing <= 0.0 then invalid_arg "Fault.Runner.run: spacing must be > 0";
+    let n = Tree.n_nodes tree in
+    let base = Dev.unit_latency in
+    let latency =
+      match plan with None -> base | Some p -> Plan.latency p ~base
+    in
+    let dev = Dev.create tree ~latency in
+    (* The physical network is deliberately created without [metrics]:
+       the registry's net.sent.* counters belong to the mechanism's
+       logical outbox; the wire level reports through [physical_msgs]
+       and the transport counters. *)
+    let phys =
+      Net.create
+        ?fault:(Option.map Plan.hook plan)
+        ~on_send:(fun ~src ~dst -> Dev.notify dev ~src ~dst)
+        ~clock:(Dev.clock dev) tree
+        ~kind_of:(Rel.frame_kind M.kind_of)
+    in
+    let sys_ref = ref None in
+    let sys () =
+      match !sys_ref with Some s -> s | None -> assert false
+    in
+    let rel =
+      Rel.create ?metrics ~rto ~timer:dev ~net:phys
+        ~deliver:(fun ~src ~dst m -> M.handler (sys ()) ~src ~dst m)
+        ()
+    in
+    let s =
+      M.create ~ghost:true ?metrics
+        ~on_send:(fun ~src ~dst ->
+          match Net.pop (M.network (sys ())) ~src ~dst with
+          | Some m -> Rel.send rel ~src ~dst m
+          | None -> assert false)
+        ~clock:(Dev.clock dev) tree ~policy
+    in
+    sys_ref := Some s;
+    (* Crash/restart schedule.  Transport first on both edges: the
+       crash voids in-flight frames before the mechanism's failure
+       notifications send recovery traffic, and the restart gives the
+       mechanism fresh sessions for its Hello exchange. *)
+    (match plan with
+    | None -> ()
+    | Some p ->
+      List.iter
+        (fun (c : Plan.crash) ->
+          if c.node < 0 || c.node >= n then
+            invalid_arg
+              (Printf.sprintf "Fault.Runner.run: crash node %d outside tree"
+                 c.node);
+          Dev.at dev c.at (fun () ->
+              Plan.count_crash p;
+              Rel.crash rel ~node:c.node;
+              M.crash s ~node:c.node);
+          Dev.at dev
+            (c.at +. c.down_for)
+            (fun () ->
+              Plan.count_restart p;
+              Rel.restart rel ~node:c.node;
+              M.restart s ~node:c.node))
+        (Plan.spec p).crashes);
+    let n_requests = List.length requests in
+    let issued = ref 0 and skipped = ref 0 in
+    let writes = ref 0 and combines = ref 0 in
+    let exact = ref 0 and partial = ref 0 in
+    let lat_sum = ref 0.0 in
+    List.iteri
+      (fun i (q : Op.t Oat.Request.t) ->
+        Dev.at dev
+          (float_of_int (i + 1) *. spacing)
+          (fun () ->
+            if not (M.alive s q.node) then incr skipped
+            else begin
+              incr issued;
+              match q.op with
+              | Oat.Request.Write v ->
+                incr writes;
+                M.write s ~node:q.node v
+              | Oat.Request.Combine ->
+                incr combines;
+                let t0 = Dev.now dev in
+                M.combine_tagged s ~node:q.node (fun _v ~cut ->
+                    lat_sum := !lat_sum +. (Dev.now dev -. t0);
+                    if cut = [] then incr exact else incr partial)
+            end))
+      requests;
+    let events =
+      Dev.drain dev ~deliver:(fun ~src ~dst ->
+          match Net.pop phys ~src ~dst with
+          | Some f -> Rel.handle rel ~src ~dst f
+          | None -> failwith "Fault.Runner: scheduler out of sync with network")
+    in
+    if not (Net.is_quiescent phys) then
+      failwith "Fault.Runner: physical network not quiescent after drain";
+    if not (Rel.is_quiescent rel) then
+      failwith "Fault.Runner: transport not quiescent after drain";
+    if Net.in_flight (M.network s) <> 0 then
+      failwith "Fault.Runner: mechanism outbox not empty after drain";
+    M.check_invariants s;
+    Rel.check_invariants rel;
+    Net.check_invariants phys;
+    let logs = Array.init n (fun u -> M.log s u) in
+    let violations = Consistency.Causal.check (module Op) ~n_nodes:n ~logs in
+    let fd, fu, fr, fy, fc =
+      match plan with
+      | None -> (0, 0, 0, 0, 0)
+      | Some p ->
+        ( Plan.drops p,
+          Plan.duplicates p,
+          Plan.reorders p,
+          Plan.delays p,
+          Plan.crashes_executed p )
+    in
+    let completed = !exact + !partial in
+    {
+      n_requests;
+      issued = !issued;
+      skipped = !skipped;
+      writes = !writes;
+      combines = !combines;
+      exact = !exact;
+      partial = !partial;
+      lost = !combines - completed;
+      logical_msgs = M.message_total s;
+      physical_msgs = Net.total phys;
+      retransmits = Rel.retransmits rel;
+      dedup_drops = Rel.dedup_drops rel;
+      stale_drops = Rel.stale_drops rel;
+      teardown_drops = Rel.teardown_drops rel;
+      faults_dropped = fd;
+      faults_duplicated = fu;
+      faults_reordered = fr;
+      faults_delayed = fy;
+      crashes = fc;
+      events;
+      makespan = Dev.now dev;
+      mean_combine_latency =
+        (if completed = 0 then 0.0 else !lat_sum /. float_of_int completed);
+      causal_violations = List.length violations;
+    }
+end

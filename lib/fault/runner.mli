@@ -1,0 +1,77 @@
+(** Fault-injection harness: the full stack on one virtual clock.
+
+    [Make (Op)] wires, bottom to top:
+
+    - a {!Simul.Network} of {!Simul.Reliable.frame}s with the plan's
+      fault hook installed and the plan's latency adversary driving a
+      {!Simul.Devent} axis (the {e physical} network — drops,
+      duplicates, reorders, delays);
+    - a {!Simul.Reliable} transport restoring exactly-once FIFO
+      delivery over it, retransmission timers on the same clock;
+    - the {!Oat.Mechanism} on top.  The mechanism's own network is used
+      as a logical {e outbox}: its [on_send] hook immediately pops each
+      enqueued message and hands it to the transport, so the
+      mechanism's counters keep measuring {e logical} protocol cost
+      while the physical network counts frames on the wire.
+
+    Crashes and restarts from the plan's schedule fire as timers and
+    hit transport and mechanism together; requests are injected at
+    fixed virtual-time spacing.  The run then drains to quiescence and
+    the execution history is checked causally
+    ({!Consistency.Causal.check}).  Everything is deterministic in
+    (plan seed, spec, workload). *)
+
+module Make (Op : Agg.Operator.S) : sig
+  type outcome = {
+    n_requests : int;
+    issued : int;  (** initiated at a live node *)
+    skipped : int;  (** initiating node was down — request discarded *)
+    writes : int;
+    combines : int;
+    exact : int;  (** combines completed with an empty cut *)
+    partial : int;  (** combines completed with a nonempty cut *)
+    lost : int;  (** combines whose initiator crashed before completion *)
+    logical_msgs : int;  (** messages the mechanism sent (protocol cost) *)
+    physical_msgs : int;  (** frames on the wire: data + acks + retransmits *)
+    retransmits : int;
+    dedup_drops : int;
+    stale_drops : int;
+    teardown_drops : int;
+    faults_dropped : int;
+    faults_duplicated : int;
+    faults_reordered : int;
+    faults_delayed : int;
+    crashes : int;  (** crash events executed *)
+    events : int;  (** virtual-time events processed (deliveries + timers) *)
+    makespan : float;  (** virtual time at quiescence *)
+    mean_combine_latency : float;  (** over completed combines; 0 if none *)
+    causal_violations : int;  (** from {!Consistency.Causal.check}; 0 = consistent *)
+  }
+
+  val pp_outcome : Format.formatter -> outcome -> unit
+  (** Deterministic multi-line rendering (one [key: value] per line). *)
+
+  val run :
+    ?metrics:Telemetry.Metrics.t ->
+    ?plan:Plan.t ->
+    ?rto:float ->
+    ?spacing:float ->
+    tree:Tree.t ->
+    policy:Oat.Policy.factory ->
+    requests:Op.t Oat.Request.t list ->
+    unit ->
+    outcome
+  (** Request [i] (0-based) is injected at virtual time
+      [(i + 1) *. spacing] (default spacing 2.0); [rto] (default 4.0)
+      is the transport's initial retransmission timeout.  [metrics]
+      is shared by mechanism (logical [net.sent.*], [mech.*]),
+      transport ([net.retransmits], ...) and plan ([fault.injected.*]);
+      pass the same registry given to [Plan.create].  With no [plan]
+      the stack still runs over the transport, fault-free.
+
+      Audits {!Oat.Mechanism.Make.check_invariants} and both network
+      layers' invariants after the drain, and fails if any layer is
+      not quiescent.
+      @raise Invalid_argument if a scheduled crash names a node outside
+      the tree, or [spacing <= 0]. *)
+end

@@ -1,11 +1,24 @@
 (* A binary min-heap of scheduled deliveries, keyed by (time, sequence
    number) so simultaneous events keep their send order. *)
 module Heap = struct
-  type entry = { time : float; seq : int; src : int; dst : int }
+  (* [run = None]: message delivery on edge (src,dst).  [run = Some f]:
+     a timer — [f] fires when the entry reaches the head (src/dst are
+     ignored). *)
+  type entry = {
+    time : float;
+    seq : int;
+    src : int;
+    dst : int;
+    run : (unit -> unit) option;
+  }
 
   type t = { mutable data : entry array; mutable size : int }
 
-  let create () = { data = Array.make 64 { time = 0.0; seq = 0; src = 0; dst = 0 }; size = 0 }
+  let create () =
+    {
+      data = Array.make 64 { time = 0.0; seq = 0; src = 0; dst = 0; run = None };
+      size = 0;
+    }
 
   let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
@@ -82,16 +95,27 @@ let notify t ~src ~dst =
   in
   Hashtbl.replace t.last_on_edge (src, dst) fifo_floor;
   t.seq <- t.seq + 1;
-  Heap.push t.heap { Heap.time = fifo_floor; seq = t.seq; src; dst }
+  Heap.push t.heap { Heap.time = fifo_floor; seq = t.seq; src; dst; run = None }
+
+(* Timers share the event axis but not the per-edge FIFO floor: a timer
+   never delays, and is never delayed by, message deliveries. *)
+let at t time f =
+  let time = Float.max time t.now in
+  t.seq <- t.seq + 1;
+  Heap.push t.heap { Heap.time = time; seq = t.seq; src = -1; dst = -1; run = Some f }
+
+let after t delay f =
+  if delay < 0.0 then invalid_arg "Devent.after: negative delay";
+  at t (t.now +. delay) f
 
 let pending t = t.heap.Heap.size
 
 let step t ~deliver =
   match Heap.pop t.heap with
   | None -> false
-  | Some { Heap.time; src; dst; _ } ->
+  | Some { Heap.time; src; dst; run; _ } ->
     if time > t.now then t.now <- time;
-    deliver ~src ~dst;
+    (match run with None -> deliver ~src ~dst | Some f -> f ());
     true
 
 let drain t ~deliver =

@@ -41,12 +41,23 @@ val notify : t -> src:int -> dst:int -> unit
 (** Record a send at the current time; its delivery is scheduled at
     [max (now + latency) (last scheduled on the same edge)]. *)
 
+val at : t -> float -> (unit -> unit) -> unit
+(** Schedule a callback at an absolute virtual time (clamped to [now] if
+    already past).  Timers share the event axis with deliveries — ties
+    resolve in scheduling order — but are exempt from the per-edge FIFO
+    floor.  Used for retransmission timeouts ({!Reliable}), crash/restart
+    schedules and timed request injection. *)
+
+val after : t -> float -> (unit -> unit) -> unit
+(** [after t d f] is [at t (now t +. d) f].
+    @raise Invalid_argument if [d < 0]. *)
+
 val pending : t -> int
 
 val drain : t -> deliver:(src:int -> dst:int -> unit) -> int
-(** Deliver everything in timestamp order, advancing the clock; the
-    callback may trigger further {!notify}.  Returns the number of
-    deliveries. *)
+(** Process everything in timestamp order, advancing the clock; the
+    callbacks may trigger further {!notify}/{!at}.  Returns the number
+    of events processed (deliveries and timer firings). *)
 
 val step : t -> deliver:(src:int -> dst:int -> unit) -> bool
 (** Deliver the single earliest message; [false] when idle. *)

@@ -1,4 +1,16 @@
-let max_deliveries = 100_000_000
+exception Divergence of { deliveries : int; budget : int }
+
+let () =
+  Printexc.register_printer (function
+    | Divergence { deliveries; budget } ->
+      Some
+        (Printf.sprintf
+           "Simul.Engine.Divergence: %d deliveries exceeded the budget of %d \
+            (protocol not quiescing?)"
+           deliveries budget)
+    | _ -> None)
+
+let default_max_deliveries = 100_000_000
 
 let step net ~handler =
   match Network.pop_any net with
@@ -7,21 +19,25 @@ let step net ~handler =
     handler ~src ~dst m;
     true
 
-let run_to_quiescence net ~handler =
+let run_to_quiescence ?(max_deliveries = default_max_deliveries) net ~handler =
   let rec loop count =
     if count > max_deliveries then
-      failwith "Engine.run_to_quiescence: delivery budget exhausted (divergence?)";
+      raise (Divergence { deliveries = count; budget = max_deliveries });
     if step net ~handler then loop (count + 1) else count
   in
   loop 0
 
-let run_concurrent ?(sink = Telemetry.Sink.null) ?clock ~rng net ~handler
-    ~requests =
+let run_concurrent ?(max_deliveries = default_max_deliveries)
+    ?(sink = Telemetry.Sink.null) ?clock ~rng net ~handler ~requests =
   let clock = match clock with Some c -> c | None -> Network.clock net in
+  let delivered = ref 0 in
   let deliver_one () =
     match Network.pop_random net rng with
     | None -> false
     | Some (src, dst, m) ->
+      incr delivered;
+      if !delivered > max_deliveries then
+        raise (Divergence { deliveries = !delivered; budget = max_deliveries });
       handler ~src ~dst m;
       true
   in
@@ -43,9 +59,5 @@ let run_concurrent ?(sink = Telemetry.Sink.null) ?clock ~rng net ~handler
       initiate ())
     requests;
   (* Drain. *)
-  let rec drain budget =
-    if budget <= 0 then
-      failwith "Engine.run_concurrent: delivery budget exhausted (divergence?)";
-    if deliver_one () then drain (budget - 1)
-  in
-  drain max_deliveries
+  let rec drain () = if deliver_one () then drain () in
+  drain ()

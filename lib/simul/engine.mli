@@ -13,18 +13,31 @@
       a random schedule, which is the adversarial setting of the paper's
       Section 5 (causal consistency). *)
 
+exception Divergence of { deliveries : int; budget : int }
+(** A run exceeded its delivery budget without reaching quiescence —
+    the protocol (or a fault configuration) is not terminating.
+    [deliveries] is the count reached when the guard fired; [budget] the
+    configured limit. *)
+
+val default_max_deliveries : int
+(** Default delivery budget: [10^8]. *)
+
 val run_to_quiescence :
-  'm Network.t -> handler:(src:int -> dst:int -> 'm -> unit) -> int
+  ?max_deliveries:int ->
+  'm Network.t ->
+  handler:(src:int -> dst:int -> 'm -> unit) ->
+  int
 (** Deliver messages until the network is quiescent.  Returns the number
     of deliveries performed.
-    @raise Failure if more than [10^8] deliveries occur (divergence
-    guard). *)
+    @raise Divergence if more than [max_deliveries] (default
+    {!default_max_deliveries}) deliveries occur. *)
 
 val step : 'm Network.t -> handler:(src:int -> dst:int -> 'm -> unit) -> bool
 (** Deliver exactly one message (deterministic choice).  [false] if the
     network was already quiescent. *)
 
 val run_concurrent :
+  ?max_deliveries:int ->
   ?sink:Telemetry.Sink.t ->
   ?clock:(unit -> float) ->
   rng:Prng.Splitmix.t ->
@@ -41,4 +54,6 @@ val run_concurrent :
 
     [sink] receives a [Mark] event per initiation (the [node] field
     carries the request's array index), stamped by [clock] (default: the
-    network's own clock, so marks share the message events' time axis). *)
+    network's own clock, so marks share the message events' time axis).
+    @raise Divergence if total deliveries exceed [max_deliveries]
+    (default {!default_max_deliveries}). *)

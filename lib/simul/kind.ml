@@ -1,22 +1,32 @@
-type t = Probe | Response | Update | Release
+type t = Probe | Response | Update | Release | Hello | Ack
 
-let all = [ Probe; Response; Update; Release ]
+let all = [ Probe; Response; Update; Release; Hello; Ack ]
 
 let to_string = function
   | Probe -> "probe"
   | Response -> "response"
   | Update -> "update"
   | Release -> "release"
+  | Hello -> "hello"
+  | Ack -> "ack"
 
 let pp fmt k = Format.pp_print_string fmt (to_string k)
 
-let index = function Probe -> 0 | Response -> 1 | Update -> 2 | Release -> 3
+let index = function
+  | Probe -> 0
+  | Response -> 1
+  | Update -> 2
+  | Release -> 3
+  | Hello -> 4
+  | Ack -> 5
 
 let of_index = function
   | 0 -> Probe
   | 1 -> Response
   | 2 -> Update
   | 3 -> Release
+  | 4 -> Hello
+  | 5 -> Ack
   | i -> invalid_arg (Printf.sprintf "Kind.of_index: %d" i)
 
-let count = 4
+let count = 6

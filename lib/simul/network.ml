@@ -17,6 +17,10 @@ type net_tel = {
   occupancy : Telemetry.Metrics.gauge;           (* hwm = channel occupancy high-water *)
 }
 
+type fault_decision = { drop : bool; duplicate : bool; reorder_depth : int }
+
+type fault_hook = src:int -> dst:int -> attempt:int -> fault_decision
+
 type 'm t = {
   tree : Tree.t;
   queues : 'm Queue.t array;  (* FIFO per directed edge, by channel id *)
@@ -38,10 +42,12 @@ type 'm t = {
   obs : bool;                 (* metrics or sink active: one hot-path branch *)
   mutable clock : unit -> float;
   mutable tick : int;         (* send+delivery count: the default clock *)
+  mutable fault : fault_hook option;
+  mutable attempts : int array; (* per channel: transmission attempts, keys fault decisions *)
 }
 
 let create ?(on_send = fun ~src:_ ~dst:_ -> ()) ?metrics
-    ?(sink = Telemetry.Sink.null) ?clock tree ~kind_of =
+    ?(sink = Telemetry.Sink.null) ?clock ?fault tree ~kind_of =
   let n = Tree.n_nodes tree in
   let chan_base = Array.make (n + 1) 0 in
   for u = 0 to n - 1 do
@@ -96,6 +102,11 @@ let create ?(on_send = fun ~src:_ ~dst:_ -> ()) ?metrics
     obs = tel <> None || Telemetry.Sink.enabled sink;
     clock = (fun () -> 0.0);
     tick = 0;
+    fault;
+    attempts =
+      (match fault with
+      | None -> [||]
+      | Some _ -> Array.make (max 1 n_chans) 0);
   }
   in
   (t.clock <-
@@ -147,20 +158,79 @@ let observe_send t ~src ~dst k qlen =
     Telemetry.Sink.record t.sink
       (Telemetry.Sink.Sent { time = t.clock (); src; dst; kind = k })
 
-let send t ~src ~dst m =
-  let cid = chan t ~src ~dst in
-  let q = t.queues.(cid) in
-  if Queue.is_empty q then registry_add t cid;
-  Queue.add m q;
+(* Count a transmission attempt (counters, totals, tick, telemetry).
+   Shared by the fault-free path, faulty enqueues and wire drops: the
+   per-kind/per-edge counters measure physical transmissions — the cost
+   actually paid — whether or not the message reaches the queue. *)
+let account t cid ~src ~dst m qlen =
   let k = Kind.index (t.kind_of m) in
   let ci = (cid * Kind.count) + k in
   t.counters.(ci) <- t.counters.(ci) + 1;
   t.kind_totals.(k) <- t.kind_totals.(k) + 1;
   t.total <- t.total + 1;
-  t.in_flight <- t.in_flight + 1;
   t.tick <- t.tick + 1;
-  if t.obs then observe_send t ~src ~dst k (Queue.length q);
+  if t.obs then observe_send t ~src ~dst k qlen
+
+(* Insert [m] ahead of up to [depth] messages already queued (the fault
+   model's payload-level reordering).  O(queue length) rebuild — only
+   ever reached on the fault path. *)
+let insert_reordered q depth m =
+  let len = Queue.length q in
+  let pos = if depth >= len then 0 else len - depth in
+  let tmp = Queue.create () in
+  for i = 0 to len - 1 do
+    if i = pos then Queue.add m tmp;
+    Queue.add (Queue.pop q) tmp
+  done;
+  if pos >= len then Queue.add m tmp;
+  Queue.transfer tmp q
+
+let enqueue_faulty t cid ~src ~dst m depth =
+  let q = t.queues.(cid) in
+  if Queue.is_empty q then registry_add t cid;
+  if depth <= 0 then Queue.add m q else insert_reordered q depth m;
+  t.in_flight <- t.in_flight + 1;
+  account t cid ~src ~dst m (Queue.length q);
   t.on_send ~src ~dst
+
+let send t ~src ~dst m =
+  let cid = chan t ~src ~dst in
+  match t.fault with
+  | None ->
+    let q = t.queues.(cid) in
+    if Queue.is_empty q then registry_add t cid;
+    Queue.add m q;
+    let k = Kind.index (t.kind_of m) in
+    let ci = (cid * Kind.count) + k in
+    t.counters.(ci) <- t.counters.(ci) + 1;
+    t.kind_totals.(k) <- t.kind_totals.(k) + 1;
+    t.total <- t.total + 1;
+    t.in_flight <- t.in_flight + 1;
+    t.tick <- t.tick + 1;
+    if t.obs then observe_send t ~src ~dst k (Queue.length q);
+    t.on_send ~src ~dst
+  | Some h ->
+    let att = t.attempts.(cid) in
+    t.attempts.(cid) <- att + 1;
+    let d = h ~src ~dst ~attempt:att in
+    if d.drop then
+      (* lost on the wire: the transmission is paid for (counters) but
+         nothing is queued and no delivery is scheduled ([on_send] is
+         not invoked, so virtual-time schedulers stay in sync). *)
+      account t cid ~src ~dst m (Queue.length t.queues.(cid))
+    else begin
+      enqueue_faulty t cid ~src ~dst m d.reorder_depth;
+      if d.duplicate then enqueue_faulty t cid ~src ~dst m 0
+    end
+
+let set_fault t fault =
+  t.fault <- fault;
+  if fault <> None && Array.length t.attempts < Array.length t.queues then
+    t.attempts <- Array.make (max 1 (Array.length t.queues)) 0
+
+let send_attempts t ~src ~dst =
+  let cid = chan t ~src ~dst in
+  if Array.length t.attempts = 0 then 0 else t.attempts.(cid)
 
 let in_flight t = t.in_flight
 

@@ -21,11 +21,27 @@
 
 type 'm t
 
+type fault_decision = {
+  drop : bool;        (** lose the message on the wire *)
+  duplicate : bool;   (** enqueue a second copy (ignored when [drop]) *)
+  reorder_depth : int;
+      (** insert ahead of up to this many already-queued messages;
+          [0] preserves FIFO order *)
+}
+
+type fault_hook = src:int -> dst:int -> attempt:int -> fault_decision
+(** Consulted once per {!send} when installed.  [attempt] is the
+    per-directed-channel transmission counter (0-based), so a stateless
+    seeded hook yields decisions independent of scheduler call order —
+    the basis of deterministic fault plans ({!Fault.Plan} builds
+    these). *)
+
 val create :
   ?on_send:(src:int -> dst:int -> unit) ->
   ?metrics:Telemetry.Metrics.t ->
   ?sink:Telemetry.Sink.t ->
   ?clock:(unit -> float) ->
+  ?fault:fault_hook ->
   Tree.t ->
   kind_of:('m -> Kind.t) ->
   'm t
@@ -41,7 +57,17 @@ val create :
     operations (each send and each delivery is one tick), so pass
     {!Devent.clock} to get virtual-time stamps.  With the defaults the
     instrumentation is allocation-free and costs one branch per
-    operation. *)
+    operation.
+
+    [fault] installs a fault-injection hook.  With no hook the send path
+    is identical to the fault-free build (a single [match] on the
+    option).  With a hook, each {!send} consults it: a [drop]ped message
+    is counted (physical transmissions are the cost model) but never
+    queued and never scheduled ([on_send] is not invoked for it); a
+    [duplicate] enqueues twice and schedules twice; [reorder_depth]
+    permutes the message past up to that many older queued messages.
+    The per-queue invariants ({!check_invariants}) hold under all of
+    these. *)
 
 val tree : 'm t -> Tree.t
 
@@ -51,8 +77,17 @@ val clock : 'm t -> unit -> float
     all events of one run are stamped on the same axis. *)
 
 val send : 'm t -> src:int -> dst:int -> 'm -> unit
-(** Enqueue a message on the directed edge [(src,dst)].
+(** Enqueue a message on the directed edge [(src,dst)] (subject to the
+    fault hook, if any — see {!create}).
     @raise Invalid_argument if [src] and [dst] are not neighbours. *)
+
+val set_fault : 'm t -> fault_hook option -> unit
+(** Install or remove the fault hook after creation.  Per-channel
+    attempt counters persist across hook changes. *)
+
+val send_attempts : 'm t -> src:int -> dst:int -> int
+(** Transmission attempts on one directed channel (the [attempt] values
+    fed to the fault hook); 0 when no hook was ever installed. *)
 
 val in_flight : 'm t -> int
 (** Number of queued (sent but undelivered) messages. *)

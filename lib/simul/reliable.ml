@@ -1,0 +1,327 @@
+(* Reliable transport over a faulty Network: per-directed-channel
+   sequence numbers, receiver-side dedup + reorder buffers, cumulative
+   acks and timeout/retransmit (go-back-N, exponential backoff) on
+   Devent's virtual-time axis.  Sessions are guarded by per-node
+   incarnation numbers: a crash bumps the node's incarnation, voiding
+   every frame stamped for the previous one, and a restart re-
+   establishes all incident sessions from sequence 0 — the simulator-
+   level equivalent of a connection reset.  The layer above therefore
+   sees exactly-once FIFO channels between any two incarnations, which
+   is the mechanism's correctness precondition. *)
+
+type 'm frame =
+  | Data of { s_inc : int; r_inc : int; seq : int; payload : 'm }
+  | Ack of { s_inc : int; r_inc : int; cum : int }
+
+let frame_kind kind_of = function
+  | Data { payload; _ } -> kind_of payload
+  | Ack _ -> Kind.Ack
+
+(* Both directions' endpoint state of one directed channel: the sender
+   side lives at the channel's source, the receiver side at its
+   destination. *)
+type 'm chan = {
+  mutable s_next : int;   (* next sequence number to assign *)
+  mutable s_base : int;   (* lowest unacked sequence number *)
+  unacked : 'm Queue.t;   (* payloads [s_base, s_next) *)
+  mutable rto_cur : float;
+  mutable gen : int;      (* bumps logically cancel armed timers *)
+  mutable r_next : int;   (* receiver: next expected sequence number *)
+  ooo : (int, 'm) Hashtbl.t; (* receiver: buffered out-of-order frames *)
+}
+
+type rel_tel = {
+  m_retransmits : Telemetry.Metrics.counter;
+  m_dedup : Telemetry.Metrics.counter;
+  m_stale : Telemetry.Metrics.counter;
+  m_teardown : Telemetry.Metrics.counter;
+}
+
+type 'm t = {
+  tree : Tree.t;
+  net : 'm frame Network.t;
+  timer : Devent.t;
+  deliver : src:int -> dst:int -> 'm -> unit;
+  chans : 'm chan array;
+  chan_base : int array;
+  src_of : int array;
+  dst_of : int array;
+  inc : int array;        (* per-node incarnation, bumped on crash *)
+  up : bool array;
+  rto0 : float;
+  backoff : float;
+  max_rto : float;
+  mutable unacked_total : int;
+  mutable retransmits : int;
+  mutable dedup_drops : int;
+  mutable stale_drops : int;
+  mutable teardown_drops : int;
+  tel : rel_tel option;
+}
+
+let create ?metrics ?(rto = 4.0) ?(backoff = 2.0) ?(max_rto = 64.0) ~timer ~net
+    ~deliver () =
+  if rto <= 0.0 || backoff < 1.0 || max_rto < rto then
+    invalid_arg "Reliable.create: need rto > 0, backoff >= 1, max_rto >= rto";
+  let tree = Network.tree net in
+  let n = Tree.n_nodes tree in
+  let chan_base = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    chan_base.(u + 1) <- chan_base.(u) + Tree.degree tree u
+  done;
+  let n_chans = chan_base.(n) in
+  let src_of = Array.make (max 1 n_chans) 0 in
+  let dst_of = Array.make (max 1 n_chans) 0 in
+  for u = 0 to n - 1 do
+    let base = chan_base.(u) in
+    Array.iteri
+      (fun i v ->
+        src_of.(base + i) <- u;
+        dst_of.(base + i) <- v)
+      (Tree.neighbors_arr tree u)
+  done;
+  let tel =
+    match metrics with
+    | None -> None
+    | Some m ->
+      Some
+        {
+          m_retransmits = Telemetry.Metrics.counter m "net.retransmits";
+          m_dedup = Telemetry.Metrics.counter m "net.dedup_drops";
+          m_stale = Telemetry.Metrics.counter m "net.stale_drops";
+          m_teardown = Telemetry.Metrics.counter m "net.teardown_drops";
+        }
+  in
+  {
+    tree;
+    net;
+    timer;
+    deliver;
+    chans =
+      Array.init (max 1 n_chans) (fun _ ->
+          {
+            s_next = 0;
+            s_base = 0;
+            unacked = Queue.create ();
+            rto_cur = rto;
+            gen = 0;
+            r_next = 0;
+            ooo = Hashtbl.create 8;
+          });
+    chan_base;
+    src_of;
+    dst_of;
+    inc = Array.make n 0;
+    up = Array.make n true;
+    rto0 = rto;
+    backoff;
+    max_rto;
+    unacked_total = 0;
+    retransmits = 0;
+    dedup_drops = 0;
+    stale_drops = 0;
+    teardown_drops = 0;
+    tel;
+  }
+
+let cid t ~src ~dst =
+  match Tree.neighbor_index t.tree src dst with
+  | -1 ->
+    invalid_arg
+      (Printf.sprintf "Reliable: (%d,%d) is not an edge of the tree" src dst)
+  | i -> t.chan_base.(src) + i
+
+let count_dedup t =
+  t.dedup_drops <- t.dedup_drops + 1;
+  match t.tel with None -> () | Some x -> Telemetry.Metrics.incr x.m_dedup
+
+let count_stale t =
+  t.stale_drops <- t.stale_drops + 1;
+  match t.tel with None -> () | Some x -> Telemetry.Metrics.incr x.m_stale
+
+let count_teardown t k =
+  if k > 0 then begin
+    t.teardown_drops <- t.teardown_drops + k;
+    match t.tel with
+    | None -> ()
+    | Some x -> Telemetry.Metrics.add x.m_teardown k
+  end
+
+let transmit t ~src ~dst frame = Network.send t.net ~src ~dst frame
+
+(* Retransmission timers: [arm] schedules a firing [rto_cur] ahead on
+   the virtual clock, tagged with the channel's current generation.  A
+   generation bump (ack progress, teardown) logically cancels every
+   armed firing, since heap entries cannot be removed. *)
+let rec arm t ci =
+  let c = t.chans.(ci) in
+  let g = c.gen in
+  Devent.after t.timer c.rto_cur (fun () -> on_timer t ci g)
+
+and on_timer t ci g =
+  let c = t.chans.(ci) in
+  if g = c.gen && not (Queue.is_empty c.unacked) then begin
+    (* go-back-N: retransmit the whole unacked window *)
+    let src = t.src_of.(ci) and dst = t.dst_of.(ci) in
+    let s_inc = t.inc.(src) and r_inc = t.inc.(dst) in
+    let seq = ref c.s_base in
+    Queue.iter
+      (fun payload ->
+        transmit t ~src ~dst (Data { s_inc; r_inc; seq = !seq; payload });
+        incr seq)
+      c.unacked;
+    let k = Queue.length c.unacked in
+    t.retransmits <- t.retransmits + k;
+    (match t.tel with
+    | None -> ()
+    | Some x -> Telemetry.Metrics.add x.m_retransmits k);
+    c.rto_cur <- Float.min t.max_rto (c.rto_cur *. t.backoff);
+    arm t ci
+  end
+
+let send t ~src ~dst payload =
+  if not t.up.(src) then
+    invalid_arg "Reliable.send: source node is down";
+  let ci = cid t ~src ~dst in
+  let c = t.chans.(ci) in
+  let seq = c.s_next in
+  c.s_next <- seq + 1;
+  Queue.add payload c.unacked;
+  t.unacked_total <- t.unacked_total + 1;
+  transmit t ~src ~dst
+    (Data { s_inc = t.inc.(src); r_inc = t.inc.(dst); seq; payload });
+  if Queue.length c.unacked = 1 then begin
+    c.rto_cur <- t.rto0;
+    arm t ci
+  end
+
+let send_ack t ~src ~dst c =
+  (* ack travels dst -> src, acknowledging the data channel (src,dst) *)
+  transmit t ~src:dst ~dst:src
+    (Ack { s_inc = t.inc.(dst); r_inc = t.inc.(src); cum = c.r_next - 1 })
+
+let handle t ~src ~dst frame =
+  if not t.up.(dst) then
+    (* frame addressed to a crashed node: lost with the node *)
+    count_teardown t 1
+  else
+    match frame with
+    | Data { s_inc; r_inc; seq; payload } ->
+      if s_inc <> t.inc.(src) || r_inc <> t.inc.(dst) then count_stale t
+      else begin
+        let c = t.chans.(cid t ~src ~dst) in
+        if seq < c.r_next then begin
+          count_dedup t;
+          (* re-ack so a sender that lost our ack makes progress *)
+          send_ack t ~src ~dst c
+        end
+        else if seq = c.r_next then begin
+          c.r_next <- seq + 1;
+          t.deliver ~src ~dst payload;
+          let rec drain_ooo () =
+            match Hashtbl.find_opt c.ooo c.r_next with
+            | Some p ->
+              Hashtbl.remove c.ooo c.r_next;
+              c.r_next <- c.r_next + 1;
+              t.deliver ~src ~dst p;
+              drain_ooo ()
+            | None -> ()
+          in
+          drain_ooo ();
+          send_ack t ~src ~dst c
+        end
+        else begin
+          if Hashtbl.mem c.ooo seq then count_dedup t
+          else Hashtbl.replace c.ooo seq payload;
+          send_ack t ~src ~dst c
+        end
+      end
+    | Ack { s_inc; r_inc; cum } ->
+      (* sent by [src], acknowledging the data channel (dst,src) *)
+      if s_inc <> t.inc.(src) || r_inc <> t.inc.(dst) then count_stale t
+      else begin
+        let ci = cid t ~src:dst ~dst:src in
+        let c = t.chans.(ci) in
+        if cum >= c.s_base then begin
+          let k = min (cum - c.s_base + 1) (Queue.length c.unacked) in
+          for _ = 1 to k do
+            ignore (Queue.pop c.unacked)
+          done;
+          t.unacked_total <- t.unacked_total - k;
+          c.s_base <- c.s_base + k;
+          c.gen <- c.gen + 1;
+          c.rto_cur <- t.rto0;
+          if not (Queue.is_empty c.unacked) then arm t ci
+        end
+      end
+
+let teardown t ci =
+  let c = t.chans.(ci) in
+  let k = Queue.length c.unacked in
+  Queue.clear c.unacked;
+  t.unacked_total <- t.unacked_total - k;
+  count_teardown t k;
+  Hashtbl.reset c.ooo;
+  c.gen <- c.gen + 1;
+  c.rto_cur <- t.rto0
+
+let iter_incident t u f =
+  Tree.iter_neighbors t.tree u (fun v ->
+      f (cid t ~src:u ~dst:v);
+      f (cid t ~src:v ~dst:u))
+
+let crash t ~node =
+  if not t.up.(node) then invalid_arg "Reliable.crash: node already down";
+  t.up.(node) <- false;
+  (* void every frame stamped for this incarnation, both directions *)
+  t.inc.(node) <- t.inc.(node) + 1;
+  iter_incident t node (teardown t)
+
+let restart t ~node =
+  if t.up.(node) then invalid_arg "Reliable.restart: node is up";
+  t.up.(node) <- true;
+  (* re-establish every incident session from sequence 0 *)
+  iter_incident t node (fun ci ->
+      teardown t ci;
+      let c = t.chans.(ci) in
+      c.s_next <- 0;
+      c.s_base <- 0;
+      c.r_next <- 0)
+
+let is_up t node = t.up.(node)
+
+let incarnation t node = t.inc.(node)
+
+let unacked t = t.unacked_total
+
+let is_quiescent t = t.unacked_total = 0
+
+let retransmits t = t.retransmits
+
+let dedup_drops t = t.dedup_drops
+
+let stale_drops t = t.stale_drops
+
+let teardown_drops t = t.teardown_drops
+
+let check_invariants t =
+  let fail fmt =
+    Format.kasprintf failwith ("Reliable.check_invariants: " ^^ fmt)
+  in
+  let total = ref 0 in
+  Array.iteri
+    (fun ci c ->
+      let len = Queue.length c.unacked in
+      total := !total + len;
+      if c.s_base + len <> c.s_next then
+        fail "channel %d->%d: base %d + %d unacked <> next %d" t.src_of.(ci)
+          t.dst_of.(ci) c.s_base len c.s_next;
+      Hashtbl.iter
+        (fun seq _ ->
+          if seq < c.r_next then
+            fail "channel %d->%d: buffered seq %d below expected %d"
+              t.src_of.(ci) t.dst_of.(ci) seq c.r_next)
+        c.ooo)
+    t.chans;
+  if !total <> t.unacked_total then
+    fail "unacked_total %d but %d buffered" t.unacked_total !total

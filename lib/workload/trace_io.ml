@@ -8,20 +8,36 @@ let to_string sigma =
     sigma;
   Buffer.contents buf
 
+(* Every malformed line is a [Line N: <reason>] error naming what is
+   wrong with it — never a bare exception, whatever the input bytes. *)
 let parse_line lineno line =
+  let err fmt =
+    Printf.ksprintf
+      (fun m -> Error (Printf.sprintf "Line %d: %s" lineno m))
+      fmt
+  in
+  let with_node s k =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> k n
+    | Some n -> err "node %d is negative" n
+    | None -> err "bad node %S" s
+  in
   let line = String.trim line in
   if line = "" || line.[0] = '#' then Ok None
   else
     match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
-    | [ "c"; node ] -> (
-      match int_of_string_opt node with
-      | Some n when n >= 0 -> Ok (Some (Oat.Request.combine n))
-      | _ -> Error (Printf.sprintf "line %d: bad node %S" lineno node))
-    | [ "w"; node; value ] -> (
-      match (int_of_string_opt node, float_of_string_opt value) with
-      | Some n, Some v when n >= 0 -> Ok (Some (Oat.Request.write n v))
-      | _ -> Error (Printf.sprintf "line %d: bad write %S" lineno line))
-    | _ -> Error (Printf.sprintf "line %d: unrecognized request %S" lineno line)
+    | [ "c"; node ] -> with_node node (fun n -> Ok (Some (Oat.Request.combine n)))
+    | [ "c" ] -> err "truncated combine (expected: c NODE)"
+    | "c" :: _ -> err "trailing garbage after combine (expected: c NODE)"
+    | [ "w"; node; value ] ->
+      with_node node (fun n ->
+          match float_of_string_opt value with
+          | Some v -> Ok (Some (Oat.Request.write n v))
+          | None -> err "bad value %S" value)
+    | [ "w" ] | [ "w"; _ ] -> err "truncated write (expected: w NODE VALUE)"
+    | "w" :: _ -> err "trailing garbage after write (expected: w NODE VALUE)"
+    | op :: _ -> err "unknown request %S (expected: w NODE VALUE or c NODE)" op
+    | [] -> err "empty request"
 
 let of_string s =
   let lines = String.split_on_char '\n' s in
@@ -36,15 +52,25 @@ let of_string s =
   go 1 [] lines
 
 let save path sigma =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string sigma))
+  match open_out path with
+  | exception Sys_error e -> Error e
+  | oc -> (
+    match
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (to_string sigma))
+    with
+    | () -> Ok ()
+    | exception Sys_error e -> Error e)
 
 let load path =
   match open_in path with
   | exception Sys_error e -> Error e
-  | ic ->
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> of_string (In_channel.input_all ic))
+  | ic -> (
+    match
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> In_channel.input_all ic)
+    with
+    | contents -> of_string contents
+    | exception Sys_error e -> Error e)

@@ -12,9 +12,14 @@
 val to_string : float Oat.Request.t list -> string
 
 val of_string : string -> (float Oat.Request.t list, string) result
-(** Error messages carry the offending 1-based line number. *)
+(** Total on arbitrary input: any malformed line yields
+    [Error "Line N: <reason>"] (1-based line number, specific reason —
+    truncated request, trailing garbage, bad node, bad value, unknown
+    request), never an exception. *)
 
-val save : string -> float Oat.Request.t list -> unit
-(** [save path sigma] writes the trace to a file. *)
+val save : string -> float Oat.Request.t list -> (unit, string) result
+(** [save path sigma] writes the trace to a file; I/O failures come
+    back as [Error]. *)
 
 val load : string -> (float Oat.Request.t list, string) result
+(** I/O and parse failures come back as [Error] (see {!of_string}). *)

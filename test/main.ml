@@ -21,5 +21,7 @@ let () =
       ("properties", Test_properties.suite);
       ("stress", Test_stress.suite);
       ("faults", Test_faults.suite);
+      ("reliable", Test_reliable.suite);
+      ("recovery", Test_recovery.suite);
       ("dht", Test_dht.suite);
     ]

@@ -155,13 +155,67 @@ let test_trace_parse_errors () =
   bad "w 0";
   bad "w 0 abc"
 
+let test_trace_errors_carry_line_and_reason () =
+  let msg lines =
+    match Workload.Trace_io.of_string lines with
+    | Error e -> e
+    | Ok _ -> Alcotest.failf "expected parse error for %S" lines
+  in
+  Alcotest.(check string) "truncated write, correct line"
+    "Line 3: truncated write (expected: w NODE VALUE)"
+    (msg "c 0\nw 1 2.0\nw 4");
+  Alcotest.(check string) "truncated combine"
+    "Line 1: truncated combine (expected: c NODE)" (msg "c");
+  Alcotest.(check string) "unknown request"
+    "Line 1: unknown request \"x\" (expected: w NODE VALUE or c NODE)"
+    (msg "x 3 9");
+  Alcotest.(check string) "negative node" "Line 1: node -1 is negative"
+    (msg "c -1");
+  Alcotest.(check string) "bad value" "Line 2: bad value \"abc\""
+    (msg "# ok\nw 0 abc");
+  Alcotest.(check string) "trailing garbage"
+    "Line 1: trailing garbage after combine (expected: c NODE)" (msg "c 1 2")
+
+let test_trace_garbage_never_raises () =
+  (* arbitrary bytes must come back as Error, not an exception *)
+  let garbage =
+    [
+      "\x00\xff\xfe";
+      "w \x01 \x02";
+      "w w w w w";
+      "c 999999999999999999999999999";
+      String.make 10_000 'w';
+      "w 0 1.0\x00trailing";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Workload.Trace_io.of_string s with
+      | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error names a line for %S" s)
+          true
+          (String.length e >= 5 && String.sub e 0 5 = "Line ")
+      | Ok _ -> Alcotest.failf "garbage accepted: %S" s)
+    garbage
+
+let test_trace_save_reports_io_errors () =
+  match
+    Workload.Trace_io.save "/nonexistent-dir-oat-test/x.trace"
+      [ Oat.Request.combine 0 ]
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected an I/O error"
+
 let test_trace_file_io () =
   let path = Filename.temp_file "oat" ".trace" in
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       let sigma = [ Oat.Request.write 0 1.5; Oat.Request.combine 2 ] in
-      Workload.Trace_io.save path sigma;
+      (match Workload.Trace_io.save path sigma with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
       match Workload.Trace_io.load path with
       | Error e -> Alcotest.fail e
       | Ok sigma' -> Alcotest.(check bool) "file roundtrip" true (sigma = sigma'))
@@ -211,6 +265,12 @@ let suite =
     Alcotest.test_case "trace roundtrip" `Quick test_trace_roundtrip;
     Alcotest.test_case "trace parsing" `Quick test_trace_parse_flexible;
     Alcotest.test_case "trace parse errors" `Quick test_trace_parse_errors;
+    Alcotest.test_case "trace errors carry line and reason" `Quick
+      test_trace_errors_carry_line_and_reason;
+    Alcotest.test_case "trace garbage never raises" `Quick
+      test_trace_garbage_never_raises;
+    Alcotest.test_case "trace save reports io errors" `Quick
+      test_trace_save_reports_io_errors;
     Alcotest.test_case "trace file io" `Quick test_trace_file_io;
     Alcotest.test_case "migrating locality" `Quick test_migrating_locality;
   ]
