@@ -16,6 +16,11 @@
 
 module Sm = Prng.Splitmix
 module M = Oat.Mechanism.Make (Agg.Ops.Sum)
+module Mc = Oat.Mechanism.Make (Agg.Ops.Count)
+
+(* old-style heap-allocated message, kept as the micro-variant-queue
+   baseline for the flat-frame data plane *)
+type vmsg = Vupdate of { vx : float; vid : int; vcut : int list }
 
 let run_tables () =
   print_endline "Online Aggregation over Trees — experiment harness";
@@ -274,6 +279,57 @@ let bench_tests =
       ~requests;
     M.message_total sys
   in
+  (* Flat-frame data plane micros (see EXPERIMENTS.md, "Data-plane
+     allocation").  micro-steady-delivery is the mechanism's leased
+     write cascade over a 64-node path — encode, 63 frame hops, decode,
+     state update — which runs with zero minor allocation; the system
+     is built once and reused (each round drains fully).  Count keeps
+     aggregate values unboxed so the timing isolates the data plane. *)
+  let steady_n = 64 in
+  let steady_sys =
+    Mc.create (Tree.Build.path steady_n)
+      ~policy:(Oat.Policy.noop ~name:"lease-all" ~set_lease:true)
+  in
+  let steady_net = Mc.network steady_sys in
+  let steady_h = Mc.handler steady_sys in
+  let () = ignore (Mc.combine_sync steady_sys ~node:0) in
+  let micro_steady_delivery () =
+    Mc.write steady_sys ~node:(steady_n - 1) 1;
+    while Simul.Network.deliver_any steady_net ~handler:steady_h do () done
+  in
+  (* The same 63-frame volume through the queues as heap-allocated
+     variant messages — the shape of the data plane this PR replaced.
+     The gap to micro-steady-delivery (which additionally runs the
+     whole protocol per hop) bounds what variant allocation alone
+     costs. *)
+  let vq_net =
+    Simul.Network.create (Tree.Build.path steady_n)
+      ~kind_of:(fun (Vupdate _) -> Simul.Kind.Update)
+  in
+  let micro_variant_queue () =
+    for u = steady_n - 1 downto 1 do
+      Simul.Network.send vq_net ~src:u ~dst:(u - 1)
+        (Vupdate { vx = float_of_int u; vid = u; vcut = [] })
+    done;
+    let rec drain acc =
+      match Simul.Network.pop_any vq_net with
+      | Some (_, _, Vupdate { vx; vid; _ }) -> drain (acc +. vx +. float_of_int vid)
+      | None -> acc
+    in
+    drain 0.0
+  in
+  (* Wire codec in isolation: encode + decode of a representative
+     Update (float aggregate, one cut id) through the pooled frame. *)
+  let codec_pool = Simul.Frame.create_pool ~name:"bench.codec" () in
+  let codec_msg =
+    M.Update { x = 42.0; id = 7; cut = [ 3 ]; wlog = [] }
+  in
+  let micro_frame_codec () =
+    let f = M.Wire.encode codec_pool codec_msg in
+    let r = M.Wire.decode f in
+    Simul.Frame.release f;
+    match r with Ok _ -> () | Error _ -> assert false
+  in
   [
     Test.make ~name:"micro-prng-1k-ints" (Staged.stage micro_prng);
     Test.make ~name:"micro-subtree-n127" (Staged.stage micro_subtree);
@@ -285,6 +341,9 @@ let bench_tests =
       (Staged.stage micro_telemetry_overhead);
     Test.make ~name:"micro-ghost-writes" (Staged.stage micro_ghost_writes);
     Test.make ~name:"micro-union-200-elts" (Staged.stage micro_union);
+    Test.make ~name:"micro-steady-delivery" (Staged.stage micro_steady_delivery);
+    Test.make ~name:"micro-variant-queue" (Staged.stage micro_variant_queue);
+    Test.make ~name:"micro-frame-codec" (Staged.stage micro_frame_codec);
     Test.make ~name:"e1-figure2-lifecycle" (Staged.stage fig2_core);
     Test.make ~name:"e2-figure4-machine" (Staged.stage fig4_core);
     Test.make ~name:"e3-figure5-simplex" (Staged.stage fig5_core);
@@ -499,6 +558,53 @@ let run_bechamel ~quota ~json ~compare_to ~tolerance () =
   | None -> true
   | Some file -> compare_with_baseline ~file ~tolerance rows
 
+(* --gc-gate: deterministic allocation budget over the steady-state
+   delivery path.  Unlike the timing gates this is exact, not
+   statistical: after warmup the leased write cascade must allocate
+   zero minor words per round (the only slack is the boxed floats the
+   two [Gc.minor_words] samples themselves produce) and trigger zero
+   minor collections.  A regression here means somebody put an
+   allocation back on the hot path. *)
+let run_gc_gate () =
+  let n = 64 in
+  let sys =
+    Mc.create (Tree.Build.path n)
+      ~policy:(Oat.Policy.noop ~name:"lease-all" ~set_lease:true)
+  in
+  let net = Mc.network sys in
+  let h = Mc.handler sys in
+  ignore (Mc.combine_sync sys ~node:0);
+  let round () =
+    Mc.write sys ~node:(n - 1) 1;
+    while Simul.Network.deliver_any net ~handler:h do () done
+  in
+  let rounds = 5000 in
+  for _ = 1 to 2000 do round () done;
+  Gc.minor ();
+  let w0 = Gc.minor_words () in
+  for _ = 1 to rounds do round () done;
+  let w1 = Gc.minor_words () in
+  let words = int_of_float (w1 -. w0) in
+  (* Separate pass for the pause budget: timing boxes floats, so it
+     must not overlap the words measurement.  The worst single round
+     bounds every GC pause the data plane can suffer.  A round is ~10us,
+     but the round that absorbs a major slice over the ever-growing
+     ghost logs runs ~20ms, so the budget is 100ms: it only trips on a
+     collapse (e.g. per-hop allocation returning), never on inherent
+     major-heap work or machine noise. *)
+  let max_round = ref 0.0 in
+  for _ = 1 to 2000 do
+    let t0 = Unix.gettimeofday () in
+    round ();
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt > !max_round then max_round := dt
+  done;
+  Printf.printf
+    "gc-gate: %d minor words over %d rounds (budget 16); worst round %.0f ns \
+     (budget 100 ms)\n"
+    words rounds (!max_round *. 1e9);
+  words <= 16 && !max_round < 0.100
+
 let () =
   let args = Array.to_list Sys.argv in
   let tables = not (List.mem "--bench-only" args) in
@@ -549,8 +655,13 @@ let () =
     in
     find args
   in
-  let tables_ok = if tables then run_tables () else true in
-  let bench_ok =
-    if bench then run_bechamel ~quota ~json ~compare_to ~tolerance () else true
-  in
-  if not (tables_ok && bench_ok) then exit 1
+  if List.mem "--gc-gate" args then begin
+    if not (run_gc_gate ()) then exit 1
+  end
+  else begin
+    let tables_ok = if tables then run_tables () else true in
+    let bench_ok =
+      if bench then run_bechamel ~quota ~json ~compare_to ~tolerance () else true
+    in
+    if not (tables_ok && bench_ok) then exit 1
+  end

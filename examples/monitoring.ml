@@ -38,6 +38,13 @@ let () =
      and handles survive a reset), so each phase reports its own lease
      churn, per-kind message counts, and query-cost tail. *)
   let report_phase label =
+    (* fold a GC health snapshot into the phase table: with the flat-
+       frame data plane, gc.minor_words should barely move per phase *)
+    Telemetry.Metrics.gc_sample metrics;
+    (* create-time gauges don't survive the per-phase reset: re-sample *)
+    Telemetry.Metrics.gauge_set
+      (Telemetry.Metrics.gauge metrics "slab.blocks")
+      (Oat.Slab.blocks (Mmax.slab max_sys) + Oat.Slab.blocks (Mavg.slab avg_sys));
     Printf.printf "\n%s metrics:\n" label;
     List.iter
       (fun line -> if line <> "" then Printf.printf "  | %s\n" line)
@@ -106,6 +113,13 @@ let () =
   let final_max = Mmax.combine_sync max_sys ~node:(n - 1) in
   let final_avg = Agg.Ops.Avg.to_float (Mavg.combine_sync avg_sys ~node:(n - 1)) in
   Printf.printf "final aggregates: max=%.1f avg=%.1f\n" final_max final_avg;
+  Printf.printf "data plane: %d frames ever built (hwm %d in flight), %d slab blocks\n"
+    (Simul.Frame.created (Mmax.frame_pool max_sys)
+    + Simul.Frame.created (Mavg.frame_pool avg_sys))
+    (max
+       (Simul.Frame.hwm (Mmax.frame_pool max_sys))
+       (Simul.Frame.hwm (Mavg.frame_pool avg_sys)))
+    (Oat.Slab.blocks (Mmax.slab max_sys) + Oat.Slab.blocks (Mavg.slab avg_sys));
 
   (* Fault drill: replay a monitoring burst over a lossy wire with one
      pod aggregator crashing mid-run, on the full reliable-transport
@@ -139,6 +153,7 @@ let () =
     o.R.logical_msgs o.R.physical_msgs o.R.retransmits;
   Printf.printf "  causal check: %s\n"
     (if o.R.causal_violations = 0 then "ok" else "VIOLATED");
+  Telemetry.Metrics.gc_sample drill_metrics;
   Printf.printf "\nfault drill metrics:\n";
   List.iter
     (fun line -> if line <> "" then Printf.printf "  | %s\n" line)

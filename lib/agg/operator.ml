@@ -8,6 +8,9 @@ module type S = sig
   val equal : t -> t -> bool
   val pp : Format.formatter -> t -> unit
   val of_float : float -> t
+  val wire_size : t -> int
+  val encode : Bytes.t -> int -> t -> int
+  val decode : Bytes.t -> int -> int -> t
 end
 
 type 'a t = (module S with type t = 'a)

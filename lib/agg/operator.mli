@@ -34,6 +34,25 @@ module type S = sig
 
   val of_float : float -> t
   (** Injection used by workload generators, which draw float samples. *)
+
+  (** {2 Wire codec}
+
+      Fixed little-endian binary encoding used by the flat-frame data
+      plane ([Simul.Frame]); [decode (encode b pos v) = v] exactly
+      (bit-for-bit, including float payloads). *)
+
+  val wire_size : t -> int
+  (** Encoded byte length of one value. *)
+
+  val encode : Bytes.t -> int -> t -> int
+  (** [encode b pos v] writes the value at [pos] (the caller has
+      ensured [wire_size v] bytes of room) and returns the position
+      one past the last byte written. *)
+
+  val decode : Bytes.t -> int -> int -> t
+  (** [decode b pos len] reads the value encoded at [pos] spanning
+      [len] bytes ([len] is redundant for fixed-size operators and
+      carries the element count for variable-size ones). *)
 end
 
 type 'a t = (module S with type t = 'a)

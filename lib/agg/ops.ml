@@ -3,6 +3,37 @@ let float_equal a b =
   let eps = 1e-9 in
   Float.abs (a -. b) <= eps *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
 
+(* Wire-codec primitives.  [lib/agg] sits below the simulator, so these
+   mirror (not reuse) [Simul.Frame]'s accessors: 8-byte little-endian
+   fields.  Native ints are assembled char by char — allocation-free
+   and total modulo 2^63; floats go through their IEEE bits (exact
+   round-trip, [Int64] boxing accepted since float values box anyway). *)
+
+let put_int b pos v =
+  Bytes.unsafe_set b pos (Char.unsafe_chr (v land 0xff));
+  Bytes.unsafe_set b (pos + 1) (Char.unsafe_chr ((v asr 8) land 0xff));
+  Bytes.unsafe_set b (pos + 2) (Char.unsafe_chr ((v asr 16) land 0xff));
+  Bytes.unsafe_set b (pos + 3) (Char.unsafe_chr ((v asr 24) land 0xff));
+  Bytes.unsafe_set b (pos + 4) (Char.unsafe_chr ((v asr 32) land 0xff));
+  Bytes.unsafe_set b (pos + 5) (Char.unsafe_chr ((v asr 40) land 0xff));
+  Bytes.unsafe_set b (pos + 6) (Char.unsafe_chr ((v asr 48) land 0xff));
+  Bytes.unsafe_set b (pos + 7) (Char.unsafe_chr ((v asr 56) land 0xff))
+
+(* straight-line: a local helper closure would be a minor allocation
+   per call under the non-flambda compiler *)
+let take_int b pos =
+  Char.code (Bytes.unsafe_get b pos)
+  lor (Char.code (Bytes.unsafe_get b (pos + 1)) lsl 8)
+  lor (Char.code (Bytes.unsafe_get b (pos + 2)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get b (pos + 3)) lsl 24)
+  lor (Char.code (Bytes.unsafe_get b (pos + 4)) lsl 32)
+  lor (Char.code (Bytes.unsafe_get b (pos + 5)) lsl 40)
+  lor (Char.code (Bytes.unsafe_get b (pos + 6)) lsl 48)
+  lor (Char.code (Bytes.unsafe_get b (pos + 7)) lsl 56)
+
+let put_float b pos v = Bytes.set_int64_le b pos (Int64.bits_of_float v)
+let take_float b pos = Int64.float_of_bits (Bytes.get_int64_le b pos)
+
 module Sum = struct
   type t = float
 
@@ -13,6 +44,13 @@ module Sum = struct
   let equal = float_equal
   let pp = Format.pp_print_float
   let of_float f = f
+  let wire_size _ = 8
+
+  let encode b pos v =
+    put_float b pos v;
+    pos + 8
+
+  let decode b pos _ = take_float b pos
 end
 
 module Min = struct
@@ -25,6 +63,13 @@ module Min = struct
   let equal = float_equal
   let pp = Format.pp_print_float
   let of_float f = f
+  let wire_size _ = 8
+
+  let encode b pos v =
+    put_float b pos v;
+    pos + 8
+
+  let decode b pos _ = take_float b pos
 end
 
 module Max = struct
@@ -37,6 +82,13 @@ module Max = struct
   let equal = float_equal
   let pp = Format.pp_print_float
   let of_float f = f
+  let wire_size _ = 8
+
+  let encode b pos v =
+    put_float b pos v;
+    pos + 8
+
+  let decode b pos _ = take_float b pos
 end
 
 module Sum_int = struct
@@ -49,6 +101,13 @@ module Sum_int = struct
   let equal = Int.equal
   let pp = Format.pp_print_int
   let of_float f = int_of_float f
+  let wire_size _ = 8
+
+  let encode b pos v =
+    put_int b pos v;
+    pos + 8
+
+  let decode b pos _ = take_int b pos
 end
 
 module Count = struct
@@ -61,6 +120,13 @@ module Count = struct
   let equal = Int.equal
   let pp = Format.pp_print_int
   let of_float f = if f <> 0.0 then 1 else 0
+  let wire_size _ = 8
+
+  let encode b pos v =
+    put_int b pos v;
+    pos + 8
+
+  let decode b pos _ = take_int b pos
 end
 
 module Avg = struct
@@ -75,6 +141,14 @@ module Avg = struct
   let of_float f = (f, 1)
   let of_sample f = (f, 1)
   let to_float (s, c) = if c = 0 then 0.0 else s /. float_of_int c
+  let wire_size _ = 16
+
+  let encode b pos (s, c) =
+    put_float b pos s;
+    put_int b (pos + 8) c;
+    pos + 16
+
+  let decode b pos _ = (take_float b pos, take_int b (pos + 8))
 end
 
 module Union = struct
@@ -109,4 +183,23 @@ module Union = struct
   let singleton x = [ x ]
   let of_list l = List.sort_uniq compare l
   let mem x s = List.mem x s
+
+  (* 8 bytes per element, in list (= ascending) order.  The element
+     count rides in the caller's length field ([decode]'s [len] is the
+     byte span), which caps one set at 8191 elements under a u16
+     length prefix — far beyond any membership set in this repo. *)
+  let wire_size s = 8 * List.length s
+
+  let encode b pos s =
+    List.fold_left
+      (fun pos x ->
+        put_int b pos x;
+        pos + 8)
+      pos s
+
+  let decode b pos len =
+    let rec go i acc =
+      if i < 0 then acc else go (i - 1) (take_int b (pos + (8 * i)) :: acc)
+    in
+    go ((len / 8) - 1) []
 end

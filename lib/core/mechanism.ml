@@ -1,6 +1,12 @@
 module IntSet = Set.Make (Int)
+module Frame = Simul.Frame
 
 module Make (Op : Agg.Operator.S) = struct
+  (* Structured view of a protocol message.  The data plane itself moves
+     flat binary [Frame]s (see {!Wire} for the payload layout); this
+     variant survives as the decoded form used by tests, the property
+     checker, and the [Wire] codec.  The hot delivery path never builds
+     it — the handler decodes header fields straight off the frame. *)
   type msg =
     | Probe
     | Response of {
@@ -20,85 +26,109 @@ module Make (Op : Agg.Operator.S) = struct
     | Release _ -> Simul.Kind.Release
     | Hello _ -> Simul.Kind.Hello
 
-  (* Per-channel log of forwarded updates, replacing the paper's global
-     [sntupdates] set.  Entry [j] records that the update received from
-     this neighbour under [rcvids.(j)] was forwarded under [sntids.(j)].
-     Both sequences are strictly increasing (FIFO receipt of a sender's
-     monotone counter; [upcntr] is monotone), so [onrelease] can locate
-     the paper's beta by binary search instead of a linear scan, and
-     entries whose [rcvid] can never again be the minimum of [uaw] are
-     pruned from the front ([start]).  [pruned_hi] remembers the largest
-     pruned [sntid]: a released window reaching at most that far is known
-     to be fully consumed without consulting the (gone) entries. *)
-  type sntlog = {
-    mutable rcvids : int array;
-    mutable sntids : int array;
-    mutable start : int;  (* first live entry *)
-    mutable len : int;  (* one past the last live entry *)
-    mutable pruned_hi : int;  (* largest pruned sntid; 0 if none *)
-  }
+  (* Frame kind codes = [Simul.Kind.index]. *)
+  let k_probe = Simul.Kind.index Simul.Kind.Probe
+  let k_response = Simul.Kind.index Simul.Kind.Response
+  let k_update = Simul.Kind.index Simul.Kind.Update
+  let k_release = Simul.Kind.index Simul.Kind.Release
+  let k_hello = Simul.Kind.index Simul.Kind.Hello
+  let hs = Frame.header_size
 
-  type node = {
-    id : int;
-    nbrs : int list;
-    nbrs_arr : int array;  (* sorted ascending; slot i = i-th neighbour *)
-    deg : int;  (* Array.length nbrs_arr *)
-    self_pos : int;  (* # neighbours with id < self (requester order) *)
-    mutable value : Op.t;  (* the paper's [val] *)
-    (* Dense per-neighbour-slot lease state (the paper's taken[v],
-       granted[v], aval[v], uaw[v]), with incrementally maintained
-       cardinalities so tkn()/grntd()-style predicates are O(1). *)
-    taken : bool array;
-    mutable tkn_count : int;
-    granted : bool array;
-    mutable grntd_count : int;
-    aval : Op.t array;
-    mutable gval_cache : Op.t;  (* fold of value+avals when [not gval_dirty] *)
-    mutable gval_dirty : bool;
-    uaw : IntSet.t array;
-    uaw_size : int array;
-    (* Requester slots: 0..deg-1 = neighbours, deg = self. *)
-    pndg : bool array;  (* deg+1 slots *)
-    snt : bool array array;  (* requester slot -> mask over neighbour slots *)
-    snt_count : int array;  (* popcount of each mask *)
-    probed : int array;  (* per neighbour slot: # masks containing it *)
-    mutable upcntr : int;
-    sntlogs : sntlog array;  (* per neighbour slot *)
-    policy : Policy.t;
-    mutable view : Policy.view option;  (* built once, after allocation *)
-    (* Crash/recovery state.  All of it is inert in fault-free runs:
-       [alive] stays true, [down_count] 0, [any_cut] false, so every
-       guard below reduces to the pre-fault behaviour. *)
-    mutable alive : bool;
-    mutable epoch : int;  (* incarnation, bumped on restart *)
-    nbr_epoch : int array;  (* last epoch heard per neighbour slot; -1 none *)
-    down : bool array;  (* per neighbour slot: known crashed *)
-    mutable down_count : int;
-    resync : bool array;  (* next probe to this slot is a recovery re-probe *)
-    refresh : bool array;
-    (* Slot recovered via Hello: when its next response arrives, push
-       fresh updates to grantees so their caches (and cuts) heal. *)
-    subcut : IntSet.t array;  (* per slot: unreachable roots it reported *)
-    mutable any_cut : bool;  (* down_count > 0 or some subcut nonempty *)
+  (* ------------------------------------------------------------------ *)
+  (* Dense state.                                                       *)
+  (*                                                                    *)
+  (* Node state lives in slab-indexed structure-of-arrays columns, not  *)
+  (* per-node records: a node is a cell id from [slab] (equal to its    *)
+  (* tree id — cells are allocated in order at create and live for the  *)
+  (* system's lifetime under the fixed-topology simulator; the free     *)
+  (* list is exercised by the slab's own tests and ready for churn),    *)
+  (* and every column is one array of slab capacity, extended in       *)
+  (* lock-step through [Slab.on_grow] hooks.  Per-neighbour-slot state  *)
+  (* packs into shared arenas indexed by per-node base offsets, so the  *)
+  (* whole protocol state is a fixed set of flat arrays.                *)
+
+  (* Per-node columns (index = node id = slab cell). *)
+  type cols = {
+    mutable value : Op.t array;  (* the paper's [val] *)
+    mutable gval_cache : Op.t array;  (* fold of value+avals when clean *)
+    mutable gval_dirty : Bytes.t;
+    mutable alive : Bytes.t;
+    mutable any_cut : Bytes.t;  (* down_count > 0 or some subcut nonempty *)
+    mutable tkn_count : int array;  (* cardinality caches: O(1) tkn()/grntd() *)
+    mutable grntd_count : int array;
+    mutable down_count : int array;
+    mutable upcntr : int array;
+    mutable completed : int array;  (* completed requests at this node *)
+    mutable epoch : int array;  (* incarnation, bumped on restart *)
+    mutable deg : int array;
+    mutable self_pos : int array;  (* # neighbours with id < self *)
+    mutable slot_base : int array;  (* base into the per-slot arenas *)
+    mutable req_base : int array;  (* base into the requester arenas *)
+    mutable msk_base : int array;  (* base into the snt-mask arena *)
+    (* cold columns *)
+    mutable nbrs : int list array;
+    mutable policy : Policy.t array;
+    mutable view : Policy.view option array;  (* built once, on demand *)
     (* Pending local combines.  Continuations take the aggregate and the
        cut (unreachable subtree roots; [] on a full aggregate).
        [pending_spans] carries the matching telemetry span ids, in the
        same order; it stays [[]] (no per-combine allocation) when no
        sink is recording. *)
-    mutable pending : (Op.t -> int list -> unit) list;
-    mutable pending_spans : int list;
+    mutable pending : (Op.t -> int list -> unit) list array;
+    mutable pending_spans : int list array;
     (* Ghost state (Figure 6).  [gwrites] mirrors the write subsequence
-       of [glog] in chronological order; [shipped.(i)] is the prefix of
-       it already sent to neighbour slot [i], so outgoing wlogs carry
-       only the unshipped suffix (FIFO channels + merge-on-receipt make
-       the receiver's log a superset of every previously shipped
-       prefix). *)
-    mutable glog : Op.t Ghost.entry list;  (* reversed *)
-    mutable gwrites : Op.t Ghost.write array;
-    mutable gwrites_len : int;
-    shipped : int array;
-    last_write : int array;  (* per tree node: index of most recent write in glog, -1 if none *)
-    mutable completed : int;  (* completed requests at this node *)
+       of [glog] in chronological order; arena [shipped] is the prefix
+       of it already sent per neighbour slot.  [last_write] rows are
+       allocated (size n) only under [~ghost:true], keeping ghost-free
+       systems O(n) instead of O(n^2). *)
+    mutable glog : Op.t Ghost.entry list array;  (* reversed *)
+    mutable gwrites : Op.t Ghost.write array array;
+    mutable gwrites_len : int array;
+    mutable last_write : int array array;  (* per tree node; -1 = none *)
+  }
+
+  (* Per-neighbour-slot arenas (slot s of node u = slot_base.(u) + s;
+     total size = sum of degrees).  Requester slots add one self slot
+     per node (req_base; size = sum (deg+1)); snt masks are per
+     requester slot x neighbour slot (msk_base; sum deg*(deg+1)).
+     Sized once at create — the tree topology is fixed. *)
+  type arena = {
+    nbr : int array;  (* sorted ascending; slot i = i-th neighbour *)
+    taken : Bytes.t;
+    granted : Bytes.t;
+    down : Bytes.t;  (* known crashed *)
+    resync : Bytes.t;  (* next probe to this slot is a recovery re-probe *)
+    refresh : Bytes.t;  (* push updates when this slot's response lands *)
+    aval : Op.t array;
+    probed : int array;  (* # masks containing this slot *)
+    nbr_epoch : int array;  (* last epoch heard; -1 none *)
+    shipped : int array;  (* ghost: gwrites prefix already sent *)
+    (* uaw[v] as a sorted-ascending int window [head, head+len) — ids
+       arrive in increasing order on FIFO channels, so adds are O(1)
+       appends and release trims advance [head]. *)
+    uaw_buf : int array array;
+    uaw_head : int array;
+    uaw_len : int array;
+    (* Per-channel log of forwarded updates, replacing the paper's
+       global [sntupdates] set.  Entry [j] records that the update
+       received under [sl_rcv.(s).(j)] was forwarded under
+       [sl_snt.(s).(j)].  Both sequences are strictly increasing (FIFO
+       receipt of a sender's monotone counter; [upcntr] is monotone), so
+       [onrelease] can locate the paper's beta by binary search, and
+       entries whose rcvid can never again be the minimum of [uaw] are
+       pruned from the front.  [sl_pruned] remembers the largest pruned
+       sntid: a released window reaching at most that far is known to be
+       fully consumed without consulting the (gone) entries. *)
+    sl_rcv : int array array;
+    sl_snt : int array array;
+    sl_start : int array;
+    sl_len : int array;
+    sl_pruned : int array;
+    subcut : IntSet.t array;  (* unreachable roots this slot reported *)
+    (* requester slots: 0..deg-1 = neighbours, deg = self *)
+    pndg : Bytes.t;
+    snt_count : int array;  (* popcount of each snt mask *)
+    snt : Bytes.t;  (* requester slot x neighbour slot *)
   }
 
   (* Pre-registered telemetry handles (see Simul.Network for the same
@@ -116,8 +146,12 @@ module Make (Op : Agg.Operator.S) = struct
 
   type t = {
     tree : Tree.t;
-    net : msg Simul.Network.t;
-    nodes : node array;
+    net : Frame.t Simul.Network.t;
+    pool : Frame.pool;  (* every frame this system sends *)
+    slab : Slab.t;  (* cell allocator behind the node columns *)
+    n : int;
+    c : cols;
+    a : arena;
     ghost : bool;
     tel : mech_tel option;
     sink : Telemetry.Sink.t;
@@ -127,16 +161,20 @@ module Make (Op : Agg.Operator.S) = struct
     spans : Telemetry.Span.allocator;
   }
 
+  (* Byte-backed booleans. *)
+  let bget b i = Bytes.unsafe_get b i <> '\000'
+  let bset b i v = Bytes.unsafe_set b i (if v then '\001' else '\000')
+
   (* ------------------------------------------------------------------ *)
   (* Slot arithmetic.                                                   *)
 
-  (* Position of neighbour [v] in [nbrs_arr], -1 if not a neighbour. *)
-  let slot nd v =
-    let a = nd.nbrs_arr in
-    let lo = ref 0 and hi = ref (nd.deg - 1) and found = ref (-1) in
+  (* Position of neighbour [v] among [u]'s slots, -1 if not a neighbour. *)
+  let slot t u v =
+    let a = t.a.nbr and base = t.c.slot_base.(u) in
+    let lo = ref 0 and hi = ref (t.c.deg.(u) - 1) and found = ref (-1) in
     while !lo <= !hi do
       let mid = (!lo + !hi) / 2 in
-      let w = Array.unsafe_get a mid in
+      let w = Array.unsafe_get a (base + mid) in
       if w = v then begin
         found := mid;
         lo := !hi + 1
@@ -146,272 +184,332 @@ module Make (Op : Agg.Operator.S) = struct
     done;
     !found
 
-  let self_slot nd = nd.deg
+  let nbr t u i = t.a.nbr.(t.c.slot_base.(u) + i)
 
   (* Requester slots in ascending order of node id, self included at its
      sorted position — the iteration order of the old
      [IntSet.elements pndg] snapshot in T4. *)
-  let iter_requester_slots nd f =
-    for i = 0 to nd.self_pos - 1 do
+  let iter_requester_slots t u f =
+    let sp = t.c.self_pos.(u) and d = t.c.deg.(u) in
+    for i = 0 to sp - 1 do
       f i
     done;
-    f nd.deg;
-    for i = nd.self_pos to nd.deg - 1 do
+    f d;
+    for i = sp to d - 1 do
       f i
     done
 
-  let set_taken nd i flag =
-    if nd.taken.(i) <> flag then begin
-      nd.taken.(i) <- flag;
-      nd.tkn_count <- (if flag then nd.tkn_count + 1 else nd.tkn_count - 1)
+  let set_taken t u i flag =
+    let s = t.c.slot_base.(u) + i in
+    if bget t.a.taken s <> flag then begin
+      bset t.a.taken s flag;
+      t.c.tkn_count.(u) <-
+        (if flag then t.c.tkn_count.(u) + 1 else t.c.tkn_count.(u) - 1)
     end
 
-  let set_granted nd i flag =
-    if nd.granted.(i) <> flag then begin
-      nd.granted.(i) <- flag;
-      nd.grntd_count <- (if flag then nd.grntd_count + 1 else nd.grntd_count - 1)
+  let set_granted t u i flag =
+    let s = t.c.slot_base.(u) + i in
+    if bget t.a.granted s <> flag then begin
+      bset t.a.granted s flag;
+      t.c.grntd_count.(u) <-
+        (if flag then t.c.grntd_count.(u) + 1 else t.c.grntd_count.(u) - 1)
     end
 
   (* ------------------------------------------------------------------ *)
-  (* sntlog maintenance.                                                *)
+  (* sntlog maintenance (on global slot index [s]).                     *)
 
-  let sntlog_create () =
-    { rcvids = [||]; sntids = [||]; start = 0; len = 0; pruned_hi = 0 }
+  let sntlog_length a s = a.sl_len.(s) - a.sl_start.(s)
 
-  let sntlog_length sl = sl.len - sl.start
-
-  let sntlog_append sl ~rcvid ~sntid =
-    let cap = Array.length sl.rcvids in
-    if sl.len = cap then begin
-      let live = sl.len - sl.start in
-      if sl.start > 0 && live * 2 <= cap then begin
+  let sntlog_append t s ~rcvid ~sntid =
+    let a = t.a in
+    let cap = Array.length a.sl_rcv.(s) in
+    if a.sl_len.(s) = cap then begin
+      let start = a.sl_start.(s) in
+      let live = a.sl_len.(s) - start in
+      if start > 0 && live * 2 <= cap then begin
         (* plenty of pruned slack at the front: compact in place *)
-        Array.blit sl.rcvids sl.start sl.rcvids 0 live;
-        Array.blit sl.sntids sl.start sl.sntids 0 live
+        Array.blit a.sl_rcv.(s) start a.sl_rcv.(s) 0 live;
+        Array.blit a.sl_snt.(s) start a.sl_snt.(s) 0 live
       end
       else begin
         let ncap = max 8 (2 * cap) in
-        let r = Array.make ncap 0 and s = Array.make ncap 0 in
-        Array.blit sl.rcvids sl.start r 0 live;
-        Array.blit sl.sntids sl.start s 0 live;
-        sl.rcvids <- r;
-        sl.sntids <- s
+        let r = Array.make ncap 0 and sn = Array.make ncap 0 in
+        Array.blit a.sl_rcv.(s) start r 0 live;
+        Array.blit a.sl_snt.(s) start sn 0 live;
+        a.sl_rcv.(s) <- r;
+        a.sl_snt.(s) <- sn
       end;
-      sl.start <- 0;
-      sl.len <- live
+      a.sl_start.(s) <- 0;
+      a.sl_len.(s) <- live
     end;
-    sl.rcvids.(sl.len) <- rcvid;
-    sl.sntids.(sl.len) <- sntid;
-    sl.len <- sl.len + 1
+    let l = a.sl_len.(s) in
+    a.sl_rcv.(s).(l) <- rcvid;
+    a.sl_snt.(s).(l) <- sntid;
+    a.sl_len.(s) <- l + 1
 
-  (* Drop the prefix of entries whose [rcvid] is no longer reachable by a
+  (* Drop the prefix of entries whose rcvid is no longer reachable by a
      future release window: once uaw[v] has been trimmed (or reset), any
      entry with [rcvid <= min uaw] — all of them when uaw is empty — can
      never again contribute a beta with a live effect, because a later
-     release either lands past it ([pruned_hi] answers) or inside the
+     release either lands past it ([sl_pruned] answers) or inside the
      remaining live entries. *)
-  let sntlog_prune sl ~uaw_min =
+  let sntlog_prune t s ~has_min ~min:m =
+    let a = t.a in
     let keep_from =
-      match uaw_min with
-      | None -> sl.len
-      | Some m ->
-        let j = ref sl.start in
-        while !j < sl.len && sl.rcvids.(!j) <= m do
+      if not has_min then a.sl_len.(s)
+      else begin
+        let j = ref a.sl_start.(s) in
+        while !j < a.sl_len.(s) && a.sl_rcv.(s).(!j) <= m do
           incr j
         done;
         !j
+      end
     in
-    if keep_from > sl.start then begin
-      sl.pruned_hi <- sl.sntids.(keep_from - 1);
-      sl.start <- keep_from;
-      if sl.start = sl.len then begin
-        sl.start <- 0;
-        sl.len <- 0
+    if keep_from > a.sl_start.(s) then begin
+      a.sl_pruned.(s) <- a.sl_snt.(s).(keep_from - 1);
+      a.sl_start.(s) <- keep_from;
+      if a.sl_start.(s) = a.sl_len.(s) then begin
+        a.sl_start.(s) <- 0;
+        a.sl_len.(s) <- 0
       end
     end
 
-  let sntlog_clear sl =
-    sl.start <- 0;
-    sl.len <- 0;
-    sl.pruned_hi <- 0
+  let sntlog_clear a s =
+    a.sl_start.(s) <- 0;
+    a.sl_len.(s) <- 0;
+    a.sl_pruned.(s) <- 0
 
   (* ------------------------------------------------------------------ *)
-  (* uaw maintenance (cached cardinality + sntlog co-pruning).          *)
+  (* uaw maintenance (sorted windows + sntlog co-pruning).              *)
 
-  let uaw_reset nd i =
-    nd.uaw.(i) <- IntSet.empty;
-    nd.uaw_size.(i) <- 0;
-    sntlog_prune nd.sntlogs.(i) ~uaw_min:None
-
-  let uaw_add nd i id =
-    let s = nd.uaw.(i) in
-    if not (IntSet.mem id s) then begin
-      nd.uaw.(i) <- IntSet.add id s;
-      nd.uaw_size.(i) <- nd.uaw_size.(i) + 1
+  (* Make room for one more element at the window's right edge. *)
+  let uaw_room a s =
+    let buf = a.uaw_buf.(s) in
+    let cap = Array.length buf in
+    let head = a.uaw_head.(s) and len = a.uaw_len.(s) in
+    if head + len = cap then begin
+      if head > 0 && len * 2 <= cap then
+        Array.blit buf head buf 0 len
+      else begin
+        let nb = Array.make (max 8 (2 * cap)) 0 in
+        Array.blit buf head nb 0 len;
+        a.uaw_buf.(s) <- nb
+      end;
+      a.uaw_head.(s) <- 0
     end
 
-  let uaw_set nd i s =
-    nd.uaw.(i) <- s;
-    nd.uaw_size.(i) <- IntSet.cardinal s;
-    sntlog_prune nd.sntlogs.(i) ~uaw_min:(IntSet.min_elt_opt s)
+  let uaw_reset t u i =
+    let s = t.c.slot_base.(u) + i in
+    t.a.uaw_head.(s) <- 0;
+    t.a.uaw_len.(s) <- 0;
+    sntlog_prune t s ~has_min:false ~min:0
+
+  (* Hot path: ids from one sender arrive in increasing order (FIFO
+     channel, monotone counter), so the common case is an O(1) append.
+     The sorted-insert fallback covers stale traffic from dead
+     incarnations, which plain-network fault drivers may deliver out of
+     order. *)
+  let uaw_add t u i id =
+    let a = t.a in
+    let s = t.c.slot_base.(u) + i in
+    let len = a.uaw_len.(s) in
+    if len = 0 || id > a.uaw_buf.(s).(a.uaw_head.(s) + len - 1) then begin
+      uaw_room a s;
+      a.uaw_buf.(s).(a.uaw_head.(s) + len) <- id;
+      a.uaw_len.(s) <- len + 1
+    end
+    else begin
+      let buf = a.uaw_buf.(s) and head = a.uaw_head.(s) in
+      let lo = ref head and hi = ref (head + len) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if buf.(mid) >= id then hi := mid else lo := mid + 1
+      done;
+      if not (!lo < head + len && buf.(!lo) = id) then begin
+        uaw_room a s;
+        (* re-locate: [uaw_room] may have shifted the window *)
+        let buf = a.uaw_buf.(s) and head = a.uaw_head.(s) in
+        let lo = ref head and hi = ref (head + len) in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if buf.(mid) >= id then hi := mid else lo := mid + 1
+        done;
+        Array.blit buf !lo buf (!lo + 1) (head + len - !lo);
+        buf.(!lo) <- id;
+        a.uaw_len.(s) <- len + 1
+      end
+    end
+
+  (* Keep only ids >= [lo_id]: the window is sorted, so the survivors
+     are a suffix — advance [head].  Co-prunes the sntlog under the new
+     minimum, as the old set-valued assignment did. *)
+  let uaw_trim_ge t u i lo_id =
+    let a = t.a in
+    let s = t.c.slot_base.(u) + i in
+    let head = a.uaw_head.(s) and len = a.uaw_len.(s) in
+    if len > 0 then begin
+      let buf = a.uaw_buf.(s) in
+      let lo = ref head and hi = ref (head + len) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if buf.(mid) >= lo_id then hi := mid else lo := mid + 1
+      done;
+      a.uaw_head.(s) <- !lo;
+      a.uaw_len.(s) <- head + len - !lo
+    end;
+    if a.uaw_len.(s) = 0 then sntlog_prune t s ~has_min:false ~min:0
+    else
+      sntlog_prune t s ~has_min:true ~min:a.uaw_buf.(s).(a.uaw_head.(s))
 
   (* ------------------------------------------------------------------ *)
   (* Cut tracking: which subtree roots are unreachable.                 *)
 
-  let up_count nd = nd.deg - nd.down_count
+  let up_count t u = t.c.deg.(u) - t.c.down_count.(u)
 
-  let refresh_any_cut nd =
-    let any = ref (nd.down_count > 0) in
+  let refresh_any_cut t u =
+    let sb = t.c.slot_base.(u) and d = t.c.deg.(u) in
+    let any = ref (t.c.down_count.(u) > 0) in
     if not !any then
-      for j = 0 to nd.deg - 1 do
-        if not (IntSet.is_empty nd.subcut.(j)) then any := true
+      for j = 0 to d - 1 do
+        if not (IntSet.is_empty t.a.subcut.(sb + j)) then any := true
       done;
-    nd.any_cut <- !any
+    bset t.c.any_cut u !any
 
-  (* Unreachable subtree roots visible from [nd], excluding slot [excl]
+  (* Unreachable subtree roots visible from [u], excluding slot [excl]
      (the direction a report travels; -1 for a local combine): crashed
      neighbours contribute themselves, live ones their reported cut.
      [] — allocation-free — whenever [any_cut] is unset, i.e. always in
      fault-free runs. *)
-  let cut_to nd excl =
-    if not nd.any_cut then []
+  let cut_to t u excl =
+    if not (bget t.c.any_cut u) then []
     else begin
+      let sb = t.c.slot_base.(u) and d = t.c.deg.(u) in
       let s = ref IntSet.empty in
-      for j = 0 to nd.deg - 1 do
+      for j = 0 to d - 1 do
         if j <> excl then
-          if nd.down.(j) then s := IntSet.add nd.nbrs_arr.(j) !s
-          else if not (IntSet.is_empty nd.subcut.(j)) then
-            s := IntSet.union nd.subcut.(j) !s
+          if bget t.a.down (sb + j) then s := IntSet.add t.a.nbr.(sb + j) !s
+          else if not (IntSet.is_empty t.a.subcut.(sb + j)) then
+            s := IntSet.union t.a.subcut.(sb + j) !s
       done;
       IntSet.elements !s
     end
 
   (* Adopt the cut a neighbour reported alongside a response/update (the
      latest report replaces the previous one for that subtree). *)
-  let set_subcut nd i cut =
+  let set_subcut t u i cut =
+    let s = t.c.slot_base.(u) + i in
     match cut with
     | [] ->
-      if not (IntSet.is_empty nd.subcut.(i)) then begin
-        nd.subcut.(i) <- IntSet.empty;
-        refresh_any_cut nd
+      if not (IntSet.is_empty t.a.subcut.(s)) then begin
+        t.a.subcut.(s) <- IntSet.empty;
+        refresh_any_cut t u
       end
     | l ->
-      nd.subcut.(i) <- IntSet.of_list l;
-      nd.any_cut <- true
+      t.a.subcut.(s) <- IntSet.of_list l;
+      bset t.c.any_cut u true
 
   (* ------------------------------------------------------------------ *)
   (* Views for the policy layer.                                        *)
 
-  let node_view nd =
-    match nd.view with
+  let node_view t u =
+    match t.c.view.(u) with
     | Some v -> v
     | None ->
+      let sb = t.c.slot_base.(u) and d = t.c.deg.(u) in
       let v =
         {
-          Policy.id = nd.id;
-          nbrs = nd.nbrs;
-          degree = nd.deg;
+          Policy.id = u;
+          nbrs = t.c.nbrs.(u);
+          degree = d;
           is_taken =
             (fun w ->
-              let i = slot nd w in
-              i >= 0 && nd.taken.(i));
+              let i = slot t u w in
+              i >= 0 && bget t.a.taken (sb + i));
           is_granted =
             (fun w ->
-              let i = slot nd w in
-              i >= 0 && nd.granted.(i));
+              let i = slot t u w in
+              i >= 0 && bget t.a.granted (sb + i));
           iter_taken =
             (fun f ->
-              for i = 0 to nd.deg - 1 do
-                if nd.taken.(i) then f nd.nbrs_arr.(i)
+              for i = 0 to d - 1 do
+                if bget t.a.taken (sb + i) then f t.a.nbr.(sb + i)
               done);
           iter_granted =
             (fun f ->
-              for i = 0 to nd.deg - 1 do
-                if nd.granted.(i) then f nd.nbrs_arr.(i)
+              for i = 0 to d - 1 do
+                if bget t.a.granted (sb + i) then f t.a.nbr.(sb + i)
               done);
-          tkn_count = (fun () -> nd.tkn_count);
-          grntd_count = (fun () -> nd.grntd_count);
+          tkn_count = (fun () -> t.c.tkn_count.(u));
+          grntd_count = (fun () -> t.c.grntd_count.(u));
           other_grantee =
             (fun w ->
-              nd.grntd_count > 1
-              || nd.grntd_count = 1
+              t.c.grntd_count.(u) > 1
+              || t.c.grntd_count.(u) = 1
                  && not
-                      (let i = slot nd w in
-                       i >= 0 && nd.granted.(i)));
+                      (let i = slot t u w in
+                       i >= 0 && bget t.a.granted (sb + i)));
           uaw_size =
             (fun w ->
-              let i = slot nd w in
-              if i >= 0 then nd.uaw_size.(i) else 0);
+              let i = slot t u w in
+              if i >= 0 then t.a.uaw_len.(sb + i) else 0);
         }
       in
-      nd.view <- Some v;
+      t.c.view.(u) <- Some v;
       v
 
   (* The paper's gval(): local value folded with all neighbour caches.
      Cached between writes; the recomputation folds in ascending slot
      order, exactly the old per-call fold, so cached and uncached values
      are bit-identical even for floats. *)
-  let gval_of nd =
-    if nd.gval_dirty then begin
-      let x = ref nd.value in
-      for i = 0 to nd.deg - 1 do
-        x := Op.combine !x nd.aval.(i)
+  let gval_of t u =
+    if bget t.c.gval_dirty u then begin
+      let sb = t.c.slot_base.(u) and d = t.c.deg.(u) in
+      (* accumulate in the cache cell itself: a [ref] here would be a
+         minor allocation per recomputation *)
+      t.c.gval_cache.(u) <- t.c.value.(u);
+      for i = 0 to d - 1 do
+        t.c.gval_cache.(u) <- Op.combine t.c.gval_cache.(u) t.a.aval.(sb + i)
       done;
-      nd.gval_cache <- !x;
-      nd.gval_dirty <- false
+      bset t.c.gval_dirty u false
     end;
-    nd.gval_cache
+    t.c.gval_cache.(u)
 
   (* The paper's subval(w): gval() excluding the cache for [w] (given
      here by slot).  O(1) via the group inverse when the operator has
      one; otherwise the old fold, skipping slot [i]. *)
-  let subval nd i =
+  let subval t u i =
+    let sb = t.c.slot_base.(u) in
     match Op.inverse with
-    | Some sub -> sub (gval_of nd) nd.aval.(i)
+    | Some sub -> sub (gval_of t u) t.a.aval.(sb + i)
     | None ->
-      let x = ref nd.value in
-      for j = 0 to nd.deg - 1 do
-        if j <> i then x := Op.combine !x nd.aval.(j)
+      let x = ref t.c.value.(u) in
+      for j = 0 to t.c.deg.(u) - 1 do
+        if j <> i then x := Op.combine !x t.a.aval.(sb + j)
       done;
       !x
 
   (* ------------------------------------------------------------------ *)
   (* Ghost actions (Figure 6).                                          *)
 
-  let gwrites_push nd w =
-    let cap = Array.length nd.gwrites in
-    if nd.gwrites_len = cap then begin
+  let gwrites_push t u w =
+    let cap = Array.length t.c.gwrites.(u) in
+    if t.c.gwrites_len.(u) = cap then begin
       let a = Array.make (max 16 (2 * cap)) w in
-      Array.blit nd.gwrites 0 a 0 cap;
-      nd.gwrites <- a
+      Array.blit t.c.gwrites.(u) 0 a 0 cap;
+      t.c.gwrites.(u) <- a
     end;
-    nd.gwrites.(nd.gwrites_len) <- w;
-    nd.gwrites_len <- nd.gwrites_len + 1
+    t.c.gwrites.(u).(t.c.gwrites_len.(u)) <- w;
+    t.c.gwrites_len.(u) <- t.c.gwrites_len.(u) + 1
 
-  (* Delta encoding: ship to neighbour slot [i] only the suffix of the
-     write log it has not been sent yet.  Sound because channels are
-     FIFO and the receiver merges every wlog it gets, so its log already
-     contains each previously shipped prefix. *)
-  let ghost_wlog_to t nd i =
-    if not t.ghost then []
-    else begin
-      let start = nd.shipped.(i) and stop = nd.gwrites_len in
-      nd.shipped.(i) <- stop;
-      let acc = ref [] in
-      for j = stop - 1 downto start do
-        acc := nd.gwrites.(j) :: !acc
-      done;
-      !acc
-    end
-
-  let ghost_append_write t nd (w : Op.t Ghost.write) =
+  let ghost_append_write t u (w : Op.t Ghost.write) =
     if t.ghost then begin
-      nd.glog <- Ghost.Write w :: nd.glog;
-      gwrites_push nd w;
-      nd.last_write.(w.wnode) <- w.windex;
+      t.c.glog.(u) <- Ghost.Write w :: t.c.glog.(u);
+      gwrites_push t u w;
+      t.c.last_write.(u).(w.wnode) <- w.windex;
       match t.tel with
       | None -> ()
-      | Some tel -> Telemetry.Metrics.gauge_set tel.ghost_log nd.gwrites_len
+      | Some tel ->
+        Telemetry.Metrics.gauge_set tel.ghost_log t.c.gwrites_len.(u)
     end
 
   (* log := log . (wlog_w - log): append the writes of the received wlog
@@ -419,89 +517,232 @@ module Make (Op : Agg.Operator.S) = struct
      holds, per origin, a prefix of that origin's write sequence (writes
      are indexed densely and merged in order), so membership is just an
      index comparison against [last_write]. *)
-  let ghost_merge t nd wlog_w =
+  let ghost_merge t u wlog_w =
     if t.ghost then
       List.iter
         (fun (w : Op.t Ghost.write) ->
-          if w.windex > nd.last_write.(w.wnode) then ghost_append_write t nd w)
+          if w.windex > t.c.last_write.(u).(w.wnode) then
+            ghost_append_write t u w)
         wlog_w
 
-  let ghost_recentwrites t nd =
+  let ghost_recentwrites t u =
     if t.ghost then
-      List.init (Tree.n_nodes t.tree) (fun u -> (u, nd.last_write.(u)))
+      List.init (Tree.n_nodes t.tree) (fun v -> (v, t.c.last_write.(u).(v)))
     else []
+
+  (* ------------------------------------------------------------------ *)
+  (* Frame encoding.  Payload layouts (all fields little-endian, after  *)
+  (* the 18-byte header; an "x field" is a u16 byte length followed by  *)
+  (* [Op.encode] bytes):                                                *)
+  (*                                                                    *)
+  (*   Probe      (empty)                                               *)
+  (*   Response   x field, flag u8, cut (u16 count + i64 ids),          *)
+  (*              wlog (u32 count + per write: wnode i64, windex i64,   *)
+  (*              x field)                                              *)
+  (*   Update     id i64, x field, cut, wlog                            *)
+  (*   Release    u32 count + i64 ids ascending (first id = min)        *)
+  (*   Hello      epoch i64                                             *)
+  (*                                                                    *)
+  (* [Frame.set_length] precedes every write and [Frame.buf] is         *)
+  (* re-fetched after it — growth swaps the backing buffer.  In the     *)
+  (* fault-free, ghost-free steady state every variable section writes  *)
+  (* a zero count, so encoding allocates nothing.                       *)
+
+  let put_x f pos v =
+    let ws = Op.wire_size v in
+    Frame.set_length f (pos + 2 + ws);
+    let b = Frame.buf f in
+    Frame.set_u16 b pos ws;
+    ignore (Op.encode b (pos + 2) v);
+    pos + 2 + ws
+
+  let put_cut_list f pos ids =
+    match ids with
+    | [] ->
+      (* hot case split off so it allocates nothing *)
+      Frame.set_length f (pos + 2);
+      Frame.set_u16 (Frame.buf f) pos 0;
+      pos + 2
+    | _ ->
+      let n = List.length ids in
+      Frame.set_length f (pos + 2 + (8 * n));
+      let b = Frame.buf f in
+      Frame.set_u16 b pos n;
+      let p = ref (pos + 2) in
+      List.iter
+        (fun id ->
+          Frame.set_int b !p id;
+          p := !p + 8)
+        ids;
+      !p
+
+  (* Ship to neighbour slot [i] only the suffix of the write log it has
+     not been sent yet (delta encoding — sound because channels are FIFO
+     and the receiver merges every wlog it gets, so its log already
+     contains each previously shipped prefix), streamed straight from
+     the gwrites column with no intermediate list. *)
+  let put_wlog_shipped t u i f pos =
+    if not t.ghost then begin
+      Frame.set_length f (pos + 4);
+      Frame.set_u32 (Frame.buf f) pos 0;
+      pos + 4
+    end
+    else begin
+      let s = t.c.slot_base.(u) + i in
+      let start = t.a.shipped.(s) and stop = t.c.gwrites_len.(u) in
+      t.a.shipped.(s) <- stop;
+      let g = t.c.gwrites.(u) in
+      Frame.set_length f (pos + 4);
+      Frame.set_u32 (Frame.buf f) pos (stop - start);
+      let p = ref (pos + 4) in
+      for j = start to stop - 1 do
+        let w = g.(j) in
+        Frame.set_length f (!p + 16);
+        let b = Frame.buf f in
+        Frame.set_int b !p w.Ghost.wnode;
+        Frame.set_int b (!p + 8) w.Ghost.windex;
+        p := put_x f (!p + 16) w.Ghost.warg
+      done;
+      !p
+    end
+
+  let send_frame t ~src ~dst f = Simul.Network.send t.net ~src ~dst f
+
+  let send_probe t ~src ~dst =
+    let f = Frame.alloc t.pool in
+    Frame.set_kind f k_probe;
+    send_frame t ~src ~dst f
+
+  let send_hello t ~src ~dst ~epoch =
+    let f = Frame.alloc t.pool in
+    Frame.set_kind f k_hello;
+    Frame.set_length f (hs + 8);
+    Frame.set_int (Frame.buf f) hs epoch;
+    send_frame t ~src ~dst f
+
+  let send_response t u i ~flag =
+    let f = Frame.alloc t.pool in
+    Frame.set_kind f k_response;
+    let pos = put_x f hs (subval t u i) in
+    Frame.set_length f (pos + 1);
+    Frame.set_u8 (Frame.buf f) pos (if flag then 1 else 0);
+    let pos = put_cut_list f (pos + 1) (cut_to t u i) in
+    let _pos = put_wlog_shipped t u i f pos in
+    send_frame t ~src:u ~dst:(nbr t u i) f
+
+  let send_update t u i ~id =
+    let f = Frame.alloc t.pool in
+    Frame.set_kind f k_update;
+    Frame.set_length f (hs + 8);
+    Frame.set_int (Frame.buf f) hs id;
+    let pos = put_x f (hs + 8) (subval t u i) in
+    let pos = put_cut_list f pos (cut_to t u i) in
+    let _pos = put_wlog_shipped t u i f pos in
+    send_frame t ~src:u ~dst:(nbr t u i) f
+
+  (* Encoded before [uaw_reset]: the ids are the slot's current window,
+     written ascending so the receiver's minimum is the first id. *)
+  let send_release t u i =
+    let s = t.c.slot_base.(u) + i in
+    let wbuf = t.a.uaw_buf.(s)
+    and head = t.a.uaw_head.(s)
+    and len = t.a.uaw_len.(s) in
+    let f = Frame.alloc t.pool in
+    Frame.set_kind f k_release;
+    Frame.set_length f (hs + 4 + (8 * len));
+    let b = Frame.buf f in
+    Frame.set_u32 b hs len;
+    for j = 0 to len - 1 do
+      Frame.set_int b (hs + 4 + (8 * j)) wbuf.(head + j)
+    done;
+    send_frame t ~src:u ~dst:(nbr t u i) f
+
+  (* Cold decode helpers (nonzero counts only under faults/ghost). *)
+  let decode_ids b pos n =
+    let rec go j acc =
+      if j < 0 then acc else go (j - 1) (Frame.get_int b (pos + (8 * j)) :: acc)
+    in
+    go (n - 1) []
+
+  let decode_wlog b pos n =
+    let p = ref pos in
+    let acc = ref [] in
+    for _ = 1 to n do
+      let wnode = Frame.get_int b !p in
+      let windex = Frame.get_int b (!p + 8) in
+      let xl = Frame.get_u16 b (!p + 16) in
+      let warg = Op.decode b (!p + 18) xl in
+      acc := { Ghost.wnode; windex; warg } :: !acc;
+      p := !p + 18 + xl
+    done;
+    List.rev !acc
 
   (* ------------------------------------------------------------------ *)
   (* Procedures of Figure 1.                                            *)
 
-  let send t nd dst m = Simul.Network.send t.net ~src:nd.id ~dst m
-
   (* sendprobes(w): mark [w] pending and probe every neighbour whose
      subtree aggregate is neither leased ([taken]) nor already being
      probed ([probed], the paper's sntprobes() membership counter). *)
-  let count_reprobe t nd i =
-    if nd.resync.(i) then begin
-      nd.resync.(i) <- false;
+  let count_reprobe t u i =
+    let s = t.c.slot_base.(u) + i in
+    if bget t.a.resync s then begin
+      bset t.a.resync s false;
       match t.tel with
       | None -> ()
       | Some tel -> Telemetry.Metrics.incr tel.recovery_reprobes
     end
 
-  let sendprobes t nd w =
-    let r = if w = nd.id then self_slot nd else slot nd w in
-    nd.pndg.(r) <- true;
-    for i = 0 to nd.deg - 1 do
-      let v = nd.nbrs_arr.(i) in
-      if v <> w && (not nd.taken.(i)) && nd.probed.(i) = 0 && not nd.down.(i)
+  let sendprobes t u w =
+    let sb = t.c.slot_base.(u) and d = t.c.deg.(u) in
+    let r = if w = u then d else slot t u w in
+    bset t.a.pndg (t.c.req_base.(u) + r) true;
+    for i = 0 to d - 1 do
+      let v = t.a.nbr.(sb + i) in
+      if
+        v <> w
+        && (not (bget t.a.taken (sb + i)))
+        && t.a.probed.(sb + i) = 0
+        && not (bget t.a.down (sb + i))
       then begin
-        count_reprobe t nd i;
-        send t nd v Probe
+        count_reprobe t u i;
+        send_probe t ~src:u ~dst:v
       end
     done
 
   (* Record the snt set for requester slot [r]: every neighbour slot not
      covered by a taken lease, except [exclude] (the requester itself,
      for probes from a neighbour; -1 for a local combine). *)
-  let set_snt_mask nd r ~exclude =
-    let mask = nd.snt.(r) in
-    for i = 0 to nd.deg - 1 do
-      if i <> exclude && (not nd.taken.(i)) && not nd.down.(i) then begin
-        mask.(i) <- true;
-        nd.snt_count.(r) <- nd.snt_count.(r) + 1;
-        nd.probed.(i) <- nd.probed.(i) + 1
+  let set_snt_mask t u r ~exclude =
+    let sb = t.c.slot_base.(u) and d = t.c.deg.(u) in
+    let mb = t.c.msk_base.(u) + (r * d) in
+    let ri = t.c.req_base.(u) + r in
+    for i = 0 to d - 1 do
+      if
+        i <> exclude
+        && (not (bget t.a.taken (sb + i)))
+        && not (bget t.a.down (sb + i))
+      then begin
+        bset t.a.snt (mb + i) true;
+        t.a.snt_count.(ri) <- t.a.snt_count.(ri) + 1;
+        t.a.probed.(sb + i) <- t.a.probed.(sb + i) + 1
       end
     done
 
   (* forwardupdates(w, id): push fresh subtree aggregates to every
      grantee except [w]. *)
-  let forwardupdates t nd w id =
+  let forwardupdates t u w id =
+    let sb = t.c.slot_base.(u) and d = t.c.deg.(u) in
     match t.tel with
     | None ->
-      for i = 0 to nd.deg - 1 do
-        let v = nd.nbrs_arr.(i) in
-        if nd.granted.(i) && v <> w then
-          send t nd v
-            (Update
-               {
-                 x = subval nd i;
-                 id;
-                 cut = cut_to nd i;
-                 wlog = ghost_wlog_to t nd i;
-               })
+      for i = 0 to d - 1 do
+        if bget t.a.granted (sb + i) && t.a.nbr.(sb + i) <> w then
+          send_update t u i ~id
       done
     | Some tel ->
       let fanout = ref 0 in
-      for i = 0 to nd.deg - 1 do
-        let v = nd.nbrs_arr.(i) in
-        if nd.granted.(i) && v <> w then begin
-          send t nd v
-            (Update
-               {
-                 x = subval nd i;
-                 id;
-                 cut = cut_to nd i;
-                 wlog = ghost_wlog_to t nd i;
-               });
+      for i = 0 to d - 1 do
+        if bget t.a.granted (sb + i) && t.a.nbr.(sb + i) <> w then begin
+          send_update t u i ~id;
           incr fanout
         end
       done;
@@ -510,7 +751,7 @@ module Make (Op : Agg.Operator.S) = struct
   (* Out-of-line lease-lifecycle observers (see Simul.Network for the
      same pattern): hot paths pay one [t.obs] branch when telemetry is
      off. *)
-  let observe_grant t nd w grant =
+  let observe_grant t u w grant =
     (match t.tel with
     | None -> ()
     | Some tel ->
@@ -519,62 +760,62 @@ module Make (Op : Agg.Operator.S) = struct
       Telemetry.Sink.record t.sink
         (if grant then
            Telemetry.Sink.Lease_set
-             { time = t.clock (); granter = nd.id; grantee = w }
+             { time = t.clock (); granter = u; grantee = w }
          else
            Telemetry.Sink.Lease_denied
-             { time = t.clock (); granter = nd.id; grantee = w })
+             { time = t.clock (); granter = u; grantee = w })
 
-  let observe_break t nd ~granter =
+  let observe_break t u ~granter =
     (match t.tel with
     | None -> ()
     | Some tel -> Telemetry.Metrics.incr tel.lease_break);
     if t.recording then
       Telemetry.Sink.record t.sink
         (Telemetry.Sink.Lease_broken
-           { time = t.clock (); granter; grantee = nd.id })
+           { time = t.clock (); granter; grantee = u })
 
   (* sendresponse(w): answer a probe; grant a lease iff every other
      neighbour is covered by a taken lease and the policy agrees. *)
-  let sendresponse t nd w =
-    let i = slot nd w in
+  let sendresponse t u w =
+    let sb = t.c.slot_base.(u) in
+    let i = slot t u w in
     (* every neighbour other than [w] that is still up holds a taken
        lease (crashed subtrees are excluded from coverage — their
        absence is reported via [cut] instead) *)
     let others_covered =
-      nd.tkn_count - (if nd.taken.(i) then 1 else 0) = up_count nd - 1
+      t.c.tkn_count.(u) - (if bget t.a.taken (sb + i) then 1 else 0)
+      = up_count t u - 1
     in
     if others_covered then begin
-      let grant = nd.policy.set_lease (node_view nd) ~target:w in
-      set_granted nd i grant;
-      if t.obs then observe_grant t nd w grant
+      let p = t.c.policy.(u) in
+      let grant = p.Policy.set_lease (node_view t u) ~target:w in
+      set_granted t u i grant;
+      if t.obs then observe_grant t u w grant
     end;
-    let flag = nd.granted.(i) in
-    send t nd w
-      (Response
-         {
-           x = subval nd i;
-           flag;
-           cut = cut_to nd i;
-           wlog = ghost_wlog_to t nd i;
-         })
+    send_response t u i ~flag:(bget t.a.granted (sb + i))
 
-  let isgoodforrelease nd i =
-    nd.grntd_count = 0 || (nd.grntd_count = 1 && nd.granted.(i))
+  let isgoodforrelease t u i =
+    t.c.grntd_count.(u) = 0
+    || t.c.grntd_count.(u) = 1 && bget t.a.granted (t.c.slot_base.(u) + i)
 
   (* forwardrelease(): break every eligible taken lease the policy wants
      to drop, sending back the accumulated unacknowledged-update ids. *)
-  let forwardrelease t nd =
-    for i = 0 to nd.deg - 1 do
+  let forwardrelease t u =
+    let sb = t.c.slot_base.(u) and d = t.c.deg.(u) in
+    for i = 0 to d - 1 do
       if
-        isgoodforrelease nd i && nd.taken.(i)
-        && nd.policy.break_lease (node_view nd) ~target:nd.nbrs_arr.(i)
+        isgoodforrelease t u i
+        && bget t.a.taken (sb + i)
+        &&
+        let p = t.c.policy.(u) in
+        p.Policy.break_lease (node_view t u) ~target:t.a.nbr.(sb + i)
       then begin
-        set_taken nd i false;
-        send t nd nd.nbrs_arr.(i) (Release { ids = nd.uaw.(i) });
-        uaw_reset nd i;
+        set_taken t u i false;
+        send_release t u i;
+        uaw_reset t u i;
         (* The lease on neighbour [v]'s subtree was granted by [v] to
            this node; breaking it is the grantee's move. *)
-        if t.obs then observe_break t nd ~granter:nd.nbrs_arr.(i)
+        if t.obs then observe_break t u ~granter:t.a.nbr.(sb + i)
       end
     done
 
@@ -582,49 +823,60 @@ module Make (Op : Agg.Operator.S) = struct
      forwarded to [w] within the released window, then let the policy
      react, then try to propagate the release.
 
+     The released window arrives pre-digested: all [onrelease] ever
+     consumed of S was its minimum, and the wire format puts the ids in
+     ascending order, so the hot decode hands over just [has_ids] and
+     the first id.
+
      The paper's beta — the earliest-received sntupdate forwarded at or
      after min S — is found by binary search: per channel, rcvids and
      sntids both increase, so the candidate set {sntid >= min S} is a
      suffix and its rcvid-minimum is its first element. *)
-  let onrelease t nd w s =
-    (match IntSet.min_elt_opt s with
-    | None -> ()
-    | Some id ->
-      for i = 0 to nd.deg - 1 do
-        if nd.nbrs_arr.(i) <> w && nd.taken.(i) then begin
-          let sl = nd.sntlogs.(i) in
-          let last =
-            if sl.len > sl.start then sl.sntids.(sl.len - 1) else sl.pruned_hi
-          in
-          if last < id then
-            (* A empty: every update from this neighbour was forwarded
-               before the released window, i.e. consumed downstream by a
-               combine — nothing left unaccounted. *)
-            uaw_reset nd i
-          else if id > sl.pruned_hi then begin
-            (* beta is a live entry: first with sntid >= id. *)
-            let lo = ref sl.start and hi = ref (sl.len - 1) in
-            while !lo < !hi do
-              let mid = (!lo + !hi) / 2 in
-              if sl.sntids.(mid) >= id then hi := mid else lo := mid + 1
-            done;
-            let beta_rcvid = sl.rcvids.(!lo) in
-            uaw_set nd i (IntSet.filter (fun j -> j >= beta_rcvid) nd.uaw.(i))
-          end
-          (* else beta fell in the pruned prefix: its rcvid was <= some
-             earlier min uaw, so the filter {>= beta.rcvid} keeps all of
-             uaw — a no-op. *)
-        end
-      done);
-    for i = 0 to nd.deg - 1 do
-      if nd.nbrs_arr.(i) <> w && nd.taken.(i) && isgoodforrelease nd i then
-        nd.policy.release_policy (node_view nd) ~target:nd.nbrs_arr.(i)
+  let onrelease t u w ~has_ids ~min_id =
+    let sb = t.c.slot_base.(u) and d = t.c.deg.(u) in
+    (if has_ids then
+       let id = min_id in
+       for i = 0 to d - 1 do
+         if t.a.nbr.(sb + i) <> w && bget t.a.taken (sb + i) then begin
+           let s = sb + i in
+           let last =
+             if t.a.sl_len.(s) > t.a.sl_start.(s) then
+               t.a.sl_snt.(s).(t.a.sl_len.(s) - 1)
+             else t.a.sl_pruned.(s)
+           in
+           if last < id then
+             (* A empty: every update from this neighbour was forwarded
+                before the released window, i.e. consumed downstream by a
+                combine — nothing left unaccounted. *)
+             uaw_reset t u i
+           else if id > t.a.sl_pruned.(s) then begin
+             (* beta is a live entry: first with sntid >= id. *)
+             let lo = ref t.a.sl_start.(s) and hi = ref (t.a.sl_len.(s) - 1) in
+             while !lo < !hi do
+               let mid = (!lo + !hi) / 2 in
+               if t.a.sl_snt.(s).(mid) >= id then hi := mid else lo := mid + 1
+             done;
+             uaw_trim_ge t u i t.a.sl_rcv.(s).(!lo)
+           end
+           (* else beta fell in the pruned prefix: its rcvid was <= some
+              earlier min uaw, so the filter {>= beta.rcvid} keeps all of
+              uaw — a no-op. *)
+         end
+       done);
+    for i = 0 to d - 1 do
+      if
+        t.a.nbr.(sb + i) <> w
+        && bget t.a.taken (sb + i)
+        && isgoodforrelease t u i
+      then
+        let p = t.c.policy.(u) in
+        p.Policy.release_policy (node_view t u) ~target:t.a.nbr.(sb + i)
     done;
-    forwardrelease t nd
+    forwardrelease t u
 
-  let newid nd =
-    nd.upcntr <- nd.upcntr + 1;
-    nd.upcntr
+  let newid t u =
+    t.c.upcntr.(u) <- t.c.upcntr.(u) + 1;
+    t.c.upcntr.(u)
 
   (* Completion of a local combine: log the matching gather (ghost) and
      fire every pending continuation with the global aggregate.
@@ -635,40 +887,40 @@ module Make (Op : Agg.Operator.S) = struct
      degraded read outside the consistency contract, so they are not
      ghost-logged and do not advance [completed] — the causal checker
      judges exact results only. *)
-  let complete_combines t nd =
-    let value = gval_of nd in
-    let cut = cut_to nd (-1) in
+  let complete_combines t u =
+    let value = gval_of t u in
+    let cut = cut_to t u (-1) in
     let exact = cut = [] in
     (if not exact then
        match t.tel with
        | None -> ()
        | Some tel -> Telemetry.Metrics.incr tel.partial_combines);
-    let callbacks = List.rev nd.pending in
-    let spans = List.rev nd.pending_spans in
-    nd.pending <- [];
-    nd.pending_spans <- [];
+    let callbacks = List.rev t.c.pending.(u) in
+    let spans = List.rev t.c.pending_spans.(u) in
+    t.c.pending.(u) <- [];
+    t.c.pending_spans.(u) <- [];
     let rec fire callbacks spans =
       match callbacks with
       | [] -> ()
       | k :: callbacks ->
         if exact then begin
           if t.ghost then
-            nd.glog <-
+            t.c.glog.(u) <-
               Ghost.Combine
                 {
-                  cnode = nd.id;
-                  cindex = nd.completed;
+                  cnode = u;
+                  cindex = t.c.completed.(u);
                   cvalue = value;
-                  crecent = ghost_recentwrites t nd;
+                  crecent = ghost_recentwrites t u;
                 }
-              :: nd.glog;
-          nd.completed <- nd.completed + 1
+              :: t.c.glog.(u);
+          t.c.completed.(u) <- t.c.completed.(u) + 1
         end;
         let spans =
           match spans with
           | [] -> []
           | span :: rest ->
-            Telemetry.Span.finish t.sink ~clock:t.clock ~node:nd.id
+            Telemetry.Span.finish t.sink ~clock:t.clock ~node:u
               ~name:"combine" ~id:span;
             rest
         in
@@ -680,125 +932,140 @@ module Make (Op : Agg.Operator.S) = struct
   (* ------------------------------------------------------------------ *)
   (* Transitions.                                                       *)
 
-  (* T1: combine request at [nd]. *)
-  let t1_combine t nd k =
+  (* T1: combine request at [u]. *)
+  let t1_combine t u k =
     if t.recording then
-      nd.pending_spans <-
-        Telemetry.Span.start t.sink t.spans ~clock:t.clock ~node:nd.id
+      t.c.pending_spans.(u) <-
+        Telemetry.Span.start t.sink t.spans ~clock:t.clock ~node:u
           ~name:"combine"
-        :: nd.pending_spans;
-    nd.pending <- k :: nd.pending;
-    nd.policy.on_combine (node_view nd);
-    for i = 0 to nd.deg - 1 do
-      if nd.taken.(i) then uaw_reset nd i
+        :: t.c.pending_spans.(u);
+    t.c.pending.(u) <- k :: t.c.pending.(u);
+    let p = t.c.policy.(u) in
+    p.Policy.on_combine (node_view t u);
+    let sb = t.c.slot_base.(u) and d = t.c.deg.(u) in
+    for i = 0 to d - 1 do
+      if bget t.a.taken (sb + i) then uaw_reset t u i
     done;
-    if not nd.pndg.(self_slot nd) then begin
-      if nd.tkn_count = up_count nd then complete_combines t nd
+    if not (bget t.a.pndg (t.c.req_base.(u) + d)) then begin
+      if t.c.tkn_count.(u) = up_count t u then complete_combines t u
       else begin
-        sendprobes t nd nd.id;
-        set_snt_mask nd (self_slot nd) ~exclude:(-1)
+        sendprobes t u u;
+        set_snt_mask t u d ~exclude:(-1)
       end
     end
 
-  (* T2: write request at [nd]. *)
-  let t2_write t nd arg =
+  (* T2: write request at [u]. *)
+  let t2_write t u arg =
     if t.recording then
       Telemetry.Sink.record t.sink
-        (Telemetry.Sink.Mark { time = t.clock (); node = nd.id; name = "write" });
-    nd.value <- arg;
-    nd.gval_dirty <- true;
+        (Telemetry.Sink.Mark { time = t.clock (); node = u; name = "write" });
+    t.c.value.(u) <- arg;
+    bset t.c.gval_dirty u true;
     if t.ghost then
-      ghost_append_write t nd
-        { Ghost.wnode = nd.id; windex = nd.completed; warg = arg };
-    nd.completed <- nd.completed + 1;
-    nd.policy.on_write (node_view nd);
-    if nd.grntd_count > 0 then begin
-      let id = newid nd in
-      forwardupdates t nd nd.id id
+      ghost_append_write t u
+        { Ghost.wnode = u; windex = t.c.completed.(u); warg = arg };
+    t.c.completed.(u) <- t.c.completed.(u) + 1;
+    let p = t.c.policy.(u) in
+    p.Policy.on_write (node_view t u);
+    if t.c.grntd_count.(u) > 0 then begin
+      let id = newid t u in
+      forwardupdates t u u id
     end
 
   (* T3: receive probe from [w]. *)
-  let t3_probe t nd w =
-    nd.policy.probe_rcvd (node_view nd) ~from:w;
-    for i = 0 to nd.deg - 1 do
-      if nd.taken.(i) && nd.nbrs_arr.(i) <> w then uaw_reset nd i
+  let t3_probe t u w =
+    let p = t.c.policy.(u) in
+    p.Policy.probe_rcvd (node_view t u) ~from:w;
+    let sb = t.c.slot_base.(u) and d = t.c.deg.(u) in
+    for i = 0 to d - 1 do
+      if bget t.a.taken (sb + i) && t.a.nbr.(sb + i) <> w then uaw_reset t u i
     done;
-    let r = slot nd w in
-    if not nd.pndg.(r) then begin
+    let r = slot t u w in
+    if not (bget t.a.pndg (t.c.req_base.(u) + r)) then begin
       let missing =
-        up_count nd - nd.tkn_count - (if nd.taken.(r) then 0 else 1)
+        up_count t u - t.c.tkn_count.(u)
+        - (if bget t.a.taken (sb + r) then 0 else 1)
       in
-      if missing = 0 then sendresponse t nd w
+      if missing = 0 then sendresponse t u w
       else begin
-        sendprobes t nd w;
-        set_snt_mask nd r ~exclude:r
+        sendprobes t u w;
+        set_snt_mask t u r ~exclude:r
       end
     end
 
   (* T4: receive response(x, flag, cut) from [w]. *)
-  let t4_response t nd w x flag cut wlog_w =
-    nd.policy.response_rcvd (node_view nd) ~flag ~from:w;
-    let sw = slot nd w in
-    nd.aval.(sw) <- x;
-    nd.gval_dirty <- true;
-    nd.resync.(sw) <- false;
-    set_subcut nd sw cut;
-    ghost_merge t nd wlog_w;
-    set_taken nd sw flag;
-    iter_requester_slots nd (fun r ->
-        if nd.pndg.(r) && nd.snt.(r).(sw) then begin
-          nd.snt.(r).(sw) <- false;
-          nd.snt_count.(r) <- nd.snt_count.(r) - 1;
-          nd.probed.(sw) <- nd.probed.(sw) - 1;
-          if nd.snt_count.(r) = 0 then begin
-            nd.pndg.(r) <- false;
-            if r = self_slot nd then complete_combines t nd
-            else sendresponse t nd nd.nbrs_arr.(r)
+  let t4_response t u w x flag cut wlog_w =
+    let p = t.c.policy.(u) in
+    p.Policy.response_rcvd (node_view t u) ~flag ~from:w;
+    let sb = t.c.slot_base.(u) and d = t.c.deg.(u) in
+    let sw = slot t u w in
+    t.a.aval.(sb + sw) <- x;
+    bset t.c.gval_dirty u true;
+    bset t.a.resync (sb + sw) false;
+    set_subcut t u sw cut;
+    ghost_merge t u wlog_w;
+    set_taken t u sw flag;
+    iter_requester_slots t u (fun r ->
+        let ri = t.c.req_base.(u) + r in
+        let mi = t.c.msk_base.(u) + (r * d) + sw in
+        if bget t.a.pndg ri && bget t.a.snt mi then begin
+          bset t.a.snt mi false;
+          t.a.snt_count.(ri) <- t.a.snt_count.(ri) - 1;
+          t.a.probed.(sb + sw) <- t.a.probed.(sb + sw) - 1;
+          if t.a.snt_count.(ri) = 0 then begin
+            bset t.a.pndg ri false;
+            if r = d then complete_combines t u
+            else sendresponse t u t.a.nbr.(sb + r)
           end
         end);
     (* Recovery refresh: this response re-reads a subtree that went
        through a crash; grantees upstream still cache the pre-crash
        aggregate (or a cut excluding it), and no write will push it to
        them.  Re-originate an update, as a write would (T2). *)
-    if nd.refresh.(sw) then begin
-      nd.refresh.(sw) <- false;
-      if nd.grntd_count > 0 then begin
-        let id = newid nd in
-        forwardupdates t nd w id
+    if bget t.a.refresh (sb + sw) then begin
+      bset t.a.refresh (sb + sw) false;
+      if t.c.grntd_count.(u) > 0 then begin
+        let id = newid t u in
+        forwardupdates t u w id
       end
     end
 
   (* T5: receive update(x, id, cut) from [w]. *)
-  let t5_update t nd w x id cut wlog_w =
-    nd.policy.update_rcvd (node_view nd) ~from:w;
-    let sw = slot nd w in
-    nd.aval.(sw) <- x;
-    nd.gval_dirty <- true;
-    set_subcut nd sw cut;
-    ghost_merge t nd wlog_w;
-    uaw_add nd sw id;
+  let t5_update t u w x id cut wlog_w =
+    let p = t.c.policy.(u) in
+    p.Policy.update_rcvd (node_view t u) ~from:w;
+    let sb = t.c.slot_base.(u) in
+    let sw = slot t u w in
+    t.a.aval.(sb + sw) <- x;
+    bset t.c.gval_dirty u true;
+    set_subcut t u sw cut;
+    ghost_merge t u wlog_w;
+    uaw_add t u sw id;
     let other_grantees =
-      nd.grntd_count > 1 || (nd.grntd_count = 1 && not nd.granted.(sw))
+      t.c.grntd_count.(u) > 1
+      || (t.c.grntd_count.(u) = 1 && not (bget t.a.granted (sb + sw)))
     in
     if other_grantees then begin
-      let nid = newid nd in
-      sntlog_append nd.sntlogs.(sw) ~rcvid:id ~sntid:nid;
-      forwardupdates t nd w nid
+      let nid = newid t u in
+      sntlog_append t (sb + sw) ~rcvid:id ~sntid:nid;
+      forwardupdates t u w nid
     end
-    else forwardrelease t nd
+    else forwardrelease t u
 
-  (* T6: receive release(S) from [w]. *)
-  let t6_release t nd w s =
-    nd.policy.release_rcvd (node_view nd) ~from:w;
-    set_granted nd (slot nd w) false;
+  (* T6: receive release(S) from [w] — S arrives as its cardinality flag
+     and minimum (see [onrelease]). *)
+  let t6_release t u w ~has_ids ~min_id =
+    let p = t.c.policy.(u) in
+    p.Policy.release_rcvd (node_view t u) ~from:w;
+    set_granted t u (slot t u w) false;
     match t.tel with
-    | None -> onrelease t nd w s
+    | None -> onrelease t u w ~has_ids ~min_id
     | Some tel ->
       (* Cascade width: releases this node forwards while handling one
          received release (chains of these per-hop forwards are the
          release cascades of a cooling subtree). *)
       let before = Simul.Network.total_of_kind t.net Simul.Kind.Release in
-      onrelease t nd w s;
+      onrelease t u w ~has_ids ~min_id;
       Telemetry.Metrics.observe tel.release_cascade
         (Simul.Network.total_of_kind t.net Simul.Kind.Release - before)
 
@@ -813,46 +1080,49 @@ module Make (Op : Agg.Operator.S) = struct
      down-ness, so the fresh subtree is re-probed on their behalf.
      Reply with our own epoch so the handshake converges from either
      side (a repeated epoch is ignored, which terminates it). *)
-  let t7_hello t nd w epoch =
-    let i = slot nd w in
-    if epoch > nd.nbr_epoch.(i) then begin
-      nd.nbr_epoch.(i) <- epoch;
-      if nd.down.(i) then begin
-        nd.down.(i) <- false;
-        nd.down_count <- nd.down_count - 1;
-        refresh_any_cut nd
+  let t7_hello t u w epoch =
+    let sb = t.c.slot_base.(u) and d = t.c.deg.(u) in
+    let i = slot t u w in
+    if epoch > t.a.nbr_epoch.(sb + i) then begin
+      t.a.nbr_epoch.(sb + i) <- epoch;
+      if bget t.a.down (sb + i) then begin
+        bset t.a.down (sb + i) false;
+        t.c.down_count.(u) <- t.c.down_count.(u) - 1;
+        refresh_any_cut t u
       end;
-      set_taken nd i false;
-      set_granted nd i false;
-      nd.aval.(i) <- Op.identity;
-      nd.gval_dirty <- true;
-      uaw_reset nd i;
-      sntlog_clear nd.sntlogs.(i);
-      set_subcut nd i [];
-      nd.shipped.(i) <- 0;
-      nd.resync.(i) <- true;
-      nd.refresh.(i) <- true;
-      let probed_before = nd.probed.(i) in
-      iter_requester_slots nd (fun r ->
-          if r <> i && nd.pndg.(r) && not nd.snt.(r).(i) then begin
-            nd.snt.(r).(i) <- true;
-            nd.snt_count.(r) <- nd.snt_count.(r) + 1;
-            nd.probed.(i) <- nd.probed.(i) + 1
+      set_taken t u i false;
+      set_granted t u i false;
+      t.a.aval.(sb + i) <- Op.identity;
+      bset t.c.gval_dirty u true;
+      uaw_reset t u i;
+      sntlog_clear t.a (sb + i);
+      set_subcut t u i [];
+      t.a.shipped.(sb + i) <- 0;
+      bset t.a.resync (sb + i) true;
+      bset t.a.refresh (sb + i) true;
+      let probed_before = t.a.probed.(sb + i) in
+      iter_requester_slots t u (fun r ->
+          let ri = t.c.req_base.(u) + r in
+          let mi = t.c.msk_base.(u) + (r * d) + i in
+          if r <> i && bget t.a.pndg ri && not (bget t.a.snt mi) then begin
+            bset t.a.snt mi true;
+            t.a.snt_count.(ri) <- t.a.snt_count.(ri) + 1;
+            t.a.probed.(sb + i) <- t.a.probed.(sb + i) + 1
           end);
-      if nd.probed.(i) > probed_before && probed_before = 0 then begin
-        count_reprobe t nd i;
-        send t nd w Probe
+      if t.a.probed.(sb + i) > probed_before && probed_before = 0 then begin
+        count_reprobe t u i;
+        send_probe t ~src:u ~dst:w
       end
-      else if nd.probed.(i) = 0 && nd.grntd_count > 0 then begin
+      else if t.a.probed.(sb + i) = 0 && t.c.grntd_count.(u) > 0 then begin
         (* No request is waiting on this subtree, but grantees cache it:
            pull the fresh value with a bare probe (no snt bookkeeping —
            its response completes nothing, it only feeds the refresh
            push above) so their caches heal without waiting for the next
            write below the recovered node. *)
-        count_reprobe t nd i;
-        send t nd w Probe
+        count_reprobe t u i;
+        send_probe t ~src:u ~dst:w
       end;
-      send t nd w (Hello { epoch = nd.epoch })
+      send_hello t ~src:u ~dst:w ~epoch:t.c.epoch.(u)
     end
 
   (* ------------------------------------------------------------------ *)
@@ -860,181 +1130,282 @@ module Make (Op : Agg.Operator.S) = struct
   (* learn of a crash synchronously; in-flight messages of the dead     *)
   (* incarnation are discarded by the transport's session teardown).    *)
 
-  (* A neighbour of the crashed node [u] (slot [j] here) voids all state
-     involving [u] and cancels every probe exchange with it: [u] as a
-     requester gets no response, and probes sent to [u] are struck from
-     the outstanding sets — completing requests partially (the cut now
-     contains [u]) rather than hanging. *)
-  let notify_down t nv j =
-    if not nv.down.(j) then begin
-      nv.down.(j) <- true;
-      nv.down_count <- nv.down_count + 1;
-      nv.any_cut <- true;
-      set_taken nv j false;
-      set_granted nv j false;
-      nv.aval.(j) <- Op.identity;
-      nv.gval_dirty <- true;
-      nv.uaw.(j) <- IntSet.empty;
-      nv.uaw_size.(j) <- 0;
-      sntlog_clear nv.sntlogs.(j);
-      nv.subcut.(j) <- IntSet.empty;
-      nv.shipped.(j) <- 0;
-      nv.resync.(j) <- false;
-      nv.refresh.(j) <- false;
-      nv.nbr_epoch.(j) <- -1;
+  (* A neighbour of the crashed node [node] (slot [j] here) voids all
+     state involving it and cancels every probe exchange with it: the
+     dead node as a requester gets no response, and probes sent to it
+     are struck from the outstanding sets — completing requests
+     partially (the cut now contains the dead node) rather than
+     hanging. *)
+  let notify_down t v j =
+    let sb = t.c.slot_base.(v) and d = t.c.deg.(v) in
+    if not (bget t.a.down (sb + j)) then begin
+      bset t.a.down (sb + j) true;
+      t.c.down_count.(v) <- t.c.down_count.(v) + 1;
+      bset t.c.any_cut v true;
+      set_taken t v j false;
+      set_granted t v j false;
+      t.a.aval.(sb + j) <- Op.identity;
+      bset t.c.gval_dirty v true;
+      t.a.uaw_head.(sb + j) <- 0;
+      t.a.uaw_len.(sb + j) <- 0;
+      sntlog_clear t.a (sb + j);
+      t.a.subcut.(sb + j) <- IntSet.empty;
+      t.a.shipped.(sb + j) <- 0;
+      bset t.a.resync (sb + j) false;
+      bset t.a.refresh (sb + j) false;
+      t.a.nbr_epoch.(sb + j) <- -1;
       (* the dead requester's pending probe set *)
-      if nv.pndg.(j) then begin
-        for i = 0 to nv.deg - 1 do
-          if nv.snt.(j).(i) then begin
-            nv.snt.(j).(i) <- false;
-            nv.probed.(i) <- nv.probed.(i) - 1
+      if bget t.a.pndg (t.c.req_base.(v) + j) then begin
+        let mb = t.c.msk_base.(v) + (j * d) in
+        for i = 0 to d - 1 do
+          if bget t.a.snt (mb + i) then begin
+            bset t.a.snt (mb + i) false;
+            t.a.probed.(sb + i) <- t.a.probed.(sb + i) - 1
           end
         done;
-        nv.snt_count.(j) <- 0;
-        nv.pndg.(j) <- false
+        t.a.snt_count.(t.c.req_base.(v) + j) <- 0;
+        bset t.a.pndg (t.c.req_base.(v) + j) false
       end;
       (* probes sent to the dead node can never be answered *)
-      iter_requester_slots nv (fun r ->
-          if r <> j && nv.pndg.(r) && nv.snt.(r).(j) then begin
-            nv.snt.(r).(j) <- false;
-            nv.snt_count.(r) <- nv.snt_count.(r) - 1;
-            nv.probed.(j) <- nv.probed.(j) - 1;
-            if nv.snt_count.(r) = 0 then begin
-              nv.pndg.(r) <- false;
-              if r = self_slot nv then complete_combines t nv
-              else sendresponse t nv nv.nbrs_arr.(r)
+      iter_requester_slots t v (fun r ->
+          let ri = t.c.req_base.(v) + r in
+          let mi = t.c.msk_base.(v) + (r * d) + j in
+          if r <> j && bget t.a.pndg ri && bget t.a.snt mi then begin
+            bset t.a.snt mi false;
+            t.a.snt_count.(ri) <- t.a.snt_count.(ri) - 1;
+            t.a.probed.(sb + j) <- t.a.probed.(sb + j) - 1;
+            if t.a.snt_count.(ri) = 0 then begin
+              bset t.a.pndg ri false;
+              if r = d then complete_combines t v
+              else sendresponse t v t.a.nbr.(sb + r)
             end
           end)
     end
 
   let crash t ~node =
-    let nd = t.nodes.(node) in
-    if not nd.alive then invalid_arg "Mechanism.crash: node already down";
-    nd.alive <- false;
+    if not (bget t.c.alive node) then
+      invalid_arg "Mechanism.crash: node already down";
+    bset t.c.alive node false;
+    let sb = t.c.slot_base.(node) and d = t.c.deg.(node) in
     (* Volatile state is lost.  [value] survives (the node's input is
        durable — rereading it on restart is the recovery model), as do
        the ghost log and [completed] (analysis-only shadow state, kept
        so the causal checker can still account for pre-crash history). *)
-    Array.fill nd.taken 0 nd.deg false;
-    nd.tkn_count <- 0;
-    Array.fill nd.granted 0 nd.deg false;
-    nd.grntd_count <- 0;
-    Array.fill nd.aval 0 nd.deg Op.identity;
-    nd.gval_dirty <- true;
-    for i = 0 to nd.deg - 1 do
-      nd.uaw.(i) <- IntSet.empty;
-      nd.uaw_size.(i) <- 0;
-      sntlog_clear nd.sntlogs.(i);
-      nd.subcut.(i) <- IntSet.empty;
-      nd.shipped.(i) <- 0;
-      nd.resync.(i) <- false;
-      nd.refresh.(i) <- false;
-      nd.down.(i) <- false;
-      nd.nbr_epoch.(i) <- -1;
-      nd.probed.(i) <- 0
+    Bytes.fill t.a.taken sb d '\000';
+    t.c.tkn_count.(node) <- 0;
+    Bytes.fill t.a.granted sb d '\000';
+    t.c.grntd_count.(node) <- 0;
+    Array.fill t.a.aval sb d Op.identity;
+    bset t.c.gval_dirty node true;
+    for i = 0 to d - 1 do
+      t.a.uaw_head.(sb + i) <- 0;
+      t.a.uaw_len.(sb + i) <- 0;
+      sntlog_clear t.a (sb + i);
+      t.a.subcut.(sb + i) <- IntSet.empty;
+      t.a.shipped.(sb + i) <- 0;
+      t.a.nbr_epoch.(sb + i) <- -1;
+      t.a.probed.(sb + i) <- 0
     done;
-    nd.down_count <- 0;
-    nd.any_cut <- false;
-    for r = 0 to nd.deg do
-      nd.pndg.(r) <- false;
-      Array.fill nd.snt.(r) 0 nd.deg false;
-      nd.snt_count.(r) <- 0
-    done;
-    nd.upcntr <- 0;
+    Bytes.fill t.a.down sb d '\000';
+    Bytes.fill t.a.resync sb d '\000';
+    Bytes.fill t.a.refresh sb d '\000';
+    t.c.down_count.(node) <- 0;
+    bset t.c.any_cut node false;
+    Bytes.fill t.a.pndg (t.c.req_base.(node)) (d + 1) '\000';
+    Bytes.fill t.a.snt (t.c.msk_base.(node)) (d * (d + 1)) '\000';
+    Array.fill t.a.snt_count (t.c.req_base.(node)) (d + 1) 0;
+    t.c.upcntr.(node) <- 0;
     (* pending combines die with the node; close their spans *)
-    nd.pending <- [];
+    t.c.pending.(node) <- [];
     List.iter
       (fun span ->
-        Telemetry.Span.finish t.sink ~clock:t.clock ~node:nd.id ~name:"combine"
+        Telemetry.Span.finish t.sink ~clock:t.clock ~node ~name:"combine"
           ~id:span)
-      nd.pending_spans;
-    nd.pending_spans <- [];
-    for i = 0 to nd.deg - 1 do
-      let nv = t.nodes.(nd.nbrs_arr.(i)) in
-      if nv.alive then notify_down t nv (slot nv node)
+      t.c.pending_spans.(node);
+    t.c.pending_spans.(node) <- [];
+    for i = 0 to d - 1 do
+      let v = t.a.nbr.(sb + i) in
+      if bget t.c.alive v then notify_down t v (slot t v node)
     done
 
   let restart t ~node =
-    let nd = t.nodes.(node) in
-    if nd.alive then invalid_arg "Mechanism.restart: node is up";
-    nd.alive <- true;
-    nd.epoch <- nd.epoch + 1;
+    if bget t.c.alive node then invalid_arg "Mechanism.restart: node is up";
+    bset t.c.alive node true;
+    t.c.epoch.(node) <- t.c.epoch.(node) + 1;
+    let sb = t.c.slot_base.(node) and d = t.c.deg.(node) in
     (* perfect failure detector: learn which neighbours are down right
        now, and announce the new incarnation to the live ones *)
-    for i = 0 to nd.deg - 1 do
-      if t.nodes.(nd.nbrs_arr.(i)).alive then begin
-        nd.resync.(i) <- true;
-        send t nd nd.nbrs_arr.(i) (Hello { epoch = nd.epoch })
+    for i = 0 to d - 1 do
+      let v = t.a.nbr.(sb + i) in
+      if bget t.c.alive v then begin
+        bset t.a.resync (sb + i) true;
+        send_hello t ~src:node ~dst:v ~epoch:t.c.epoch.(node)
       end
       else begin
-        nd.down.(i) <- true;
-        nd.down_count <- nd.down_count + 1
+        bset t.a.down (sb + i) true;
+        t.c.down_count.(node) <- t.c.down_count.(node) + 1
       end
     done;
-    nd.any_cut <- nd.down_count > 0
+    bset t.c.any_cut node (t.c.down_count.(node) > 0)
 
   (* ------------------------------------------------------------------ *)
-  (* Public interface.                                                  *)
+  (* Construction.                                                      *)
+
+  (* Placeholder for unfilled policy column cells (cells past [n] in a
+     partly-used block). *)
+  let uninit_policy =
+    Policy.noop ~name:"(uninit)" ~set_lease:false ~node_id:(-1) ~nbrs:[]
+
+  (* Column registration: each hook extends one backing array to the new
+     slab capacity, preserving live cells. *)
+  let grow_arr get set dflt _old ncap =
+    let a = get () in
+    let b = Array.make ncap dflt in
+    Array.blit a 0 b 0 (Array.length a);
+    set b
+
+  let grow_bytes get set fill _old ncap =
+    let a = get () in
+    let b = Bytes.make ncap fill in
+    Bytes.blit a 0 b 0 (Bytes.length a);
+    set b
 
   let create ?(ghost = false) ?on_send ?metrics ?sink ?clock tree ~policy =
     let n = Tree.n_nodes tree in
-    let mk_node id =
-      let nbrs_arr = Tree.neighbors_arr tree id in
-      let nbrs = Array.to_list nbrs_arr in
-      let deg = Array.length nbrs_arr in
-      let self_pos =
-        let p = ref 0 in
-        Array.iter (fun v -> if v < id then incr p) nbrs_arr;
-        !p
-      in
+    let slab = Slab.create () in
+    let c =
       {
-        id;
-        nbrs;
-        nbrs_arr;
-        deg;
-        self_pos;
-        value = Op.identity;
-        taken = Array.make deg false;
-        tkn_count = 0;
-        granted = Array.make deg false;
-        grntd_count = 0;
-        aval = Array.make deg Op.identity;
-        gval_cache = Op.identity;
-        gval_dirty = true;
-        uaw = Array.make deg IntSet.empty;
-        uaw_size = Array.make deg 0;
-        pndg = Array.make (deg + 1) false;
-        snt = Array.init (deg + 1) (fun _ -> Array.make deg false);
-        snt_count = Array.make (deg + 1) 0;
-        probed = Array.make deg 0;
-        upcntr = 0;
-        sntlogs = Array.init deg (fun _ -> sntlog_create ());
-        policy = policy ~node_id:id ~nbrs;
-        view = None;
-        alive = true;
-        epoch = 0;
-        nbr_epoch = Array.make deg (-1);
-        down = Array.make deg false;
-        down_count = 0;
-        resync = Array.make deg false;
-        refresh = Array.make deg false;
-        subcut = Array.make deg IntSet.empty;
-        any_cut = false;
-        pending = [];
-        pending_spans = [];
-        glog = [];
+        value = [||];
+        gval_cache = [||];
+        gval_dirty = Bytes.empty;
+        alive = Bytes.empty;
+        any_cut = Bytes.empty;
+        tkn_count = [||];
+        grntd_count = [||];
+        down_count = [||];
+        upcntr = [||];
+        completed = [||];
+        epoch = [||];
+        deg = [||];
+        self_pos = [||];
+        slot_base = [||];
+        req_base = [||];
+        msk_base = [||];
+        nbrs = [||];
+        policy = [||];
+        view = [||];
+        pending = [||];
+        pending_spans = [||];
+        glog = [||];
         gwrites = [||];
-        gwrites_len = 0;
-        shipped = Array.make deg 0;
-        last_write = Array.make n (-1);
-        completed = 0;
+        gwrites_len = [||];
+        last_write = [||];
       }
     in
-    let net = Simul.Network.create ?on_send ?metrics ?sink ?clock tree ~kind_of in
+    Slab.on_grow slab (grow_arr (fun () -> c.value) (fun a -> c.value <- a) Op.identity);
+    Slab.on_grow slab
+      (grow_arr (fun () -> c.gval_cache) (fun a -> c.gval_cache <- a) Op.identity);
+    Slab.on_grow slab
+      (grow_bytes (fun () -> c.gval_dirty) (fun b -> c.gval_dirty <- b) '\001');
+    Slab.on_grow slab
+      (grow_bytes (fun () -> c.alive) (fun b -> c.alive <- b) '\001');
+    Slab.on_grow slab
+      (grow_bytes (fun () -> c.any_cut) (fun b -> c.any_cut <- b) '\000');
+    Slab.on_grow slab (grow_arr (fun () -> c.tkn_count) (fun a -> c.tkn_count <- a) 0);
+    Slab.on_grow slab
+      (grow_arr (fun () -> c.grntd_count) (fun a -> c.grntd_count <- a) 0);
+    Slab.on_grow slab
+      (grow_arr (fun () -> c.down_count) (fun a -> c.down_count <- a) 0);
+    Slab.on_grow slab (grow_arr (fun () -> c.upcntr) (fun a -> c.upcntr <- a) 0);
+    Slab.on_grow slab (grow_arr (fun () -> c.completed) (fun a -> c.completed <- a) 0);
+    Slab.on_grow slab (grow_arr (fun () -> c.epoch) (fun a -> c.epoch <- a) 0);
+    Slab.on_grow slab (grow_arr (fun () -> c.deg) (fun a -> c.deg <- a) 0);
+    Slab.on_grow slab (grow_arr (fun () -> c.self_pos) (fun a -> c.self_pos <- a) 0);
+    Slab.on_grow slab (grow_arr (fun () -> c.slot_base) (fun a -> c.slot_base <- a) 0);
+    Slab.on_grow slab (grow_arr (fun () -> c.req_base) (fun a -> c.req_base <- a) 0);
+    Slab.on_grow slab (grow_arr (fun () -> c.msk_base) (fun a -> c.msk_base <- a) 0);
+    Slab.on_grow slab (grow_arr (fun () -> c.nbrs) (fun a -> c.nbrs <- a) []);
+    Slab.on_grow slab
+      (grow_arr (fun () -> c.policy) (fun a -> c.policy <- a) uninit_policy);
+    Slab.on_grow slab (grow_arr (fun () -> c.view) (fun a -> c.view <- a) None);
+    Slab.on_grow slab (grow_arr (fun () -> c.pending) (fun a -> c.pending <- a) []);
+    Slab.on_grow slab
+      (grow_arr (fun () -> c.pending_spans) (fun a -> c.pending_spans <- a) []);
+    Slab.on_grow slab (grow_arr (fun () -> c.glog) (fun a -> c.glog <- a) []);
+    Slab.on_grow slab (grow_arr (fun () -> c.gwrites) (fun a -> c.gwrites <- a) [||]);
+    Slab.on_grow slab
+      (grow_arr (fun () -> c.gwrites_len) (fun a -> c.gwrites_len <- a) 0);
+    Slab.on_grow slab
+      (grow_arr (fun () -> c.last_write) (fun a -> c.last_write <- a) [||]);
+    (* Cells are handed out in order on a fresh slab, so cell id = node
+       id — asserted, since every column access relies on it. *)
+    for u = 0 to n - 1 do
+      let cell = Slab.alloc slab in
+      assert (cell = u)
+    done;
+    (* Per-node scalars and arena geometry. *)
+    let sdim = ref 0 and rdim = ref 0 and mdim = ref 0 in
+    for u = 0 to n - 1 do
+      let nbrs_arr = Tree.neighbors_arr tree u in
+      let d = Array.length nbrs_arr in
+      c.deg.(u) <- d;
+      c.nbrs.(u) <- Array.to_list nbrs_arr;
+      let sp = ref 0 in
+      Array.iter (fun v -> if v < u then incr sp) nbrs_arr;
+      c.self_pos.(u) <- !sp;
+      c.slot_base.(u) <- !sdim;
+      c.req_base.(u) <- !rdim;
+      c.msk_base.(u) <- !mdim;
+      sdim := !sdim + d;
+      rdim := !rdim + d + 1;
+      mdim := !mdim + (d * (d + 1));
+      c.policy.(u) <- policy ~node_id:u ~nbrs:c.nbrs.(u);
+      if ghost then c.last_write.(u) <- Array.make n (-1)
+    done;
+    let s = !sdim in
+    let a =
+      {
+        nbr = Array.make (max 1 s) 0;
+        taken = Bytes.make (max 1 s) '\000';
+        granted = Bytes.make (max 1 s) '\000';
+        down = Bytes.make (max 1 s) '\000';
+        resync = Bytes.make (max 1 s) '\000';
+        refresh = Bytes.make (max 1 s) '\000';
+        aval = Array.make (max 1 s) Op.identity;
+        probed = Array.make (max 1 s) 0;
+        nbr_epoch = Array.make (max 1 s) (-1);
+        shipped = Array.make (max 1 s) 0;
+        uaw_buf = Array.make (max 1 s) [||];
+        uaw_head = Array.make (max 1 s) 0;
+        uaw_len = Array.make (max 1 s) 0;
+        sl_rcv = Array.make (max 1 s) [||];
+        sl_snt = Array.make (max 1 s) [||];
+        sl_start = Array.make (max 1 s) 0;
+        sl_len = Array.make (max 1 s) 0;
+        sl_pruned = Array.make (max 1 s) 0;
+        subcut = Array.make (max 1 s) IntSet.empty;
+        pndg = Bytes.make (max 1 !rdim) '\000';
+        snt_count = Array.make (max 1 !rdim) 0;
+        snt = Bytes.make (max 1 !mdim) '\000';
+      }
+    in
+    for u = 0 to n - 1 do
+      let nbrs_arr = Tree.neighbors_arr tree u in
+      Array.blit nbrs_arr 0 a.nbr c.slot_base.(u) (Array.length nbrs_arr)
+    done;
+    let pool = Frame.create_pool ~name:"mech.frames" () in
+    let net =
+      Simul.Network.create ?on_send ?metrics ?sink ?clock tree
+        ~kind_of:(fun f -> Simul.Kind.of_index (Frame.kind f))
+        ~frames:(fun f -> f)
+    in
     let tel =
       match metrics with
       | None -> None
       | Some m ->
+        Telemetry.Metrics.gauge_set
+          (Telemetry.Metrics.gauge m "slab.blocks")
+          (Slab.blocks slab);
         Some
           {
             lease_set = Telemetry.Metrics.counter m "mech.lease.set";
@@ -1053,7 +1424,11 @@ module Make (Op : Agg.Operator.S) = struct
     {
       tree;
       net;
-      nodes = Array.init n mk_node;
+      pool;
+      slab;
+      n;
+      c;
+      a;
       ghost;
       tel;
       sink = (match sink with Some s -> s | None -> Telemetry.Sink.null);
@@ -1066,41 +1441,224 @@ module Make (Op : Agg.Operator.S) = struct
       spans = Telemetry.Span.allocator ();
     }
 
+  (* ------------------------------------------------------------------ *)
+  (* Wire codec over the structured [msg] view.                         *)
+
+  module Wire = struct
+    type error =
+      | Truncated of { field : string; need : int; have : int }
+      | Bad_kind of int
+      | Bad_value of string
+
+    let pp_error fmt = function
+      | Truncated { field; need; have } ->
+        Format.fprintf fmt "truncated %s: need %d bytes, have %d" field need
+          have
+      | Bad_kind k -> Format.fprintf fmt "unknown message kind %d" k
+      | Bad_value s -> Format.fprintf fmt "bad value: %s" s
+
+    (* List-based wlog writer: byte-identical to [put_wlog_shipped]'s
+       streamed output. *)
+    let put_wlog_list f pos wlog =
+      Frame.set_length f (pos + 4);
+      Frame.set_u32 (Frame.buf f) pos (List.length wlog);
+      let p = ref (pos + 4) in
+      List.iter
+        (fun (w : Op.t Ghost.write) ->
+          Frame.set_length f (!p + 16);
+          let b = Frame.buf f in
+          Frame.set_int b !p w.wnode;
+          Frame.set_int b (!p + 8) w.windex;
+          p := put_x f (!p + 16) w.warg)
+        wlog;
+      !p
+
+    let encode pool m =
+      let f = Frame.alloc pool in
+      (match m with
+      | Probe -> Frame.set_kind f k_probe
+      | Response { x; flag; cut; wlog } ->
+        Frame.set_kind f k_response;
+        let pos = put_x f hs x in
+        Frame.set_length f (pos + 1);
+        Frame.set_u8 (Frame.buf f) pos (if flag then 1 else 0);
+        let pos = put_cut_list f (pos + 1) cut in
+        ignore (put_wlog_list f pos wlog)
+      | Update { x; id; cut; wlog } ->
+        Frame.set_kind f k_update;
+        Frame.set_length f (hs + 8);
+        Frame.set_int (Frame.buf f) hs id;
+        let pos = put_x f (hs + 8) x in
+        let pos = put_cut_list f pos cut in
+        ignore (put_wlog_list f pos wlog)
+      | Release { ids } ->
+        Frame.set_kind f k_release;
+        let count = IntSet.cardinal ids in
+        Frame.set_length f (hs + 4 + (8 * count));
+        let b = Frame.buf f in
+        Frame.set_u32 b hs count;
+        let p = ref (hs + 4) in
+        IntSet.iter
+          (fun id ->
+            Frame.set_int b !p id;
+            p := !p + 8)
+          ids
+      | Hello { epoch } ->
+        Frame.set_kind f k_hello;
+        Frame.set_length f (hs + 8);
+        Frame.set_int (Frame.buf f) hs epoch);
+      f
+
+    exception Fail of error
+
+    (* Fully bounds-checked decode: garbage bytes come back as a typed
+       [error], never an exception or out-of-range read. *)
+    let decode f =
+      let b = Frame.buf f and flen = Frame.length f in
+      let need field n pos =
+        if pos + n > flen then
+          raise (Fail (Truncated { field; need = pos + n; have = flen }))
+      in
+      let take_x field pos =
+        need field 2 pos;
+        let xl = Frame.get_u16 b pos in
+        need field xl (pos + 2);
+        (Op.decode b (pos + 2) xl, pos + 2 + xl)
+      in
+      let take_ids field pos =
+        need field 2 pos;
+        let count = Frame.get_u16 b pos in
+        need field (8 * count) (pos + 2);
+        (decode_ids b (pos + 2) count, pos + 2 + (8 * count))
+      in
+      let take_wlog pos =
+        need "wlog" 4 pos;
+        let count = Frame.get_u32 b pos in
+        let p = ref (pos + 4) in
+        let acc = ref [] in
+        for _ = 1 to count do
+          need "wlog entry" 18 !p;
+          let wnode = Frame.get_int b !p in
+          let windex = Frame.get_int b (!p + 8) in
+          let xl = Frame.get_u16 b (!p + 16) in
+          need "wlog value" xl (!p + 18);
+          acc := { Ghost.wnode; windex; warg = Op.decode b (!p + 18) xl } :: !acc;
+          p := !p + 18 + xl
+        done;
+        List.rev !acc
+      in
+      try
+        if flen < hs then
+          raise (Fail (Truncated { field = "header"; need = hs; have = flen }));
+        let k = Frame.kind f in
+        if k = k_probe then Ok Probe
+        else if k = k_response then begin
+          let x, pos = take_x "response.x" hs in
+          need "response.flag" 1 pos;
+          let flag =
+            match Frame.get_u8 b pos with
+            | 0 -> false
+            | 1 -> true
+            | v ->
+              raise (Fail (Bad_value (Printf.sprintf "response flag %d" v)))
+          in
+          let cut, pos = take_ids "response.cut" (pos + 1) in
+          Ok (Response { x; flag; cut; wlog = take_wlog pos })
+        end
+        else if k = k_update then begin
+          need "update.id" 8 hs;
+          let id = Frame.get_int b hs in
+          let x, pos = take_x "update.x" (hs + 8) in
+          let cut, pos = take_ids "update.cut" pos in
+          Ok (Update { x; id; cut; wlog = take_wlog pos })
+        end
+        else if k = k_release then begin
+          need "release.count" 4 hs;
+          let count = Frame.get_u32 b hs in
+          need "release.ids" (8 * count) (hs + 4);
+          let ids = ref IntSet.empty in
+          for j = 0 to count - 1 do
+            ids := IntSet.add (Frame.get_int b (hs + 4 + (8 * j))) !ids
+          done;
+          Ok (Release { ids = !ids })
+        end
+        else if k = k_hello then begin
+          need "hello.epoch" 8 hs;
+          Ok (Hello { epoch = Frame.get_int b hs })
+        end
+        else raise (Fail (Bad_kind k))
+      with Fail e -> Error e
+  end
+
+  (* ------------------------------------------------------------------ *)
+  (* Public interface.                                                  *)
+
   let tree t = t.tree
   let network t = t.net
-  let policy_name t = t.nodes.(0).policy.name
+  let frame_pool t = t.pool
+  let slab t = t.slab
+  let policy_name t = (t.c.policy.(0)).Policy.name
 
-  let require_alive nd op =
-    if not nd.alive then
-      invalid_arg (Printf.sprintf "Mechanism.%s: node %d is down" op nd.id)
+  let require_alive t node op =
+    if not (bget t.c.alive node) then
+      invalid_arg (Printf.sprintf "Mechanism.%s: node %d is down" op node)
 
   let write t ~node arg =
-    let nd = t.nodes.(node) in
-    require_alive nd "write";
-    t2_write t nd arg
+    require_alive t node "write";
+    t2_write t node arg
 
   let combine_tagged t ~node k =
-    let nd = t.nodes.(node) in
-    require_alive nd "combine";
-    t1_combine t nd (fun v cut -> k v ~cut)
+    require_alive t node "combine";
+    t1_combine t node (fun v cut -> k v ~cut)
 
   let combine t ~node k =
-    let nd = t.nodes.(node) in
-    require_alive nd "combine";
-    t1_combine t nd (fun v _cut -> k v)
+    require_alive t node "combine";
+    t1_combine t node (fun v _cut -> k v)
 
-  let handler t ~src ~dst m =
-    let nd = t.nodes.(dst) in
-    if nd.alive then
-      (* a crashed destination silently loses the message — the reliable
-         transport already filters these, but plain-network drivers may
-         still deliver in-flight messages of a dead incarnation *)
-      match m with
-      | Probe -> t3_probe t nd src
-      | Response { x; flag; cut; wlog } -> t4_response t nd src x flag cut wlog
-      | Update { x; id; cut; wlog } -> t5_update t nd src x id cut wlog
-      | Release { ids } -> t6_release t nd src ids
-      | Hello { epoch } -> t7_hello t nd src epoch
+  (* Inbox boundary: decode header fields straight off the frame and
+     dispatch — the structured [msg] is never built.  The handler
+     consumes the caller's frame reference (a crashed destination
+     silently loses the message — the reliable transport already filters
+     these, but plain-network drivers may still deliver in-flight
+     messages of a dead incarnation). *)
+  let handler t ~src ~dst f =
+    (if bget t.c.alive dst then begin
+       let b = Frame.buf f in
+       let k = Frame.kind f in
+       if k = k_update then begin
+         let id = Frame.get_int b hs in
+         let xl = Frame.get_u16 b (hs + 8) in
+         let x = Op.decode b (hs + 10) xl in
+         let pos = hs + 10 + xl in
+         let nc = Frame.get_u16 b pos in
+         let cut = if nc = 0 then [] else decode_ids b (pos + 2) nc in
+         let pos = pos + 2 + (8 * nc) in
+         let nw = Frame.get_u32 b pos in
+         let wlog = if nw = 0 then [] else decode_wlog b (pos + 4) nw in
+         t5_update t dst src x id cut wlog
+       end
+       else if k = k_probe then t3_probe t dst src
+       else if k = k_response then begin
+         let xl = Frame.get_u16 b hs in
+         let x = Op.decode b (hs + 2) xl in
+         let pos = hs + 2 + xl in
+         let flag = Frame.get_u8 b pos <> 0 in
+         let nc = Frame.get_u16 b (pos + 1) in
+         let cut = if nc = 0 then [] else decode_ids b (pos + 3) nc in
+         let pos = pos + 3 + (8 * nc) in
+         let nw = Frame.get_u32 b pos in
+         let wlog = if nw = 0 then [] else decode_wlog b (pos + 4) nw in
+         t4_response t dst src x flag cut wlog
+       end
+       else if k = k_release then begin
+         let count = Frame.get_u32 b hs in
+         t6_release t dst src ~has_ids:(count > 0)
+           ~min_id:(if count > 0 then Frame.get_int b (hs + 4) else 0)
+       end
+       else if k = k_hello then t7_hello t dst src (Frame.get_int b hs)
+       else invalid_arg (Printf.sprintf "Mechanism.handler: kind %d" k)
+     end);
+    Frame.release f
 
   let run_to_quiescence ?max_deliveries t =
     Simul.Engine.run_to_quiescence ?max_deliveries t.net ~handler:(handler t)
@@ -1122,7 +1680,7 @@ module Make (Op : Agg.Operator.S) = struct
       invalid_arg "Mechanism.gather_sync: requires a system created with ~ghost:true";
     let value = combine_sync t ~node in
     (* The combine just logged its gather entry; read its recentwrites. *)
-    match t.nodes.(node).glog with
+    match t.c.glog.(node) with
     | Ghost.Combine { crecent; _ } :: _ -> (value, crecent)
     | _ -> failwith "Mechanism.gather_sync: combine left no gather entry"
 
@@ -1138,55 +1696,62 @@ module Make (Op : Agg.Operator.S) = struct
           { Request.request = q; returned = Some v })
       requests
 
-  let local_value t u = t.nodes.(u).value
-  let gval t u = gval_of t.nodes.(u)
+  let local_value t u = t.c.value.(u)
+  let gval t u = gval_of t u
 
   let taken t u v =
-    let nd = t.nodes.(u) in
-    let i = slot nd v in
-    i >= 0 && nd.taken.(i)
+    let i = slot t u v in
+    i >= 0 && bget t.a.taken (t.c.slot_base.(u) + i)
 
   let granted t u v =
-    let nd = t.nodes.(u) in
-    let i = slot nd v in
-    i >= 0 && nd.granted.(i)
+    let i = slot t u v in
+    i >= 0 && bget t.a.granted (t.c.slot_base.(u) + i)
 
   let aval t u v =
-    let nd = t.nodes.(u) in
-    let i = slot nd v in
-    if i >= 0 then nd.aval.(i) else Op.identity
+    let i = slot t u v in
+    if i >= 0 then t.a.aval.(t.c.slot_base.(u) + i) else Op.identity
 
   let uaw t u v =
-    let nd = t.nodes.(u) in
-    let i = slot nd v in
-    if i >= 0 then nd.uaw.(i) else IntSet.empty
+    let i = slot t u v in
+    if i < 0 then IntSet.empty
+    else begin
+      let s = t.c.slot_base.(u) + i in
+      let acc = ref IntSet.empty in
+      for j = 0 to t.a.uaw_len.(s) - 1 do
+        acc := IntSet.add t.a.uaw_buf.(s).(t.a.uaw_head.(s) + j) !acc
+      done;
+      !acc
+    end
 
   let pndg t u =
-    let nd = t.nodes.(u) in
+    let sb = t.c.slot_base.(u) and rb = t.c.req_base.(u) and d = t.c.deg.(u) in
     let s = ref IntSet.empty in
-    for i = 0 to nd.deg - 1 do
-      if nd.pndg.(i) then s := IntSet.add nd.nbrs_arr.(i) !s
+    for i = 0 to d - 1 do
+      if bget t.a.pndg (rb + i) then s := IntSet.add t.a.nbr.(sb + i) !s
     done;
-    if nd.pndg.(nd.deg) then s := IntSet.add nd.id !s;
+    if bget t.a.pndg (rb + d) then s := IntSet.add u !s;
     !s
 
   let snt t u v =
-    let nd = t.nodes.(u) in
-    let r = if v = u then self_slot nd else slot nd v in
+    let sb = t.c.slot_base.(u) and d = t.c.deg.(u) in
+    let r = if v = u then d else slot t u v in
     if r < 0 then IntSet.empty
     else begin
+      let mb = t.c.msk_base.(u) + (r * d) in
       let s = ref IntSet.empty in
-      let mask = nd.snt.(r) in
-      for i = 0 to nd.deg - 1 do
-        if mask.(i) then s := IntSet.add nd.nbrs_arr.(i) !s
+      for i = 0 to d - 1 do
+        if bget t.a.snt (mb + i) then s := IntSet.add t.a.nbr.(sb + i) !s
       done;
       !s
     end
 
   let sntupdates_length t u =
-    Array.fold_left
-      (fun acc sl -> acc + sntlog_length sl)
-      0 t.nodes.(u).sntlogs
+    let sb = t.c.slot_base.(u) in
+    let acc = ref 0 in
+    for i = 0 to t.c.deg.(u) - 1 do
+      acc := !acc + sntlog_length t.a (sb + i)
+    done;
+    !acc
 
   let lease_graph_edges t =
     List.filter (fun (u, v) -> granted t u v) (Tree.ordered_pairs t.tree)
@@ -1202,16 +1767,16 @@ module Make (Op : Agg.Operator.S) = struct
 
   let reset_message_counters t = Simul.Network.reset_counters t.net
 
-  let log t u = List.rev t.nodes.(u).glog
-  let completed_requests t u = t.nodes.(u).completed
-  let alive t u = t.nodes.(u).alive
-  let epoch t u = t.nodes.(u).epoch
+  let log t u = List.rev t.c.glog.(u)
+  let completed_requests t u = t.c.completed.(u)
+  let alive t u = bget t.c.alive u
+  let epoch t u = t.c.epoch.(u)
 
   let known_down t u =
-    let nd = t.nodes.(u) in
+    let sb = t.c.slot_base.(u) in
     let s = ref IntSet.empty in
-    for i = 0 to nd.deg - 1 do
-      if nd.down.(i) then s := IntSet.add nd.nbrs_arr.(i) !s
+    for i = 0 to t.c.deg.(u) - 1 do
+      if bget t.a.down (sb + i) then s := IntSet.add t.a.nbr.(sb + i) !s
     done;
     !s
 
@@ -1220,114 +1785,146 @@ module Make (Op : Agg.Operator.S) = struct
 
   let check_invariants t =
     let fail fmt = Printf.ksprintf failwith fmt in
-    Array.iter
-      (fun nd ->
-        let u = nd.id in
-        (* dense counters vs recomputed cardinalities *)
-        let count a = Array.fold_left (fun n b -> if b then n + 1 else n) 0 a in
-        if count nd.taken <> nd.tkn_count then
-          fail "node %d: tkn_count %d <> %d" u nd.tkn_count (count nd.taken);
-        if count nd.granted <> nd.grntd_count then
-          fail "node %d: grntd_count %d <> %d" u nd.grntd_count
-            (count nd.granted);
-        (* crash/recovery bookkeeping *)
-        if count nd.down <> nd.down_count then
-          fail "node %d: down_count %d <> %d" u nd.down_count (count nd.down);
-        for i = 0 to nd.deg - 1 do
-          if nd.down.(i) then begin
-            if nd.taken.(i) then fail "node %d: taken lease on down slot %d" u i;
-            if nd.granted.(i) then
-              fail "node %d: granted lease to down slot %d" u i;
-            if not (IntSet.is_empty nd.subcut.(i)) then
-              fail "node %d: nonempty subcut on down slot %d" u i
-          end
+    Slab.check_invariants t.slab;
+    Frame.check_pool t.pool;
+    if Slab.live t.slab <> t.n then
+      fail "slab: %d live cells <> %d nodes" (Slab.live t.slab) t.n;
+    let c = t.c and a = t.a in
+    for u = 0 to t.n - 1 do
+      let sb = c.slot_base.(u) and d = c.deg.(u) in
+      let rb = c.req_base.(u) and mb = c.msk_base.(u) in
+      (* dense counters vs recomputed cardinalities *)
+      let bcount base len by =
+        let n = ref 0 in
+        for i = base to base + len - 1 do
+          if bget by i then incr n
         done;
-        let any' =
-          nd.down_count > 0
-          || Array.exists (fun s -> not (IntSet.is_empty s)) nd.subcut
-        in
-        if nd.any_cut <> any' then
-          fail "node %d: any_cut %b inconsistent" u nd.any_cut;
-        if not nd.alive then begin
-          if nd.tkn_count <> 0 || nd.grntd_count <> 0 then
-            fail "node %d: crashed but holds lease state" u;
-          if nd.pending <> [] then fail "node %d: crashed with pending combines" u
-        end;
-        for i = 0 to nd.deg - 1 do
-          if IntSet.cardinal nd.uaw.(i) <> nd.uaw_size.(i) then
-            fail "node %d: uaw_size[%d] %d <> %d" u i nd.uaw_size.(i)
-              (IntSet.cardinal nd.uaw.(i))
+        !n
+      in
+      if bcount sb d a.taken <> c.tkn_count.(u) then
+        fail "node %d: tkn_count %d <> %d" u c.tkn_count.(u)
+          (bcount sb d a.taken);
+      if bcount sb d a.granted <> c.grntd_count.(u) then
+        fail "node %d: grntd_count %d <> %d" u c.grntd_count.(u)
+          (bcount sb d a.granted);
+      (* crash/recovery bookkeeping *)
+      if bcount sb d a.down <> c.down_count.(u) then
+        fail "node %d: down_count %d <> %d" u c.down_count.(u)
+          (bcount sb d a.down);
+      for i = 0 to d - 1 do
+        if bget a.down (sb + i) then begin
+          if bget a.taken (sb + i) then
+            fail "node %d: taken lease on down slot %d" u i;
+          if bget a.granted (sb + i) then
+            fail "node %d: granted lease to down slot %d" u i;
+          if not (IntSet.is_empty a.subcut.(sb + i)) then
+            fail "node %d: nonempty subcut on down slot %d" u i
+        end
+      done;
+      let any' =
+        c.down_count.(u) > 0
+        ||
+        let some = ref false in
+        for i = 0 to d - 1 do
+          if not (IntSet.is_empty a.subcut.(sb + i)) then some := true
         done;
-        (* gval cache *)
-        if not nd.gval_dirty then begin
-          let x = ref nd.value in
-          for i = 0 to nd.deg - 1 do
-            x := Op.combine !x nd.aval.(i)
-          done;
-          if not (Op.equal !x nd.gval_cache) then
-            fail "node %d: stale gval cache" u
-        end;
-        (* snt masks vs their counters, probed counters, pndg linkage *)
-        let probed' = Array.make nd.deg 0 in
-        for r = 0 to nd.deg do
-          let c = count nd.snt.(r) in
-          if c <> nd.snt_count.(r) then
-            fail "node %d: snt_count[%d] %d <> %d" u r nd.snt_count.(r) c;
-          if nd.pndg.(r) <> (c > 0) then
-            fail "node %d: pndg[%d]=%b but |snt|=%d" u r nd.pndg.(r) c;
-          for i = 0 to nd.deg - 1 do
-            if nd.snt.(r).(i) then probed'.(i) <- probed'.(i) + 1
-          done
+        !some
+      in
+      if bget c.any_cut u <> any' then
+        fail "node %d: any_cut %b inconsistent" u (bget c.any_cut u);
+      if not (bget c.alive u) then begin
+        if c.tkn_count.(u) <> 0 || c.grntd_count.(u) <> 0 then
+          fail "node %d: crashed but holds lease state" u;
+        if c.pending.(u) <> [] then
+          fail "node %d: crashed with pending combines" u
+      end;
+      (* uaw windows: in range and strictly increasing (set semantics) *)
+      for i = 0 to d - 1 do
+        let s = sb + i in
+        let head = a.uaw_head.(s) and len = a.uaw_len.(s) in
+        if head < 0 || len < 0 || head + len > Array.length a.uaw_buf.(s)
+        then fail "node %d: uaw window [%d,+%d) out of range" u head len;
+        for j = 1 to len - 1 do
+          if a.uaw_buf.(s).(head + j) <= a.uaw_buf.(s).(head + j - 1) then
+            fail "node %d: uaw[%d] not strictly increasing" u i
+        done
+      done;
+      (* gval cache *)
+      if not (bget c.gval_dirty u) then begin
+        let x = ref c.value.(u) in
+        for i = 0 to d - 1 do
+          x := Op.combine !x a.aval.(sb + i)
         done;
-        for i = 0 to nd.deg - 1 do
-          if probed'.(i) <> nd.probed.(i) then
-            fail "node %d: probed[%d] %d <> %d" u i nd.probed.(i) probed'.(i)
+        if not (Op.equal !x c.gval_cache.(u)) then
+          fail "node %d: stale gval cache" u
+      end;
+      (* snt masks vs their counters, probed counters, pndg linkage *)
+      let probed' = Array.make (max 1 d) 0 in
+      for r = 0 to d do
+        let cnt = bcount (mb + (r * d)) d a.snt in
+        if cnt <> a.snt_count.(rb + r) then
+          fail "node %d: snt_count[%d] %d <> %d" u r a.snt_count.(rb + r) cnt;
+        if bget a.pndg (rb + r) <> (cnt > 0) then
+          fail "node %d: pndg[%d]=%b but |snt|=%d" u r
+            (bget a.pndg (rb + r))
+            cnt;
+        for i = 0 to d - 1 do
+          if bget a.snt (mb + (r * d) + i) then probed'.(i) <- probed'.(i) + 1
+        done
+      done;
+      for i = 0 to d - 1 do
+        if probed'.(i) <> a.probed.(sb + i) then
+          fail "node %d: probed[%d] %d <> %d" u i a.probed.(sb + i) probed'.(i)
+      done;
+      (* sntlogs: monotone ids, pruning watermark below live entries *)
+      for i = 0 to d - 1 do
+        let s = sb + i in
+        if a.sl_start.(s) < 0 || a.sl_start.(s) > a.sl_len.(s) then
+          fail "node %d: sntlog window [%d,%d)" u a.sl_start.(s) a.sl_len.(s);
+        for j = a.sl_start.(s) + 1 to a.sl_len.(s) - 1 do
+          if a.sl_rcv.(s).(j) <= a.sl_rcv.(s).(j - 1) then
+            fail "node %d: sntlog rcvids not increasing" u;
+          if a.sl_snt.(s).(j) <= a.sl_snt.(s).(j - 1) then
+            fail "node %d: sntlog sntids not increasing" u
         done;
-        (* sntlogs: monotone ids, pruning watermark below live entries *)
-        Array.iter
-          (fun sl ->
-            if sl.start < 0 || sl.start > sl.len then
-              fail "node %d: sntlog window [%d,%d)" u sl.start sl.len;
-            for j = sl.start + 1 to sl.len - 1 do
-              if sl.rcvids.(j) <= sl.rcvids.(j - 1) then
-                fail "node %d: sntlog rcvids not increasing" u;
-              if sl.sntids.(j) <= sl.sntids.(j - 1) then
-                fail "node %d: sntlog sntids not increasing" u
-            done;
-            if sl.len > sl.start && sl.pruned_hi >= sl.sntids.(sl.start) then
-              fail "node %d: pruned_hi overlaps live sntlog" u;
-            if sl.len > sl.start && sl.sntids.(sl.len - 1) > nd.upcntr then
-              fail "node %d: sntid beyond upcntr" u)
-          nd.sntlogs;
-        (* ghost: gwrites mirrors glog's write subsequence; per-origin
-           indices increase chronologically; last_write is their max *)
-        let writes = Ghost.wlog (List.rev nd.glog) in
-        if List.length writes <> nd.gwrites_len then
-          fail "node %d: gwrites_len %d <> %d writes in glog" u nd.gwrites_len
-            (List.length writes);
-        List.iteri
-          (fun j (w : Op.t Ghost.write) ->
-            let w' = nd.gwrites.(j) in
-            if w'.Ghost.wnode <> w.wnode || w'.windex <> w.windex then
-              fail "node %d: gwrites[%d] diverges from glog" u j)
-          writes;
-        let hi = Array.make (Array.length nd.last_write) (-1) in
-        List.iter
-          (fun (w : Op.t Ghost.write) ->
-            if w.windex <= hi.(w.wnode) then
-              fail "node %d: write (%d,%d) breaks per-origin prefix order" u
-                w.wnode w.windex;
-            hi.(w.wnode) <- w.windex)
-          writes;
-        Array.iteri
-          (fun v h ->
-            if h <> nd.last_write.(v) then
-              fail "node %d: last_write[%d] %d <> %d" u v nd.last_write.(v) h)
-          hi;
-        Array.iteri
-          (fun i s ->
-            if s < 0 || s > nd.gwrites_len then
-              fail "node %d: shipped[%d]=%d out of range" u i s)
-          nd.shipped)
-      t.nodes
+        if
+          a.sl_len.(s) > a.sl_start.(s)
+          && a.sl_pruned.(s) >= a.sl_snt.(s).(a.sl_start.(s))
+        then fail "node %d: pruned_hi overlaps live sntlog" u;
+        if
+          a.sl_len.(s) > a.sl_start.(s)
+          && a.sl_snt.(s).(a.sl_len.(s) - 1) > c.upcntr.(u)
+        then fail "node %d: sntid beyond upcntr" u
+      done;
+      (* ghost: gwrites mirrors glog's write subsequence; per-origin
+         indices increase chronologically; last_write is their max *)
+      let writes = Ghost.wlog (List.rev c.glog.(u)) in
+      if List.length writes <> c.gwrites_len.(u) then
+        fail "node %d: gwrites_len %d <> %d writes in glog" u c.gwrites_len.(u)
+          (List.length writes);
+      List.iteri
+        (fun j (w : Op.t Ghost.write) ->
+          let w' = c.gwrites.(u).(j) in
+          if w'.Ghost.wnode <> w.wnode || w'.windex <> w.windex then
+            fail "node %d: gwrites[%d] diverges from glog" u j)
+        writes;
+      let hi = Array.make (Array.length c.last_write.(u)) (-1) in
+      List.iter
+        (fun (w : Op.t Ghost.write) ->
+          if w.windex <= hi.(w.wnode) then
+            fail "node %d: write (%d,%d) breaks per-origin prefix order" u
+              w.wnode w.windex;
+          hi.(w.wnode) <- w.windex)
+        writes;
+      Array.iteri
+        (fun v h ->
+          if h <> c.last_write.(u).(v) then
+            fail "node %d: last_write[%d] %d <> %d" u v c.last_write.(u).(v) h)
+        hi;
+      for i = 0 to d - 1 do
+        if a.shipped.(sb + i) < 0 || a.shipped.(sb + i) > c.gwrites_len.(u)
+        then
+          fail "node %d: shipped[%d]=%d out of range" u i a.shipped.(sb + i)
+      done
+    done
 end

@@ -23,19 +23,33 @@
     keep the paper's names ([sendprobes], [forwardupdates],
     [sendresponse], [onrelease], [forwardrelease], [gval], [subval]).
 
-    Internally the per-node state named by the paper is stored densely,
-    indexed by neighbour {e slot} (position in the sorted neighbour
-    array) rather than hashed by neighbour id: [taken]/[granted] are
-    bool arrays with incrementally maintained cardinalities, [aval] is a
-    value array behind a cached [gval] (so [subval] is O(1) for
-    operators with a group inverse), [uaw]/[snt] carry cached sizes, and
-    [sntupdates] is a per-channel log with monotone ids that is binary
-    searched and pruned as releases consume it.  Ghost write logs are
-    delta-encoded per channel: each message carries only the suffix of
-    the write log not previously shipped on that channel.  None of this
-    changes the protocol: message sequences are identical to the plain
-    transcription (pinned by golden tests), and {!Make.check_invariants}
-    audits the representation against the naive recomputation. *)
+    Internally the per-node state named by the paper is stored densely
+    as slab-indexed structure-of-arrays columns ({!Slab} hands out the
+    cell ids; every column is one flat array), with per-neighbour-slot
+    state packed into shared arenas indexed by per-node base offsets:
+    [taken]/[granted] are byte arrays with incrementally maintained
+    cardinalities, [aval] is a value array behind a cached [gval] (so
+    [subval] is O(1) for operators with a group inverse), [uaw] is a
+    sorted int window (O(1) append, release trims advance its head),
+    and [sntupdates] is a per-channel parallel-array log with monotone
+    ids that is binary searched and pruned as releases consume it.
+    Ghost write logs are delta-encoded per channel: each message
+    carries only the suffix of the write log not previously shipped on
+    that channel.
+
+    The data plane is flat binary frames ({!Simul.Frame}) drawn from a
+    per-system recycling pool: the outbox encodes each message straight
+    into a pooled frame (see {!Make.Wire} for the payload layout), the
+    network queues carry the frames themselves, and {!Make.handler}
+    decodes header fields off the frame and releases it — in the
+    fault-free, ghost-free steady state the whole send -> queue -> pop
+    -> decode -> dispatch path performs {e zero} minor allocation
+    (asserted by the frames test suite and gated in [bench-smoke]).
+
+    None of this changes the protocol: message sequences are identical
+    to the plain transcription (pinned by golden tests), and
+    {!Make.check_invariants} audits the representation — and the frame
+    pool and slab — against the naive recomputation. *)
 
 module IntSet : Set.S with type elt = int
 
@@ -57,9 +71,10 @@ module Make (Op : Agg.Operator.S) : sig
             (transition T7; never sent in fault-free runs) *)
 
   val kind_of : msg -> Simul.Kind.t
-  (** Accounting classifier — also the one to derive a frame classifier
-      from when running over {!Simul.Reliable}
-      ([Simul.Reliable.frame_kind kind_of]). *)
+  (** Accounting classifier for the structured view.  On the wire the
+      kind rides in the frame header ([Simul.Kind.index]-coded), so
+      frame-level consumers classify with
+      [Simul.Kind.of_index (Simul.Frame.kind f)] directly. *)
 
   type t
 
@@ -98,7 +113,21 @@ module Make (Op : Agg.Operator.S) : sig
         [Simul.Devent.clock] to put everything on virtual time. *)
 
   val tree : t -> Tree.t
-  val network : t -> msg Simul.Network.t
+
+  val network : t -> Simul.Frame.t Simul.Network.t
+  (** The underlying network; its queues hold encoded frames.  Drivers
+      that pop from it directly own each popped frame and must either
+      hand it to {!handler} (which releases it) or release it
+      themselves. *)
+
+  val frame_pool : t -> Simul.Frame.pool
+  (** The pool every outgoing frame is drawn from.  At quiescence its
+      live count is 0 — anything else is a leaked in-flight frame. *)
+
+  val slab : t -> Slab.t
+  (** The cell allocator behind the node-state columns (one live cell
+      per tree node; block accounting feeds the [slab.blocks] gauge). *)
+
   val policy_name : t -> string
 
   (** {1 Requests (local transitions)} *)
@@ -126,9 +155,11 @@ module Make (Op : Agg.Operator.S) : sig
 
   (** {1 Message delivery} *)
 
-  val handler : t -> src:int -> dst:int -> msg -> unit
-  (** Transitions T3-T7, dispatched on the message constructor.
-      Messages addressed to a crashed node are silently dropped. *)
+  val handler : t -> src:int -> dst:int -> Simul.Frame.t -> unit
+  (** Transitions T3-T7, dispatched on the frame's kind byte; payload
+      fields are decoded in place (no [msg] is built on the hot path).
+      Consumes the caller's frame reference.  Frames addressed to a
+      crashed node are silently dropped (and still released). *)
 
   val run_to_quiescence : ?max_deliveries:int -> t -> int
   (** Deliver queued messages until quiescent; returns deliveries.
@@ -244,4 +275,42 @@ module Make (Op : Agg.Operator.S) : sig
 
   val completed_requests : t -> int -> int
   (** Number of completed requests at a node (drives request indices). *)
+
+  (** {1 Wire codec}
+
+      The frame payload encoding behind the structured {!msg} view.
+      Layouts (all little-endian, after the 18-byte {!Simul.Frame}
+      header; an {e x field} is a u16 byte length followed by
+      [Op.encode] bytes):
+
+      {v
+        Probe     (empty)
+        Response  x field, flag u8, cut (u16 count + i64 ids),
+                  wlog (u32 count + per write: wnode i64, windex i64,
+                  x field)
+        Update    id i64, x field, cut, wlog
+        Release   u32 count + i64 ids ascending (first id = min)
+        Hello     epoch i64
+      v}
+
+      The hot path encodes/decodes these layouts inline; this module is
+      the structured, fully checked equivalent used by tests and
+      round-trip properties. *)
+
+  module Wire : sig
+    type error =
+      | Truncated of { field : string; need : int; have : int }
+      | Bad_kind of int
+      | Bad_value of string
+
+    val pp_error : Format.formatter -> error -> unit
+
+    val encode : Simul.Frame.pool -> msg -> Simul.Frame.t
+    (** A fresh frame (count 1) from the pool carrying [m]; byte-
+        identical to what the hot senders emit. *)
+
+    val decode : Simul.Frame.t -> (msg, error) result
+    (** Fully bounds-checked: arbitrary garbage bytes decode to a typed
+        [Error], never an exception or out-of-range read. *)
+  end
 end

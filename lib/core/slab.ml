@@ -1,0 +1,96 @@
+(* Block-granular cell allocator backing the mechanism's dense per-node
+   state (the `new_node_block` trick: state grows a block at a time and
+   individual cells recycle through an intrusive free list, so node
+   state is cache-contiguous and allocation stays off the per-request
+   path).  The free list is threaded through [next]: free cells chain
+   by index, live cells hold the [live_mark] sentinel — which makes
+   double frees and foreign indices detectable in O(1). *)
+
+let free_end = -1 (* terminates the free list *)
+let live_mark = -2 (* cell is allocated *)
+
+type t = {
+  block : int;
+  mutable next : int array; (* per cell: free-list link or live_mark *)
+  mutable head : int; (* first free cell, or free_end *)
+  mutable cap : int;
+  mutable live_n : int;
+  mutable hwm_n : int;
+  mutable grow_hooks : (int -> int -> unit) list;
+}
+
+let create ?(block = 1024) () =
+  if block <= 0 then invalid_arg "Slab.create: block size must be positive";
+  {
+    block;
+    next = [||];
+    head = free_end;
+    cap = 0;
+    live_n = 0;
+    hwm_n = 0;
+    grow_hooks = [];
+  }
+
+let on_grow t hook = t.grow_hooks <- hook :: t.grow_hooks
+
+let capacity t = t.cap
+let live t = t.live_n
+let hwm t = t.hwm_n
+let blocks t = t.cap / t.block
+
+let is_live t i = i >= 0 && i < t.cap && t.next.(i) == live_mark
+
+let grow t =
+  let old_cap = t.cap in
+  let cap = old_cap + t.block in
+  let next = Array.make cap live_mark in
+  Array.blit t.next 0 next 0 old_cap;
+  (* thread the new block in ascending order *)
+  for i = cap - 1 downto old_cap do
+    next.(i) <- (if i = cap - 1 then t.head else i + 1)
+  done;
+  t.next <- next;
+  t.head <- old_cap;
+  t.cap <- cap;
+  (* companion arrays (the mechanism's SoA columns) extend in step *)
+  List.iter (fun h -> h old_cap cap) t.grow_hooks
+
+let alloc t =
+  if t.head = free_end then grow t;
+  let i = t.head in
+  t.head <- t.next.(i);
+  t.next.(i) <- live_mark;
+  t.live_n <- t.live_n + 1;
+  if t.live_n > t.hwm_n then t.hwm_n <- t.live_n;
+  i
+
+let free t i =
+  if i < 0 || i >= t.cap then
+    invalid_arg (Printf.sprintf "Slab.free: index %d out of range" i);
+  if t.next.(i) <> live_mark then
+    invalid_arg (Printf.sprintf "Slab.free: cell %d is not live" i);
+  t.next.(i) <- t.head;
+  t.head <- i;
+  t.live_n <- t.live_n - 1
+
+let check_invariants t =
+  let fail fmt = Format.kasprintf failwith ("Slab.check_invariants: " ^^ fmt) in
+  if t.cap mod t.block <> 0 then
+    fail "capacity %d not a multiple of the block size %d" t.cap t.block;
+  if Array.length t.next <> t.cap then
+    fail "link array length %d <> capacity %d" (Array.length t.next) t.cap;
+  let free_count = ref 0 in
+  let i = ref t.head in
+  while !i <> free_end do
+    if !free_count > t.cap then fail "free list cycle";
+    if !i < 0 || !i >= t.cap then fail "free link %d out of range" !i;
+    if t.next.(!i) = live_mark then fail "live cell %d on the free list" !i;
+    incr free_count;
+    i := t.next.(!i)
+  done;
+  let live_count = ref 0 in
+  Array.iter (fun l -> if l = live_mark then incr live_count) t.next;
+  if !live_count <> t.live_n then
+    fail "%d cells marked live but live = %d" !live_count t.live_n;
+  if !live_count + !free_count <> t.cap then
+    fail "%d live + %d free <> capacity %d" !live_count !free_count t.cap

@@ -1,0 +1,48 @@
+(** Block-granular cell allocator for dense per-node state.
+
+    The mechanism keeps node state as structure-of-arrays columns
+    indexed by a cell id from this allocator, not as per-node heap
+    records: cells are handed out from 1024-cell blocks (the whole
+    column storage is a handful of large arrays, cache-contiguous and
+    ready for per-domain sharding), freed cells recycle through an
+    intrusive free list, and companion columns grow in lock-step
+    through {!on_grow} hooks.
+
+    A cell id is valid from {!alloc} to {!free}.  The free list is
+    threaded through an int array with a distinct sentinel for live
+    cells, so a double {!free} fails immediately instead of corrupting
+    the list. *)
+
+type t
+
+val create : ?block:int -> unit -> t
+(** [block] (default 1024) is the growth granularity in cells. *)
+
+val on_grow : t -> (int -> int -> unit) -> unit
+(** [on_grow t hook] registers [hook old_cap new_cap], called whenever
+    the slab grows — the owner of each companion column extends its
+    backing array there, keeping every column the same length as the
+    slab. *)
+
+val alloc : t -> int
+(** A fresh cell id, recycled from the free list when possible; grows
+    the slab by one block ({!on_grow} hooks fire) when exhausted.  A
+    fresh slab hands out ids [0, 1, 2, …] in order. *)
+
+val free : t -> int -> unit
+(** Return a cell to the free list.
+    @raise Invalid_argument if the cell is not live (double free,
+    foreign index). *)
+
+val capacity : t -> int
+(** Total cells across all blocks ( = length of every column). *)
+
+val blocks : t -> int
+val live : t -> int
+val hwm : t -> int
+val is_live : t -> int -> bool
+
+val check_invariants : t -> unit
+(** Free-list/live-mark audit: the free list is acyclic, within range,
+    disjoint from live cells, and partitions the capacity with them.
+    @raise Failure on the first violation.  For tests. *)

@@ -87,26 +87,34 @@ module Make (Op : Agg.Operator.S) = struct
         ?fault:(Option.map Plan.hook plan)
         ~on_send:(fun ~src ~dst -> Dev.notify dev ~src ~dst)
         ~clock:(Dev.clock dev) tree
-        ~kind_of:(Rel.frame_kind M.kind_of)
+        ~kind_of:(fun f -> Simul.Kind.of_index (Simul.Frame.kind f))
+        ~frames:(fun f -> f)
     in
     let sys_ref = ref None in
     let sys () =
       match !sys_ref with Some s -> s | None -> assert false
     in
-    let rel =
-      Rel.create ?metrics ~rto ~timer:dev ~net:phys
-        ~deliver:(fun ~src ~dst m -> M.handler (sys ()) ~src ~dst m)
-        ()
+    let rel_ref = ref None in
+    let rel () =
+      match !rel_ref with Some r -> r | None -> assert false
     in
     let s =
       M.create ~ghost:true ?metrics
         ~on_send:(fun ~src ~dst ->
           match Net.pop (M.network (sys ())) ~src ~dst with
-          | Some m -> Rel.send rel ~src ~dst m
+          | Some f -> Rel.send (rel ()) ~src ~dst f
           | None -> assert false)
         ~clock:(Dev.clock dev) tree ~policy
     in
     sys_ref := Some s;
+    (* acks share the mechanism's frame pool: one leak audit covers the
+       whole data plane *)
+    let rel =
+      Rel.create ?metrics ~pool:(M.frame_pool s) ~rto ~timer:dev ~net:phys
+        ~deliver:(fun ~src ~dst f -> M.handler s ~src ~dst f)
+        ()
+    in
+    rel_ref := Some rel;
     (* Crash/restart schedule.  Transport first on both edges: the
        crash voids in-flight frames before the mechanism's failure
        notifications send recovery traffic, and the restart gives the
@@ -168,6 +176,8 @@ module Make (Op : Agg.Operator.S) = struct
       failwith "Fault.Runner: transport not quiescent after drain";
     if Net.in_flight (M.network s) <> 0 then
       failwith "Fault.Runner: mechanism outbox not empty after drain";
+    if Simul.Frame.live (M.frame_pool s) <> 0 then
+      failwith "Fault.Runner: frames leaked in flight after drain";
     M.check_invariants s;
     Rel.check_invariants rel;
     Net.check_invariants phys;

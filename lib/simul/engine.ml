@@ -12,12 +12,7 @@ let () =
 
 let default_max_deliveries = 100_000_000
 
-let step net ~handler =
-  match Network.pop_any net with
-  | None -> false
-  | Some (src, dst, m) ->
-    handler ~src ~dst m;
-    true
+let step net ~handler = Network.deliver_any net ~handler
 
 let run_to_quiescence ?(max_deliveries = default_max_deliveries) net ~handler =
   let rec loop count =
@@ -31,16 +26,13 @@ let run_concurrent ?(max_deliveries = default_max_deliveries)
     ?(sink = Telemetry.Sink.null) ?clock ~rng net ~handler ~requests =
   let clock = match clock with Some c -> c | None -> Network.clock net in
   let delivered = ref 0 in
-  let deliver_one () =
-    match Network.pop_random net rng with
-    | None -> false
-    | Some (src, dst, m) ->
-      incr delivered;
-      if !delivered > max_deliveries then
-        raise (Divergence { deliveries = !delivered; budget = max_deliveries });
-      handler ~src ~dst m;
-      true
+  let counted ~src ~dst m =
+    incr delivered;
+    if !delivered > max_deliveries then
+      raise (Divergence { deliveries = !delivered; budget = max_deliveries });
+    handler ~src ~dst m
   in
+  let deliver_one () = Network.deliver_random net rng ~handler:counted in
   let deliver_some () =
     (* Geometric number of deliveries: keeps schedules adversarially
        varied while guaranteeing progress. *)

@@ -1,12 +1,17 @@
 (* Channels live in a flat id space: channel (src,dst) has id
    [chan_base.(src) + i] where [i] is dst's position in src's sorted
-   adjacency.  On top of the flat queues sits the active-channel
-   registry: a dense array of the ids of all nonempty channels, with the
-   position of each active channel tracked in [reg_pos].  [send] and
-   [pop] maintain it incrementally, so the scheduler never scans the
-   tree: [pop_any] reads the registry head and [pop_random] picks a
+   adjacency.  Each channel is a growable ring buffer (not a [Queue.t]:
+   rings don't cons a cell per message, so the steady-state send/pop
+   cycle is allocation-free once capacities have warmed up).  On top of
+   the flat queues sits the active-channel registry: a dense array of
+   the ids of all nonempty channels, with the position of each active
+   channel tracked in [reg_pos].  [send] and the pop/deliver family
+   maintain it incrementally, so the scheduler never scans the tree:
+   [deliver_any] reads the registry head and [deliver_random] picks a
    uniform index and swap-removes — both O(1) per delivery and
-   allocation-free apart from the returned tuple. *)
+   allocation-free ([pop_any]/[pop_random] still exist but box an
+   option + tuple per delivery; hot paths use the deliver variants,
+   which hand src/dst/payload straight to a handler). *)
 
 (* Pre-registered telemetry handles: resolved once at creation so the
    hot path pays one [match] on the option plus O(1) metric updates. *)
@@ -15,15 +20,26 @@ type net_tel = {
   delivered_k : Telemetry.Metrics.counter array; (* per kind *)
   inflight : Telemetry.Metrics.gauge;            (* hwm = in-flight high-water *)
   occupancy : Telemetry.Metrics.gauge;           (* hwm = channel occupancy high-water *)
+  pool_live : Telemetry.Metrics.gauge option;    (* frame-pool live gauge *)
+  pool_hwm : Telemetry.Metrics.gauge option;     (* frame-pool live high-water *)
 }
 
 type fault_decision = { drop : bool; duplicate : bool; reorder_depth : int }
 
 type fault_hook = src:int -> dst:int -> attempt:int -> fault_decision
 
+(* One directed channel: a FIFO ring.  Slots outside the live window
+   hold [dummy] so popped payloads don't linger reachable. *)
+type 'm ring = {
+  mutable rbuf : 'm array;
+  mutable rhead : int;
+  mutable rlen : int;
+}
+
 type 'm t = {
   tree : Tree.t;
-  queues : 'm Queue.t array;  (* FIFO per directed edge, by channel id *)
+  queues : 'm ring array;     (* FIFO per directed edge, by channel id *)
+  dummy : 'm;                 (* unreachable slot filler *)
   chan_base : int array;      (* length n+1: first channel id of each src *)
   src_of : int array;         (* channel id -> src node *)
   dst_of : int array;         (* channel id -> dst node *)
@@ -32,6 +48,10 @@ type 'm t = {
   mutable reg_len : int;
   counters : int array;       (* per channel id x kind *)
   kind_of : 'm -> Kind.t;
+  frames : ('m -> Frame.t) option;
+      (* payload-to-frame view: lets the fault path keep pool reference
+         counts honest (retain on duplicate, release on wire drop) and
+         check_invariants audit the pool *)
   on_send : src:int -> dst:int -> unit;
   mutable in_flight : int;
   mutable total : int;
@@ -46,8 +66,10 @@ type 'm t = {
   mutable attempts : int array; (* per channel: transmission attempts, keys fault decisions *)
 }
 
+let initial_ring_capacity = 8
+
 let create ?(on_send = fun ~src:_ ~dst:_ -> ()) ?metrics
-    ?(sink = Telemetry.Sink.null) ?clock ?fault tree ~kind_of =
+    ?(sink = Telemetry.Sink.null) ?clock ?fault ?frames tree ~kind_of =
   let n = Tree.n_nodes tree in
   let chan_base = Array.make (n + 1) 0 in
   for u = 0 to n - 1 do
@@ -79,11 +101,27 @@ let create ?(on_send = fun ~src:_ ~dst:_ -> ()) ?metrics
           delivered_k = per_kind "net.delivered.";
           inflight = Telemetry.Metrics.gauge m "net.in_flight";
           occupancy = Telemetry.Metrics.gauge m "net.channel_occupancy";
+          pool_live =
+            (match frames with
+            | None -> None
+            | Some _ -> Some (Telemetry.Metrics.gauge m "pool.frames.live"));
+          pool_hwm =
+            (match frames with
+            | None -> None
+            | Some _ -> Some (Telemetry.Metrics.gauge m "pool.frames.hwm"));
         }
   in
+  (* [()]: a safely polymorphic dummy.  (An [int] dummy would make
+     ['m = float] rings flat float arrays and crash on the first store
+     of a boxed value.) *)
+  let dummy : 'm = Obj.magic () in
   let t = {
     tree;
-    queues = Array.init n_chans (fun _ -> Queue.create ());
+    queues =
+      Array.init n_chans (fun _ ->
+          { rbuf = Array.make initial_ring_capacity dummy;
+            rhead = 0; rlen = 0 });
+    dummy;
     chan_base;
     src_of;
     dst_of;
@@ -92,6 +130,7 @@ let create ?(on_send = fun ~src:_ ~dst:_ -> ()) ?metrics
     reg_len = 0;
     counters = Array.make (n_chans * Kind.count) 0;
     kind_of;
+    frames;
     on_send;
     in_flight = 0;
     total = 0;
@@ -130,6 +169,34 @@ let chan t ~src ~dst =
     invalid_arg
       (Printf.sprintf "Network: (%d,%d) is not an edge of the tree" src dst)
   | i -> t.chan_base.(src) + i
+
+(* Ring primitives.  Growth doubles the backing array (amortized; a
+   warmed-up channel never grows again). *)
+
+let ring_grow r dummy =
+  let cap = Array.length r.rbuf in
+  let b = Array.make (cap * 2) dummy in
+  for i = 0 to r.rlen - 1 do
+    b.(i) <- r.rbuf.((r.rhead + i) mod cap)
+  done;
+  r.rbuf <- b;
+  r.rhead <- 0
+
+let ring_push r dummy m =
+  let cap = Array.length r.rbuf in
+  if r.rlen = cap then ring_grow r dummy;
+  let cap = Array.length r.rbuf in
+  r.rbuf.((r.rhead + r.rlen) mod cap) <- m;
+  r.rlen <- r.rlen + 1
+
+let ring_pop r dummy =
+  let m = r.rbuf.(r.rhead) in
+  r.rbuf.(r.rhead) <- dummy;
+  r.rhead <- (r.rhead + 1) mod Array.length r.rbuf;
+  r.rlen <- r.rlen - 1;
+  m
+
+let ring_get r i = r.rbuf.((r.rhead + i) mod Array.length r.rbuf)
 
 let registry_add t cid =
   t.registry.(t.reg_len) <- cid;
@@ -172,25 +239,28 @@ let account t cid ~src ~dst m qlen =
   if t.obs then observe_send t ~src ~dst k qlen
 
 (* Insert [m] ahead of up to [depth] messages already queued (the fault
-   model's payload-level reordering).  O(queue length) rebuild — only
+   model's payload-level reordering): append, then swap backward.  Only
    ever reached on the fault path. *)
-let insert_reordered q depth m =
-  let len = Queue.length q in
-  let pos = if depth >= len then 0 else len - depth in
-  let tmp = Queue.create () in
-  for i = 0 to len - 1 do
-    if i = pos then Queue.add m tmp;
-    Queue.add (Queue.pop q) tmp
-  done;
-  if pos >= len then Queue.add m tmp;
-  Queue.transfer tmp q
+let insert_reordered t r depth m =
+  ring_push r t.dummy m;
+  let cap = Array.length r.rbuf in
+  let steps = min depth (r.rlen - 1) in
+  let pos = ref (r.rlen - 1) in
+  for _ = 1 to steps do
+    let i = (r.rhead + !pos) mod cap in
+    let j = (r.rhead + !pos - 1) mod cap in
+    let tmp = r.rbuf.(i) in
+    r.rbuf.(i) <- r.rbuf.(j);
+    r.rbuf.(j) <- tmp;
+    decr pos
+  done
 
 let enqueue_faulty t cid ~src ~dst m depth =
   let q = t.queues.(cid) in
-  if Queue.is_empty q then registry_add t cid;
-  if depth <= 0 then Queue.add m q else insert_reordered q depth m;
+  if q.rlen = 0 then registry_add t cid;
+  if depth <= 0 then ring_push q t.dummy m else insert_reordered t q depth m;
   t.in_flight <- t.in_flight + 1;
-  account t cid ~src ~dst m (Queue.length q);
+  account t cid ~src ~dst m q.rlen;
   t.on_send ~src ~dst
 
 let send t ~src ~dst m =
@@ -198,8 +268,8 @@ let send t ~src ~dst m =
   match t.fault with
   | None ->
     let q = t.queues.(cid) in
-    if Queue.is_empty q then registry_add t cid;
-    Queue.add m q;
+    if q.rlen = 0 then registry_add t cid;
+    ring_push q t.dummy m;
     let k = Kind.index (t.kind_of m) in
     let ci = (cid * Kind.count) + k in
     t.counters.(ci) <- t.counters.(ci) + 1;
@@ -207,20 +277,27 @@ let send t ~src ~dst m =
     t.total <- t.total + 1;
     t.in_flight <- t.in_flight + 1;
     t.tick <- t.tick + 1;
-    if t.obs then observe_send t ~src ~dst k (Queue.length q);
+    if t.obs then observe_send t ~src ~dst k q.rlen;
     t.on_send ~src ~dst
   | Some h ->
     let att = t.attempts.(cid) in
     t.attempts.(cid) <- att + 1;
     let d = h ~src ~dst ~attempt:att in
-    if d.drop then
+    if d.drop then begin
       (* lost on the wire: the transmission is paid for (counters) but
          nothing is queued and no delivery is scheduled ([on_send] is
-         not invoked, so virtual-time schedulers stay in sync). *)
-      account t cid ~src ~dst m (Queue.length t.queues.(cid))
+         not invoked, so virtual-time schedulers stay in sync).  The
+         sender's frame reference dies with the message. *)
+      account t cid ~src ~dst m t.queues.(cid).rlen;
+      match t.frames with None -> () | Some g -> Frame.release (g m)
+    end
     else begin
       enqueue_faulty t cid ~src ~dst m d.reorder_depth;
-      if d.duplicate then enqueue_faulty t cid ~src ~dst m 0
+      if d.duplicate then begin
+        (* the queue now holds the frame twice: one reference each *)
+        (match t.frames with None -> () | Some g -> Frame.retain (g m));
+        enqueue_faulty t cid ~src ~dst m 0
+      end
     end
 
 let set_fault t fault =
@@ -243,7 +320,15 @@ let observe_pop t cid m qlen =
   | Some tel ->
     Telemetry.Metrics.incr tel.delivered_k.(k);
     Telemetry.Metrics.gauge_set tel.inflight t.in_flight;
-    Telemetry.Metrics.gauge_set tel.occupancy qlen);
+    Telemetry.Metrics.gauge_set tel.occupancy qlen;
+    (match tel.pool_live, t.frames with
+    | Some g, Some view ->
+      let pool = Frame.pool_of (view m) in
+      Telemetry.Metrics.gauge_set g (Frame.live pool);
+      (match tel.pool_hwm with
+      | Some h -> Telemetry.Metrics.gauge_set h (Frame.hwm pool)
+      | None -> ())
+    | _ -> ()));
   if t.recording then
     Telemetry.Sink.record t.sink
       (Telemetry.Sink.Delivered
@@ -256,16 +341,16 @@ let observe_pop t cid m qlen =
 
 let pop_chan t cid =
   let q = t.queues.(cid) in
-  let m = Queue.pop q in
-  if Queue.is_empty q then registry_remove t cid;
+  let m = ring_pop q t.dummy in
+  if q.rlen = 0 then registry_remove t cid;
   t.in_flight <- t.in_flight - 1;
   t.tick <- t.tick + 1;
-  if t.obs then observe_pop t cid m (Queue.length q);
+  if t.obs then observe_pop t cid m q.rlen;
   m
 
 let pop t ~src ~dst =
   let cid = chan t ~src ~dst in
-  if Queue.is_empty t.queues.(cid) then None else Some (pop_chan t cid)
+  if t.queues.(cid).rlen = 0 then None else Some (pop_chan t cid)
 
 let pop_any t =
   if t.reg_len = 0 then None
@@ -282,12 +367,34 @@ let pop_random t rng =
     Some (t.src_of.(cid), t.dst_of.(cid), pop_chan t cid)
   end
 
+(* Handler-style delivery: same scheduling decisions as the pop family
+   (registry head / one uniform draw), but src, dst and payload go
+   straight to the handler — no option, no tuple, no allocation. *)
+
+let deliver_any t ~handler =
+  if t.reg_len = 0 then false
+  else begin
+    let cid = t.registry.(0) in
+    let m = pop_chan t cid in
+    handler ~src:t.src_of.(cid) ~dst:t.dst_of.(cid) m;
+    true
+  end
+
+let deliver_random t rng ~handler =
+  if t.reg_len = 0 then false
+  else begin
+    let cid = t.registry.(Prng.Splitmix.int rng t.reg_len) in
+    let m = pop_chan t cid in
+    handler ~src:t.src_of.(cid) ~dst:t.dst_of.(cid) m;
+    true
+  end
+
 (* Debug view only: O(edges) scan in (src, dst) order.  The scheduler
    never calls this; use [pop_any]/[pop_random]. *)
 let nonempty_channels t =
   let acc = ref [] in
   for cid = Array.length t.queues - 1 downto 0 do
-    if not (Queue.is_empty t.queues.(cid)) then
+    if t.queues.(cid).rlen > 0 then
       acc := (t.src_of.(cid), t.dst_of.(cid)) :: !acc
   done;
   !acc
@@ -315,8 +422,11 @@ let check_invariants t =
     fail "registry length %d out of range [0,%d]" t.reg_len n_chans;
   let queued = ref 0 in
   for cid = 0 to n_chans - 1 do
-    queued := !queued + Queue.length t.queues.(cid);
-    let active = not (Queue.is_empty t.queues.(cid)) in
+    let q = t.queues.(cid) in
+    queued := !queued + q.rlen;
+    if q.rlen < 0 || q.rlen > Array.length q.rbuf then
+      fail "channel %d ring length %d out of range" cid q.rlen;
+    let active = q.rlen > 0 in
     let pos = t.reg_pos.(cid) in
     if active && pos = -1 then
       fail "nonempty channel %d->%d missing from registry" t.src_of.(cid)
@@ -337,4 +447,23 @@ let check_invariants t =
   if counted <> t.total then
     fail "per-channel counters sum to %d but total is %d" counted t.total;
   if Array.fold_left ( + ) 0 t.kind_totals <> t.total then
-    fail "kind totals do not sum to total %d" t.total
+    fail "kind totals do not sum to total %d" t.total;
+  (* Frame-pool bookkeeping: every queued payload must hold a live
+     reference (a freed frame in a queue is a use-after-free; rc must
+     cover every queue occurrence), and the pool's free list must be
+     internally consistent (catches double releases that slipped
+     through as well as leaked frames: at quiescence live = 0). *)
+  match t.frames with
+  | None -> ()
+  | Some view ->
+    for cid = 0 to n_chans - 1 do
+      let q = t.queues.(cid) in
+      for i = 0 to q.rlen - 1 do
+        let f = view (ring_get q i) in
+        if Frame.rc f < 1 then
+          fail "queued frame on channel %d->%d has count %d (freed in flight)"
+            t.src_of.(cid) t.dst_of.(cid) (Frame.rc f);
+        (try Frame.check_pool (Frame.pool_of f)
+         with Frame.Frame_error e -> fail "frame pool: %s" e)
+      done
+    done

@@ -42,6 +42,7 @@ val create :
   ?sink:Telemetry.Sink.t ->
   ?clock:(unit -> float) ->
   ?fault:fault_hook ->
+  ?frames:('m -> Frame.t) ->
   Tree.t ->
   kind_of:('m -> Kind.t) ->
   'm t
@@ -67,7 +68,15 @@ val create :
     [duplicate] enqueues twice and schedules twice; [reorder_depth]
     permutes the message past up to that many older queued messages.
     The per-queue invariants ({!check_invariants}) hold under all of
-    these. *)
+    these.
+
+    [frames] tells the network how to see a payload as its backing
+    {!Frame.t} (usually the identity, or a projection).  When supplied,
+    the fault path keeps the frame pool's reference counts honest — a
+    wire [drop] releases the sender's reference, a [duplicate] retains
+    one per extra queue occurrence — and {!check_invariants}
+    additionally audits the pool (every queued frame live, free list
+    consistent). *)
 
 val tree : 'm t -> Tree.t
 
@@ -110,6 +119,17 @@ val pop_random : 'm t -> Prng.Splitmix.t -> (int * int * 'm) option
     adversarial interleaving used for concurrent executions.  O(1);
     draws exactly one PRNG value per delivered message. *)
 
+val deliver_any : 'm t -> handler:(src:int -> dst:int -> 'm -> unit) -> bool
+(** Pop from the registry head — the same deterministic scheduling
+    decision as {!pop_any} — and hand the message to [handler].
+    Returns [false] (without calling [handler]) when the network is
+    quiescent.  Allocation-free: no option, no tuple. *)
+
+val deliver_random :
+  'm t -> Prng.Splitmix.t -> handler:(src:int -> dst:int -> 'm -> unit) -> bool
+(** {!pop_random} in handler style: one PRNG draw per delivered
+    message, no allocation. *)
+
 val nonempty_channels : 'm t -> (int * int) list
 (** Debug view: all nonempty directed channels in scan order ([src]
     ascending, then [dst]).  O(edges) — not for use on the delivery hot
@@ -138,5 +158,8 @@ val check_invariants : 'm t -> unit
     exactly the nonempty channels (each exactly once, with consistent
     back-pointers), [in_flight] equals the total number of queued
     messages, and the per-channel/per-kind counters sum to [total].
+    With a [frames] view installed, additionally audits the frame
+    pool: every queued frame holds a live reference (no freed frame in
+    flight) and the pool's free list is consistent (no double-free).
     @raise Failure describing the first violated invariant.  Intended
     for tests; O(edges + queued messages). *)

@@ -7,27 +7,30 @@
    establishes all incident sessions from sequence 0 — the simulator-
    level equivalent of a connection reset.  The layer above therefore
    sees exactly-once FIFO channels between any two incarnations, which
-   is the mechanism's correctness precondition. *)
+   is the mechanism's correctness precondition.
 
-type 'm frame =
-  | Data of { s_inc : int; r_inc : int; seq : int; payload : 'm }
-  | Ack of { s_inc : int; r_inc : int; cum : int }
-
-let frame_kind kind_of = function
-  | Data { payload; _ } -> kind_of payload
-  | Ack _ -> Kind.Ack
+   The transport is monomorphic over pooled binary frames: transport
+   fields (seq, incarnations) are stamped into the frame header in
+   place, the retransmit buffer holds the frames themselves, and a
+   retransmission resends the identical frame — no re-encode anywhere.
+   Reference discipline: [send] consumes the caller's reference into
+   the unacked window; every physical transmission retains once (the
+   network queue's reference); [handle] consumes the delivered
+   reference — passing it up on in-order data, releasing it otherwise.
+   Acks are pooled frames too (kind [Kind.Ack], cumulative sequence in
+   the header's seq field). *)
 
 (* Both directions' endpoint state of one directed channel: the sender
    side lives at the channel's source, the receiver side at its
    destination. *)
-type 'm chan = {
+type chan = {
   mutable s_next : int;   (* next sequence number to assign *)
   mutable s_base : int;   (* lowest unacked sequence number *)
-  unacked : 'm Queue.t;   (* payloads [s_base, s_next) *)
+  unacked : Frame.t Queue.t;  (* frames [s_base, s_next), stamped *)
   mutable rto_cur : float;
   mutable gen : int;      (* bumps logically cancel armed timers *)
   mutable r_next : int;   (* receiver: next expected sequence number *)
-  ooo : (int, 'm) Hashtbl.t; (* receiver: buffered out-of-order frames *)
+  ooo : (int, Frame.t) Hashtbl.t; (* receiver: buffered out-of-order *)
 }
 
 type rel_tel = {
@@ -37,12 +40,13 @@ type rel_tel = {
   m_teardown : Telemetry.Metrics.counter;
 }
 
-type 'm t = {
+type t = {
   tree : Tree.t;
-  net : 'm frame Network.t;
+  net : Frame.t Network.t;
   timer : Devent.t;
-  deliver : src:int -> dst:int -> 'm -> unit;
-  chans : 'm chan array;
+  pool : Frame.pool;      (* ack frames *)
+  deliver : src:int -> dst:int -> Frame.t -> unit;
+  chans : chan array;
   chan_base : int array;
   src_of : int array;
   dst_of : int array;
@@ -59,8 +63,8 @@ type 'm t = {
   tel : rel_tel option;
 }
 
-let create ?metrics ?(rto = 4.0) ?(backoff = 2.0) ?(max_rto = 64.0) ~timer ~net
-    ~deliver () =
+let create ?metrics ?pool ?(rto = 4.0) ?(backoff = 2.0) ?(max_rto = 64.0)
+    ~timer ~net ~deliver () =
   if rto <= 0.0 || backoff < 1.0 || max_rto < rto then
     invalid_arg "Reliable.create: need rto > 0, backoff >= 1, max_rto >= rto";
   let tree = Network.tree net in
@@ -96,6 +100,10 @@ let create ?metrics ?(rto = 4.0) ?(backoff = 2.0) ?(max_rto = 64.0) ~timer ~net
     tree;
     net;
     timer;
+    pool =
+      (match pool with
+      | Some p -> p
+      | None -> Frame.create_pool ~name:"rel.acks" ());
     deliver;
     chans =
       Array.init (max 1 n_chans) (fun _ ->
@@ -147,7 +155,10 @@ let count_teardown t k =
     | Some x -> Telemetry.Metrics.add x.m_teardown k
   end
 
-let transmit t ~src ~dst frame = Network.send t.net ~src ~dst frame
+(* One physical transmission: the network queue takes one reference. *)
+let transmit t ~src ~dst f =
+  Frame.retain f;
+  Network.send t.net ~src ~dst f
 
 (* Retransmission timers: [arm] schedules a firing [rto_cur] ahead on
    the virtual clock, tagged with the channel's current generation.  A
@@ -161,15 +172,10 @@ let rec arm t ci =
 and on_timer t ci g =
   let c = t.chans.(ci) in
   if g = c.gen && not (Queue.is_empty c.unacked) then begin
-    (* go-back-N: retransmit the whole unacked window *)
+    (* go-back-N: retransmit the whole unacked window — the identical
+       frames, header stamps and all; no re-encode *)
     let src = t.src_of.(ci) and dst = t.dst_of.(ci) in
-    let s_inc = t.inc.(src) and r_inc = t.inc.(dst) in
-    let seq = ref c.s_base in
-    Queue.iter
-      (fun payload ->
-        transmit t ~src ~dst (Data { s_inc; r_inc; seq = !seq; payload });
-        incr seq)
-      c.unacked;
+    Queue.iter (fun f -> transmit t ~src ~dst f) c.unacked;
     let k = Queue.length c.unacked in
     t.retransmits <- t.retransmits + k;
     (match t.tel with
@@ -179,88 +185,119 @@ and on_timer t ci g =
     arm t ci
   end
 
-let send t ~src ~dst payload =
+(* Consumes the caller's reference: the frame is stamped in place and
+   held in the unacked window until cumulatively acknowledged.  The
+   stamps stay valid for the frame's whole stay — any incarnation bump
+   of either endpoint tears this channel down first. *)
+let send t ~src ~dst f =
   if not t.up.(src) then
     invalid_arg "Reliable.send: source node is down";
   let ci = cid t ~src ~dst in
   let c = t.chans.(ci) in
   let seq = c.s_next in
   c.s_next <- seq + 1;
-  Queue.add payload c.unacked;
+  Frame.set_seq f seq;
+  Frame.set_s_inc f t.inc.(src);
+  Frame.set_r_inc f t.inc.(dst);
+  Frame.set_stamped f true;
+  Queue.add f c.unacked;
   t.unacked_total <- t.unacked_total + 1;
-  transmit t ~src ~dst
-    (Data { s_inc = t.inc.(src); r_inc = t.inc.(dst); seq; payload });
+  transmit t ~src ~dst f;
   if Queue.length c.unacked = 1 then begin
     c.rto_cur <- t.rto0;
     arm t ci
   end
 
 let send_ack t ~src ~dst c =
-  (* ack travels dst -> src, acknowledging the data channel (src,dst) *)
-  transmit t ~src:dst ~dst:src
-    (Ack { s_inc = t.inc.(dst); r_inc = t.inc.(src); cum = c.r_next - 1 })
+  (* ack travels dst -> src, acknowledging the data channel (src,dst);
+     the cumulative sequence rides in the header's seq field *)
+  let f = Frame.alloc t.pool in
+  Frame.set_kind f (Kind.index Kind.Ack);
+  Frame.set_seq f (c.r_next - 1);
+  Frame.set_s_inc f t.inc.(dst);
+  Frame.set_r_inc f t.inc.(src);
+  Frame.set_stamped f true;
+  Network.send t.net ~src:dst ~dst:src f
 
-let handle t ~src ~dst frame =
-  if not t.up.(dst) then
+(* Consumes the delivered reference: in-order data frames are passed up
+   (the upper handler releases them), everything else is released
+   here. *)
+let handle t ~src ~dst f =
+  if not t.up.(dst) then begin
     (* frame addressed to a crashed node: lost with the node *)
-    count_teardown t 1
-  else
-    match frame with
-    | Data { s_inc; r_inc; seq; payload } ->
-      if s_inc <> t.inc.(src) || r_inc <> t.inc.(dst) then count_stale t
-      else begin
-        let c = t.chans.(cid t ~src ~dst) in
-        if seq < c.r_next then begin
-          count_dedup t;
-          (* re-ack so a sender that lost our ack makes progress *)
-          send_ack t ~src ~dst c
-        end
-        else if seq = c.r_next then begin
-          c.r_next <- seq + 1;
-          t.deliver ~src ~dst payload;
-          let rec drain_ooo () =
-            match Hashtbl.find_opt c.ooo c.r_next with
-            | Some p ->
-              Hashtbl.remove c.ooo c.r_next;
-              c.r_next <- c.r_next + 1;
-              t.deliver ~src ~dst p;
-              drain_ooo ()
-            | None -> ()
-          in
-          drain_ooo ();
-          send_ack t ~src ~dst c
-        end
-        else begin
-          if Hashtbl.mem c.ooo seq then count_dedup t
-          else Hashtbl.replace c.ooo seq payload;
-          send_ack t ~src ~dst c
-        end
+    count_teardown t 1;
+    Frame.release f
+  end
+  else if Frame.kind f = Kind.index Kind.Ack then begin
+    (* sent by [src], acknowledging the data channel (dst,src) *)
+    let cum = Frame.seq f in
+    let stale =
+      Frame.s_inc f <> t.inc.(src) || Frame.r_inc f <> t.inc.(dst)
+    in
+    if stale then count_stale t
+    else begin
+      let ci = cid t ~src:dst ~dst:src in
+      let c = t.chans.(ci) in
+      if cum >= c.s_base then begin
+        let k = min (cum - c.s_base + 1) (Queue.length c.unacked) in
+        for _ = 1 to k do
+          Frame.release (Queue.pop c.unacked)
+        done;
+        t.unacked_total <- t.unacked_total - k;
+        c.s_base <- c.s_base + k;
+        c.gen <- c.gen + 1;
+        c.rto_cur <- t.rto0;
+        if not (Queue.is_empty c.unacked) then arm t ci
       end
-    | Ack { s_inc; r_inc; cum } ->
-      (* sent by [src], acknowledging the data channel (dst,src) *)
-      if s_inc <> t.inc.(src) || r_inc <> t.inc.(dst) then count_stale t
-      else begin
-        let ci = cid t ~src:dst ~dst:src in
-        let c = t.chans.(ci) in
-        if cum >= c.s_base then begin
-          let k = min (cum - c.s_base + 1) (Queue.length c.unacked) in
-          for _ = 1 to k do
-            ignore (Queue.pop c.unacked)
-          done;
-          t.unacked_total <- t.unacked_total - k;
-          c.s_base <- c.s_base + k;
-          c.gen <- c.gen + 1;
-          c.rto_cur <- t.rto0;
-          if not (Queue.is_empty c.unacked) then arm t ci
-        end
+    end;
+    Frame.release f
+  end
+  else if Frame.s_inc f <> t.inc.(src) || Frame.r_inc f <> t.inc.(dst) then begin
+    count_stale t;
+    Frame.release f
+  end
+  else begin
+    let seq = Frame.seq f in
+    let c = t.chans.(cid t ~src ~dst) in
+    if seq < c.r_next then begin
+      count_dedup t;
+      Frame.release f;
+      (* re-ack so a sender that lost our ack makes progress *)
+      send_ack t ~src ~dst c
+    end
+    else if seq = c.r_next then begin
+      c.r_next <- seq + 1;
+      t.deliver ~src ~dst f;
+      let rec drain_ooo () =
+        match Hashtbl.find_opt c.ooo c.r_next with
+        | Some g ->
+          Hashtbl.remove c.ooo c.r_next;
+          c.r_next <- c.r_next + 1;
+          t.deliver ~src ~dst g;
+          drain_ooo ()
+        | None -> ()
+      in
+      drain_ooo ();
+      send_ack t ~src ~dst c
+    end
+    else begin
+      if Hashtbl.mem c.ooo seq then begin
+        count_dedup t;
+        Frame.release f
       end
+      else Hashtbl.replace c.ooo seq f;
+      send_ack t ~src ~dst c
+    end
+  end
 
 let teardown t ci =
   let c = t.chans.(ci) in
   let k = Queue.length c.unacked in
+  Queue.iter Frame.release c.unacked;
   Queue.clear c.unacked;
   t.unacked_total <- t.unacked_total - k;
   count_teardown t k;
+  Hashtbl.iter (fun _ f -> Frame.release f) c.ooo;
   Hashtbl.reset c.ooo;
   c.gen <- c.gen + 1;
   c.rto_cur <- t.rto0
@@ -316,11 +353,28 @@ let check_invariants t =
       if c.s_base + len <> c.s_next then
         fail "channel %d->%d: base %d + %d unacked <> next %d" t.src_of.(ci)
           t.dst_of.(ci) c.s_base len c.s_next;
+      let seq = ref c.s_base in
+      Queue.iter
+        (fun f ->
+          if Frame.rc f < 1 then
+            fail "channel %d->%d: unacked frame seq %d not live" t.src_of.(ci)
+              t.dst_of.(ci) !seq;
+          if not (Frame.stamped f) then
+            fail "channel %d->%d: unstamped frame in unacked window"
+              t.src_of.(ci) t.dst_of.(ci);
+          if Frame.seq f <> !seq then
+            fail "channel %d->%d: unacked frame stamped %d at window pos %d"
+              t.src_of.(ci) t.dst_of.(ci) (Frame.seq f) !seq;
+          incr seq)
+        c.unacked;
       Hashtbl.iter
-        (fun seq _ ->
+        (fun seq f ->
           if seq < c.r_next then
             fail "channel %d->%d: buffered seq %d below expected %d"
-              t.src_of.(ci) t.dst_of.(ci) seq c.r_next)
+              t.src_of.(ci) t.dst_of.(ci) seq c.r_next;
+          if Frame.rc f < 1 then
+            fail "channel %d->%d: buffered frame seq %d not live"
+              t.src_of.(ci) t.dst_of.(ci) seq)
         c.ooo)
     t.chans;
   if !total <> t.unacked_total then

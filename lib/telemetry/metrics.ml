@@ -87,6 +87,23 @@ let bucket_of v =
     !b
   end
 
+(* GC health, sampled on demand (the registry never polls by itself):
+   allocation totals and collection counts as gauges, so a phase reset
+   re-baselines them along with everything else.  OCaml exposes no
+   per-collection pause clock, so gc.max_pause is fed by the caller —
+   whoever drives the event loop times its own steps and reports them
+   through [observe_pause]; the gauge's high-water mark is the answer. *)
+let gc_sample t =
+  let s = Gc.quick_stat () in
+  gauge_set (gauge t "gc.minor_words") (int_of_float s.Gc.minor_words);
+  gauge_set (gauge t "gc.promoted_words") (int_of_float s.Gc.promoted_words);
+  gauge_set (gauge t "gc.minor_collections") s.Gc.minor_collections;
+  gauge_set (gauge t "gc.major_collections") s.Gc.major_collections;
+  gauge_set (gauge t "gc.heap_words") s.Gc.heap_words
+
+let observe_pause t seconds =
+  gauge_set (gauge t "gc.max_pause") (int_of_float (seconds *. 1e9))
+
 let observe h v =
   let b = bucket_of v in
   let b = if b >= n_buckets then n_buckets - 1 else b in

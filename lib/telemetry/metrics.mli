@@ -47,6 +47,20 @@ val gauge_value : gauge -> int
 
 val gauge_hwm : gauge -> int
 
+val gc_sample : t -> unit
+(** Refresh the GC health gauges from {!Gc.quick_stat}:
+    [gc.minor_words], [gc.promoted_words], [gc.minor_collections],
+    [gc.major_collections], [gc.heap_words].  Sampled on demand — call
+    it wherever a health snapshot is taken; a registry {!reset}
+    re-baselines these along with everything else. *)
+
+val observe_pause : t -> float -> unit
+(** [observe_pause t seconds] records one measured event-loop step (or
+    any other latency the caller treats as a pause) into the
+    [gc.max_pause] gauge, in nanoseconds; the gauge's high-water mark
+    is the worst pause observed.  OCaml exposes no per-collection pause
+    clock, so this is caller-timed by design. *)
+
 val observe : histogram -> int -> unit
 
 val histogram_count : histogram -> int

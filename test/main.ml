@@ -5,6 +5,7 @@ let () =
       ("tree", Test_tree.suite);
       ("agg", Test_agg.suite);
       ("simul", Test_simul.suite);
+      ("frames", Test_frames.suite);
       ("telemetry", Test_telemetry.suite);
       ("mechanism", Test_mechanism.suite);
       ("offline", Test_offline.suite);

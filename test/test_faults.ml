@@ -24,7 +24,8 @@ let run_dropping ~tree ~requests ~drop =
       | None -> ()
       | Some (src, dst, m) ->
         incr delivered;
-        if !delivered <> drop then M.handler sys ~src ~dst m;
+        if !delivered <> drop then M.handler sys ~src ~dst m
+        else Simul.Frame.release m;
         go ()
     in
     go ()

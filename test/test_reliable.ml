@@ -2,32 +2,47 @@
    scripted single-fault unit tests, crash/session semantics, and the
    QCheck property that arbitrary bounded fault plans (drop + duplicate
    + reorder + delay, no crashes) cannot break exactly-once FIFO
-   delivery or prevent quiescence. *)
+   delivery or prevent quiescence.  Payloads are small ints carried in
+   pooled frames; every test also audits the pool for leaks. *)
 
 module Sm = Prng.Splitmix
 module Net = Simul.Network
 module Rel = Simul.Reliable
+module Frame = Simul.Frame
 module Dev = Simul.Devent
 
 let ok = { Net.drop = false; duplicate = false; reorder_depth = 0 }
+
+(* int payload <-> frame: 8 bytes after the transport header *)
+let send rel pool ~src ~dst k =
+  let f = Frame.alloc pool in
+  Frame.set_kind f (Simul.Kind.index Simul.Kind.Update);
+  Frame.set_length f (Frame.header_size + 8);
+  Frame.set_int (Frame.buf f) Frame.header_size k;
+  Rel.send rel ~src ~dst f
 
 (* A transport stack carrying raw int payloads; [received] accumulates
    deliveries in order. *)
 let make ?fault ?(rto = 4.0) tree =
   let dev = Dev.create tree ~latency:Dev.unit_latency in
   let received = ref [] in
+  let pool = Frame.create_pool ~name:"test.rel" () in
   let net =
     Net.create ?fault
       ~on_send:(fun ~src ~dst -> Dev.notify dev ~src ~dst)
       tree
-      ~kind_of:(Rel.frame_kind (fun (_ : int) -> Simul.Kind.Update))
+      ~kind_of:(fun f -> Simul.Kind.of_index (Frame.kind f))
+      ~frames:(fun f -> f)
   in
   let rel =
-    Rel.create ~rto ~timer:dev ~net
-      ~deliver:(fun ~src ~dst m -> received := (src, dst, m) :: !received)
+    Rel.create ~rto ~pool ~timer:dev ~net
+      ~deliver:(fun ~src ~dst f ->
+        let m = Frame.get_int (Frame.buf f) Frame.header_size in
+        Frame.release f;
+        received := (src, dst, m) :: !received)
       ()
   in
-  (dev, net, rel, fun () -> List.rev !received)
+  (dev, net, rel, pool, fun () -> List.rev !received)
 
 let drain dev net rel =
   Dev.drain dev ~deliver:(fun ~src ~dst ->
@@ -35,25 +50,27 @@ let drain dev net rel =
       | Some f -> Rel.handle rel ~src ~dst f
       | None -> Alcotest.fail "scheduler out of sync with network")
 
-let quiet net rel =
+let quiet net rel pool =
   Rel.check_invariants rel;
+  Frame.check_pool pool;
   Alcotest.(check bool) "transport quiescent" true (Rel.is_quiescent rel);
-  Alcotest.(check bool) "network quiescent" true (Net.is_quiescent net)
+  Alcotest.(check bool) "network quiescent" true (Net.is_quiescent net);
+  Alcotest.(check int) "no leaked frames" 0 (Frame.live pool)
 
 let test_fifo_fault_free () =
   let tree = Tree.Build.path 3 in
-  let dev, net, rel, received = make tree in
+  let dev, net, rel, pool, received = make tree in
   for k = 0 to 9 do
-    Rel.send rel ~src:0 ~dst:1 k
+    send rel pool ~src:0 ~dst:1 k
   done;
-  Rel.send rel ~src:2 ~dst:1 100;
+  send rel pool ~src:2 ~dst:1 100;
   ignore (drain dev net rel);
   let data = List.filter (fun (s, _, _) -> s = 0) (received ()) in
   Alcotest.(check (list int)) "in order" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
     (List.map (fun (_, _, m) -> m) data);
   Alcotest.(check int) "cross traffic" 11 (List.length (received ()));
   Alcotest.(check int) "no retransmits" 0 (Rel.retransmits rel);
-  quiet net rel
+  quiet net rel pool
 
 let test_dropped_data_is_retransmitted () =
   let tree = Tree.Build.two_nodes () in
@@ -61,29 +78,29 @@ let test_dropped_data_is_retransmitted () =
   let fault ~src:_ ~dst:_ ~attempt =
     if attempt = 0 then { ok with Net.drop = true } else ok
   in
-  let dev, net, rel, received = make ~fault tree in
-  Rel.send rel ~src:0 ~dst:1 7;
+  let dev, net, rel, pool, received = make ~fault tree in
+  send rel pool ~src:0 ~dst:1 7;
   ignore (drain dev net rel);
   Alcotest.(check (list (triple int int int))) "delivered once" [ (0, 1, 7) ]
     (received ());
   Alcotest.(check bool) "retransmitted" true (Rel.retransmits rel > 0);
   (* delivery waited for the retransmission timeout *)
   Alcotest.(check bool) "paid the rto" true (Dev.now dev >= 4.0);
-  quiet net rel
+  quiet net rel pool
 
 let test_duplicate_deduplicated () =
   let tree = Tree.Build.two_nodes () in
   let fault ~src ~dst:_ ~attempt:_ =
     if src = 0 then { ok with Net.duplicate = true } else ok
   in
-  let dev, net, rel, received = make ~fault tree in
-  Rel.send rel ~src:0 ~dst:1 1;
-  Rel.send rel ~src:0 ~dst:1 2;
+  let dev, net, rel, pool, received = make ~fault tree in
+  send rel pool ~src:0 ~dst:1 1;
+  send rel pool ~src:0 ~dst:1 2;
   ignore (drain dev net rel);
   Alcotest.(check (list int)) "each payload once" [ 1; 2 ]
     (List.map (fun (_, _, m) -> m) (received ()));
   Alcotest.(check bool) "dup copies dropped" true (Rel.dedup_drops rel > 0);
-  quiet net rel
+  quiet net rel pool
 
 let test_reordered_channel_stays_fifo () =
   let tree = Tree.Build.two_nodes () in
@@ -91,19 +108,19 @@ let test_reordered_channel_stays_fifo () =
   let fault ~src ~dst:_ ~attempt:_ =
     if src = 0 then { ok with Net.reorder_depth = 10 } else ok
   in
-  let dev, net, rel, received = make ~fault tree in
+  let dev, net, rel, pool, received = make ~fault tree in
   for k = 0 to 5 do
-    Rel.send rel ~src:0 ~dst:1 k
+    send rel pool ~src:0 ~dst:1 k
   done;
   ignore (drain dev net rel);
   Alcotest.(check (list int)) "reassembled in order" [ 0; 1; 2; 3; 4; 5 ]
     (List.map (fun (_, _, m) -> m) (received ()));
-  quiet net rel
+  quiet net rel pool
 
 let test_crash_voids_in_flight () =
   let tree = Tree.Build.two_nodes () in
-  let dev, net, rel, received = make tree in
-  Rel.send rel ~src:0 ~dst:1 1;
+  let dev, net, rel, pool, received = make tree in
+  send rel pool ~src:0 ~dst:1 1;
   (* frame and its session die with the receiver *)
   Rel.crash rel ~node:1;
   Alcotest.(check bool) "receiver down" false (Rel.is_up rel 1);
@@ -115,21 +132,23 @@ let test_crash_voids_in_flight () =
   Alcotest.(check bool) "loss is accounted" true
     (Rel.teardown_drops rel + Rel.stale_drops rel > 0);
   (* the re-established session starts from sequence 0 *)
-  Rel.send rel ~src:0 ~dst:1 42;
+  send rel pool ~src:0 ~dst:1 42;
   ignore (drain dev net rel);
   Alcotest.(check (list (triple int int int))) "fresh session delivers"
     [ (0, 1, 42) ]
     (received ());
   Alcotest.(check int) "one incarnation" 1 (Rel.incarnation rel 1);
-  quiet net rel
+  quiet net rel pool
 
 let test_send_from_down_node_rejected () =
   let tree = Tree.Build.two_nodes () in
-  let _, _, rel, _ = make tree in
+  let _, _, rel, pool, _ = make tree in
   Rel.crash rel ~node:0;
+  let f = Frame.alloc pool in
   Alcotest.check_raises "send from down node"
     (Invalid_argument "Reliable.send: source node is down") (fun () ->
-      Rel.send rel ~src:0 ~dst:1 1);
+      Rel.send rel ~src:0 ~dst:1 f);
+  Frame.release f;
   Alcotest.check_raises "double crash"
     (Invalid_argument "Reliable.crash: node already down") (fun () ->
       Rel.crash rel ~node:0);
@@ -139,10 +158,10 @@ let test_send_from_down_node_rejected () =
 
 (* The tentpole property: under any bounded fault plan without crashes,
    the transport delivers every payload exactly once, in FIFO order per
-   directed channel, and the run reaches quiescence.  (Crashes are
-   excluded by design: session teardown deliberately loses the unacked
-   window — recovery of those payloads is the mechanism's job, tested
-   in test_recovery.ml.) *)
+   directed channel, the run reaches quiescence, and every frame is back
+   in the pool.  (Crashes are excluded by design: session teardown
+   deliberately loses the unacked window — recovery of those payloads is
+   the mechanism's job, tested in test_recovery.ml.) *)
 let prop_exactly_once_fifo =
   QCheck.Test.make ~name:"exactly-once FIFO under arbitrary bounded fault plans"
     ~count:60
@@ -172,16 +191,21 @@ let prop_exactly_once_fifo =
           ~latency:(Fault.Plan.latency plan ~base:Dev.unit_latency)
       in
       let received = ref [] in
+      let pool = Frame.create_pool ~name:"test.rel.prop" () in
       let net =
         Net.create
           ~fault:(Fault.Plan.hook plan)
           ~on_send:(fun ~src ~dst -> Dev.notify dev ~src ~dst)
           tree
-          ~kind_of:(Rel.frame_kind (fun (_ : int) -> Simul.Kind.Update))
+          ~kind_of:(fun f -> Simul.Kind.of_index (Frame.kind f))
+          ~frames:(fun f -> f)
       in
       let rel =
-        Rel.create ~timer:dev ~net
-          ~deliver:(fun ~src ~dst m -> received := (src, dst, m) :: !received)
+        Rel.create ~pool ~timer:dev ~net
+          ~deliver:(fun ~src ~dst f ->
+            let m = Frame.get_int (Frame.buf f) Frame.header_size in
+            Frame.release f;
+            received := (src, dst, m) :: !received)
           ()
       in
       let n_msgs = 10 + Sm.int g 40 in
@@ -193,7 +217,7 @@ let prop_exactly_once_fifo =
         let at = Sm.float g *. 30.0 in
         Dev.at dev at (fun () ->
             sent := (u, v, k) :: !sent;
-            Rel.send rel ~src:u ~dst:v k)
+            send rel pool ~src:u ~dst:v k)
       done;
       ignore
         (Dev.drain dev ~deliver:(fun ~src ~dst ->
@@ -201,6 +225,7 @@ let prop_exactly_once_fifo =
              | Some f -> Rel.handle rel ~src ~dst f
              | None -> failwith "scheduler out of sync"));
       Rel.check_invariants rel;
+      Frame.check_pool pool;
       let sent = List.rev !sent and received = List.rev !received in
       let on_chan u v l =
         List.filter_map
@@ -213,6 +238,7 @@ let prop_exactly_once_fifo =
       List.length received = List.length sent
       && Rel.is_quiescent rel
       && Net.is_quiescent net
+      && Frame.live pool = 0
       && List.for_all
            (fun (u, v) -> on_chan u v sent = on_chan u v received)
            chans)

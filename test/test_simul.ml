@@ -238,6 +238,71 @@ let test_concurrent_fixed_seed_regression () =
   Alcotest.(check bool) "quiescent" true (Simul.Network.is_quiescent (M.network sys));
   Alcotest.(check int) "pinned total message count" 1171 (M.message_total sys)
 
+(* Frame-pool bookkeeping under fuzzed faulty traffic: pooled frames
+   sent through a dropping/duplicating/reordering hook, popped (and
+   released) in random interleavings, with [check_invariants] auditing
+   after every operation that no queued frame has been freed (no
+   use-after-free in flight), the free list is intact (no double
+   release), and — once drained — no frame leaked. *)
+let test_fuzz_frame_pool () =
+  let module Frame = Simul.Frame in
+  let rng = Sm.create 20260808 in
+  for round = 1 to 4 do
+    let n = 2 + Sm.int rng 20 in
+    let t = Tree.Build.random rng n in
+    let pool = Frame.create_pool ~name:"fuzz" () in
+    let fault ~src:_ ~dst:_ ~attempt:_ =
+      {
+        Simul.Network.drop = Sm.bernoulli rng 0.2;
+        duplicate = Sm.bernoulli rng 0.2;
+        reorder_depth = (if Sm.bernoulli rng 0.3 then Sm.int rng 4 else 0);
+      }
+    in
+    let net =
+      Simul.Network.create ~fault t
+        ~kind_of:(fun f -> Simul.Kind.of_index (Frame.kind f))
+        ~frames:(fun f -> f)
+    in
+    let random_edge () =
+      let u = Sm.int rng n in
+      let nbrs = Tree.neighbors_arr t u in
+      (u, Sm.pick rng nbrs)
+    in
+    let release = function
+      | None -> ()
+      | Some (_, _, f) -> Frame.release f
+    in
+    for op = 1 to 1500 do
+      (match Sm.int rng 8 with
+      | 0 | 1 | 2 | 3 ->
+        let src, dst = random_edge () in
+        let f = Frame.alloc pool in
+        Frame.set_kind f (Sm.int rng Simul.Kind.count);
+        Frame.set_length f (Frame.header_size + Sm.int rng 64);
+        Simul.Network.send net ~src ~dst f
+      | 4 | 5 ->
+        let src, dst = random_edge () in
+        release (Option.map (fun f -> (src, dst, f)) (Simul.Network.pop net ~src ~dst))
+      | 6 -> release (Simul.Network.pop_any net)
+      | _ -> release (Simul.Network.pop_random net rng));
+      ignore op;
+      Simul.Network.check_invariants net
+    done;
+    let rec drain () =
+      match Simul.Network.pop_any net with
+      | Some (_, _, f) ->
+        Frame.release f;
+        Simul.Network.check_invariants net;
+        drain ()
+      | None -> ()
+    in
+    drain ();
+    Frame.check_pool pool;
+    Alcotest.(check int)
+      (Printf.sprintf "round %d: no frames leaked" round)
+      0 (Frame.live pool)
+  done
+
 let suite =
   [
     Alcotest.test_case "send/pop fifo" `Quick test_send_pop_fifo;
@@ -250,6 +315,8 @@ let suite =
     Alcotest.test_case "trace" `Quick test_trace;
     QCheck_alcotest.to_alcotest prop_pop_random_subset_of_nonempty;
     Alcotest.test_case "registry invariants under fuzz" `Quick test_fuzz_invariants;
+    Alcotest.test_case "frame-pool bookkeeping under fuzz" `Quick
+      test_fuzz_frame_pool;
     Alcotest.test_case "fixed-seed concurrent regression" `Quick
       test_concurrent_fixed_seed_regression;
   ]
