@@ -148,10 +148,51 @@ let run_instrumented tree sigma ~policy ~metrics ~sink =
     sigma;
   (sys, Simul.Devent.now dclock)
 
+(* ---- sharded simulate runs (--domains) ---- *)
+
+(* The paper's sequential executions through Simul.Sharded: one domain
+   per shard, every combine checked against the exact prefix aggregate
+   (precomputed on the main domain — sequential semantics make each
+   combine's answer the sum of all earlier writes, independently of the
+   shard count). *)
+let run_sharded tree sigma ~policy ~domains =
+  let sys = M.create tree ~policy in
+  let part = Tree.Partition.create tree ~shards:domains in
+  let sh = Simul.Sharded.create tree ~partition:part ~handler:(M.handler sys) in
+  M.set_outbox sys
+    ~send:(Simul.Sharded.route sh)
+    ~pool_for:(Simul.Sharded.pool_for sh);
+  let latest = Array.make (Tree.n_nodes tree) 0.0 in
+  let sigma = Array.of_list sigma in
+  let answers = Array.make (Array.length sigma) nan in
+  let expected = Array.make (Array.length sigma) nan in
+  let requests =
+    Array.mapi
+      (fun i (q : float Oat.Request.t) ->
+        match q.op with
+        | Oat.Request.Write v ->
+          latest.(q.node) <- v;
+          (q.node, fun () -> M.write sys ~node:q.node v)
+        | Oat.Request.Combine ->
+          expected.(i) <- Array.fold_left ( +. ) 0.0 latest;
+          (q.node, fun () -> M.combine sys ~node:q.node (fun v -> answers.(i) <- v)))
+      sigma
+  in
+  Simul.Sharded.run_sequential sh ~requests;
+  Array.iteri
+    (fun i e ->
+      if not (Float.is_nan e) then
+        if Float.is_nan answers.(i) then
+          or_die (Error "combine did not complete")
+        else if Float.abs (answers.(i) -. e) > 1e-6 *. Float.max 1.0 (Float.abs e)
+        then or_die (Error "strict consistency violated"))
+    expected;
+  (sys, part, sh)
+
 (* ---- simulate ---- *)
 
 let simulate seed tree_kind n requests read_fraction policy trace_out
-    metrics_out faults =
+    metrics_out faults domains =
   let tree = or_die (build_tree tree_kind n seed) in
   let rng = Sm.create seed in
   let sigma =
@@ -180,6 +221,29 @@ let simulate seed tree_kind n requests read_fraction policy trace_out
       (if nice > 0 then float_of_int cost /. float_of_int nice else 1.0);
     Printf.printf "strict consistency: verified (every combine checked)\n"
   in
+  if domains > 1 then begin
+    (match (faults, trace_out, metrics_out) with
+    | None, None, None -> ()
+    | _ ->
+      or_die
+        (Error "--domains does not combine with --trace, --metrics or --faults"));
+    let policy = or_die (build_lease_policy policy) in
+    let sys, part, sh = run_sharded tree sigma ~policy ~domains in
+    report (M.policy_name sys) (Simul.Sharded.total sh);
+    Printf.printf "domains:           %d (edge cut %d)\n" domains
+      (Tree.Partition.edge_cut part);
+    Printf.printf "cross-shard:       %d of %d messages\n"
+      (Simul.Sharded.crossings sh)
+      (Simul.Sharded.total sh);
+    Printf.printf "windows:           %d (%d shard-window stalls)\n"
+      (Simul.Sharded.windows sh)
+      (Simul.Sharded.stalls sh);
+    let work, crit = Simul.Sharded.parallel_work sh in
+    Printf.printf "parallel speedup:  %.2f (ideal %d-core critical-path model)\n"
+      (float_of_int work /. float_of_int (max 1 crit))
+      domains
+  end
+  else
   match faults with
   | Some spec_str ->
     (* faulty run: mechanism over the reliable transport over a network
@@ -285,6 +349,17 @@ let faults_arg =
   in
   Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
 
+let domains_arg =
+  let doc =
+    "Run the workload through the sharded multicore engine on $(docv) \
+     domains (tree partitioned by subtree ownership, one event loop per \
+     domain, conservative one-window lookahead).  Same sequential \
+     semantics as the single-domain run — every combine is still checked \
+     against the exact aggregate.  Requires a lease policy; does not \
+     combine with --trace, --metrics or --faults."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
 let simulate_cmd =
   let doc = "Run a synthetic workload and report message costs and ratios." in
   Cmd.v
@@ -292,7 +367,7 @@ let simulate_cmd =
     Term.(
       const simulate $ seed_arg $ tree_arg $ nodes_arg $ requests_arg
       $ read_fraction_arg $ policy_arg $ trace_arg $ metrics_file_arg
-      $ faults_arg)
+      $ faults_arg $ domains_arg)
 
 (* ---- metrics ---- *)
 

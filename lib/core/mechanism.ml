@@ -159,6 +159,15 @@ module Make (Op : Agg.Operator.S) = struct
     obs : bool; (* metrics or sink active: one hot-path branch *)
     clock : unit -> float; (* shared with the network *)
     spans : Telemetry.Span.allocator;
+    (* Egress indirection for the sharded engine: by default every send
+       enqueues on [net] and every frame comes from [pool]; a sharded
+       router overrides both so each node allocates from its owning
+       shard's pool and cross-shard sends go through mailboxes.  Plain
+       closures, installed before any domain is spawned and never
+       mutated afterwards — the sequential hot path pays one indirect
+       call and zero allocation. *)
+    mutable out_send : src:int -> dst:int -> Frame.t -> unit;
+    mutable out_pool : int -> Frame.pool;
   }
 
   (* Byte-backed booleans. *)
@@ -606,22 +615,22 @@ module Make (Op : Agg.Operator.S) = struct
       !p
     end
 
-  let send_frame t ~src ~dst f = Simul.Network.send t.net ~src ~dst f
+  let send_frame t ~src ~dst f = t.out_send ~src ~dst f
 
   let send_probe t ~src ~dst =
-    let f = Frame.alloc t.pool in
+    let f = Frame.alloc (t.out_pool src) in
     Frame.set_kind f k_probe;
     send_frame t ~src ~dst f
 
   let send_hello t ~src ~dst ~epoch =
-    let f = Frame.alloc t.pool in
+    let f = Frame.alloc (t.out_pool src) in
     Frame.set_kind f k_hello;
     Frame.set_length f (hs + 8);
     Frame.set_int (Frame.buf f) hs epoch;
     send_frame t ~src ~dst f
 
   let send_response t u i ~flag =
-    let f = Frame.alloc t.pool in
+    let f = Frame.alloc (t.out_pool u) in
     Frame.set_kind f k_response;
     let pos = put_x f hs (subval t u i) in
     Frame.set_length f (pos + 1);
@@ -631,7 +640,7 @@ module Make (Op : Agg.Operator.S) = struct
     send_frame t ~src:u ~dst:(nbr t u i) f
 
   let send_update t u i ~id =
-    let f = Frame.alloc t.pool in
+    let f = Frame.alloc (t.out_pool u) in
     Frame.set_kind f k_update;
     Frame.set_length f (hs + 8);
     Frame.set_int (Frame.buf f) hs id;
@@ -647,7 +656,7 @@ module Make (Op : Agg.Operator.S) = struct
     let wbuf = t.a.uaw_buf.(s)
     and head = t.a.uaw_head.(s)
     and len = t.a.uaw_len.(s) in
-    let f = Frame.alloc t.pool in
+    let f = Frame.alloc (t.out_pool u) in
     Frame.set_kind f k_release;
     Frame.set_length f (hs + 4 + (8 * len));
     let b = Frame.buf f in
@@ -1439,7 +1448,13 @@ module Make (Op : Agg.Operator.S) = struct
         || match sink with Some s -> Telemetry.Sink.enabled s | None -> false);
       clock = Simul.Network.clock net;
       spans = Telemetry.Span.allocator ();
+      out_send = (fun ~src ~dst f -> Simul.Network.send net ~src ~dst f);
+      out_pool = (fun _ -> pool);
     }
+
+  let set_outbox t ~send ~pool_for =
+    t.out_send <- send;
+    t.out_pool <- pool_for
 
   (* ------------------------------------------------------------------ *)
   (* Wire codec over the structured [msg] view.                         *)

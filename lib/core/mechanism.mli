@@ -122,7 +122,24 @@ module Make (Op : Agg.Operator.S) : sig
 
   val frame_pool : t -> Simul.Frame.pool
   (** The pool every outgoing frame is drawn from.  At quiescence its
-      live count is 0 — anything else is a leaked in-flight frame. *)
+      live count is 0 — anything else is a leaked in-flight frame.
+      After {!set_outbox} the default pool is bypassed (frames come
+      from the router's per-shard pools) and stays empty. *)
+
+  val set_outbox :
+    t ->
+    send:(src:int -> dst:int -> Simul.Frame.t -> unit) ->
+    pool_for:(int -> Simul.Frame.pool) ->
+    unit
+  (** Reroute message egress: every outgoing frame is allocated from
+      [pool_for sender] and handed to [send] instead of the internal
+      network.  This is the {!Simul.Sharded} hook — each node draws
+      from its owning shard's pool and cross-shard sends go through
+      mailboxes — and after installation {!network}, {!message_total}
+      and friends no longer see this system's traffic (the router does
+      the accounting).  Install before any domain is spawned and leave
+      it alone afterwards; transitions for a node must then only run on
+      the domain owning that node. *)
 
   val slab : t -> Slab.t
   (** The cell allocator behind the node-state columns (one live cell

@@ -14,13 +14,17 @@ let default_max_deliveries = 100_000_000
 
 let step net ~handler = Network.deliver_any net ~handler
 
+(* Top-level so the call allocates nothing (the sharded engine runs
+   this once per shard-window and gates steady-state words): a local
+   [let rec] would cons a closure over [net]/[handler] per call. *)
+let rec drive net handler max_deliveries count =
+  if count > max_deliveries then
+    raise (Divergence { deliveries = count; budget = max_deliveries });
+  if step net ~handler then drive net handler max_deliveries (count + 1)
+  else count
+
 let run_to_quiescence ?(max_deliveries = default_max_deliveries) net ~handler =
-  let rec loop count =
-    if count > max_deliveries then
-      raise (Divergence { deliveries = count; budget = max_deliveries });
-    if step net ~handler then loop (count + 1) else count
-  in
-  loop 0
+  drive net handler max_deliveries 0
 
 let run_concurrent ?(max_deliveries = default_max_deliveries)
     ?(sink = Telemetry.Sink.null) ?clock ~rng net ~handler ~requests =

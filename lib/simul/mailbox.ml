@@ -1,0 +1,137 @@
+(* Mutex-protected FIFO of copied frame images.  See mailbox.mli for
+   the ownership story.  The pending queue is a growable circular
+   buffer of entries and retired entries go on a free stack, so the
+   steady state allocates nothing; the lock is held across the drain
+   callbacks, which is safe because a shard never drains a mailbox it
+   also pushes to (mailboxes are per ordered shard pair). *)
+
+type entry = {
+  mutable e_src : int;
+  mutable e_dst : int;
+  mutable e_len : int;
+  mutable e_buf : Bytes.t;
+}
+
+type t = {
+  m : Mutex.t;
+  mutable ring : entry array;  (* circular pending queue *)
+  mutable head : int;
+  mutable count : int;
+  mutable free : entry array;  (* retired-entry stack *)
+  mutable nfree : int;
+  mutable pushed : int;
+}
+
+let dummy = { e_src = -1; e_dst = -1; e_len = 0; e_buf = Bytes.empty }
+
+let create () =
+  {
+    m = Mutex.create ();
+    ring = Array.make 64 dummy;
+    head = 0;
+    count = 0;
+    free = Array.make 64 dummy;
+    nfree = 0;
+    pushed = 0;
+  }
+
+(* Double the ring, re-linearising so head = 0. *)
+let grow_ring t =
+  let cap = Array.length t.ring in
+  let ring = Array.make (2 * cap) dummy in
+  for i = 0 to t.count - 1 do
+    ring.(i) <- t.ring.((t.head + i) mod cap)
+  done;
+  t.ring <- ring;
+  t.head <- 0
+
+let take_entry t len =
+  let e =
+    if t.nfree > 0 then begin
+      t.nfree <- t.nfree - 1;
+      let e = t.free.(t.nfree) in
+      t.free.(t.nfree) <- dummy;
+      e
+    end
+    else { e_src = 0; e_dst = 0; e_len = 0; e_buf = Bytes.create (max 64 len) }
+  in
+  if Bytes.length e.e_buf < len then begin
+    let cap = ref (max 64 (Bytes.length e.e_buf)) in
+    while !cap < len do
+      cap := 2 * !cap
+    done;
+    e.e_buf <- Bytes.create !cap
+  end;
+  e
+
+let retire_entry t e =
+  if t.nfree = Array.length t.free then begin
+    let free = Array.make (2 * t.nfree) dummy in
+    Array.blit t.free 0 free 0 t.nfree;
+    t.free <- free
+  end;
+  t.free.(t.nfree) <- e;
+  t.nfree <- t.nfree + 1
+
+(* push/drain take the lock by hand rather than through [Mutex.protect]:
+   its per-call closure is the only allocation on the crossing hot path,
+   and the GC gate pins that path to zero steady-state words.  [push]'s
+   body cannot raise in steady state (growth paths only allocate); a
+   drain callback can, so [drain] re-raises with the lock released. *)
+
+let push t ~src ~dst f =
+  let len = Frame.length f in
+  Mutex.lock t.m;
+  let e = take_entry t len in
+  e.e_src <- src;
+  e.e_dst <- dst;
+  e.e_len <- len;
+  Bytes.blit (Frame.buf f) 0 e.e_buf 0 len;
+  if t.count = Array.length t.ring then grow_ring t;
+  t.ring.((t.head + t.count) mod Array.length t.ring) <- e;
+  t.count <- t.count + 1;
+  t.pushed <- t.pushed + 1;
+  Mutex.unlock t.m
+
+(* Top-level so the (empty-mailbox) common case allocates nothing: a
+   local [let rec] would close over [t]/[pool]/[fn] and cons a closure
+   per call. *)
+let rec drain_loop t pool fn acc =
+  if t.count = 0 then acc
+  else begin
+    let cap = Array.length t.ring in
+    let e = t.ring.(t.head) in
+    t.ring.(t.head) <- dummy;
+    t.head <- (t.head + 1) mod cap;
+    t.count <- t.count - 1;
+    let f = Frame.alloc pool in
+    Frame.set_length f e.e_len;
+    Bytes.blit e.e_buf 0 (Frame.buf f) 0 e.e_len;
+    let src = e.e_src and dst = e.e_dst in
+    retire_entry t e;
+    fn ~src ~dst f;
+    drain_loop t pool fn (acc + 1)
+  end
+
+let drain t ~pool fn =
+  Mutex.lock t.m;
+  let delivered =
+    try drain_loop t pool fn 0
+    with e ->
+      Mutex.unlock t.m;
+      raise e
+  in
+  Mutex.unlock t.m;
+  delivered
+
+let length t =
+  Mutex.lock t.m;
+  let n = t.count in
+  Mutex.unlock t.m;
+  n
+
+let pushed t =
+  Mutex.lock t.m;
+  let n = t.pushed in
+  Mutex.unlock t.m;
+  n

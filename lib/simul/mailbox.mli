@@ -1,0 +1,40 @@
+(** Cross-shard frame handover for the sharded simulation engine.
+
+    A mailbox is a mutex-protected FIFO of frame images travelling from
+    one shard to another.  Frames themselves never cross shards — pools
+    are shard-local and not thread-safe — so {!push} copies the frame's
+    bytes into an internal recycled buffer on the sending domain, and
+    {!drain} re-materialises each image as a fresh frame from the
+    {e receiving} shard's pool.  The mutex pairs give the byte copies
+    the happens-before edges the OCaml memory model requires.
+
+    Entry buffers are recycled through an internal free list, so a
+    mailbox in steady state allocates nothing: the cost of a cross-shard
+    hop is two [Bytes.blit]s and two lock acquisitions.
+
+    FIFO order is preserved per mailbox: with one mailbox per ordered
+    shard pair, messages between any two nodes keep the channel-FIFO
+    order the transport layer promises. *)
+
+type t
+
+val create : unit -> t
+
+val push : t -> src:int -> dst:int -> Frame.t -> unit
+(** Copy [frame]'s bytes (header included) into the mailbox.  The
+    caller keeps its reference — release it to the sending shard's pool
+    as usual.  Called by the sending domain only. *)
+
+val drain : t -> pool:Frame.pool -> (src:int -> dst:int -> Frame.t -> unit) -> int
+(** Pop every pending entry in FIFO order; each is rebuilt as a frame
+    allocated from [pool] (the receiving shard's) and passed to the
+    callback, which takes ownership of the single reference.  Entries
+    pushed concurrently with a drain are delivered by a later drain.
+    Returns the number of entries delivered.  Called by the receiving
+    domain only. *)
+
+val length : t -> int
+(** Entries currently pending (locked read; exact at barriers). *)
+
+val pushed : t -> int
+(** Total entries ever pushed (monotone; read at quiescence). *)

@@ -1,0 +1,504 @@
+(* Sharded multicore engine.  See sharded.mli for the design contract.
+
+   Concurrency discipline, in one paragraph: every piece of mutable
+   state has exactly one writing domain per program point.  Shard [s]'s
+   network, pool and metrics are touched only by domain [s] (the main
+   domain reads them after [Domain.join], which gives the
+   happens-before edge).  Mailboxes are the only cross-domain channel
+   and carry their own mutex.  The windowed drivers' scheduling state
+   (request cursors, stop flag) is written only inside the barrier's
+   serial section, which runs under the barrier mutex while every other
+   domain is parked on the condition variable — so worker reads between
+   barriers race with nothing. *)
+
+type t = {
+  part : Tree.Partition.partition;
+  k : int;
+  pools : Frame.pool array;
+  nets : Frame.t Network.t array;
+  boxes : Mailbox.t array array; (* boxes.(i).(j): shard i -> shard j *)
+  handler : src:int -> dst:int -> Frame.t -> unit;
+  check : bool;
+  mets : Telemetry.Metrics.t array;
+  m_deliv : Telemetry.Metrics.counter array;
+  m_windows : Telemetry.Metrics.counter array;
+  m_stalls : Telemetry.Metrics.counter array;
+  m_cin : Telemetry.Metrics.counter array;
+  m_cout : Telemetry.Metrics.counter array;
+  (* Pre-built per-shard ingress callbacks: mailbox drain enqueues on
+     the receiving shard's net, where the message is counted (exactly
+     once — the sender never counted it). *)
+  ingress_fn : (src:int -> dst:int -> Frame.t -> unit) array;
+  wall : unit -> float;
+  timed : bool; (* a [wall] was supplied; skip timing (and its boxed
+                   floats — the window loop must not allocate) otherwise *)
+  (* Per-domain GC health, sampled by each worker on its own domain
+     (GC counters are domain-local in OCaml 5): minor words allocated
+     and worst single window, across all windowed runs. *)
+  gc_words : float array;
+  gc_worst : float array;
+  (* Work accounting for the scaling model: each worker publishes its
+     window's work units (ingress copies + initiations + deliveries)
+     in [win_work.(s)] before the end barrier; the serial section
+     reduces them — sum into [total_work], per-window max into
+     [crit_work].  [crit_work] is the critical path Σ_w max_s w(s,w),
+     so [total_work /. crit_work] is the speedup an ideal k-core
+     machine would see on this execution, independent of how many
+     cores this host actually has. *)
+  win_work : int array;
+  mutable total_work : int;
+  mutable crit_work : int;
+  mutable windows_run : int;
+}
+
+exception Horizon of { windows : int; budget : int }
+exception Desync of string
+
+let default_max_windows = 1_000_000
+
+let create ?(check = false) ?sink ?wall tree ~partition ~handler =
+  let timed, wall =
+    match wall with None -> (false, fun () -> 0.) | Some f -> (true, f)
+  in
+  let k = Tree.Partition.k partition in
+  let pools =
+    Array.init k (fun s ->
+        Frame.create_pool ~name:(Printf.sprintf "shard%d.frames" s) ())
+  in
+  let kind_of f = Kind.of_index (Frame.kind f) in
+  let nets =
+    Array.init k (fun _ ->
+        Network.create ?sink tree ~kind_of ~frames:(fun f -> f))
+  in
+  let boxes = Array.init k (fun _ -> Array.init k (fun _ -> Mailbox.create ())) in
+  let mets = Array.init k (fun _ -> Telemetry.Metrics.create ()) in
+  let c name = Array.init k (fun s -> Telemetry.Metrics.counter mets.(s) name) in
+  let ingress_fn =
+    Array.init k (fun s ~src ~dst f -> Network.send nets.(s) ~src ~dst f)
+  in
+  {
+    part = partition;
+    k;
+    pools;
+    nets;
+    boxes;
+    handler;
+    check;
+    mets;
+    m_deliv = c "shard.deliveries";
+    m_windows = c "shard.windows";
+    m_stalls = c "shard.stalls";
+    m_cin = c "shard.cross.in";
+    m_cout = c "shard.cross.out";
+    ingress_fn;
+    wall;
+    timed;
+    gc_words = Array.make k 0.;
+    gc_worst = Array.make k 0.;
+    win_work = Array.make k 0;
+    total_work = 0;
+    crit_work = 0;
+    windows_run = 0;
+  }
+
+let shards t = t.k
+let pool_for t u = t.pools.(Tree.Partition.shard_of t.part u)
+let net t s = t.nets.(s)
+let shard_metrics t s = t.mets.(s)
+let gc_stats t = Array.init t.k (fun s -> (t.gc_words.(s), t.gc_worst.(s)))
+let parallel_work t = (t.total_work, t.crit_work)
+
+let route t ~src ~dst f =
+  let s = Tree.Partition.shard_of t.part src in
+  if t.check && Frame.pool_of f != t.pools.(s) then
+    failwith
+      (Printf.sprintf
+         "Sharded.route: frame from pool %s sent by node %d of shard %d"
+         (Frame.pool_name (Frame.pool_of f))
+         src s);
+  let d = Tree.Partition.shard_of t.part dst in
+  if s = d then Network.send t.nets.(s) ~src ~dst f
+  else begin
+    Mailbox.push t.boxes.(s).(d) ~src ~dst f;
+    Telemetry.Metrics.incr t.m_cout.(s);
+    Frame.release f
+  end
+
+(* Drain every inbound mailbox of shard [s] into its net, in sender-
+   shard order.  Runs on domain [s]. *)
+(* Top-level accumulator so the per-window ingress sweep allocates
+   nothing (the GC gate pins the window control plane to ~0 words). *)
+let rec ingress_from t s j acc =
+  if j >= t.k then acc
+  else
+    let d =
+      if j = s then 0
+      else Mailbox.drain t.boxes.(j).(s) ~pool:t.pools.(s) t.ingress_fn.(s)
+    in
+    ingress_from t s (j + 1) (acc + d)
+
+let ingress t s =
+  let n = ingress_from t s 0 0 in
+  if n > 0 then Telemetry.Metrics.add t.m_cin.(s) n;
+  n
+
+let pending_crossings t =
+  let n = ref 0 in
+  for i = 0 to t.k - 1 do
+    for j = 0 to t.k - 1 do
+      if i <> j then n := !n + Mailbox.length t.boxes.(i).(j)
+    done
+  done;
+  !n
+
+(* ------------------------------------------------------------------ *)
+(* Windowed drivers: sense-reversing barrier whose last arriver runs
+   the serial termination decision.                                    *)
+
+type ctl = {
+  bm : Mutex.t;
+  bc : Condition.t;
+  mutable arrived : int;
+  mutable sense : bool;
+  mutable stop : bool;
+  mutable err : exn option;
+}
+
+let record_error ctl e =
+  Mutex.lock ctl.bm;
+  (match ctl.err with None -> ctl.err <- Some e | Some _ -> ());
+  Mutex.unlock ctl.bm
+
+let barrier ctl k ~serial =
+  Mutex.lock ctl.bm;
+  let target = not ctl.sense in
+  ctl.arrived <- ctl.arrived + 1;
+  if ctl.arrived = k then begin
+    (try serial ()
+     with e ->
+       (match ctl.err with None -> ctl.err <- Some e | Some _ -> ());
+       ctl.stop <- true);
+    ctl.arrived <- 0;
+    ctl.sense <- target;
+    Condition.broadcast ctl.bc
+  end
+  else
+    while ctl.sense <> target do
+      Condition.wait ctl.bc ctl.bm
+    done;
+  Mutex.unlock ctl.bm
+
+(* One superstep per window, in two barrier-separated phases:
+
+     phase A — ingress: drain inbound mailboxes (exactly the frames
+       mailed during window [w-1]);
+     barrier;
+     phase B — initiate this window's requests, deliver the local net
+       to quiescence (cross-shard sends land in mailboxes);
+     barrier + serial termination decision.
+
+   The middle barrier is what enforces the one-window lookahead: every
+   phase-B push of window [w] happens after every phase-A drain of
+   window [w], so no shard can observe a same-window frame — with a
+   single barrier, a fast neighbour's pushes would race the ingress
+   and the schedule would depend on thread timing.
+
+   [worker_inits s w] runs shard [s]'s initiations for window [w] and
+   returns how many ran; [serial_step w] decides termination after the
+   window's end barrier (and may schedule future initiations). *)
+let run_windowed t ~max_windows ~worker_inits ~serial_step =
+  let ctl =
+    {
+      bm = Mutex.create ();
+      bc = Condition.create ();
+      arrived = 0;
+      sense = false;
+      stop = false;
+      err = None;
+    }
+  in
+  let worker s () =
+    let w = ref 0 in
+    let running = ref true in
+    let minor0 = Gc.minor_words () in
+    (* Both serial closures are built once per worker, not once per
+       window — the window loop's control plane must stay allocation-
+       free (the GC gate pins it).  [serial_end] reads [!w]; every
+       worker is at the same window when the end barrier's serial
+       section runs, so the last arriver's [!w] is the window. *)
+    let serial_mid () =
+      match ctl.err with Some _ -> ctl.stop <- true | None -> ()
+    in
+    let serial_end () =
+      t.windows_run <- t.windows_run + 1;
+      match ctl.err with
+      | Some _ -> ctl.stop <- true
+      | None ->
+        let window = !w in
+        let mx = ref 0 and sm = ref 0 in
+        for i = 0 to t.k - 1 do
+          let wk = t.win_work.(i) in
+          if wk > !mx then mx := wk;
+          sm := !sm + wk
+        done;
+        t.crit_work <- t.crit_work + !mx;
+        t.total_work <- t.total_work + !sm;
+        if serial_step window then ctl.stop <- true
+        else if window + 1 >= max_windows then begin
+          ctl.err <- Some (Horizon { windows = window + 1; budget = max_windows });
+          ctl.stop <- true
+        end
+    in
+    let inb = ref 0 in
+    while !running do
+      inb := 0;
+      (try inb := ingress t s with e -> record_error ctl e);
+      barrier ctl t.k ~serial:serial_mid;
+      if ctl.stop then running := false
+      else begin
+        (* time only the busy section (initiations + local drain), not
+           the barrier waits: its worst case bounds every GC pause the
+           domain's data plane can suffer *)
+        let t0 = if t.timed then t.wall () else 0. in
+        (try
+           let inits = worker_inits s !w in
+           let delivered =
+             Engine.run_to_quiescence t.nets.(s) ~handler:t.handler
+           in
+           if delivered > 0 then Telemetry.Metrics.add t.m_deliv.(s) delivered;
+           Telemetry.Metrics.incr t.m_windows.(s);
+           t.win_work.(s) <- !inb + inits + delivered;
+           if !inb = 0 && inits = 0 && delivered = 0 then
+             Telemetry.Metrics.incr t.m_stalls.(s)
+         with e -> record_error ctl e);
+        if t.timed then begin
+          let dt = t.wall () -. t0 in
+          if dt > t.gc_worst.(s) then t.gc_worst.(s) <- dt
+        end;
+        barrier ctl t.k ~serial:serial_end;
+        if ctl.stop then running := false else incr w
+      end
+    done;
+    t.gc_words.(s) <- t.gc_words.(s) +. (Gc.minor_words () -. minor0)
+  in
+  let doms = Array.init t.k (fun s -> Domain.spawn (worker s)) in
+  Array.iter Domain.join doms;
+  match ctl.err with Some e -> raise e | None -> ()
+
+let run_sequential ?(max_windows = default_max_windows) t ~requests =
+  (* [init_idx]/[init_window] name the single request scheduled to fire
+     (sequential executions initiate only in quiescent states); written
+     in the serial section only. *)
+  let cursor = ref 0 and init_idx = ref (-1) and init_window = ref (-1) in
+  if Array.length requests > 0 then begin
+    init_idx := 0;
+    init_window := 0;
+    cursor := 1
+  end;
+  let worker_inits s w =
+    let i = !init_idx in
+    if
+      i >= 0
+      && !init_window = w
+      && Tree.Partition.shard_of t.part (fst requests.(i)) = s
+    then begin
+      (snd requests.(i)) ();
+      1
+    end
+    else 0
+  in
+  let serial_step w =
+    if !init_window = w then init_idx := -1 (* this window's init has run *);
+    if pending_crossings t = 0 && !init_idx < 0 then
+      if !cursor < Array.length requests then begin
+        init_idx := !cursor;
+        init_window := w + 1;
+        incr cursor;
+        false
+      end
+      else true
+    else false
+  in
+  run_windowed t ~max_windows ~worker_inits ~serial_step
+
+let run_open ?(max_windows = default_max_windows) t ~requests =
+  let feeds =
+    let buckets = Array.make t.k [] in
+    Array.iter
+      (fun (w, node, run) ->
+        let s = Tree.Partition.shard_of t.part node in
+        buckets.(s) <- (w, run) :: buckets.(s))
+      requests;
+    Array.map (fun l -> Array.of_list (List.rev l)) buckets
+  in
+  let cursors = Array.make t.k 0 in
+  let worker_inits s w =
+    let feed = feeds.(s) in
+    let n = ref 0 in
+    while
+      cursors.(s) < Array.length feed && fst feed.(cursors.(s)) <= w
+    do
+      (snd feed.(cursors.(s))) ();
+      cursors.(s) <- cursors.(s) + 1;
+      incr n
+    done;
+    !n
+  in
+  let serial_step _w =
+    if pending_crossings t > 0 then false
+    else begin
+      let all_done = ref true in
+      for s = 0 to t.k - 1 do
+        if cursors.(s) < Array.length feeds.(s) then all_done := false
+      done;
+      !all_done
+    end
+  in
+  run_windowed t ~max_windows ~worker_inits ~serial_step
+
+(* ------------------------------------------------------------------ *)
+(* Replay: a coordinator (the calling domain) hands one recorded step
+   at a time to the owning shard's domain over a command slot.         *)
+
+type step =
+  | Deliver of { src : int; dst : int }
+  | Init of { node : int; run : unit -> unit }
+
+type cmd =
+  | Nop
+  | Deliver_c of int * int
+  | Run_c of (unit -> unit)
+  | Flush_c
+  | Quit_c
+
+type slot = {
+  sm : Mutex.t;
+  sc : Condition.t;
+  mutable cmd : cmd;
+  mutable serr : exn option;
+}
+
+let run_replay t ~schedule =
+  let slots =
+    Array.init t.k (fun _ ->
+        { sm = Mutex.create (); sc = Condition.create (); cmd = Nop; serr = None })
+  in
+  let worker s () =
+    let sl = slots.(s) in
+    let running = ref true in
+    while !running do
+      Mutex.lock sl.sm;
+      while match sl.cmd with Nop -> true | _ -> false do
+        Condition.wait sl.sc sl.sm
+      done;
+      let c = sl.cmd in
+      Mutex.unlock sl.sm;
+      (try
+         match c with
+         | Nop -> ()
+         | Quit_c -> running := false
+         | Flush_c -> ignore (ingress t s)
+         | Run_c run ->
+           ignore (ingress t s);
+           run ()
+         | Deliver_c (src, dst) -> (
+           (* Pull anything mailed by earlier steps first: the recorded
+              message may still be sitting in an inbound mailbox. *)
+           ignore (ingress t s);
+           match Network.pop t.nets.(s) ~src ~dst with
+           | Some f ->
+             Telemetry.Metrics.incr t.m_deliv.(s);
+             t.handler ~src ~dst f
+           | None ->
+             raise
+               (Desync
+                  (Printf.sprintf "replay: no message queued on %d->%d" src dst)))
+       with e -> ( match sl.serr with None -> sl.serr <- Some e | Some _ -> ()));
+      Mutex.lock sl.sm;
+      sl.cmd <- Nop;
+      Condition.broadcast sl.sc;
+      Mutex.unlock sl.sm
+    done
+  in
+  let dispatch s c =
+    let sl = slots.(s) in
+    Mutex.lock sl.sm;
+    sl.cmd <- c;
+    Condition.broadcast sl.sc;
+    while match sl.cmd with Nop -> false | _ -> true do
+      Condition.wait sl.sc sl.sm
+    done;
+    Mutex.unlock sl.sm;
+    sl.serr
+  in
+  let doms = Array.init t.k (fun s -> Domain.spawn (worker s)) in
+  let abort = ref None in
+  let note = function
+    | Some e when !abort = None -> abort := Some e
+    | _ -> ()
+  in
+  Array.iter
+    (fun st ->
+      if !abort = None then
+        let s, c =
+          match st with
+          | Deliver { src; dst } ->
+            (Tree.Partition.shard_of t.part dst, Deliver_c (src, dst))
+          | Init { node; run } -> (Tree.Partition.shard_of t.part node, Run_c run)
+        in
+        note (dispatch s c))
+    schedule;
+  if !abort = None then
+    for s = 0 to t.k - 1 do
+      note (dispatch s Flush_c)
+    done;
+  for s = 0 to t.k - 1 do
+    ignore (dispatch s Quit_c)
+  done;
+  Array.iter Domain.join doms;
+  match !abort with Some e -> raise e | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Accounting.                                                         *)
+
+let total t = Array.fold_left (fun acc n -> acc + Network.total n) 0 t.nets
+
+let total_of_kind t k =
+  Array.fold_left (fun acc n -> acc + Network.total_of_kind n k) 0 t.nets
+
+let delivered t =
+  let n = ref 0 in
+  for s = 0 to t.k - 1 do
+    n := !n + Telemetry.Metrics.counter_value t.m_deliv.(s)
+  done;
+  !n
+
+let windows t = t.windows_run
+
+let stalls t =
+  let n = ref 0 in
+  for s = 0 to t.k - 1 do
+    n := !n + Telemetry.Metrics.counter_value t.m_stalls.(s)
+  done;
+  !n
+
+let crossings t =
+  let n = ref 0 in
+  for i = 0 to t.k - 1 do
+    for j = 0 to t.k - 1 do
+      if i <> j then n := !n + Mailbox.pushed t.boxes.(i).(j)
+    done
+  done;
+  !n
+
+let live_frames t =
+  Array.fold_left (fun acc p -> acc + Frame.live p) 0 t.pools
+
+let is_quiescent t =
+  Array.for_all Network.is_quiescent t.nets && pending_crossings t = 0
+
+let check_invariants t =
+  Array.iter Network.check_invariants t.nets;
+  Array.iter Frame.check_pool t.pools;
+  if pending_crossings t <> 0 then
+    failwith "Sharded.check_invariants: undrained mailbox"

@@ -1,0 +1,197 @@
+(** Sharded multicore simulation engine.
+
+    The tree is partitioned into shards by subtree ownership
+    ({!Tree.Partition}); each shard runs an ordinary single-threaded
+    event loop — its own {!Network} over the full topology, its own
+    {!Frame} pool — on one OCaml 5 domain.  Shards exchange messages
+    through {!Mailbox}es (one per ordered shard pair): a cross-shard
+    send copies the frame's bytes out of the sender's pool and the
+    receiver re-materialises them from its own, so pools stay
+    shard-local and the per-delivery hot path stays lock-free.
+
+    {2 Conservative windows}
+
+    The drivers advance virtual time in supersteps.  The cross-shard
+    lookahead is one window — the minimum cross-shard latency, since
+    every mailbox hop costs at least one window — so within a window
+    each shard may freely deliver its local messages (any order is safe
+    by the mechanism's confluence), and messages that crossed a shard
+    boundary become visible at the next window's ingress, after a full
+    barrier.  No shard ever delivers a message past the horizon its
+    neighbours have reached: window [w] ingests exactly the frames
+    mailed during window [w-1].
+
+    {2 Determinism}
+
+    Every scheduling decision is a pure function of the partition and
+    the request sequence, never of thread timing: ingress drains
+    mailboxes in sender-shard order, initiations run in request order,
+    local delivery uses {!Network.deliver_any}'s deterministic registry
+    order, and the barrier serialises the termination decision.  Same
+    inputs give byte-for-byte identical traffic on every run at every
+    domain count.  For differential testing against a {e recorded}
+    single-domain schedule, {!run_replay} re-executes an explicit
+    delivery schedule across the shards in lockstep instead.
+
+    {2 Accounting}
+
+    Each message is counted exactly once: local sends at the sending
+    shard's network, cross-shard sends at the receiving shard's ingress
+    ({!total} sums the shard networks, mirroring the sequential
+    engine's count).  Per-shard metrics registries expose deliveries,
+    windows, window stalls and mailbox traffic. *)
+
+type t
+
+exception Horizon of { windows : int; budget : int }
+(** A windowed run exceeded its window budget without terminating. *)
+
+exception Desync of string
+(** A replay diverged: the scheduled message was not at the head of its
+    channel, i.e. the sharded execution is not reproducing the recorded
+    schedule. *)
+
+val create :
+  ?check:bool ->
+  ?sink:Telemetry.Sink.t ->
+  ?wall:(unit -> float) ->
+  Tree.t ->
+  partition:Tree.Partition.partition ->
+  handler:(src:int -> dst:int -> Frame.t -> unit) ->
+  t
+(** [create tree ~partition ~handler] builds the shard runtimes (pools,
+    networks, mailboxes, metrics).  [handler] is the protocol's
+    delivery handler (e.g. [Mechanism.handler]); it runs on the domain
+    owning the destination node and owns each frame it is given.
+    [check] (default [false]) asserts on every routed frame that it was
+    allocated from its sender's shard pool — the frames-never-cross-
+    pools invariant — at the price of one comparison per send.
+
+    [wall] (default [fun () -> 0.]) is the wall clock used to time each
+    shard's busy section per window for {!gc_stats} — pass
+    [Unix.gettimeofday] (or a monotonic clock) to enable pause
+    tracking; the library itself takes no clock dependency.
+
+    [sink] is forwarded to every shard network ([Sent]/[Delivered]
+    events; cross-shard messages are stamped at receiver ingress).
+    Sinks are not synchronised: only wire one into runs whose handler
+    executions are serialised ({!run_replay}, or a single shard).
+
+    Wire the protocol's egress to {!route} and {!pool_for} (e.g. via
+    [Mechanism.set_outbox]) before running. *)
+
+val shards : t -> int
+
+val route : t -> src:int -> dst:int -> Frame.t -> unit
+(** The egress hook: local destinations enqueue on the sending shard's
+    network; cross-shard destinations are copied into the mailbox for
+    the owning shard and the sender's reference is released.  Must be
+    called on the domain owning [src]. *)
+
+val pool_for : t -> int -> Frame.pool
+(** The pool the given {e node}'s frames must be drawn from: its owning
+    shard's. *)
+
+val net : t -> int -> Frame.t Network.t
+(** Shard [s]'s network (holds exactly the undelivered messages whose
+    destination [s] owns). *)
+
+(** {1 Drivers}
+
+    Each driver spawns one domain per shard, runs to completion, and
+    joins them; [t] is quiescent between runs and reusable.  Worker
+    exceptions (including {!Engine.Divergence} from a local drain) are
+    re-raised in the caller after all domains are joined. *)
+
+val run_sequential :
+  ?max_windows:int ->
+  t ->
+  requests:(int * (unit -> unit)) array ->
+  unit
+(** The paper's sequential executions: each [(node, thunk)] request is
+    initiated on [node]'s owning domain only once the whole system is
+    quiescent again, in array order.  Equivalent to driving the
+    single-domain engine with {!Engine.run_to_quiescence} around each
+    request — the mechanism's confluence makes the quiescent states
+    (and message totals) independent of the delivery order within each
+    request. *)
+
+val run_open :
+  ?max_windows:int ->
+  t ->
+  requests:(int * int * (unit -> unit)) array ->
+  unit
+(** Concurrent open-loop executions: each [(window, node, thunk)]
+    request is initiated at the start of its window on its owner's
+    domain, while earlier requests may still have messages in flight.
+    [requests] must be sorted by window.  Runs until all requests are
+    initiated and the system is quiescent. *)
+
+type step =
+  | Deliver of { src : int; dst : int }
+  | Init of { node : int; run : unit -> unit }
+
+val run_replay : t -> schedule:step array -> unit
+(** Re-execute an explicit schedule, one step at a time, each on the
+    owning shard's domain (deliveries on the destination's owner):
+    record the single-domain engine's delivery/initiation sequence,
+    replay it here, and every handler runs with exactly the state it
+    saw sequentially — message-for-message equivalence, not merely
+    confluence-equivalence.  The schedule must be complete (end
+    quiescent).  @raise Desync if the sharded execution diverges from
+    the recorded one. *)
+
+(** {1 Accounting} *)
+
+val total : t -> int
+(** Grand message total, summed over shard networks — comparable to
+    the sequential engine's [Network.total]. *)
+
+val total_of_kind : t -> Kind.t -> int
+
+val delivered : t -> int
+(** Messages delivered to handlers across all shards. *)
+
+val windows : t -> int
+(** Windows executed by windowed drivers (cumulative). *)
+
+val stalls : t -> int
+(** Shard-windows that did no work — ingested nothing, initiated
+    nothing, delivered nothing (cumulative; the barrier-imbalance
+    measure of the partition). *)
+
+val crossings : t -> int
+(** Messages that crossed a shard boundary (mailbox pushes). *)
+
+val live_frames : t -> int
+(** Live frames summed over the shard pools; 0 at quiescence. *)
+
+val shard_metrics : t -> int -> Telemetry.Metrics.t
+(** Shard [s]'s metrics registry: counters [shard.deliveries],
+    [shard.windows], [shard.stalls], [shard.cross.in],
+    [shard.cross.out]. *)
+
+val parallel_work : t -> int * int
+(** [(total, critical)] work units over the windowed runs so far.  A
+    work unit is one ingress copy, initiation, or delivery; [total]
+    sums them over every shard-window, [critical] sums each window's
+    {e maximum} over shards — the critical path of the parallel
+    execution.  [total / critical] is therefore the speedup an ideal
+    [shards]-core machine would achieve on this execution: a
+    deterministic, host-independent scaling model (both numbers are
+    pure functions of the partition and the request sequence). *)
+
+val gc_stats : t -> (float * float) array
+(** Per-shard GC health over the windowed runs so far, sampled by each
+    worker on its own domain (GC counters are domain-local in OCaml 5):
+    [(minor_words, worst_window)] where [minor_words] is the minor-heap
+    allocation attributed to that shard's domain and [worst_window] the
+    longest busy section of any single window in seconds (0 unless a
+    [wall] clock was supplied to {!create}). *)
+
+val is_quiescent : t -> bool
+
+val check_invariants : t -> unit
+(** Per-shard network invariants (including the frame-pool audits),
+    pool free-list integrity, and empty mailboxes.
+    @raise Failure on the first violation. *)

@@ -302,3 +302,132 @@ module Build = struct
     done;
     create ~n ~edges:!edges
 end
+
+module Partition = struct
+  (* Subtree-ownership sharding: the tree is rooted (default node 0)
+     and nodes are emitted in iterative DFS post-order, in which every
+     subtree is a contiguous run.  Cutting the post-order sequence into
+     [k] balanced contiguous ranges therefore assigns each shard a
+     union of whole subtrees (plus the partially-covered ancestors on
+     the range boundary), which is what keeps the edge cut at
+     O(k * depth) instead of O(n) for the balanced topologies the
+     simulator cares about. *)
+
+  type partition = {
+    k : int;
+    shard_of : int array;          (* node -> owning shard *)
+    owned : int array array;       (* shard -> owned nodes, ascending *)
+    cut : (int * int) list;        (* cross-shard edges, (min,max), sorted *)
+  }
+
+  let k t = t.k
+  let shard_of t u = t.shard_of.(u)
+  let owned t s = t.owned.(s)
+  let cut_edges t = t.cut
+  let edge_cut t = List.length t.cut
+
+  (* Post-order of [tree] rooted at [root], iteratively (the million-
+     node trees of the sharded benchmarks would overflow the stack on a
+     recursive walk). *)
+  let postorder tree ~root =
+    let n = n_nodes tree in
+    let order = Array.make n 0 in
+    let parent = Array.make n (-1) in
+    (* stack of (node, next-neighbour-index) *)
+    let stack_node = Array.make n 0 and stack_idx = Array.make n 0 in
+    let sp = ref 0 and out = ref 0 in
+    stack_node.(0) <- root;
+    stack_idx.(0) <- 0;
+    sp := 1;
+    while !sp > 0 do
+      let u = stack_node.(!sp - 1) in
+      let i = stack_idx.(!sp - 1) in
+      let nbrs = neighbors_arr tree u in
+      if i < Array.length nbrs then begin
+        stack_idx.(!sp - 1) <- i + 1;
+        let v = nbrs.(i) in
+        if v <> parent.(u) then begin
+          parent.(v) <- u;
+          stack_node.(!sp) <- v;
+          stack_idx.(!sp) <- 0;
+          incr sp
+        end
+      end
+      else begin
+        decr sp;
+        order.(!out) <- u;
+        incr out
+      end
+    done;
+    order
+
+  let create ?(root = 0) tree ~shards =
+    let n = n_nodes tree in
+    if shards < 1 then invalid_arg "Tree.Partition.create: shards must be >= 1";
+    if root < 0 || root >= n then
+      invalid_arg "Tree.Partition.create: root out of range";
+    let k = min shards n in
+    let order = postorder tree ~root in
+    let shard_of = Array.make n 0 in
+    (* balanced contiguous ranges: the first [n mod k] shards own one
+       extra node *)
+    let base = n / k and rem = n mod k in
+    let pos = ref 0 in
+    for s = 0 to k - 1 do
+      let size = base + (if s < rem then 1 else 0) in
+      for _ = 1 to size do
+        shard_of.(order.(!pos)) <- s;
+        incr pos
+      done
+    done;
+    let counts = Array.make k 0 in
+    Array.iter (fun s -> counts.(s) <- counts.(s) + 1) shard_of;
+    (* k <= n and ranges are balanced, so every shard owns >= 1 node *)
+    let owned = Array.map (fun c -> Array.make c 0) counts in
+    let fill = Array.make k 0 in
+    for u = 0 to n - 1 do
+      (* ascending: u increases *)
+      let s = shard_of.(u) in
+      owned.(s).(fill.(s)) <- u;
+      fill.(s) <- fill.(s) + 1
+    done;
+    let cut =
+      List.filter (fun (u, v) -> shard_of.(u) <> shard_of.(v)) (edges tree)
+    in
+    { k; shard_of; owned; cut }
+
+  let check tree (t : partition) =
+    let fail fmt = Format.kasprintf failwith ("Tree.Partition.check: " ^^ fmt) in
+    let n = n_nodes tree in
+    if t.k < 1 then fail "k = %d" t.k;
+    if Array.length t.shard_of <> n then
+      fail "shard_of covers %d of %d nodes" (Array.length t.shard_of) n;
+    let seen = Array.make n 0 in
+    Array.iteri
+      (fun s nodes ->
+        Array.iter
+          (fun u ->
+            if u < 0 || u >= n then fail "shard %d owns out-of-range node %d" s u;
+            if t.shard_of.(u) <> s then
+              fail "node %d in shard %d's list but shard_of says %d" u s
+                t.shard_of.(u);
+            seen.(u) <- seen.(u) + 1)
+          nodes)
+      t.owned;
+    Array.iteri
+      (fun u c -> if c <> 1 then fail "node %d owned %d times" u c)
+      seen;
+    List.iter
+      (fun (u, v) ->
+        if not (are_neighbors tree u v) then fail "cut edge (%d,%d) not an edge" u v;
+        if t.shard_of.(u) = t.shard_of.(v) then
+          fail "cut edge (%d,%d) is intra-shard" u v)
+      t.cut;
+    let cut' =
+      List.length
+        (List.filter (fun (u, v) -> t.shard_of.(u) <> t.shard_of.(v)) (edges tree))
+    in
+    if cut' <> List.length t.cut then
+      fail "cut lists %d edges, tree has %d cross-shard edges"
+        (List.length t.cut) cut'
+end

@@ -124,3 +124,42 @@ module Build : sig
   (** Random attachment restricted to nodes whose degree is still below
       [max_degree]. *)
 end
+
+(** Subtree-ownership sharding for the multicore simulation engine.
+
+    The tree is rooted and cut into [k] balanced contiguous ranges of
+    its DFS post-order; each range is a union of whole subtrees (plus
+    the boundary ancestors), so each shard owns a connected-ish clump
+    and the cross-shard edge cut stays O(k·depth) on balanced
+    topologies.  The partition is a pure function of (tree, root, k) —
+    no randomness — so sharded runs are reproducible. *)
+module Partition : sig
+  type partition
+
+  val create : ?root:int -> t -> shards:int -> partition
+  (** [create tree ~shards] partitions the nodes into
+      [min shards (n_nodes tree)] shards.  [root] (default 0) anchors
+      the post-order. *)
+
+  val k : partition -> int
+  (** Number of shards actually used. *)
+
+  val shard_of : partition -> int -> int
+  (** Owning shard of a node. *)
+
+  val owned : partition -> int -> int array
+  (** Nodes owned by a shard, ascending.  Returned without copying:
+      callers must not mutate. *)
+
+  val cut_edges : partition -> (int * int) list
+  (** Cross-shard edges, smaller endpoint first, sorted.  Each is
+      served by exactly one mailbox per direction. *)
+
+  val edge_cut : partition -> int
+  (** [List.length (cut_edges p)]. *)
+
+  val check : t -> partition -> unit
+  (** Validate: every node owned exactly once, shard_of consistent with
+      the owned lists, the cut is exactly the set of cross-shard edges.
+      @raise Failure on the first violation. *)
+end

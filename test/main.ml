@@ -5,6 +5,7 @@ let () =
       ("tree", Test_tree.suite);
       ("agg", Test_agg.suite);
       ("simul", Test_simul.suite);
+      ("sharded", Test_sharded.suite);
       ("frames", Test_frames.suite);
       ("telemetry", Test_telemetry.suite);
       ("mechanism", Test_mechanism.suite);

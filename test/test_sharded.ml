@@ -1,0 +1,561 @@
+(* Differential tests for the sharded multicore engine: every pinned
+   golden config runs through both the single-domain scheduler and
+   [Simul.Sharded] at 1/2/4/8 domains, and the totals must agree.
+
+   Two equivalence regimes:
+   - The sequential goldens (1557/574/974) re-run on the free-running
+     windowed engine: each request initiates in a quiescent state, so
+     the mechanism's confluence (Lemmas 3.3-3.5) makes the quiescent
+     state — totals, kind counts, combine results, final values —
+     independent of delivery order, and the sharded schedule is one
+     more legal order.
+   - The concurrent goldens (438/1171/228) are schedule-dependent, so
+     the single-domain run is recorded (every delivery and initiation)
+     and replayed message-for-message across the shard domains: the
+     equality is exact, not merely confluent.
+
+   [OAT_DOMAINS] (space- or comma-separated shard counts) overrides the
+   default 1/2/4/8 sweep — CI uses it to force a 4-domain pass. *)
+
+module Sm = Prng.Splitmix
+module M = Oat.Mechanism.Make (Agg.Ops.Sum)
+
+let domain_counts =
+  match Sys.getenv_opt "OAT_DOMAINS" with
+  | None -> [ 1; 2; 4; 8 ]
+  | Some s -> (
+    let toks =
+      String.split_on_char ' ' (String.trim s)
+      |> List.concat_map (String.split_on_char ',')
+    in
+    match List.filter_map int_of_string_opt toks with
+    | [] -> [ 1; 2; 4; 8 ]
+    | l -> l)
+
+(* A mechanism wired to a sharded runtime: per-shard pools and
+   networks, cross-shard mailboxes, pool-crossing assertions on. *)
+let mk_sharded ?(ghost = false) ?sink ?metrics tree ~domains =
+  let part = Tree.Partition.create tree ~shards:domains in
+  let sys = M.create ~ghost ?sink ?metrics tree ~policy:Oat.Rww.policy in
+  let sh =
+    Simul.Sharded.create ~check:true ?sink tree ~partition:part
+      ~handler:(M.handler sys)
+  in
+  M.set_outbox sys
+    ~send:(Simul.Sharded.route sh)
+    ~pool_for:(Simul.Sharded.pool_for sh);
+  (sys, sh)
+
+let kind_counts_net total_of_kind =
+  ( total_of_kind Simul.Kind.Probe,
+    total_of_kind Simul.Kind.Response,
+    total_of_kind Simul.Kind.Update,
+    total_of_kind Simul.Kind.Release )
+
+let final_state sys n =
+  Array.init n (fun u ->
+      (Int64.bits_of_float (M.local_value sys u), Int64.bits_of_float (M.gval sys u)))
+
+let check_drained name sh =
+  Simul.Sharded.check_invariants sh;
+  Alcotest.(check bool) (name ^ ": quiescent") true (Simul.Sharded.is_quiescent sh);
+  Alcotest.(check int) (name ^ ": no leaked frames") 0 (Simul.Sharded.live_frames sh)
+
+(* ------------------------------------------------------------------ *)
+(* Sequential goldens on the free-running windowed engine.             *)
+
+let golden_requests n ~seed ~n_requests =
+  let rng = Sm.create seed in
+  List.init n_requests (fun i ->
+      let node = Sm.int rng n in
+      if Sm.bool rng then Oat.Request.write node (float_of_int i)
+      else Oat.Request.combine node)
+
+let seq_reference tree ~seed =
+  let n = Tree.n_nodes tree in
+  let sys = M.create tree ~policy:Oat.Rww.policy in
+  let results =
+    M.run_sequential sys (golden_requests n ~seed ~n_requests:200)
+  in
+  let returned =
+    List.map (fun (r : float Oat.Request.result) ->
+        Option.map Int64.bits_of_float r.returned)
+      results
+  in
+  (M.message_total sys, kind_counts_net (M.messages_of_kind sys), returned,
+   final_state sys n)
+
+let seq_sharded tree ~seed ~domains =
+  let n = Tree.n_nodes tree in
+  let sys, sh = mk_sharded tree ~domains in
+  let reqs = Array.of_list (golden_requests n ~seed ~n_requests:200) in
+  let returned = Array.make (Array.length reqs) None in
+  let requests =
+    Array.mapi
+      (fun i (q : float Oat.Request.t) ->
+        let node = q.Oat.Request.node in
+        match q.Oat.Request.op with
+        | Oat.Request.Write v -> (node, fun () -> M.write sys ~node v)
+        | Oat.Request.Combine ->
+          ( node,
+            fun () ->
+              M.combine sys ~node (fun v ->
+                  returned.(i) <- Some (Int64.bits_of_float v)) ))
+      reqs
+  in
+  Simul.Sharded.run_sequential sh ~requests;
+  let name = Printf.sprintf "domains=%d" domains in
+  check_drained name sh;
+  M.check_invariants sys;
+  (Simul.Sharded.total sh, kind_counts_net (Simul.Sharded.total_of_kind sh),
+   Array.to_list returned, final_state sys n)
+
+let diff_sequential name tree ~seed ~expect_total =
+  let ((ref_total, ref_kinds, ref_ret, ref_state) as reference) =
+    seq_reference tree ~seed
+  in
+  Alcotest.(check int) (name ^ ": reference total") expect_total ref_total;
+  List.iter
+    (fun domains ->
+      let tag = Printf.sprintf "%s @ %d domains" name domains in
+      let sharded = seq_sharded tree ~seed ~domains in
+      let sh_total, sh_kinds, sh_ret, sh_state = sharded in
+      Alcotest.(check int) (tag ^ ": total") ref_total sh_total;
+      Alcotest.(check (pair (pair int int) (pair int int)))
+        (tag ^ ": kind counts")
+        (let a, b, c, d = ref_kinds in ((a, b), (c, d)))
+        (let a, b, c, d = sh_kinds in ((a, b), (c, d)));
+      Alcotest.(check (list (option int64)))
+        (tag ^ ": combine results") ref_ret sh_ret;
+      Alcotest.(check bool) (tag ^ ": final state") true (ref_state = sh_state);
+      ignore reference)
+    domain_counts
+
+let test_differential_sequential () =
+  diff_sequential "line-16" (Tree.Build.path 16) ~seed:101 ~expect_total:1557;
+  diff_sequential "star-16" (Tree.Build.star 16) ~seed:102 ~expect_total:574;
+  diff_sequential "binary-15" (Tree.Build.binary 15) ~seed:103 ~expect_total:974
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent goldens by record/replay.                                *)
+
+type rstep = RDeliver of int * int | RInit of int
+type rspec = { node : int; write : float option }
+
+(* Re-run the pinned concurrent config on the single-domain engine,
+   recording the full schedule: every delivery (directed channel) and
+   every initiation, in execution order.  The PRNG discipline is
+   identical to the pinned tests', so the recorded run IS the golden
+   run. *)
+let record_concurrent ?(ghost = false) tree ~seed ~n_requests =
+  let n = Tree.n_nodes tree in
+  let rng = Sm.create seed in
+  let sys = M.create ~ghost tree ~policy:Oat.Rww.policy in
+  let sched = ref [] in
+  let specs = Array.make n_requests { node = 0; write = None } in
+  let requests =
+    Array.init n_requests (fun i ->
+        let node = Sm.int rng n in
+        if Sm.bool rng then begin
+          specs.(i) <- { node; write = Some (float_of_int i) };
+          fun () ->
+            sched := RInit i :: !sched;
+            M.write sys ~node (float_of_int i)
+        end
+        else begin
+          specs.(i) <- { node; write = None };
+          fun () ->
+            sched := RInit i :: !sched;
+            M.combine sys ~node (fun _ -> ())
+        end)
+  in
+  let handler ~src ~dst f =
+    sched := RDeliver (src, dst) :: !sched;
+    M.handler sys ~src ~dst f
+  in
+  Simul.Engine.run_concurrent ~rng:(Sm.split rng) (M.network sys) ~handler
+    ~requests;
+  (sys, Array.of_list (List.rev !sched), specs)
+
+let replay_concurrent ?(ghost = false) ?sink ?marks tree ~domains
+    ~(sched : rstep array) ~(specs : rspec array) =
+  let sys, sh = mk_sharded ~ghost ?sink tree ~domains in
+  let schedule =
+    Array.map
+      (function
+        | RDeliver (src, dst) -> Simul.Sharded.Deliver { src; dst }
+        | RInit i ->
+          let { node; write } = specs.(i) in
+          let run () =
+            (match marks with
+            | Some sink ->
+              Telemetry.Sink.record sink
+                (Telemetry.Sink.Mark { time = 0.; node = i; name = "initiate" })
+            | None -> ());
+            match write with
+            | Some v -> M.write sys ~node v
+            | None -> M.combine sys ~node (fun _ -> ())
+          in
+          Simul.Sharded.Init { node; run })
+      sched
+  in
+  Simul.Sharded.run_replay sh ~schedule;
+  (sys, sh)
+
+let diff_concurrent name ?(ghost = false) tree ~seed ~n_requests ~expect_total =
+  let n = Tree.n_nodes tree in
+  let ref_sys, sched, specs = record_concurrent ~ghost tree ~seed ~n_requests in
+  Alcotest.(check int)
+    (name ^ ": reference total") expect_total (M.message_total ref_sys);
+  let ref_kinds = kind_counts_net (M.messages_of_kind ref_sys) in
+  let ref_state = final_state ref_sys n in
+  let causal sys =
+    if not ghost then -1
+    else
+      let logs = Array.init n (fun u -> M.log sys u) in
+      List.length
+        (Consistency.Causal.check
+           (module Agg.Ops.Sum : Agg.Operator.S with type t = float)
+           ~n_nodes:n ~logs)
+  in
+  let ref_causal = causal ref_sys in
+  if ghost then
+    Alcotest.(check int) (name ^ ": reference causally consistent") 0 ref_causal;
+  List.iter
+    (fun domains ->
+      let tag = Printf.sprintf "%s @ %d domains" name domains in
+      let sys, sh = replay_concurrent ~ghost tree ~domains ~sched ~specs in
+      check_drained tag sh;
+      M.check_invariants sys;
+      Alcotest.(check int) (tag ^ ": total") expect_total (Simul.Sharded.total sh);
+      Alcotest.(check (pair (pair int int) (pair int int)))
+        (tag ^ ": kind counts")
+        (let a, b, c, d = ref_kinds in ((a, b), (c, d)))
+        (kind_counts_net (Simul.Sharded.total_of_kind sh) |> fun (a, b, c, d) ->
+         ((a, b), (c, d)));
+      Alcotest.(check bool)
+        (tag ^ ": final state") true
+        (ref_state = final_state sys n);
+      Alcotest.(check int) (tag ^ ": causal verdict") ref_causal (causal sys))
+    domain_counts
+
+let test_differential_concurrent_438 () =
+  diff_concurrent "binary-31/seed-777" ~ghost:true (Tree.Build.binary 31)
+    ~seed:777 ~n_requests:150 ~expect_total:438
+
+let test_differential_concurrent_1171 () =
+  diff_concurrent "binary-31/seed-4242" (Tree.Build.binary 31) ~seed:4242
+    ~n_requests:200 ~expect_total:1171
+
+(* The telemetry golden: same fixed-seed run as test_telemetry's
+   [golden_run], whose ring must hold exactly 228 events.  The sharded
+   replay wires a fresh ring into both the mechanism and the shard
+   networks (safe: replay serialises all handler executions) and must
+   reproduce the same event census — one Sent and one Delivered per
+   message, the same lease-lifecycle events, one Mark per initiation. *)
+let test_differential_telemetry_228 () =
+  let tree = Tree.Build.binary 7 in
+  (* reference, recorded: replicate golden_run with recording wrappers *)
+  let n_requests = 30 in
+  let rng = Sm.create 2026 in
+  let metrics = Telemetry.Metrics.create () in
+  let ring = Telemetry.Sink.ring ~capacity:100_000 in
+  let sink = Telemetry.Sink.of_ring ring in
+  let sys = M.create ~metrics ~sink tree ~policy:Oat.Rww.policy in
+  let sched = ref [] in
+  let specs = Array.make n_requests { node = 0; write = None } in
+  let requests =
+    Array.init n_requests (fun i ->
+        let node = Sm.int rng 7 in
+        if Sm.bool rng then begin
+          specs.(i) <- { node; write = Some (float_of_int i) };
+          fun () ->
+            sched := RInit i :: !sched;
+            M.write sys ~node (float_of_int i)
+        end
+        else begin
+          specs.(i) <- { node; write = None };
+          fun () ->
+            sched := RInit i :: !sched;
+            M.combine sys ~node (fun _ -> ())
+        end)
+  in
+  let handler ~src ~dst f =
+    sched := RDeliver (src, dst) :: !sched;
+    M.handler sys ~src ~dst f
+  in
+  Simul.Engine.run_concurrent ~sink ~rng (M.network sys) ~handler ~requests;
+  Alcotest.(check int) "reference ring events" 228 (Telemetry.Sink.ring_length ring);
+  let sched = Array.of_list (List.rev !sched) in
+  List.iter
+    (fun domains ->
+      let tag = Printf.sprintf "telemetry-228 @ %d domains" domains in
+      let ring' = Telemetry.Sink.ring ~capacity:100_000 in
+      let sink' = Telemetry.Sink.of_ring ring' in
+      let sys', sh =
+        replay_concurrent tree ~domains ~sched ~specs ~sink:sink' ~marks:sink'
+      in
+      check_drained tag sh;
+      Alcotest.(check int)
+        (tag ^ ": ring events") 228 (Telemetry.Sink.ring_length ring');
+      Alcotest.(check int) (tag ^ ": none dropped") 0
+        (Telemetry.Sink.ring_dropped ring');
+      let sent, delivered =
+        List.fold_left
+          (fun (s, d) e ->
+            match e with
+            | Telemetry.Sink.Sent _ -> (s + 1, d)
+            | Telemetry.Sink.Delivered _ -> (s, d + 1)
+            | _ -> (s, d))
+          (0, 0)
+          (Telemetry.Sink.ring_events ring')
+        in
+      Alcotest.(check int) (tag ^ ": sent = total") (Simul.Sharded.total sh) sent;
+      Alcotest.(check int) (tag ^ ": delivered = sent") sent delivered;
+      ignore sys')
+    domain_counts
+
+(* ------------------------------------------------------------------ *)
+(* Free-running determinism: the windowed engine's schedule is a pure
+   function of (partition, requests), so two fresh systems produce
+   byte-identical traffic and state — at every domain count.           *)
+
+let open_workload sys n ~n_requests =
+  let rng = Sm.create 31337 in
+  Array.init n_requests (fun i ->
+      let node = Sm.int rng n in
+      let window = i / 8 in
+      if Sm.bool rng then (window, node, fun () -> M.write sys ~node (float_of_int i))
+      else (window, node, fun () -> M.combine sys ~node (fun _ -> ())))
+
+let open_run tree ~domains =
+  let n = Tree.n_nodes tree in
+  let sys, sh = mk_sharded ~ghost:true tree ~domains in
+  Simul.Sharded.run_open sh ~requests:(open_workload sys n ~n_requests:160);
+  check_drained (Printf.sprintf "open @ %d domains" domains) sh;
+  let logs = Array.init n (fun u -> M.log sys u) in
+  let verdict =
+    List.length
+      (Consistency.Causal.check
+         (module Agg.Ops.Sum : Agg.Operator.S with type t = float)
+         ~n_nodes:n ~logs)
+  in
+  ( Simul.Sharded.total sh,
+    kind_counts_net (Simul.Sharded.total_of_kind sh),
+    final_state sys n,
+    Simul.Sharded.windows sh,
+    verdict )
+
+let test_open_deterministic () =
+  let tree = Tree.Build.binary 31 in
+  List.iter
+    (fun domains ->
+      let tag = Printf.sprintf "open-loop @ %d domains" domains in
+      let t1, k1, s1, w1, v1 = open_run tree ~domains in
+      let t2, k2, s2, w2, v2 = open_run tree ~domains in
+      Alcotest.(check int) (tag ^ ": total stable") t1 t2;
+      Alcotest.(check bool) (tag ^ ": kinds stable") true (k1 = k2);
+      Alcotest.(check bool) (tag ^ ": state stable") true (s1 = s2);
+      Alcotest.(check int) (tag ^ ": windows stable") w1 w2;
+      Alcotest.(check int) (tag ^ ": causally consistent") 0 v1;
+      Alcotest.(check int) (tag ^ ": verdict stable") v1 v2)
+    domain_counts
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: partitioner soundness on random trees.                      *)
+
+let prop_partition =
+  QCheck.Test.make ~name:"partition: cover once, cut exact, reassembly"
+    ~count:120
+    QCheck.(
+      triple (int_bound 1_000_000) (int_range 1 48) (int_range 1 12))
+    (fun (seed, n, k) ->
+      let rng = Sm.create seed in
+      let tree = Tree.Build.random rng n in
+      let p = Tree.Partition.create tree ~shards:k in
+      Tree.Partition.check tree p;
+      let kk = Tree.Partition.k p in
+      if kk <> min k n then QCheck.Test.fail_reportf "k=%d, want %d" kk (min k n);
+      (* every node owned exactly once *)
+      let seen = Array.make n 0 in
+      for s = 0 to kk - 1 do
+        Array.iter (fun u -> seen.(u) <- seen.(u) + 1) (Tree.Partition.owned p s)
+      done;
+      Array.iteri
+        (fun u c -> if c <> 1 then QCheck.Test.fail_reportf "node %d owned %d times" u c)
+        seen;
+      (* each edge: intra-shard, or on the cut exactly once *)
+      let cut = Tree.Partition.cut_edges p in
+      let module ES = Set.Make (struct
+        type t = int * int
+
+        let compare = compare
+      end) in
+      let cutset = ES.of_list cut in
+      if ES.cardinal cutset <> List.length cut then
+        QCheck.Test.fail_reportf "duplicate cut edges";
+      List.iter
+        (fun (u, v) ->
+          let cross =
+            Tree.Partition.shard_of p u <> Tree.Partition.shard_of p v
+          in
+          let key = (min u v, max u v) in
+          if cross <> ES.mem key cutset then
+            QCheck.Test.fail_reportf "edge (%d,%d): cross=%b cut=%b" u v cross
+              (ES.mem key cutset))
+        (Tree.edges tree);
+      (* reassembly: intra-shard adjacency + cut adjacency = full adjacency *)
+      let rebuilt = Array.make n [] in
+      List.iter
+        (fun (u, v) ->
+          rebuilt.(u) <- v :: rebuilt.(u);
+          rebuilt.(v) <- u :: rebuilt.(v))
+        cut;
+      for u = 0 to n - 1 do
+        Tree.iter_neighbors tree u (fun v ->
+            if Tree.Partition.shard_of p u = Tree.Partition.shard_of p v then
+              rebuilt.(u) <- v :: rebuilt.(u))
+      done;
+      for u = 0 to n - 1 do
+        let got = List.sort_uniq compare rebuilt.(u) in
+        let want = Array.to_list (Tree.neighbors_arr tree u) in
+        if got <> want then QCheck.Test.fail_reportf "node %d adjacency mismatch" u
+      done;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Multicore pool/mailbox stress.  Frame pools are shard-local by
+   design (not thread-safe); the sharded engine's discipline is that a
+   pool is only ever touched by its owning domain and frames cross
+   shards by mailbox byte-copy.  The stress below exercises exactly
+   that discipline from real domains.                                  *)
+
+let test_multicore_pool_stress () =
+  (* one private pool per domain, hammered concurrently *)
+  let domains =
+    Array.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            let pool =
+              Simul.Frame.create_pool ~name:(Printf.sprintf "stress%d" d) ()
+            in
+            let rng = Sm.create (1000 + d) in
+            let live = ref [] in
+            for _ = 1 to 20_000 do
+              if Sm.bool rng && !live <> [] then begin
+                match !live with
+                | f :: rest ->
+                  Simul.Frame.release f;
+                  live := rest
+                | [] -> ()
+              end
+              else begin
+                let f = Simul.Frame.alloc pool in
+                Simul.Frame.set_length f (18 + Sm.int rng 64);
+                live := f :: !live
+              end
+            done;
+            List.iter Simul.Frame.release !live;
+            Simul.Frame.check_pool pool;
+            Simul.Frame.live pool))
+  in
+  Array.iter
+    (fun d -> Alcotest.(check int) "domain pool drained" 0 (Domain.join d))
+    domains
+
+let test_multicore_mailbox_stress () =
+  (* 4 producer domains push checksummed frames from private pools into
+     one consumer's mailboxes; the consumer drains into its own pool.
+     Conservation: every pushed byte arrives intact, every pool drains
+     to zero. *)
+  let producers = 4 and per = 5_000 in
+  let boxes = Array.init producers (fun _ -> Simul.Mailbox.create ()) in
+  let doms =
+    Array.init producers (fun d ->
+        Domain.spawn (fun () ->
+            let pool =
+              Simul.Frame.create_pool ~name:(Printf.sprintf "prod%d" d) ()
+            in
+            let sum = ref 0 in
+            for i = 1 to per do
+              let f = Simul.Frame.alloc pool in
+              Simul.Frame.set_length f 26;
+              let v = (d * 1_000_000) + i in
+              Simul.Frame.set_int (Simul.Frame.buf f) 18 v;
+              sum := !sum + v;
+              Simul.Mailbox.push boxes.(d) ~src:d ~dst:0 f;
+              Simul.Frame.release f
+            done;
+            Simul.Frame.check_pool pool;
+            (!sum, Simul.Frame.live pool)))
+  in
+  let pool = Simul.Frame.create_pool ~name:"consumer" () in
+  let got = ref 0 and count = ref 0 in
+  let deadline = 10_000_000 in
+  let spins = ref 0 in
+  while !count < producers * per && !spins < deadline do
+    incr spins;
+    Array.iter
+      (fun b ->
+        count :=
+          !count
+          + Simul.Mailbox.drain b ~pool (fun ~src:_ ~dst:_ f ->
+                got := !got + Simul.Frame.get_int (Simul.Frame.buf f) 18;
+                Simul.Frame.release f))
+      boxes
+  done;
+  let pushed = ref 0 in
+  Array.iter
+    (fun d ->
+      let sum, live = Domain.join d in
+      pushed := !pushed + sum;
+      Alcotest.(check int) "producer pool drained" 0 live)
+    doms;
+  Alcotest.(check int) "all frames arrived" (producers * per) !count;
+  Alcotest.(check int) "payload checksum conserved" !pushed !got;
+  Simul.Frame.check_pool pool;
+  Alcotest.(check int) "consumer pool drained" 0 (Simul.Frame.live pool)
+
+let test_pool_crossing_detected () =
+  (* the check:true assertion fires when a frame from one shard's pool
+     is routed as if sent by another shard's node *)
+  let tree = Tree.Build.path 8 in
+  let part = Tree.Partition.create tree ~shards:2 in
+  let sh =
+    Simul.Sharded.create ~check:true tree ~partition:part
+      ~handler:(fun ~src:_ ~dst:_ f -> Simul.Frame.release f)
+  in
+  (* nodes 0 and 7 land in different halves of the post-order split *)
+  let wrong_pool = Simul.Sharded.pool_for sh 7 in
+  Alcotest.(check bool)
+    "test picks two shards" true
+    (wrong_pool != Simul.Sharded.pool_for sh 0);
+  let raised =
+    try
+      let f = Simul.Frame.alloc wrong_pool in
+      Simul.Frame.set_kind f 0;
+      Simul.Sharded.route sh ~src:0 ~dst:1 f;
+      false
+    with Failure msg -> String.starts_with ~prefix:"Sharded.route:" msg
+  in
+  Alcotest.(check bool) "crossed pool rejected" true raised
+
+let suite =
+  [
+    Alcotest.test_case "differential: sequential goldens (1557/574/974)" `Quick
+      test_differential_sequential;
+    Alcotest.test_case "differential: concurrent golden 438 by replay" `Quick
+      test_differential_concurrent_438;
+    Alcotest.test_case "differential: concurrent golden 1171 by replay" `Quick
+      test_differential_concurrent_1171;
+    Alcotest.test_case "differential: telemetry golden 228 by replay" `Quick
+      test_differential_telemetry_228;
+    Alcotest.test_case "open-loop windows: deterministic and causal" `Quick
+      test_open_deterministic;
+    QCheck_alcotest.to_alcotest prop_partition;
+    Alcotest.test_case "multicore pool stress (shard-local)" `Quick
+      test_multicore_pool_stress;
+    Alcotest.test_case "multicore mailbox handover stress" `Quick
+      test_multicore_mailbox_stress;
+    Alcotest.test_case "pool-crossing assertion" `Quick
+      test_pool_crossing_detected;
+  ]
