@@ -330,6 +330,62 @@ let bench_tests =
     Simul.Frame.release f;
     match r with Ok _ -> () | Error _ -> assert false
   in
+  (* Generator-driven open-loop feed through the single-domain engine:
+     100 leased writes at Zipf-drawn nodes of the 64-node path, pulled
+     one at a time from a Workload.Feed cursor (zero minor words per
+     request — the gc-gate pins it; this times it).  Reuses the
+     steady-delivery system: each run drains fully. *)
+  let ol_feed =
+    Workload.Feed.create ~skew:1.1 ~seed:4242 ~length:100 ~n_nodes:steady_n ()
+  in
+  let ol_next () =
+    if Workload.Feed.advance ol_feed then begin
+      Mc.write steady_sys ~node:(Workload.Feed.node ol_feed) 1;
+      true
+    end
+    else false
+  in
+  let micro_openloop_feed () =
+    Workload.Feed.reset ol_feed;
+    Simul.Engine.run_stream steady_net ~handler:steady_h ~next:ol_next
+  in
+  (* Skewed-tree multicore row: a 255-node caterpillar (85-hop spine —
+     deep, delivery load piled onto the rootward shard) split over 4
+     domains by the weighted partitioner, absorbing 500 leased writes
+     through the feed-driven windowed driver.  Times the whole
+     multicore stack — domain spawn, barriers, batched mailbox
+     flushes, adaptive lookahead — under skew. *)
+  let cat_tree = Tree.Build.caterpillar ~spine:85 ~legs:2 in
+  let cat_n = Tree.n_nodes cat_tree in
+  let cat_sys =
+    Mc.create cat_tree ~policy:(Oat.Policy.noop ~name:"lease-all" ~set_lease:true)
+  in
+  let () = ignore (Mc.combine_sync cat_sys ~node:0) in
+  let cat_part =
+    Tree.Partition.create_weighted cat_tree ~shards:4
+      ~weights:(Tree.Partition.subtree_weights cat_tree)
+  in
+  let cat_sh =
+    Simul.Sharded.create cat_tree ~partition:cat_part
+      ~handler:(Mc.handler cat_sys)
+  in
+  let () =
+    Mc.set_outbox cat_sys
+      ~send:(Simul.Sharded.route cat_sh)
+      ~pool_for:(Simul.Sharded.pool_for cat_sh)
+  in
+  let cat_feed =
+    Workload.Feed.create ~skew:0.9 ~batch:64 ~seed:777 ~length:500
+      ~n_nodes:cat_n ()
+  in
+  let cat_apply ~op:_ ~node ~value:_ = Mc.write cat_sys ~node 1 in
+  let micro_sharded_caterpillar () =
+    let pull, next_window =
+      Workload.Feed.shard_cursors cat_feed ~shards:4
+        ~shard_of:(Tree.Partition.shard_of cat_part) ~apply:cat_apply
+    in
+    Simul.Sharded.run_feed cat_sh ~pull ~next_window
+  in
   [
     Test.make ~name:"micro-prng-1k-ints" (Staged.stage micro_prng);
     Test.make ~name:"micro-subtree-n127" (Staged.stage micro_subtree);
@@ -344,6 +400,9 @@ let bench_tests =
     Test.make ~name:"micro-steady-delivery" (Staged.stage micro_steady_delivery);
     Test.make ~name:"micro-variant-queue" (Staged.stage micro_variant_queue);
     Test.make ~name:"micro-frame-codec" (Staged.stage micro_frame_codec);
+    Test.make ~name:"micro-openloop-feed" (Staged.stage micro_openloop_feed);
+    Test.make ~name:"micro-sharded-caterpillar"
+      (Staged.stage micro_sharded_caterpillar);
     Test.make ~name:"e1-figure2-lifecycle" (Staged.stage fig2_core);
     Test.make ~name:"e2-figure4-machine" (Staged.stage fig4_core);
     Test.make ~name:"e3-figure5-simplex" (Staged.stage fig5_core);
@@ -604,6 +663,37 @@ let run_gc_gate () =
      (budget 100 ms)\n"
     words rounds (!max_round *. 1e9);
   let single_ok = words <= 16 && !max_round < 0.100 in
+  (* Open-loop feed phase: the same system driven by a pull-based
+     Workload.Feed (Zipf node draw, int-coded requests) through
+     Engine.run_stream.  The generator itself must add nothing to the
+     delivery path's zero: after warmup, 5000 generated requests (PRNG
+     draws, Zipf rank search, write, full cascade) must stay within the
+     same 16-word slack the Gc.minor_words samples produce. *)
+  let feed =
+    Workload.Feed.create ~skew:1.1 ~seed:7 ~length:8_000 ~n_nodes:n ()
+  in
+  let budget = ref 0 in
+  let fnext () =
+    if !budget > 0 && Workload.Feed.advance feed then begin
+      decr budget;
+      Mc.write sys ~node:(Workload.Feed.node feed) (Workload.Feed.value feed);
+      true
+    end
+    else false
+  in
+  budget := 2000;
+  ignore (Simul.Engine.run_stream net ~handler:h ~next:fnext);
+  Gc.minor ();
+  let fw0 = Gc.minor_words () in
+  let feed_reqs = 5000 in
+  budget := feed_reqs;
+  ignore (Simul.Engine.run_stream net ~handler:h ~next:fnext);
+  let fw1 = Gc.minor_words () in
+  let feed_words = int_of_float (fw1 -. fw0) in
+  Printf.printf
+    "gc-gate[feed]: %d minor words over %d open-loop requests (budget 16)\n"
+    feed_words feed_reqs;
+  let feed_ok = feed_words <= 16 in
   (* Sharded phase: the same leased cascade, but the path is split over
      four shard domains, so every round crosses three mailbox
      boundaries and runs through the windowed driver.  Two passes,
@@ -632,14 +722,14 @@ let run_gc_gate () =
     Mc.set_outbox sys
       ~send:(Simul.Sharded.route sh)
       ~pool_for:(Simul.Sharded.pool_for sh);
-    (sys, sh)
+    (sys, sh, part)
   in
   let cascade sys rounds =
     Array.init rounds (fun _ -> (n - 1, fun () -> Mc.write sys ~node:(n - 1) 1))
   in
-  (* Words pass.  A short warmup run lets mailbox rings, frame pools and
-     channel capacities reach steady state before measuring. *)
-  let sys, sh = mk_sharded () in
+  (* Words pass.  A short warmup run lets mailbox buffers, frame pools
+     and channel capacities reach steady state before measuring. *)
+  let sys, sh, _ = mk_sharded () in
   Simul.Sharded.run_sequential sh ~requests:(cascade sys 100);
   let g0 = Simul.Sharded.gc_stats sh and w0 = Simul.Sharded.windows sh in
   let sh_rounds = 500 in
@@ -657,10 +747,48 @@ let run_gc_gate () =
          (%.2f w/win, budget 8)\n"
         s dw sh_windows rate)
     g1;
+  (* Feed-driven sharded pass: the same per-window words budget, but
+     requests come from per-shard Workload.Feed cursors through
+     run_feed — gating the whole open-loop multicore path (feed draws,
+     batched mailbox flushes, adaptive lookahead) at once. *)
+  let sys, sh, part = mk_sharded () in
+  (* Long enough (batch 1 => one window per request) to amortise the
+     per-run setup — domain spawns alone cost ~11k words — the same way
+     the 2000-window run_sequential pass above does. *)
+  let sh_feed =
+    Workload.Feed.create ~skew:1.1 ~seed:13 ~length:2_000 ~n_nodes:n ()
+  in
+  let sh_apply ~op:_ ~node ~value = Mc.write sys ~node value in
+  let run_feed_once feed =
+    let pull, next_window =
+      Workload.Feed.shard_cursors feed ~shards
+        ~shard_of:(Tree.Partition.shard_of part) ~apply:sh_apply
+    in
+    Simul.Sharded.run_feed sh ~pull ~next_window
+  in
+  (* Warm up with the identical stream so frame pools, mailbox arenas
+     and channel capacities reach the steady state of the measured
+     run's own hot paths. *)
+  run_feed_once (Workload.Feed.clone sh_feed);
+  let fg0 = Simul.Sharded.gc_stats sh and fwin0 = Simul.Sharded.windows sh in
+  run_feed_once sh_feed;
+  let fg1 = Simul.Sharded.gc_stats sh in
+  let feed_windows = Simul.Sharded.windows sh - fwin0 in
+  let feed_rate = ref 0.0 in
+  Array.iteri
+    (fun s (w1, _) ->
+      let dw = w1 -. fst fg0.(s) in
+      let rate = dw /. float_of_int (max 1 feed_windows) in
+      if rate > !feed_rate then feed_rate := rate;
+      Printf.printf
+        "gc-gate[sharded-feed]: domain %d: %.0f minor words over %d windows \
+         (%.2f w/win, budget 8)\n"
+        s dw feed_windows rate)
+    fg1;
   (* Pause pass: a fresh engine with a real clock; worst busy section
      per domain, same 100ms collapse budget as the single-domain
      round. *)
-  let sys, sh = mk_sharded ~wall:Unix.gettimeofday () in
+  let sys, sh, _ = mk_sharded ~wall:Unix.gettimeofday () in
   Simul.Sharded.run_sequential sh ~requests:(cascade sys sh_rounds);
   let worst_pause = ref 0.0 in
   Array.iter
@@ -669,85 +797,174 @@ let run_gc_gate () =
   Printf.printf
     "gc-gate[sharded]: worst domain busy section %.0f ns (budget 100 ms)\n"
     (!worst_pause *. 1e9);
-  single_ok && !worst_rate <= 8.0 && !worst_pause < 0.100
+  single_ok && feed_ok && !worst_rate <= 8.0 && !feed_rate <= 8.0
+  && !worst_pause < 0.100
 
-(* --multicore: E18's scaling curve — the standing n=1023 concurrent
-   RWW workload through Simul.Sharded at 1/2/4/8 domains.  Two speedup
-   columns, with very different meanings on a small host:
+(* --multicore: E18/E19's scaling + balance sweep — the standing n=1023
+   workloads through Simul.Sharded at 1/2/4/8 domains, naive vs.
+   weighted partitions.  Two speedup columns, with very different
+   meanings on a small host:
 
    - "model" is total work units / critical-path work units (see
      Sharded.parallel_work): the speedup an ideal [d]-core machine gets
      on this exact execution.  It is deterministic — a pure function of
      the partition and the request sequence — so it is the gated
-     number: >= 2x at 4 domains.
+     number.
    - "wall" is measured elapsed time relative to 1 domain, which can
      only show real parallelism when the host has that many cores (the
      host core count is printed; on a 1-core container every extra
      domain is pure barrier overhead and wall speedup sits near/below
-     1). *)
+     1).
+
+   "balance" is the measured per-shard delivery imbalance (max/mean of
+   Sharded.deliveries_of) — under rootward lease cascades a node's
+   delivery load is its subtree size, so naive equal-node-count splits
+   starve the leafward shards and pile work on the rootward one.  The
+   weighted partitioner splits on measured per-node delivery counts
+   from a single-domain profile run of the same feed (a 10% slice),
+   which is what the E19 gate exercises: on the skewed caterpillar the
+   weighted split must bring the max shard within 1.25x of the mean at
+   4 domains and lift the model speedup to >= 3.0 (the old naive gate,
+   >= 2.0 on the binary tree, is kept alongside). *)
 let run_multicore () =
-  let n = 1023 in
-  let tree = Tree.Build.binary n in
-  let n_req = 50_000 and batch = 512 in
-  (* The aggregation-monitoring configuration (leases everywhere, every
-     write propagates its delta rootward) rather than adaptive RWW:
-     lease-all write cascades are interleaving-independent, so every
-     domain count performs the identical message work and the rows are
-     comparable — under RWW the lease state reacts to the batching and
-     the per-run message totals diverge. *)
-  let run domains =
-    let rng = Sm.create 90210 in
+  let n_req = 50_000 and batch = 512 and profile_req = 5_000 in
+  let mk_sys tree =
     let sys =
       Mc.create tree ~policy:(Oat.Policy.noop ~name:"lease-all" ~set_lease:true)
     in
     ignore (Mc.combine_sync sys ~node:0);
-    let part = Tree.Partition.create tree ~shards:domains in
+    sys
+  in
+  let mk_feed ~n ~skew ~length =
+    Workload.Feed.create ~skew ~batch ~seed:90210 ~length ~n_nodes:n ()
+  in
+  (* Measured cost model: per-node delivery counts from a single-domain
+     run of the feed's first [profile_req] requests (weights floored at
+     1 so every node stays splittable). *)
+  let profile_weights tree ~skew =
+    let n = Tree.n_nodes tree in
+    let sys = mk_sys tree in
+    let h = Mc.handler sys in
+    let counts = Array.make n 1 in
+    let counting ~src ~dst f =
+      counts.(dst) <- counts.(dst) + 1;
+      h ~src ~dst f
+    in
+    let feed = mk_feed ~n ~skew ~length:profile_req in
+    let next () =
+      if Workload.Feed.advance feed then begin
+        Mc.write sys ~node:(Workload.Feed.node feed) 1;
+        true
+      end
+      else false
+    in
+    ignore (Simul.Engine.run_stream (Mc.network sys) ~handler:counting ~next);
+    counts
+  in
+  let run tree ~skew ~weights ~domains =
+    let n = Tree.n_nodes tree in
+    let sys = mk_sys tree in
+    let part =
+      match weights with
+      | None -> Tree.Partition.create tree ~shards:domains
+      | Some w -> Tree.Partition.create_weighted tree ~shards:domains ~weights:w
+    in
     let sh =
       Simul.Sharded.create tree ~partition:part ~handler:(Mc.handler sys)
     in
     Mc.set_outbox sys
       ~send:(Simul.Sharded.route sh)
       ~pool_for:(Simul.Sharded.pool_for sh);
-    let requests =
-      Array.init n_req (fun i ->
-          let node = Sm.int rng n in
-          (i / batch, node, fun () -> Mc.write sys ~node 1))
+    let apply ~op:_ ~node ~value:_ = Mc.write sys ~node 1 in
+    let pull, next_window =
+      Workload.Feed.shard_cursors
+        (mk_feed ~n ~skew ~length:n_req)
+        ~shards:(Simul.Sharded.shards sh)
+        ~shard_of:(Tree.Partition.shard_of part) ~apply
     in
     let t0 = Unix.gettimeofday () in
-    Simul.Sharded.run_open sh ~requests;
+    Simul.Sharded.run_feed sh ~pull ~next_window;
     let dt = Unix.gettimeofday () -. t0 in
     let work, crit = Simul.Sharded.parallel_work sh in
+    let k = Simul.Sharded.shards sh in
+    let dmax = ref 0 and dsum = ref 0 in
+    for s = 0 to k - 1 do
+      let d = Simul.Sharded.deliveries_of sh s in
+      if d > !dmax then dmax := d;
+      dsum := !dsum + d
+    done;
+    let balance =
+      if !dsum = 0 then 1.0
+      else float_of_int !dmax /. (float_of_int !dsum /. float_of_int k)
+    in
     ( dt,
       Simul.Sharded.total sh,
       Tree.Partition.edge_cut part,
       Simul.Sharded.crossings sh,
       Simul.Sharded.windows sh,
       Simul.Sharded.stalls sh,
+      balance,
       float_of_int work /. float_of_int (max 1 crit) )
   in
   Printf.printf
-    "multicore scaling: n=%d binary tree, %d leased writes at random nodes, \
-     %d per window, host cores=%d\n"
-    n n_req batch (Domain.recommended_domain_count ());
+    "multicore scaling: %d leased writes, %d per window, host cores=%d\n"
+    n_req batch
+    (Domain.recommended_domain_count ());
+  let model_bin_naive4 = ref 0.0 in
+  let model_cat_weighted4 = ref 0.0 in
+  let bal_cat_naive4 = ref 0.0 and bal_cat_weighted4 = ref 0.0 in
+  let sweep label tree ~skew =
+    let weights = profile_weights tree ~skew in
+    Printf.printf
+      "\n%s (n=%d, zipf skew %.1f; weighted = measured profile counts)\n" label
+      (Tree.n_nodes tree) skew;
+    Printf.printf
+      "domains | partition | edge-cut | messages | crossings | windows | \
+       stalls | balance | seconds | model speedup | wall speedup\n";
+    let base = ref 0.0 in
+    List.iter
+      (fun d ->
+        List.iter
+          (fun (pname, w) ->
+            let dt, total, cut, crossings, windows, stalls, balance, model =
+              run tree ~skew ~weights:w ~domains:d
+            in
+            if d = 1 && pname = "naive" then base := dt;
+            if d = 4 then begin
+              match (label.[0], pname) with
+              | 'b', "naive" -> model_bin_naive4 := model
+              | 'c', "weighted" ->
+                model_cat_weighted4 := model;
+                bal_cat_weighted4 := balance
+              | 'c', "naive" -> bal_cat_naive4 := balance
+              | _ -> ()
+            end;
+            Printf.printf
+              "%7d | %9s | %8d | %8d | %9d | %7d | %6d | %6.2fx | %7.2f | \
+               %13.2f | %12.2f\n"
+              d pname cut total crossings windows stalls balance dt model
+              (!base /. dt))
+          [ ("naive", None); ("weighted", Some weights) ])
+      [ 1; 2; 4; 8 ]
+  in
+  sweep "binary tree (uniform keys)" (Tree.Build.binary 1023) ~skew:0.0;
+  sweep "caterpillar tree (skewed keys)"
+    (Tree.Build.caterpillar ~spine:341 ~legs:2)
+    ~skew:0.9;
   Printf.printf
-    "domains | edge-cut | messages | crossings | windows | stalls | seconds | \
-     req/s | model speedup | wall speedup\n";
-  let base = ref 0.0 in
-  let model4 = ref 0.0 in
-  List.iter
-    (fun d ->
-      let dt, total, cut, crossings, windows, stalls, model = run d in
-      if d = 1 then base := dt;
-      if d = 4 then model4 := model;
-      Printf.printf
-        "%7d | %8d | %8d | %9d | %7d | %6d | %7.2f | %5.0f | %13.2f | %12.2f\n"
-        d cut total crossings windows stalls dt
-        (float_of_int n_req /. dt)
-        model (!base /. dt))
-    [ 1; 2; 4; 8 ];
-  Printf.printf "gate: model speedup at 4 domains = %.2f (>= 2.00 required)\n"
-    !model4;
-  !model4 >= 2.0
+    "\ngate: binary naive model speedup at 4 domains = %.2f (>= 2.00 required)\n"
+    !model_bin_naive4;
+  Printf.printf
+    "gate: caterpillar weighted balance at 4 domains = %.2fx of mean (<= 1.25 \
+     required; naive %.2fx)\n"
+    !bal_cat_weighted4 !bal_cat_naive4;
+  Printf.printf
+    "gate: caterpillar weighted model speedup at 4 domains = %.2f (>= 3.00 \
+     required)\n"
+    !model_cat_weighted4;
+  !model_bin_naive4 >= 2.0
+  && !bal_cat_weighted4 <= 1.25
+  && !model_cat_weighted4 >= 3.0
 
 (* --million: the north-star headline — a million-node tree absorbing
    ten million requests.  Leases are installed everywhere (the

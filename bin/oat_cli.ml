@@ -155,9 +155,8 @@ let run_instrumented tree sigma ~policy ~metrics ~sink =
    (precomputed on the main domain — sequential semantics make each
    combine's answer the sum of all earlier writes, independently of the
    shard count). *)
-let run_sharded tree sigma ~policy ~domains =
+let run_sharded tree sigma ~policy ~part =
   let sys = M.create tree ~policy in
-  let part = Tree.Partition.create tree ~shards:domains in
   let sh = Simul.Sharded.create tree ~partition:part ~handler:(M.handler sys) in
   M.set_outbox sys
     ~send:(Simul.Sharded.route sh)
@@ -187,12 +186,12 @@ let run_sharded tree sigma ~policy ~domains =
         else if Float.abs (answers.(i) -. e) > 1e-6 *. Float.max 1.0 (Float.abs e)
         then or_die (Error "strict consistency violated"))
     expected;
-  (sys, part, sh)
+  (sys, sh)
 
 (* ---- simulate ---- *)
 
 let simulate seed tree_kind n requests read_fraction policy trace_out
-    metrics_out faults domains =
+    metrics_out faults domains partition_strategy =
   let tree = or_die (build_tree tree_kind n seed) in
   let rng = Sm.create seed in
   let sigma =
@@ -228,10 +227,21 @@ let simulate seed tree_kind n requests read_fraction policy trace_out
       or_die
         (Error "--domains does not combine with --trace, --metrics or --faults"));
     let policy = or_die (build_lease_policy policy) in
-    let sys, part, sh = run_sharded tree sigma ~policy ~domains in
+    let part =
+      match partition_strategy with
+      | "naive" -> Tree.Partition.create tree ~shards:domains
+      | "weighted" ->
+        Tree.Partition.create_weighted tree ~shards:domains
+          ~weights:(Tree.Partition.subtree_weights tree)
+      | s -> or_die (Error (Printf.sprintf "unknown --partition strategy %S" s))
+    in
+    let sys, sh = run_sharded tree sigma ~policy ~part in
     report (M.policy_name sys) (Simul.Sharded.total sh);
     Printf.printf "domains:           %d (edge cut %d)\n" domains
       (Tree.Partition.edge_cut part);
+    Printf.printf "partition:         %s (planned balance %.2fx of mean)\n"
+      (Tree.Partition.strategy part)
+      (Tree.Partition.balance_ratio part);
     Printf.printf "cross-shard:       %d of %d messages\n"
       (Simul.Sharded.crossings sh)
       (Simul.Sharded.total sh);
@@ -241,7 +251,19 @@ let simulate seed tree_kind n requests read_fraction policy trace_out
     let work, crit = Simul.Sharded.parallel_work sh in
     Printf.printf "parallel speedup:  %.2f (ideal %d-core critical-path model)\n"
       (float_of_int work /. float_of_int (max 1 crit))
-      domains
+      domains;
+    let loads = Tree.Partition.loads part in
+    Printf.printf
+      "per-shard:         shard |  nodes |   load | deliveries | stalls | \
+       mailbox hwm\n";
+    for s = 0 to Tree.Partition.k part - 1 do
+      Printf.printf "                   %5d | %6d | %6d | %10d | %6d | %11d\n" s
+        (Array.length (Tree.Partition.owned part s))
+        loads.(s)
+        (Simul.Sharded.deliveries_of sh s)
+        (Simul.Sharded.stalls_of sh s)
+        (Simul.Sharded.mailbox_hwm sh s)
+    done
   end
   else
   match faults with
@@ -360,6 +382,19 @@ let domains_arg =
   in
   Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
 
+let partition_arg =
+  let doc =
+    "Partitioner for --domains runs: $(b,naive) splits the post-order into \
+     equal node-count ranges; $(b,weighted) splits on subtree sizes (the \
+     static cost model for rootward lease cascades, where a node's delivery \
+     load is its subtree size), minimising the bottleneck shard.  The \
+     per-shard table in the report shows the resulting load balance."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("naive", "naive"); ("weighted", "weighted") ]) "naive"
+    & info [ "partition" ] ~docv:"STRATEGY" ~doc)
+
 let simulate_cmd =
   let doc = "Run a synthetic workload and report message costs and ratios." in
   Cmd.v
@@ -367,7 +402,7 @@ let simulate_cmd =
     Term.(
       const simulate $ seed_arg $ tree_arg $ nodes_arg $ requests_arg
       $ read_fraction_arg $ policy_arg $ trace_arg $ metrics_file_arg
-      $ faults_arg $ domains_arg)
+      $ faults_arg $ domains_arg $ partition_arg)
 
 (* ---- metrics ---- *)
 

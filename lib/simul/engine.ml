@@ -26,6 +26,17 @@ let rec drive net handler max_deliveries count =
 let run_to_quiescence ?(max_deliveries = default_max_deliveries) net ~handler =
   drive net handler max_deliveries 0
 
+(* Top-level for the same reason as [drive]: the per-request loop of a
+   generator-driven feed must not cons. *)
+let rec stream_loop net handler next max_deliveries acc =
+  if next () then
+    let d = drive net handler max_deliveries 0 in
+    stream_loop net handler next max_deliveries (acc + d)
+  else acc
+
+let run_stream ?(max_deliveries = default_max_deliveries) net ~handler ~next =
+  stream_loop net handler next max_deliveries 0
+
 let run_concurrent ?(max_deliveries = default_max_deliveries)
     ?(sink = Telemetry.Sink.null) ?clock ~rng net ~handler ~requests =
   let clock = match clock with Some c -> c | None -> Network.clock net in

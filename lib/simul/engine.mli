@@ -36,6 +36,22 @@ val step : 'm Network.t -> handler:(src:int -> dst:int -> 'm -> unit) -> bool
 (** Deliver exactly one message (deterministic choice).  [false] if the
     network was already quiescent. *)
 
+val run_stream :
+  ?max_deliveries:int ->
+  'm Network.t ->
+  handler:(src:int -> dst:int -> 'm -> unit) ->
+  next:(unit -> bool) ->
+  int
+(** Generator-driven sequential executions: repeatedly call [next ()] —
+    which initiates the stream's next request and returns [false] once
+    the stream is exhausted — delivering the network to quiescence
+    after each initiation.  The pull-based replacement for building a
+    request array up front: with an allocation-free producer (see
+    [Workload.Feed]) the steady-state per-request path allocates zero
+    minor words.  Returns total deliveries.  [max_deliveries] bounds
+    each inter-request drain, as in {!run_to_quiescence}.
+    @raise Divergence as {!run_to_quiescence}. *)
+
 val run_concurrent :
   ?max_deliveries:int ->
   ?sink:Telemetry.Sink.t ->

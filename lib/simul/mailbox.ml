@@ -1,137 +1,154 @@
-(* Mutex-protected FIFO of copied frame images.  See mailbox.mli for
-   the ownership story.  The pending queue is a growable circular
-   buffer of entries and retired entries go on a free stack, so the
-   steady state allocates nothing; the lock is held across the drain
-   callbacks, which is safe because a shard never drains a mailbox it
-   also pushes to (mailboxes are per ordered shard pair). *)
+(* Packed double-buffered byte arena.  See mailbox.mli for the
+   ownership story.  Pending entries live in one contiguous growable
+   byte region ([src u32][dst u32][len u32][frame bytes] records), so a
+   drain is an O(1) front/back buffer swap under the lock followed by a
+   lock-free walk on the receiving domain, and a window's worth of
+   sends can be staged in a sender-local {!batch} and published with a
+   single lock round and one bulk blit ([flush]).  Buffers are
+   recycled, so the steady state allocates nothing. *)
 
-type entry = {
-  mutable e_src : int;
-  mutable e_dst : int;
-  mutable e_len : int;
-  mutable e_buf : Bytes.t;
+type buf = {
+  mutable data : Bytes.t;
+  mutable len : int;   (* bytes used *)
+  mutable count : int; (* entries packed *)
 }
+
+type batch = buf
 
 type t = {
   m : Mutex.t;
-  mutable ring : entry array;  (* circular pending queue *)
-  mutable head : int;
-  mutable count : int;
-  mutable free : entry array;  (* retired-entry stack *)
-  mutable nfree : int;
+  mutable front : buf; (* push side, guarded by [m] *)
+  mutable back : buf;  (* drain side, owned by the draining domain *)
   mutable pushed : int;
+  mutable hwm : int;   (* max pending entry count ever observed *)
 }
 
-let dummy = { e_src = -1; e_dst = -1; e_len = 0; e_buf = Bytes.empty }
+let entry_header = 12
+
+let mk_buf cap = { data = Bytes.create cap; len = 0; count = 0 }
 
 let create () =
   {
     m = Mutex.create ();
-    ring = Array.make 64 dummy;
-    head = 0;
-    count = 0;
-    free = Array.make 64 dummy;
-    nfree = 0;
+    front = mk_buf 4096;
+    back = mk_buf 4096;
     pushed = 0;
+    hwm = 0;
   }
 
-(* Double the ring, re-linearising so head = 0. *)
-let grow_ring t =
-  let cap = Array.length t.ring in
-  let ring = Array.make (2 * cap) dummy in
-  for i = 0 to t.count - 1 do
-    ring.(i) <- t.ring.((t.head + i) mod cap)
-  done;
-  t.ring <- ring;
-  t.head <- 0
-
-let take_entry t len =
-  let e =
-    if t.nfree > 0 then begin
-      t.nfree <- t.nfree - 1;
-      let e = t.free.(t.nfree) in
-      t.free.(t.nfree) <- dummy;
-      e
-    end
-    else { e_src = 0; e_dst = 0; e_len = 0; e_buf = Bytes.create (max 64 len) }
-  in
-  if Bytes.length e.e_buf < len then begin
-    let cap = ref (max 64 (Bytes.length e.e_buf)) in
-    while !cap < len do
+let reserve b extra =
+  let need = b.len + extra in
+  if need > Bytes.length b.data then begin
+    let cap = ref (max 64 (Bytes.length b.data)) in
+    while !cap < need do
       cap := 2 * !cap
     done;
-    e.e_buf <- Bytes.create !cap
-  end;
-  e
+    let data = Bytes.create !cap in
+    Bytes.blit b.data 0 data 0 b.len;
+    b.data <- data
+  end
 
-let retire_entry t e =
-  if t.nfree = Array.length t.free then begin
-    let free = Array.make (2 * t.nfree) dummy in
-    Array.blit t.free 0 free 0 t.nfree;
-    t.free <- free
-  end;
-  t.free.(t.nfree) <- e;
-  t.nfree <- t.nfree + 1
+let append b ~src ~dst f =
+  let flen = Frame.length f in
+  reserve b (entry_header + flen);
+  let base = b.len in
+  Frame.set_u32 b.data base src;
+  Frame.set_u32 b.data (base + 4) dst;
+  Frame.set_u32 b.data (base + 8) flen;
+  Bytes.blit (Frame.buf f) 0 b.data (base + entry_header) flen;
+  b.len <- base + entry_header + flen;
+  b.count <- b.count + 1
 
-(* push/drain take the lock by hand rather than through [Mutex.protect]:
-   its per-call closure is the only allocation on the crossing hot path,
-   and the GC gate pins that path to zero steady-state words.  [push]'s
-   body cannot raise in steady state (growth paths only allocate); a
-   drain callback can, so [drain] re-raises with the lock released. *)
+let note_pushed t n =
+  t.pushed <- t.pushed + n;
+  if t.front.count > t.hwm then t.hwm <- t.front.count
+
+(* push/flush/drain take the lock by hand rather than through
+   [Mutex.protect]: its per-call closure is the only allocation on the
+   crossing hot path, and the GC gate pins that path to zero
+   steady-state words.  The locked bodies cannot raise in steady state
+   (growth paths only allocate). *)
 
 let push t ~src ~dst f =
-  let len = Frame.length f in
   Mutex.lock t.m;
-  let e = take_entry t len in
-  e.e_src <- src;
-  e.e_dst <- dst;
-  e.e_len <- len;
-  Bytes.blit (Frame.buf f) 0 e.e_buf 0 len;
-  if t.count = Array.length t.ring then grow_ring t;
-  t.ring.((t.head + t.count) mod Array.length t.ring) <- e;
-  t.count <- t.count + 1;
-  t.pushed <- t.pushed + 1;
+  append t.front ~src ~dst f;
+  note_pushed t 1;
   Mutex.unlock t.m
 
-(* Top-level so the (empty-mailbox) common case allocates nothing: a
-   local [let rec] would close over [t]/[pool]/[fn] and cons a closure
-   per call. *)
-let rec drain_loop t pool fn acc =
-  if t.count = 0 then acc
+let batch () = mk_buf 4096
+let batch_add b ~src ~dst f = append b ~src ~dst f
+let batch_length b = b.count
+
+let flush t b =
+  if b.count > 0 then begin
+    Mutex.lock t.m;
+    reserve t.front b.len;
+    Bytes.blit b.data 0 t.front.data t.front.len b.len;
+    t.front.len <- t.front.len + b.len;
+    t.front.count <- t.front.count + b.count;
+    note_pushed t b.count;
+    Mutex.unlock t.m;
+    b.len <- 0;
+    b.count <- 0
+  end
+
+(* Top-level so the walk allocates nothing beyond the rebuilt frames: a
+   local [let rec] would close over [b]/[pool]/[fn] and cons a closure
+   per drain. *)
+let rec drain_loop b pos pool fn acc =
+  if pos >= b.len then acc
   else begin
-    let cap = Array.length t.ring in
-    let e = t.ring.(t.head) in
-    t.ring.(t.head) <- dummy;
-    t.head <- (t.head + 1) mod cap;
-    t.count <- t.count - 1;
+    let src = Frame.get_u32 b.data pos in
+    let dst = Frame.get_u32 b.data (pos + 4) in
+    let flen = Frame.get_u32 b.data (pos + 8) in
     let f = Frame.alloc pool in
-    Frame.set_length f e.e_len;
-    Bytes.blit e.e_buf 0 (Frame.buf f) 0 e.e_len;
-    let src = e.e_src and dst = e.e_dst in
-    retire_entry t e;
+    Frame.set_length f flen;
+    Bytes.blit b.data (pos + entry_header) (Frame.buf f) 0 flen;
     fn ~src ~dst f;
-    drain_loop t pool fn (acc + 1)
+    drain_loop b (pos + entry_header + flen) pool fn (acc + 1)
   end
 
 let drain t ~pool fn =
   Mutex.lock t.m;
-  let delivered =
-    try drain_loop t pool fn 0
-    with e ->
-      Mutex.unlock t.m;
-      raise e
-  in
+  let b = t.front in
+  let have = b.count > 0 in
+  if have then begin
+    (* O(1) handover: pushes land in the old back buffer from here on;
+       [b] is walked lock-free because only this domain drains. *)
+    t.front <- t.back;
+    t.back <- b
+  end;
   Mutex.unlock t.m;
-  delivered
+  if not have then 0
+  else begin
+    let delivered =
+      try drain_loop b 0 pool fn 0
+      with e ->
+        (* A raising callback aborts the run; drop the remainder so the
+           buffer is reusable if the mailbox outlives the error. *)
+        b.len <- 0;
+        b.count <- 0;
+        raise e
+    in
+    b.len <- 0;
+    b.count <- 0;
+    delivered
+  end
 
 let length t =
   Mutex.lock t.m;
-  let n = t.count in
+  let n = t.front.count in
   Mutex.unlock t.m;
   n
 
 let pushed t =
   Mutex.lock t.m;
   let n = t.pushed in
+  Mutex.unlock t.m;
+  n
+
+let hwm t =
+  Mutex.lock t.m;
+  let n = t.hwm in
   Mutex.unlock t.m;
   n

@@ -3,18 +3,24 @@
     A mailbox is a mutex-protected FIFO of frame images travelling from
     one shard to another.  Frames themselves never cross shards — pools
     are shard-local and not thread-safe — so {!push} copies the frame's
-    bytes into an internal recycled buffer on the sending domain, and
-    {!drain} re-materialises each image as a fresh frame from the
+    bytes into an internal packed byte region on the sending domain,
+    and {!drain} re-materialises each image as a fresh frame from the
     {e receiving} shard's pool.  The mutex pairs give the byte copies
     the happens-before edges the OCaml memory model requires.
 
-    Entry buffers are recycled through an internal free list, so a
-    mailbox in steady state allocates nothing: the cost of a cross-shard
-    hop is two [Bytes.blit]s and two lock acquisitions.
+    The pending region is double-buffered: {!drain} swaps the front and
+    back buffers under the lock (O(1)) and walks the snapshot lock-free
+    on the receiving domain, so the lock is never held across
+    callbacks.  Senders can additionally stage a window's worth of
+    frames in a lock-free local {!batch} and publish them with a single
+    lock round and one bulk byte-copy ({!flush}) — one lock round per
+    peer per window instead of one per frame.  Buffers are recycled, so
+    a mailbox in steady state allocates nothing.
 
     FIFO order is preserved per mailbox: with one mailbox per ordered
     shard pair, messages between any two nodes keep the channel-FIFO
-    order the transport layer promises. *)
+    order the transport layer promises ({!flush} appends the batch's
+    entries in staging order). *)
 
 type t
 
@@ -23,18 +29,45 @@ val create : unit -> t
 val push : t -> src:int -> dst:int -> Frame.t -> unit
 (** Copy [frame]'s bytes (header included) into the mailbox.  The
     caller keeps its reference — release it to the sending shard's pool
-    as usual.  Called by the sending domain only. *)
+    as usual.  Called by a sending domain only. *)
+
+type batch
+(** A sender-local staging buffer.  Not thread-safe: owned by one
+    domain, typically one batch per (sender, destination) shard pair,
+    reused across windows. *)
+
+val batch : unit -> batch
+
+val batch_add : batch -> src:int -> dst:int -> Frame.t -> unit
+(** Stage a frame image in the batch without touching any lock.  The
+    caller keeps its frame reference, as with {!push}. *)
+
+val batch_length : batch -> int
+(** Entries currently staged (plain read; the batch is domain-local). *)
+
+val flush : t -> batch -> unit
+(** Publish every staged entry into the mailbox in staging order —
+    one lock acquisition and one bulk blit — and reset the batch for
+    reuse.  No-op (and lock-free) on an empty batch. *)
 
 val drain : t -> pool:Frame.pool -> (src:int -> dst:int -> Frame.t -> unit) -> int
 (** Pop every pending entry in FIFO order; each is rebuilt as a frame
     allocated from [pool] (the receiving shard's) and passed to the
     callback, which takes ownership of the single reference.  Entries
-    pushed concurrently with a drain are delivered by a later drain.
-    Returns the number of entries delivered.  Called by the receiving
-    domain only. *)
+    pushed or flushed concurrently with a drain are delivered by a
+    later drain.  At most one domain may drain a given mailbox (the
+    receiving shard); pushes from other domains may be concurrent.  If
+    the callback raises, the remaining undelivered entries of the
+    drained snapshot are discarded (the exception aborts the run).
+    Returns the number of entries delivered. *)
 
 val length : t -> int
 (** Entries currently pending (locked read; exact at barriers). *)
 
 val pushed : t -> int
-(** Total entries ever pushed (monotone; read at quiescence). *)
+(** Total entries ever pushed or flushed (monotone; read at
+    quiescence). *)
+
+val hwm : t -> int
+(** High-water mark of the pending entry count — the deepest backlog
+    the mailbox ever held, a per-edge congestion signal. *)

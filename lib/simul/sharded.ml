@@ -17,6 +17,10 @@ type t = {
   pools : Frame.pool array;
   nets : Frame.t Network.t array;
   boxes : Mailbox.t array array; (* boxes.(i).(j): shard i -> shard j *)
+  (* bats.(i).(j): shard i's lock-free staging batch toward shard j.
+     Owned by domain i; flushed into boxes.(i).(j) once per window
+     (windowed drivers) or per replay command. *)
+  bats : Mailbox.batch array array;
   handler : src:int -> dst:int -> Frame.t -> unit;
   check : bool;
   mets : Telemetry.Metrics.t array;
@@ -25,6 +29,7 @@ type t = {
   m_stalls : Telemetry.Metrics.counter array;
   m_cin : Telemetry.Metrics.counter array;
   m_cout : Telemetry.Metrics.counter array;
+  g_mbhwm : Telemetry.Metrics.gauge array; (* peak inbound mailbox depth *)
   (* Pre-built per-shard ingress callbacks: mailbox drain enqueues on
      the receiving shard's net, where the message is counted (exactly
      once — the sender never counted it). *)
@@ -71,6 +76,7 @@ let create ?(check = false) ?sink ?wall tree ~partition ~handler =
         Network.create ?sink tree ~kind_of ~frames:(fun f -> f))
   in
   let boxes = Array.init k (fun _ -> Array.init k (fun _ -> Mailbox.create ())) in
+  let bats = Array.init k (fun _ -> Array.init k (fun _ -> Mailbox.batch ())) in
   let mets = Array.init k (fun _ -> Telemetry.Metrics.create ()) in
   let c name = Array.init k (fun s -> Telemetry.Metrics.counter mets.(s) name) in
   let ingress_fn =
@@ -82,6 +88,7 @@ let create ?(check = false) ?sink ?wall tree ~partition ~handler =
     pools;
     nets;
     boxes;
+    bats;
     handler;
     check;
     mets;
@@ -90,6 +97,7 @@ let create ?(check = false) ?sink ?wall tree ~partition ~handler =
     m_stalls = c "shard.stalls";
     m_cin = c "shard.cross.in";
     m_cout = c "shard.cross.out";
+    g_mbhwm = Array.init k (fun s -> Telemetry.Metrics.gauge mets.(s) "shard.mailbox.hwm");
     ingress_fn;
     wall;
     timed;
@@ -119,10 +127,23 @@ let route t ~src ~dst f =
   let d = Tree.Partition.shard_of t.part dst in
   if s = d then Network.send t.nets.(s) ~src ~dst f
   else begin
-    Mailbox.push t.boxes.(s).(d) ~src ~dst f;
+    (* Stage lock-free in the sender's batch; the driver publishes the
+       whole window's worth with one [Mailbox.flush] per peer. *)
+    Mailbox.batch_add t.bats.(s).(d) ~src ~dst f;
     Telemetry.Metrics.incr t.m_cout.(s);
     Frame.release f
   end
+
+(* Publish shard [s]'s staged outbound batches.  Runs on domain [s]
+   (or the replay worker for [s]).  Top-level recursion: the window
+   control plane must not allocate. *)
+let rec flush_from t s d =
+  if d < t.k then begin
+    if d <> s then Mailbox.flush t.boxes.(s).(d) t.bats.(s).(d);
+    flush_from t s (d + 1)
+  end
+
+let flush_out t s = flush_from t s 0
 
 (* Drain every inbound mailbox of shard [s] into its net, in sender-
    shard order.  Runs on domain [s]. *)
@@ -161,6 +182,8 @@ type ctl = {
   mutable arrived : int;
   mutable sense : bool;
   mutable stop : bool;
+  mutable next_w : int; (* window every worker jumps to after the end
+                           barrier; set in the serial section *)
   mutable err : exn option;
 }
 
@@ -204,8 +227,15 @@ let barrier ctl k ~serial =
    and the schedule would depend on thread timing.
 
    [worker_inits s w] runs shard [s]'s initiations for window [w] and
-   returns how many ran; [serial_step w] decides termination after the
-   window's end barrier (and may schedule future initiations). *)
+   returns how many ran; [serial_step w] decides what happens after the
+   window's end barrier (and may schedule future initiations): it
+   returns the next window number to run, or a negative value to
+   terminate.  Returning a window beyond [w + 1] is the adaptive
+   lookahead: when no cross-shard traffic is pending, every local net
+   is quiescent (phase B ran it dry), so the skipped windows provably
+   execute nothing and the barrier rounds for them can be elided
+   without changing any delivery.  [max_windows] bounds the number of
+   windows actually executed (skipped windows are free). *)
 let run_windowed t ~max_windows ~worker_inits ~serial_step =
   let ctl =
     {
@@ -214,9 +244,11 @@ let run_windowed t ~max_windows ~worker_inits ~serial_step =
       arrived = 0;
       sense = false;
       stop = false;
+      next_w = 0;
       err = None;
     }
   in
+  let executed = ref 0 in
   let worker s () =
     let w = ref 0 in
     let running = ref true in
@@ -231,6 +263,7 @@ let run_windowed t ~max_windows ~worker_inits ~serial_step =
     in
     let serial_end () =
       t.windows_run <- t.windows_run + 1;
+      incr executed;
       match ctl.err with
       | Some _ -> ctl.stop <- true
       | None ->
@@ -243,11 +276,13 @@ let run_windowed t ~max_windows ~worker_inits ~serial_step =
         done;
         t.crit_work <- t.crit_work + !mx;
         t.total_work <- t.total_work + !sm;
-        if serial_step window then ctl.stop <- true
-        else if window + 1 >= max_windows then begin
-          ctl.err <- Some (Horizon { windows = window + 1; budget = max_windows });
+        let nw = serial_step window in
+        if nw < 0 then ctl.stop <- true
+        else if !executed >= max_windows then begin
+          ctl.err <- Some (Horizon { windows = !executed; budget = max_windows });
           ctl.stop <- true
         end
+        else ctl.next_w <- max nw (window + 1)
     in
     let inb = ref 0 in
     while !running do
@@ -265,6 +300,9 @@ let run_windowed t ~max_windows ~worker_inits ~serial_step =
            let delivered =
              Engine.run_to_quiescence t.nets.(s) ~handler:t.handler
            in
+           (* one lock round per peer publishes the window's staged
+              cross-shard frames; next window's phase A drains them *)
+           flush_out t s;
            if delivered > 0 then Telemetry.Metrics.add t.m_deliv.(s) delivered;
            Telemetry.Metrics.incr t.m_windows.(s);
            t.win_work.(s) <- !inb + inits + delivered;
@@ -276,13 +314,24 @@ let run_windowed t ~max_windows ~worker_inits ~serial_step =
           if dt > t.gc_worst.(s) then t.gc_worst.(s) <- dt
         end;
         barrier ctl t.k ~serial:serial_end;
-        if ctl.stop then running := false else incr w
+        if ctl.stop then running := false else w := ctl.next_w
       end
     done;
     t.gc_words.(s) <- t.gc_words.(s) +. (Gc.minor_words () -. minor0)
   in
   let doms = Array.init t.k (fun s -> Domain.spawn (worker s)) in
   Array.iter Domain.join doms;
+  (* record the run's peak inbound mailbox depth per shard *)
+  for s = 0 to t.k - 1 do
+    let mx = ref 0 in
+    for j = 0 to t.k - 1 do
+      if j <> s then begin
+        let h = Mailbox.hwm t.boxes.(j).(s) in
+        if h > !mx then mx := h
+      end
+    done;
+    Telemetry.Metrics.gauge_set_max t.g_mbhwm.(s) !mx
+  done;
   match ctl.err with Some e -> raise e | None -> ()
 
 let run_sequential ?(max_windows = default_max_windows) t ~requests =
@@ -314,10 +363,10 @@ let run_sequential ?(max_windows = default_max_windows) t ~requests =
         init_idx := !cursor;
         init_window := w + 1;
         incr cursor;
-        false
+        w + 1
       end
-      else true
-    else false
+      else -1
+    else w + 1
   in
   run_windowed t ~max_windows ~worker_inits ~serial_step
 
@@ -344,14 +393,41 @@ let run_open ?(max_windows = default_max_windows) t ~requests =
     done;
     !n
   in
-  let serial_step _w =
-    if pending_crossings t > 0 then false
+  let serial_step w =
+    if pending_crossings t > 0 then w + 1
     else begin
-      let all_done = ref true in
+      (* quiet network: jump straight to the next window with arrivals
+         (the adaptive lookahead — skipped windows run nothing) *)
+      let nw = ref max_int in
       for s = 0 to t.k - 1 do
-        if cursors.(s) < Array.length feeds.(s) then all_done := false
+        if cursors.(s) < Array.length feeds.(s) then begin
+          let ww = fst feeds.(s).(cursors.(s)) in
+          if ww < !nw then nw := ww
+        end
       done;
-      !all_done
+      if !nw = max_int then -1 else max (w + 1) !nw
+    end
+  in
+  run_windowed t ~max_windows ~worker_inits ~serial_step
+
+(* Generator-driven open-loop driver: requests are pulled from
+   caller-supplied per-shard cursors instead of materialised arrays.
+   [pull ~shard ~window] initiates every request of [shard] due at or
+   before [window] and returns how many ran (phase B, domain [shard]);
+   [next_window ~shard] reports the window of the shard's next pending
+   request, [max_int] when exhausted (serial section — the barrier
+   makes the cursor reads safe). *)
+let run_feed ?(max_windows = default_max_windows) t ~pull ~next_window =
+  let worker_inits s w = pull ~shard:s ~window:w in
+  let serial_step w =
+    if pending_crossings t > 0 then w + 1
+    else begin
+      let nw = ref max_int in
+      for s = 0 to t.k - 1 do
+        let ww = next_window ~shard:s in
+        if ww < !nw then nw := ww
+      done;
+      if !nw = max_int then -1 else max (w + 1) !nw
     end
   in
   run_windowed t ~max_windows ~worker_inits ~serial_step
@@ -397,10 +473,15 @@ let run_replay t ~schedule =
          match c with
          | Nop -> ()
          | Quit_c -> running := false
-         | Flush_c -> ignore (ingress t s)
+         | Flush_c ->
+           ignore (ingress t s);
+           flush_out t s
          | Run_c run ->
            ignore (ingress t s);
-           run ()
+           run ();
+           (* publish this step's cross-shard sends immediately: the
+              next recorded step may deliver them on another shard *)
+           flush_out t s
          | Deliver_c (src, dst) -> (
            (* Pull anything mailed by earlier steps first: the recorded
               message may still be sitting in an inbound mailbox. *)
@@ -408,7 +489,8 @@ let run_replay t ~schedule =
            match Network.pop t.nets.(s) ~src ~dst with
            | Some f ->
              Telemetry.Metrics.incr t.m_deliv.(s);
-             t.handler ~src ~dst f
+             t.handler ~src ~dst f;
+             flush_out t s
            | None ->
              raise
                (Desync
@@ -475,6 +557,19 @@ let delivered t =
 
 let windows t = t.windows_run
 
+let deliveries_of t s = Telemetry.Metrics.counter_value t.m_deliv.(s)
+let stalls_of t s = Telemetry.Metrics.counter_value t.m_stalls.(s)
+
+let mailbox_hwm t s =
+  let mx = ref 0 in
+  for j = 0 to t.k - 1 do
+    if j <> s then begin
+      let h = Mailbox.hwm t.boxes.(j).(s) in
+      if h > !mx then mx := h
+    end
+  done;
+  !mx
+
 let stalls t =
   let n = ref 0 in
   for s = 0 to t.k - 1 do
@@ -501,4 +596,10 @@ let check_invariants t =
   Array.iter Network.check_invariants t.nets;
   Array.iter Frame.check_pool t.pools;
   if pending_crossings t <> 0 then
-    failwith "Sharded.check_invariants: undrained mailbox"
+    failwith "Sharded.check_invariants: undrained mailbox";
+  for i = 0 to t.k - 1 do
+    for j = 0 to t.k - 1 do
+      if i <> j && Mailbox.batch_length t.bats.(i).(j) > 0 then
+        failwith "Sharded.check_invariants: unflushed outbound batch"
+    done
+  done

@@ -21,6 +21,18 @@
     neighbours have reached: window [w] ingests exactly the frames
     mailed during window [w-1].
 
+    Two pipelining refinements keep the window machinery off the
+    profile without weakening the discipline above.  Cross-shard sends
+    are staged in lock-free sender-local batches and published with
+    one lock round and one bulk byte-copy per peer per window
+    ({!Mailbox.flush}), so mailbox locking is per-window, not
+    per-frame.  And when a window ends with no cross-shard frames
+    pending, every local network is provably quiescent, so the drivers
+    jump the window counter straight to the next window with scheduled
+    arrivals (the adaptive lookahead) — the skipped windows would have
+    executed nothing, and eliding their barrier rounds changes no
+    delivery.  {!windows} counts executed windows only.
+
     {2 Determinism}
 
     Every scheduling decision is a pure function of the partition and
@@ -125,7 +137,36 @@ val run_open :
     request is initiated at the start of its window on its owner's
     domain, while earlier requests may still have messages in flight.
     [requests] must be sorted by window.  Runs until all requests are
-    initiated and the system is quiescent. *)
+    initiated and the system is quiescent.  Windows with no pending
+    traffic and no due requests are skipped (adaptive lookahead). *)
+
+val run_feed :
+  ?max_windows:int ->
+  t ->
+  pull:(shard:int -> window:int -> int) ->
+  next_window:(shard:int -> int) ->
+  unit
+(** Generator-driven open-loop executions: like {!run_open}, but
+    requests are pulled on demand from caller-supplied per-shard
+    cursors instead of a materialised closure array, so the
+    steady-state request path can stay allocation-free (see
+    {!Workload.Feed} and [Feed.shard_cursors] for the standard
+    producer).
+
+    [pull ~shard ~window] must initiate every request owned by [shard]
+    due at or before [window] (in stream order) and return how many it
+    ran; it is called in phase B on [shard]'s domain, exactly once per
+    executed window.  [next_window ~shard] must return the window of
+    [shard]'s next pending request, or [max_int] when the shard's
+    stream is exhausted; it is called in the serial section (all
+    workers parked on the barrier, so cursor state is safe to read).
+    The run terminates when every stream is exhausted and the system
+    is quiescent; quiet windows are skipped as in {!run_open}.
+
+    Determinism: given pull functions that are pure functions of
+    (stream, window) — true of {!Workload.Feed} cursors — the
+    execution is a pure function of partition × stream, like the other
+    windowed drivers. *)
 
 type step =
   | Deliver of { src : int; dst : int }
@@ -163,13 +204,27 @@ val stalls : t -> int
 val crossings : t -> int
 (** Messages that crossed a shard boundary (mailbox pushes). *)
 
+val deliveries_of : t -> int -> int
+(** Messages delivered by shard [s]'s handler (cumulative) — the
+    measured per-shard work, i.e. the load the weighted partitioner
+    tries to balance. *)
+
+val stalls_of : t -> int -> int
+(** Shard [s]'s no-work windows (cumulative). *)
+
+val mailbox_hwm : t -> int -> int
+(** Peak backlog of any single inbound mailbox of shard [s] — the
+    deepest cross-shard queue the shard ever had to ingest; a
+    congestion signal for the partition's cut edges.  Also exported as
+    the [shard.mailbox.hwm] gauge after each windowed run. *)
+
 val live_frames : t -> int
 (** Live frames summed over the shard pools; 0 at quiescence. *)
 
 val shard_metrics : t -> int -> Telemetry.Metrics.t
 (** Shard [s]'s metrics registry: counters [shard.deliveries],
     [shard.windows], [shard.stalls], [shard.cross.in],
-    [shard.cross.out]. *)
+    [shard.cross.out]; gauge [shard.mailbox.hwm]. *)
 
 val parallel_work : t -> int * int
 (** [(total, critical)] work units over the windowed runs so far.  A

@@ -70,6 +70,8 @@ let gauge_set g v =
 
 let gauge_add g k = gauge_set g (g.value + k)
 
+let gauge_set_max g v = if v > g.value then gauge_set g v
+
 let gauge_value g = g.value
 
 let gauge_hwm g = g.hwm

@@ -43,6 +43,11 @@ val gauge_set : gauge -> int -> unit
 
 val gauge_add : gauge -> int -> unit
 
+val gauge_set_max : gauge -> int -> unit
+(** Monotone watermark update: sets the value only if it exceeds the
+    current one (and the high-water mark follows, as with
+    {!gauge_set}).  Useful for per-run peaks such as mailbox depth. *)
+
 val gauge_value : gauge -> int
 
 val gauge_hwm : gauge -> int

@@ -318,6 +318,8 @@ module Partition = struct
     shard_of : int array;          (* node -> owning shard *)
     owned : int array array;       (* shard -> owned nodes, ascending *)
     cut : (int * int) list;        (* cross-shard edges, (min,max), sorted *)
+    loads : int array;             (* shard -> summed node weight (1/node naive) *)
+    strategy : string;             (* "naive" | "weighted" *)
   }
 
   let k t = t.k
@@ -325,6 +327,15 @@ module Partition = struct
   let owned t s = t.owned.(s)
   let cut_edges t = t.cut
   let edge_cut t = List.length t.cut
+  let loads t = Array.copy t.loads
+  let strategy t = t.strategy
+
+  let balance_ratio t =
+    let total = Array.fold_left ( + ) 0 t.loads in
+    if total = 0 then 1.0
+    else
+      let mx = Array.fold_left max 0 t.loads in
+      float_of_int mx /. (float_of_int total /. float_of_int t.k)
 
   (* Post-order of [tree] rooted at [root], iteratively (the million-
      node trees of the sharded benchmarks would overflow the stack on a
@@ -359,7 +370,31 @@ module Partition = struct
         incr out
       end
     done;
-    order
+    (order, parent)
+
+  (* Shared tail of both constructors: derive owned lists, per-shard
+     loads and the edge cut from a completed [shard_of] assignment. *)
+  let finish tree ~k ~shard_of ~weights ~strategy =
+    let n = n_nodes tree in
+    let counts = Array.make k 0 in
+    Array.iter (fun s -> counts.(s) <- counts.(s) + 1) shard_of;
+    let owned = Array.map (fun c -> Array.make c 0) counts in
+    let fill = Array.make k 0 in
+    for u = 0 to n - 1 do
+      (* ascending: u increases *)
+      let s = shard_of.(u) in
+      owned.(s).(fill.(s)) <- u;
+      fill.(s) <- fill.(s) + 1
+    done;
+    let loads = Array.make k 0 in
+    for u = 0 to n - 1 do
+      let s = shard_of.(u) in
+      loads.(s) <- loads.(s) + (match weights with None -> 1 | Some w -> w.(u))
+    done;
+    let cut =
+      List.filter (fun (u, v) -> shard_of.(u) <> shard_of.(v)) (edges tree)
+    in
+    { k; shard_of; owned; cut; loads; strategy }
 
   let create ?(root = 0) tree ~shards =
     let n = n_nodes tree in
@@ -367,7 +402,7 @@ module Partition = struct
     if root < 0 || root >= n then
       invalid_arg "Tree.Partition.create: root out of range";
     let k = min shards n in
-    let order = postorder tree ~root in
+    let order, _parent = postorder tree ~root in
     let shard_of = Array.make n 0 in
     (* balanced contiguous ranges: the first [n mod k] shards own one
        extra node *)
@@ -380,21 +415,85 @@ module Partition = struct
         incr pos
       done
     done;
-    let counts = Array.make k 0 in
-    Array.iter (fun s -> counts.(s) <- counts.(s) + 1) shard_of;
     (* k <= n and ranges are balanced, so every shard owns >= 1 node *)
-    let owned = Array.map (fun c -> Array.make c 0) counts in
-    let fill = Array.make k 0 in
-    for u = 0 to n - 1 do
-      (* ascending: u increases *)
-      let s = shard_of.(u) in
-      owned.(s).(fill.(s)) <- u;
-      fill.(s) <- fill.(s) + 1
-    done;
-    let cut =
-      List.filter (fun (u, v) -> shard_of.(u) <> shard_of.(v)) (edges tree)
+    finish tree ~k ~shard_of ~weights:None ~strategy:"naive"
+
+  let subtree_weights ?(root = 0) tree =
+    let n = n_nodes tree in
+    if root < 0 || root >= n then
+      invalid_arg "Tree.Partition.subtree_weights: root out of range";
+    let order, parent = postorder tree ~root in
+    let size = Array.make n 1 in
+    (* post-order emits children before parents, so one pass suffices *)
+    Array.iter
+      (fun u -> if parent.(u) >= 0 then size.(parent.(u)) <- size.(parent.(u)) + size.(u))
+      order;
+    size
+
+  let create_weighted ?(root = 0) tree ~shards ~weights =
+    let n = n_nodes tree in
+    if shards < 1 then
+      invalid_arg "Tree.Partition.create_weighted: shards must be >= 1";
+    if root < 0 || root >= n then
+      invalid_arg "Tree.Partition.create_weighted: root out of range";
+    if Array.length weights <> n then
+      invalid_arg
+        (Printf.sprintf
+           "Tree.Partition.create_weighted: %d weights for %d nodes"
+           (Array.length weights) n);
+    Array.iter
+      (fun w ->
+        if w < 0 then
+          invalid_arg "Tree.Partition.create_weighted: negative weight")
+      weights;
+    let k = min shards n in
+    let order, _parent = postorder tree ~root in
+    let w = Array.map (fun u -> weights.(u)) order in
+    let total = Array.fold_left ( + ) 0 w in
+    let maxw = Array.fold_left max 0 w in
+    (* Minimal L such that the post-order sequence packs into <= k
+       contiguous ranges of sum <= L (classic linear-partition bound;
+       greedy prefix packing is exact for the feasibility test).
+       Binary search over [maxw, total]. *)
+    let ranges_needed limit =
+      let r = ref 1 and acc = ref 0 in
+      for i = 0 to n - 1 do
+        if !acc + w.(i) > limit then begin
+          incr r;
+          acc := w.(i)
+        end
+        else acc := !acc + w.(i)
+      done;
+      !r
     in
-    { k; shard_of; owned; cut }
+    let lo = ref maxw and hi = ref total in
+    while !lo < !hi do
+      let mid = !lo + ((!hi - !lo) / 2) in
+      if ranges_needed mid <= k then hi := mid else lo := mid + 1
+    done;
+    let limit = !lo in
+    (* Reconstruct exactly k non-empty ranges: greedy up to [limit],
+       but cut early once only one node per remaining shard is left
+       (so every shard owns >= 1 node), and let the final shard absorb
+       the remainder (which the feasibility bound keeps <= limit). *)
+    let shard_of = Array.make n 0 in
+    let pos = ref 0 in
+    for s = 0 to k - 1 do
+      let remaining = k - s - 1 in
+      let acc = ref 0 and len = ref 0 and stop = ref false in
+      while not !stop do
+        if !pos >= n - remaining then stop := true
+        else if remaining > 0 && !len > 0 && !acc + w.(!pos) > limit then
+          stop := true
+        else begin
+          acc := !acc + w.(!pos);
+          shard_of.(order.(!pos)) <- s;
+          incr pos;
+          incr len
+        end
+      done
+    done;
+    finish tree ~k ~shard_of ~weights:(Some weights) ~strategy:"weighted"
 
   let check tree (t : partition) =
     let fail fmt = Format.kasprintf failwith ("Tree.Partition.check: " ^^ fmt) in
@@ -402,6 +501,8 @@ module Partition = struct
     if t.k < 1 then fail "k = %d" t.k;
     if Array.length t.shard_of <> n then
       fail "shard_of covers %d of %d nodes" (Array.length t.shard_of) n;
+    if Array.length t.loads <> t.k then
+      fail "loads has %d entries for %d shards" (Array.length t.loads) t.k;
     let seen = Array.make n 0 in
     Array.iteri
       (fun s nodes ->

@@ -138,8 +138,42 @@ module Partition : sig
 
   val create : ?root:int -> t -> shards:int -> partition
   (** [create tree ~shards] partitions the nodes into
-      [min shards (n_nodes tree)] shards.  [root] (default 0) anchors
-      the post-order. *)
+      [min shards (n_nodes tree)] shards of (near-)equal node count.
+      [root] (default 0) anchors the post-order.  A [shards] larger
+      than the node count clamps to one node per shard (so single-node
+      trees always yield [k = 1]); [shards < 1] raises
+      [Invalid_argument]. *)
+
+  val create_weighted : ?root:int -> t -> shards:int -> weights:int array -> partition
+  (** [create_weighted tree ~shards ~weights] is [create] with a cost
+      model: [weights.(u)] estimates the work node [u] generates
+      (deliveries, typically — see {!subtree_weights} for the static
+      estimate, or replay measured per-node delivery counts from a
+      profile run).  The post-order sequence is cut into
+      [min shards (n_nodes tree)] contiguous non-empty ranges
+      minimizing the maximum range weight (exact linear partitioning:
+      binary search on the bottleneck + greedy reconstruction,
+      O(n log sum(weights))).  Contiguity is preserved, so the
+      edge-cut shape guarantees of [create] still hold.
+      @raise Invalid_argument on [shards < 1], a weights array whose
+      length differs from the node count, or a negative weight. *)
+
+  val subtree_weights : ?root:int -> t -> int array
+  (** Static cost model for {!create_weighted}: [weights.(u)] is the
+      size of the subtree rooted at [u] when the tree is rooted at
+      [root] (default 0) — a proxy for the rootward traffic that
+      passes through [u]. *)
+
+  val loads : partition -> int array
+  (** Per-shard summed node weight under the cost model the partition
+      was built with (1 per node for {!create}).  Fresh copy. *)
+
+  val balance_ratio : partition -> float
+  (** Max shard load over mean shard load; 1.0 is perfectly balanced.
+      1.0 when the total load is zero. *)
+
+  val strategy : partition -> string
+  (** ["naive"] for {!create}, ["weighted"] for {!create_weighted}. *)
 
   val k : partition -> int
   (** Number of shards actually used. *)

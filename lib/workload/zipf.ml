@@ -27,3 +27,5 @@ let sample t rng =
   !lo
 
 let pmf t i = t.pmf.(i)
+let cumulative t i = t.cdf.(i)
+let n t = Array.length t.cdf

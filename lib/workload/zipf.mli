@@ -15,3 +15,11 @@ val sample : t -> Prng.Splitmix.t -> int
 
 val pmf : t -> int -> float
 (** Probability of rank [i]. *)
+
+val cumulative : t -> int -> float
+(** CDF at rank [i]: P(rank <= i).  [cumulative t (n-1) = 1.0].  Used
+    by {!Feed} to build integer-scaled CDFs for allocation-free
+    sampling. *)
+
+val n : t -> int
+(** Number of ranks. *)

@@ -15,7 +15,10 @@
      equality is exact, not merely confluent.
 
    [OAT_DOMAINS] (space- or comma-separated shard counts) overrides the
-   default 1/2/4/8 sweep — CI uses it to force a 4-domain pass. *)
+   default 1/2/4/8 sweep — CI uses it to force a 4-domain pass.
+   [OAT_PARTITION=weighted] switches every sharded run onto the
+   subtree-weighted partitioner — CI runs the whole differential suite
+   once under it, since equivalence must hold for any partition. *)
 
 module Sm = Prng.Splitmix
 module M = Oat.Mechanism.Make (Agg.Ops.Sum)
@@ -32,10 +35,22 @@ let domain_counts =
     | [] -> [ 1; 2; 4; 8 ]
     | l -> l)
 
+let env_strategy =
+  match Sys.getenv_opt "OAT_PARTITION" with
+  | Some "weighted" -> "weighted"
+  | _ -> "naive"
+
+let mk_partition ?(strategy = env_strategy) tree ~shards =
+  match strategy with
+  | "weighted" ->
+    Tree.Partition.create_weighted tree ~shards
+      ~weights:(Tree.Partition.subtree_weights tree)
+  | _ -> Tree.Partition.create tree ~shards
+
 (* A mechanism wired to a sharded runtime: per-shard pools and
    networks, cross-shard mailboxes, pool-crossing assertions on. *)
-let mk_sharded ?(ghost = false) ?sink ?metrics tree ~domains =
-  let part = Tree.Partition.create tree ~shards:domains in
+let mk_sharded ?(ghost = false) ?sink ?metrics ?strategy tree ~domains =
+  let part = mk_partition ?strategy tree ~shards:domains in
   let sys = M.create ~ghost ?sink ?metrics tree ~policy:Oat.Rww.policy in
   let sh =
     Simul.Sharded.create ~check:true ?sink tree ~partition:part
@@ -85,9 +100,9 @@ let seq_reference tree ~seed =
   (M.message_total sys, kind_counts_net (M.messages_of_kind sys), returned,
    final_state sys n)
 
-let seq_sharded tree ~seed ~domains =
+let seq_sharded ?strategy tree ~seed ~domains =
   let n = Tree.n_nodes tree in
-  let sys, sh = mk_sharded tree ~domains in
+  let sys, sh = mk_sharded ?strategy tree ~domains in
   let reqs = Array.of_list (golden_requests n ~seed ~n_requests:200) in
   let returned = Array.make (Array.length reqs) None in
   let requests =
@@ -110,7 +125,7 @@ let seq_sharded tree ~seed ~domains =
   (Simul.Sharded.total sh, kind_counts_net (Simul.Sharded.total_of_kind sh),
    Array.to_list returned, final_state sys n)
 
-let diff_sequential name tree ~seed ~expect_total =
+let diff_sequential ?strategy name tree ~seed ~expect_total =
   let ((ref_total, ref_kinds, ref_ret, ref_state) as reference) =
     seq_reference tree ~seed
   in
@@ -118,7 +133,7 @@ let diff_sequential name tree ~seed ~expect_total =
   List.iter
     (fun domains ->
       let tag = Printf.sprintf "%s @ %d domains" name domains in
-      let sharded = seq_sharded tree ~seed ~domains in
+      let sharded = seq_sharded ?strategy tree ~seed ~domains in
       let sh_total, sh_kinds, sh_ret, sh_state = sharded in
       Alcotest.(check int) (tag ^ ": total") ref_total sh_total;
       Alcotest.(check (pair (pair int int) (pair int int)))
@@ -135,6 +150,16 @@ let test_differential_sequential () =
   diff_sequential "line-16" (Tree.Build.path 16) ~seed:101 ~expect_total:1557;
   diff_sequential "star-16" (Tree.Build.star 16) ~seed:102 ~expect_total:574;
   diff_sequential "binary-15" (Tree.Build.binary 15) ~seed:103 ~expect_total:974
+
+(* The same goldens with the weighted partitioner forced (regardless of
+   OAT_PARTITION): shard-count equivalence must hold for ANY
+   partition, and the weighted split places the cuts differently —
+   notably on the path, where subtree weights are maximally skewed. *)
+let test_differential_sequential_weighted () =
+  diff_sequential ~strategy:"weighted" "line-16/weighted"
+    (Tree.Build.path 16) ~seed:101 ~expect_total:1557;
+  diff_sequential ~strategy:"weighted" "binary-15/weighted"
+    (Tree.Build.binary 15) ~seed:103 ~expect_total:974
 
 (* ------------------------------------------------------------------ *)
 (* Concurrent goldens by record/replay.                                *)
@@ -423,6 +448,114 @@ let prop_partition =
       done;
       true)
 
+let prop_partition_weighted =
+  QCheck.Test.make
+    ~name:"partition: weighted is sound and never worse than naive" ~count:120
+    QCheck.(
+      triple (int_bound 1_000_000) (int_range 1 48) (int_range 1 12))
+    (fun (seed, n, k) ->
+      let rng = Sm.create seed in
+      let tree = Tree.Build.random rng n in
+      let weights = Array.init n (fun u -> 1 + ((u * 7919) mod 97)) in
+      let p = Tree.Partition.create_weighted tree ~shards:k ~weights in
+      Tree.Partition.check tree p;
+      if Tree.Partition.strategy p <> "weighted" then
+        QCheck.Test.fail_reportf "strategy %S" (Tree.Partition.strategy p);
+      let loads = Tree.Partition.loads p in
+      let total = Array.fold_left ( + ) 0 weights in
+      if Array.fold_left ( + ) 0 loads <> total then
+        QCheck.Test.fail_reportf "loads don't sum to total weight";
+      (* the weighted split optimises the bottleneck over contiguous
+         post-order ranges; the naive equal-count split is one such
+         range assignment, so weighted can never have a worse
+         bottleneck under the same weights *)
+      let naive = Tree.Partition.create tree ~shards:k in
+      let bottleneck part =
+        let m = ref 0 in
+        for s = 0 to Tree.Partition.k part - 1 do
+          let l =
+            Array.fold_left
+              (fun acc u -> acc + weights.(u))
+              0 (Tree.Partition.owned part s)
+          in
+          if l > !m then m := l
+        done;
+        !m
+      in
+      let wb = bottleneck p and nb = bottleneck naive in
+      if wb > nb then
+        QCheck.Test.fail_reportf "weighted bottleneck %d > naive %d" wb nb;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Partitioner edge cases: clamps and validation.                      *)
+
+let test_partition_edge_cases () =
+  (* single-node tree: every shard count clamps to one shard owning
+     the single node *)
+  let one = Tree.Build.path 1 in
+  List.iter
+    (fun shards ->
+      let p = Tree.Partition.create one ~shards in
+      Tree.Partition.check one p;
+      Alcotest.(check int) "single node: k" 1 (Tree.Partition.k p);
+      Alcotest.(check int) "single node: owner" 0 (Tree.Partition.shard_of p 0);
+      let pw =
+        Tree.Partition.create_weighted one ~shards ~weights:[| 5 |]
+      in
+      Alcotest.(check int) "single node weighted: k" 1 (Tree.Partition.k pw))
+    [ 1; 2; 8 ];
+  (* more shards than nodes: clamp to n, every shard non-empty *)
+  let t5 = Tree.Build.path 5 in
+  List.iter
+    (fun mk ->
+      let p = mk t5 in
+      Tree.Partition.check t5 p;
+      Alcotest.(check int) "shards clamp to n" 5 (Tree.Partition.k p);
+      for s = 0 to 4 do
+        Alcotest.(check int)
+          (Printf.sprintf "shard %d singleton" s)
+          1
+          (Array.length (Tree.Partition.owned p s))
+      done)
+    [
+      (fun t -> Tree.Partition.create t ~shards:9);
+      (fun t ->
+        Tree.Partition.create_weighted t ~shards:9
+          ~weights:(Tree.Partition.subtree_weights t));
+    ];
+  (* invalid arguments *)
+  let raises f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool)
+    "shards < 1 rejected" true
+    (raises (fun () -> Tree.Partition.create t5 ~shards:0));
+  Alcotest.(check bool)
+    "weighted shards < 1 rejected" true
+    (raises (fun () ->
+         Tree.Partition.create_weighted t5 ~shards:0 ~weights:(Array.make 5 1)));
+  Alcotest.(check bool)
+    "weights length mismatch rejected" true
+    (raises (fun () ->
+         Tree.Partition.create_weighted t5 ~shards:2 ~weights:(Array.make 4 1)));
+  Alcotest.(check bool)
+    "negative weight rejected" true
+    (raises (fun () ->
+         Tree.Partition.create_weighted t5 ~shards:2
+           ~weights:[| 1; 1; -1; 1; 1 |]));
+  (* subtree weights on a rooted path: node u's subtree is u..n-1 *)
+  let w = Tree.Partition.subtree_weights t5 in
+  Alcotest.(check (array int)) "path subtree weights" [| 5; 4; 3; 2; 1 |] w;
+  (* zero weights everywhere still yields a valid partition *)
+  let pz = Tree.Partition.create_weighted t5 ~shards:3 ~weights:(Array.make 5 0) in
+  Tree.Partition.check t5 pz;
+  Alcotest.(check (float 1e-9)) "zero-weight balance" 1.0
+    (Tree.Partition.balance_ratio pz)
+
 (* ------------------------------------------------------------------ *)
 (* Multicore pool/mailbox stress.  Frame pools are shard-local by
    design (not thread-safe); the sharded engine's discipline is that a
@@ -543,6 +676,8 @@ let suite =
   [
     Alcotest.test_case "differential: sequential goldens (1557/574/974)" `Quick
       test_differential_sequential;
+    Alcotest.test_case "differential: sequential goldens, weighted partition"
+      `Quick test_differential_sequential_weighted;
     Alcotest.test_case "differential: concurrent golden 438 by replay" `Quick
       test_differential_concurrent_438;
     Alcotest.test_case "differential: concurrent golden 1171 by replay" `Quick
@@ -552,6 +687,9 @@ let suite =
     Alcotest.test_case "open-loop windows: deterministic and causal" `Quick
       test_open_deterministic;
     QCheck_alcotest.to_alcotest prop_partition;
+    QCheck_alcotest.to_alcotest prop_partition_weighted;
+    Alcotest.test_case "partition edge cases (clamps, validation)" `Quick
+      test_partition_edge_cases;
     Alcotest.test_case "multicore pool stress (shard-local)" `Quick
       test_multicore_pool_stress;
     Alcotest.test_case "multicore mailbox handover stress" `Quick

@@ -250,6 +250,182 @@ let test_migrating_locality () =
   Alcotest.(check bool) "within Theorem 1" true
     (Analysis.Ratio.vs_opt_lease run <= 2.5 +. 1e-9)
 
+(* ------------------------------------------------------------------ *)
+(* QCheck: Zipf distribution laws over random (n, s).                  *)
+
+let prop_zipf_laws =
+  QCheck.Test.make ~name:"zipf: deterministic, monotone, correct limits"
+    ~count:100
+    QCheck.(pair (int_range 2 500) (int_bound 300))
+    (fun (n, s10) ->
+      let s = float_of_int s10 /. 100.0 in
+      let z = Workload.Zipf.create ~n ~s in
+      (* same seed => same sample sequence *)
+      let draw seed =
+        let rng = Sm.create seed in
+        List.init 50 (fun _ -> Workload.Zipf.sample z rng)
+      in
+      if draw 99 <> draw 99 then QCheck.Test.fail_reportf "sampling not deterministic";
+      (* pmf is monotone non-increasing in rank, cdf reaches 1 *)
+      for i = 0 to n - 2 do
+        if Workload.Zipf.pmf z i < Workload.Zipf.pmf z (i + 1) -. 1e-12 then
+          QCheck.Test.fail_reportf "pmf increases at rank %d (s=%.2f)" i s
+      done;
+      if Float.abs (Workload.Zipf.cumulative z (n - 1) -. 1.0) > 1e-9 then
+        QCheck.Test.fail_reportf "cdf does not reach 1";
+      if Workload.Zipf.n z <> n then QCheck.Test.fail_reportf "n mismatch";
+      true)
+
+let test_zipf_limits () =
+  (* s = 1.0: pmf(0)/pmf(1) = 2 exactly (weights 1/1 and 1/2) *)
+  let z1 = Workload.Zipf.create ~n:100 ~s:1.0 in
+  Alcotest.(check (float 1e-9))
+    "s=1: rank0/rank1 = 2" 2.0
+    (Workload.Zipf.pmf z1 0 /. Workload.Zipf.pmf z1 1);
+  (* s = 0: uniform limit *)
+  let z0 = Workload.Zipf.create ~n:64 ~s:0.0 in
+  for i = 0 to 63 do
+    Alcotest.(check (float 1e-12)) "s=0 uniform" (1.0 /. 64.0)
+      (Workload.Zipf.pmf z0 i)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Open-loop feed: determinism, ranges, allocation, shard cursors.     *)
+
+let feed_trace f =
+  let acc = ref [] in
+  while Workload.Feed.advance f do
+    acc :=
+      (Workload.Feed.index f, Workload.Feed.is_write f, Workload.Feed.node f,
+       Workload.Feed.value f)
+      :: !acc
+  done;
+  List.rev !acc
+
+let test_feed_deterministic () =
+  let mk () =
+    Workload.Feed.create ~read_fraction:0.3 ~skew:1.1 ~batch:4 ~seed:2027
+      ~length:500 ~n_nodes:63 ()
+  in
+  let a = mk () and b = mk () in
+  let ta = feed_trace a in
+  Alcotest.(check bool) "two feeds agree" true (ta = feed_trace b);
+  (* reset replays the identical stream; clone keeps its own position *)
+  Workload.Feed.reset a;
+  Alcotest.(check bool) "reset replays" true (ta = feed_trace a);
+  Workload.Feed.reset a;
+  ignore (Workload.Feed.advance a);
+  let c = Workload.Feed.clone a in
+  Alcotest.(check int) "clone position" (Workload.Feed.index a)
+    (Workload.Feed.index c);
+  Alcotest.(check bool) "clone continues identically" true
+    (feed_trace a = feed_trace c);
+  Alcotest.(check int) "length" 500 (Workload.Feed.length b)
+
+let test_feed_ranges () =
+  let f =
+    Workload.Feed.create ~read_fraction:0.5 ~skew:0.8 ~batch:7 ~value_bound:9
+      ~seed:5 ~length:2_000 ~n_nodes:33 ()
+  in
+  let last_w = ref 0 and reads = ref 0 in
+  while Workload.Feed.advance f do
+    let node = Workload.Feed.node f and v = Workload.Feed.value f in
+    Alcotest.(check bool) "node in range" true (node >= 0 && node < 33);
+    Alcotest.(check bool) "value in range" true (v >= 1 && v <= 9);
+    Alcotest.(check int) "window tracks index" (Workload.Feed.index f / 7)
+      (Workload.Feed.window f);
+    Alcotest.(check bool) "window monotone" true (Workload.Feed.window f >= !last_w);
+    last_w := Workload.Feed.window f;
+    if not (Workload.Feed.is_write f) then incr reads
+  done;
+  Alcotest.(check bool) "exhausted" true (Workload.Feed.exhausted f);
+  let frac = float_of_int !reads /. 2_000.0 in
+  Alcotest.(check bool) "read fraction near 0.5" true (Float.abs (frac -. 0.5) < 0.05)
+
+(* Regression for the native-int width bug: a 2^62 CDF scale wraps to
+   min_int (OCaml ints are 63-bit), which made every Zipf draw return
+   the last rank.  The skewed feed must match the float Zipf pmf. *)
+let test_feed_zipf_not_degenerate () =
+  let n = 64 in
+  let f = Workload.Feed.create ~skew:1.0 ~seed:11 ~length:50_000 ~n_nodes:n () in
+  let counts = Array.make n 0 in
+  while Workload.Feed.advance f do
+    counts.(Workload.Feed.node f) <- counts.(Workload.Feed.node f) + 1
+  done;
+  let z = Workload.Zipf.create ~n ~s:1.0 in
+  for i = 0 to 4 do
+    let freq = float_of_int counts.(i) /. 50_000.0 in
+    Alcotest.(check bool)
+      (Printf.sprintf "rank %d frequency matches pmf" i)
+      true
+      (Float.abs (freq -. Workload.Zipf.pmf z i) < 0.01)
+  done;
+  Alcotest.(check bool) "rank 0 heaviest" true
+    (counts.(0) > counts.(n - 1))
+
+let test_feed_zero_alloc () =
+  let f = Workload.Feed.create ~skew:1.2 ~seed:3 ~length:200_000 ~n_nodes:1023 () in
+  (* warm up, then measure: the advance path must not allocate *)
+  for _ = 1 to 1_000 do
+    ignore (Workload.Feed.advance f)
+  done;
+  Gc.minor ();
+  let w0 = Gc.minor_words () in
+  let sink = ref 0 in
+  for _ = 1 to 100_000 do
+    if Workload.Feed.advance f then
+      sink := !sink + Workload.Feed.node f + Workload.Feed.value f
+  done;
+  let words = int_of_float (Gc.minor_words () -. w0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "advance allocates nothing (%d words)" words)
+    true (words <= 16);
+  Alcotest.(check bool) "sink used" true (!sink > 0)
+
+let test_feed_shard_cursors_cover () =
+  let f =
+    Workload.Feed.create ~read_fraction:0.25 ~skew:0.9 ~batch:8 ~seed:77
+      ~length:1_000 ~n_nodes:40 ()
+  in
+  let shards = 4 in
+  let shard_of node = node mod shards in
+  (* reference: single cursor, per-shard multiset of (op, node, value) *)
+  let expect = Array.make shards [] in
+  let r = Workload.Feed.clone f in
+  Workload.Feed.reset r;
+  while Workload.Feed.advance r do
+    let s = shard_of (Workload.Feed.node r) in
+    expect.(s) <-
+      ( (if Workload.Feed.is_write r then 0 else 1),
+        Workload.Feed.node r, Workload.Feed.value r )
+      :: expect.(s)
+  done;
+  let got = Array.make shards [] in
+  let current = ref 0 in
+  let apply ~op ~node ~value = got.(!current) <- (op, node, value) :: got.(!current) in
+  let pull, next_window = Workload.Feed.shard_cursors f ~shards ~shard_of ~apply in
+  (* drive windows the way run_feed does: pull every shard per window *)
+  let w = ref 0 in
+  let continue = ref true in
+  while !continue do
+    for s = 0 to shards - 1 do
+      current := s;
+      ignore (pull ~shard:s ~window:!w)
+    done;
+    let next = ref max_int in
+    for s = 0 to shards - 1 do
+      let nw = next_window ~shard:s in
+      if nw < !next then next := nw
+    done;
+    if !next = max_int then continue := false else w := max (!w + 1) !next
+  done;
+  for s = 0 to shards - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "shard %d stream matches reference" s)
+      true
+      (expect.(s) = got.(s))
+  done
+
 let suite =
   [
     Alcotest.test_case "zipf uniform" `Quick test_zipf_uniform;
@@ -273,4 +449,16 @@ let suite =
       test_trace_save_reports_io_errors;
     Alcotest.test_case "trace file io" `Quick test_trace_file_io;
     Alcotest.test_case "migrating locality" `Quick test_migrating_locality;
+    QCheck_alcotest.to_alcotest prop_zipf_laws;
+    Alcotest.test_case "zipf limits (s=1, s=0)" `Quick test_zipf_limits;
+    Alcotest.test_case "feed: deterministic across clones and reset" `Quick
+      test_feed_deterministic;
+    Alcotest.test_case "feed: ranges, windows, read fraction" `Quick
+      test_feed_ranges;
+    Alcotest.test_case "feed: zipf draw matches pmf (width regression)" `Quick
+      test_feed_zipf_not_degenerate;
+    Alcotest.test_case "feed: advance is allocation-free" `Quick
+      test_feed_zero_alloc;
+    Alcotest.test_case "feed: shard cursors cover each request once" `Quick
+      test_feed_shard_cursors_cover;
   ]
