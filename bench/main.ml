@@ -247,6 +247,27 @@ let bench_tests =
     ignore (M.run_sequential sys sigma_rww_seq);
     M.message_total sys
   in
+  (* Observability recorder micros: one request lifecycle on a Latency
+     recorder (circular-FIFO push/pop plus two log2-histogram
+     increments) and one Series window sample (six int stores into the
+     ring).  These are the per-request and per-window costs the E20
+     overhead table decomposes. *)
+  let lat_rec = Telemetry.Latency.create () in
+  let lat_t = ref 0.0 in
+  let micro_latency_record () =
+    let t = !lat_t in
+    lat_t := t +. 1.0;
+    Telemetry.Latency.issue lat_rec t;
+    Telemetry.Latency.settle_oldest lat_rec ~time:(t +. 3.0) ~msgs:7
+  in
+  let series_rec = Telemetry.Series.create ~capacity:1024 () in
+  let series_w = ref 0 in
+  let micro_series_sample () =
+    let w = !series_w in
+    series_w := w + 1;
+    Telemetry.Series.sample series_rec ~window:w ~deliveries:12 ~in_flight:3
+      ~mailbox_hwm:2 ~stalls:0 ~gc_words:64
+  in
   (* Ghost-log shipping: alternating write/combine keeps the lease chain
      of a 15-node path alive, so every write pushes updates down the
      whole chain with the write log piggybacked.  An implementation that
@@ -395,6 +416,8 @@ let bench_tests =
     Test.make ~name:"micro-rww-seq" (Staged.stage micro_rww_seq);
     Test.make ~name:"micro-telemetry-overhead"
       (Staged.stage micro_telemetry_overhead);
+    Test.make ~name:"micro-latency-record" (Staged.stage micro_latency_record);
+    Test.make ~name:"micro-series-sample" (Staged.stage micro_series_sample);
     Test.make ~name:"micro-ghost-writes" (Staged.stage micro_ghost_writes);
     Test.make ~name:"micro-union-200-elts" (Staged.stage micro_union);
     Test.make ~name:"micro-steady-delivery" (Staged.stage micro_steady_delivery);
@@ -694,6 +717,50 @@ let run_gc_gate () =
     "gc-gate[feed]: %d minor words over %d open-loop requests (budget 16)\n"
     feed_words feed_reqs;
   let feed_ok = feed_words <= 16 in
+  (* Instrumented open-loop phase: the same pull-based stream with full
+     observability live — a metrics registry on the mechanism and a
+     latency recorder on the engine.  Unlike the phases above the
+     budget is per-request, not per-run: recording a lifecycle boxes a
+     couple of clock floats, so the gate pins the instrumented path to
+     O(1) words per request — a per-delivery allocation regression in
+     the recorders multiplies it past the budget immediately. *)
+  let isys =
+    Mc.create
+      ~metrics:(Telemetry.Metrics.create ())
+      (Tree.Build.path n)
+      ~policy:(Oat.Policy.noop ~name:"lease-all" ~set_lease:true)
+  in
+  let inet = Mc.network isys in
+  let ih = Mc.handler isys in
+  ignore (Mc.combine_sync isys ~node:0);
+  let ilat = Telemetry.Latency.create ~capacity:16 () in
+  let ifeed =
+    Workload.Feed.create ~skew:1.1 ~seed:7 ~length:8_000 ~n_nodes:n ()
+  in
+  let ibudget = ref 0 in
+  let inext () =
+    if !ibudget > 0 && Workload.Feed.advance ifeed then begin
+      decr ibudget;
+      Mc.write isys ~node:(Workload.Feed.node ifeed) (Workload.Feed.value ifeed);
+      true
+    end
+    else false
+  in
+  ibudget := 2000;
+  ignore (Simul.Engine.run_stream ~latency:ilat inet ~handler:ih ~next:inext);
+  Gc.minor ();
+  let iw0 = Gc.minor_words () in
+  let inst_reqs = 5000 in
+  ibudget := inst_reqs;
+  ignore (Simul.Engine.run_stream ~latency:ilat inet ~handler:ih ~next:inext);
+  let iw1 = Gc.minor_words () in
+  let inst_words = int_of_float (iw1 -. iw0) in
+  let inst_rate = float_of_int inst_words /. float_of_int inst_reqs in
+  Printf.printf
+    "gc-gate[instrumented]: %d minor words over %d open-loop requests with \
+     metrics+latency enabled (%.2f w/req, budget 16)\n"
+    inst_words inst_reqs inst_rate;
+  let inst_ok = inst_rate <= 16.0 in
   (* Sharded phase: the same leased cascade, but the path is split over
      four shard domains, so every round crosses three mailbox
      boundaries and runs through the windowed driver.  Two passes,
@@ -797,8 +864,91 @@ let run_gc_gate () =
   Printf.printf
     "gc-gate[sharded]: worst domain busy section %.0f ns (budget 100 ms)\n"
     (!worst_pause *. 1e9);
-  single_ok && feed_ok && !worst_rate <= 8.0 && !feed_rate <= 8.0
+  single_ok && feed_ok && inst_ok && !worst_rate <= 8.0 && !feed_rate <= 8.0
   && !worst_pause < 0.100
+
+(* --observe-gate: wall-clock budget for the fleet observability layer,
+   and the E20 overhead table.  The same skewed open-loop feed runs
+   through identical sharded systems at 1/2/4 domains in three
+   configurations: "off" (bare engine — the always-on shard counters
+   and conservation audit are part of it), "metrics" (plus the latency
+   recorder and series sampler — the steady-state layer), and
+   "metrics+sink" (plus per-shard trace rings recording every protocol
+   event — bounded-capture tooling, documented as not for steady-state
+   runs).  Trials interleave the three configurations and take
+   best-of-N, so machine noise on the barrier-heavy workload hits all
+   three equally; the gated number is the steady-state layer at 4
+   domains, which must stay within 1.25x of bare. *)
+let run_observe_gate () =
+  let tree = Tree.Build.caterpillar ~spine:85 ~legs:2 in
+  let n = Tree.n_nodes tree in
+  let gated_ratio = ref 0.0 in
+  let audit_bad = ref false in
+  List.iter
+    (fun domains ->
+      let part =
+        Tree.Partition.create_weighted tree ~shards:domains
+          ~weights:(Tree.Partition.subtree_weights tree)
+      in
+      let mk ~trace ~steady () =
+        let sys =
+          Mc.create tree
+            ~policy:(Oat.Policy.noop ~name:"lease-all" ~set_lease:true)
+        in
+        ignore (Mc.combine_sync sys ~node:0);
+        let sh =
+          if steady then
+            Simul.Sharded.create tree ~partition:part ~trace
+              ~series:(Telemetry.Series.create ())
+              ~latency:(Telemetry.Latency.create ())
+              ~handler:(Mc.handler sys)
+          else
+            Simul.Sharded.create tree ~partition:part ~trace
+              ~handler:(Mc.handler sys)
+        in
+        Mc.set_outbox sys
+          ~send:(Simul.Sharded.route sh)
+          ~pool_for:(Simul.Sharded.pool_for sh);
+        (sys, sh)
+      in
+      let once (sys, sh) =
+        let apply ~op:_ ~node ~value:_ = Mc.write sys ~node 1 in
+        let feed =
+          Workload.Feed.create ~skew:0.9 ~batch:64 ~seed:777 ~length:2_000
+            ~n_nodes:n ()
+        in
+        let pull, next_window =
+          Workload.Feed.shard_cursors feed ~shards:domains
+            ~shard_of:(Tree.Partition.shard_of part) ~apply
+        in
+        let t0 = Unix.gettimeofday () in
+        Simul.Sharded.run_feed sh ~pull ~next_window;
+        Unix.gettimeofday () -. t0
+      in
+      let off = mk ~trace:0 ~steady:false () in
+      let met = mk ~trace:0 ~steady:true () in
+      let snk = mk ~trace:(1 lsl 16) ~steady:true () in
+      let b_off = ref infinity and b_met = ref infinity and b_snk = ref infinity in
+      for _ = 1 to 12 do
+        let o = once off and m = once met and s = once snk in
+        if o < !b_off then b_off := o;
+        if m < !b_met then b_met := m;
+        if s < !b_snk then b_snk := s
+      done;
+      Printf.printf
+        "observe-gate: %d domains: off %6.2f ms | metrics %6.2f ms (%.2fx) | \
+         metrics+sink %6.2f ms (%.2fx)\n"
+        domains (!b_off *. 1e3) (!b_met *. 1e3) (!b_met /. !b_off)
+        (!b_snk *. 1e3) (!b_snk /. !b_off);
+      if domains = 4 then gated_ratio := !b_met /. !b_off;
+      let _, sh = met in
+      if Telemetry.Audit.violations (Simul.Sharded.audit sh) > 0 then
+        audit_bad := true)
+    [ 1; 2; 4 ];
+  Printf.printf
+    "observe-gate: steady-state layer at 4 domains %.2fx (budget 1.25x)\n"
+    !gated_ratio;
+  !gated_ratio <= 1.25 && not !audit_bad
 
 (* --multicore: E18/E19's scaling + balance sweep — the standing n=1023
    workloads through Simul.Sharded at 1/2/4/8 domains, naive vs.
@@ -986,7 +1136,11 @@ let run_million () =
   (* Full probe sweep on the single-domain net: installs the leases. *)
   ignore (Mc.combine_sync sys ~node:0);
   let part = Tree.Partition.create tree ~shards:domains in
-  let sh = Simul.Sharded.create tree ~partition:part ~handler:(Mc.handler sys) in
+  let latency = Telemetry.Latency.create ~capacity:(1 lsl 15) () in
+  let sh =
+    Simul.Sharded.create ~latency tree ~partition:part
+      ~handler:(Mc.handler sys)
+  in
   Mc.set_outbox sys
     ~send:(Simul.Sharded.route sh)
     ~pool_for:(Simul.Sharded.pool_for sh);
@@ -1025,9 +1179,17 @@ let run_million () =
     (Simul.Sharded.windows sh)
     (float_of_int work /. float_of_int (max 1 crit))
     domains;
+  let q p = Telemetry.Latency.quantile latency p in
+  Printf.printf
+    "million: request latency (windows) p50=%d p90=%d p99=%d max=%d; msgs/req \
+     mean=%.1f (%d settled)\n"
+    (q 0.5) (q 0.9) (q 0.99)
+    (Telemetry.Latency.max_latency latency)
+    (Telemetry.Latency.mean_msgs latency)
+    (Telemetry.Latency.settled latency);
   Printf.printf "million: root aggregate %d, expected %d — %s\n" got !expected
     (if got = !expected then "OK" else "MISMATCH");
-  got = !expected
+  got = !expected && Telemetry.Latency.outstanding latency = 0
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -1081,6 +1243,9 @@ let () =
   in
   if List.mem "--gc-gate" args then begin
     if not (run_gc_gate ()) then exit 1
+  end
+  else if List.mem "--observe-gate" args then begin
+    if not (run_observe_gate ()) then exit 1
   end
   else if List.mem "--multicore" args then begin
     if not (run_multicore ()) then exit 1

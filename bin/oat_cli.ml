@@ -111,8 +111,12 @@ let kind_name i = Simul.Kind.to_string (Simul.Kind.of_index i)
 
 (* Drive sigma through an instrumented mechanism on virtual time
    (mirrors Analysis.Latency.run_timed, with telemetry plugged in and
-   every combine checked against the exact aggregate). *)
-let run_instrumented tree sigma ~policy ~metrics ~sink =
+   every combine checked against the exact aggregate).  [latency]
+   records each request issue->settle on the virtual-hop clock;
+   [series] stores one sample per request (the single-domain "window"
+   is the request index). *)
+let run_instrumented ?(latency = Telemetry.Latency.null)
+    ?(series = Telemetry.Series.null) tree sigma ~policy ~metrics ~sink =
   let dclock = Simul.Devent.create tree ~latency:Simul.Devent.unit_latency in
   let on_send ~src ~dst = Simul.Devent.notify dclock ~src ~dst in
   let sys =
@@ -126,17 +130,36 @@ let run_instrumented tree sigma ~policy ~metrics ~sink =
     | None -> failwith "simulate: clock/network desynchronized"
   in
   let latest = Array.make (Tree.n_nodes tree) 0.0 in
+  let idx = ref 0 in
+  let observe_start () =
+    if Telemetry.Latency.enabled latency then
+      Telemetry.Latency.issue latency (Simul.Devent.now dclock);
+    if Telemetry.Series.enabled series then Gc.minor_words () else 0.
+  in
+  let observe_end g0 d =
+    if Telemetry.Latency.enabled latency then
+      Telemetry.Latency.settle_oldest latency
+        ~time:(Simul.Devent.now dclock)
+        ~msgs:d;
+    if Telemetry.Series.enabled series then
+      Telemetry.Series.sample series ~window:!idx ~deliveries:d ~in_flight:0
+        ~mailbox_hwm:0 ~stalls:0
+        ~gc_words:(int_of_float (Gc.minor_words () -. g0));
+    incr idx
+  in
   List.iter
     (fun (q : float Oat.Request.t) ->
       match q.op with
       | Oat.Request.Write v ->
         latest.(q.node) <- v;
+        let g0 = observe_start () in
         M.write sys ~node:q.node v;
-        ignore (Simul.Devent.drain dclock ~deliver)
+        observe_end g0 (Simul.Devent.drain dclock ~deliver)
       | Oat.Request.Combine ->
         let result = ref None in
+        let g0 = observe_start () in
         M.combine sys ~node:q.node (fun value -> result := Some value);
-        ignore (Simul.Devent.drain dclock ~deliver);
+        observe_end g0 (Simul.Devent.drain dclock ~deliver);
         (match !result with
         | None -> or_die (Error "combine did not complete")
         | Some value ->
@@ -155,9 +178,12 @@ let run_instrumented tree sigma ~policy ~metrics ~sink =
    (precomputed on the main domain — sequential semantics make each
    combine's answer the sum of all earlier writes, independently of the
    shard count). *)
-let run_sharded tree sigma ~policy ~part =
+let run_sharded tree sigma ~policy ~part ~trace ~series ~latency =
   let sys = M.create tree ~policy in
-  let sh = Simul.Sharded.create tree ~partition:part ~handler:(M.handler sys) in
+  let sh =
+    Simul.Sharded.create ~trace ~series ~latency tree ~partition:part
+      ~handler:(M.handler sys)
+  in
   M.set_outbox sys
     ~send:(Simul.Sharded.route sh)
     ~pool_for:(Simul.Sharded.pool_for sh);
@@ -190,8 +216,12 @@ let run_sharded tree sigma ~policy ~part =
 
 (* ---- simulate ---- *)
 
+let metrics_body path m =
+  if Filename.check_suffix path ".json" then Telemetry.Metrics.to_json m
+  else Telemetry.Metrics.to_text m
+
 let simulate seed tree_kind n requests read_fraction policy trace_out
-    metrics_out faults domains partition_strategy =
+    metrics_out series_out report_flag faults domains partition_strategy =
   let tree = or_die (build_tree tree_kind n seed) in
   let rng = Sm.create seed in
   let sigma =
@@ -221,11 +251,9 @@ let simulate seed tree_kind n requests read_fraction policy trace_out
     Printf.printf "strict consistency: verified (every combine checked)\n"
   in
   if domains > 1 then begin
-    (match (faults, trace_out, metrics_out) with
-    | None, None, None -> ()
-    | _ ->
-      or_die
-        (Error "--domains does not combine with --trace, --metrics or --faults"));
+    (match faults with
+    | None -> ()
+    | Some _ -> or_die (Error "--domains does not combine with --faults"));
     let policy = or_die (build_lease_policy policy) in
     let part =
       match partition_strategy with
@@ -235,7 +263,16 @@ let simulate seed tree_kind n requests read_fraction policy trace_out
           ~weights:(Tree.Partition.subtree_weights tree)
       | s -> or_die (Error (Printf.sprintf "unknown --partition strategy %S" s))
     in
-    let sys, sh = run_sharded tree sigma ~policy ~part in
+    let trace = match trace_out with Some _ -> 1 lsl 20 | None -> 0 in
+    let series =
+      match series_out with
+      | Some _ -> Telemetry.Series.create ()
+      | None -> Telemetry.Series.null
+    in
+    let latency =
+      if report_flag then Telemetry.Latency.create () else Telemetry.Latency.null
+    in
+    let sys, sh = run_sharded tree sigma ~policy ~part ~trace ~series ~latency in
     report (M.policy_name sys) (Simul.Sharded.total sh);
     Printf.printf "domains:           %d (edge cut %d)\n" domains
       (Tree.Partition.edge_cut part);
@@ -263,13 +300,52 @@ let simulate seed tree_kind n requests read_fraction policy trace_out
         (Simul.Sharded.deliveries_of sh s)
         (Simul.Sharded.stalls_of sh s)
         (Simul.Sharded.mailbox_hwm sh s)
-    done
+    done;
+    let au = Simul.Sharded.audit sh in
+    Printf.printf "conservation audit: %d ledger checks, %d violations\n"
+      (Telemetry.Audit.checks au)
+      (Telemetry.Audit.violations au);
+    if report_flag then begin
+      Printf.printf "fleet metrics (merged over %d shard registries):\n" domains;
+      print_string (Telemetry.Metrics.to_text (Simul.Sharded.fleet_metrics sh));
+      print_string (Telemetry.Latency.to_text (Simul.Sharded.latency sh))
+    end;
+    (match trace_out with
+    | Some path ->
+      Telemetry.Export.write_file path (Simul.Sharded.fleet_trace sh);
+      let n_ev = List.length (Simul.Sharded.fleet_events sh) in
+      let dropped = Simul.Sharded.trace_dropped sh in
+      Printf.printf "trace:             %s (%d events across %d shard tracks%s)\n"
+        path n_ev domains
+        (if dropped > 0 then Printf.sprintf ", %d oldest dropped" dropped
+         else "")
+    | None -> ());
+    (match metrics_out with
+    | Some path ->
+      Telemetry.Export.write_file path
+        (metrics_body path (Simul.Sharded.fleet_metrics sh));
+      Printf.printf "metrics:           %s (fleet-merged)\n" path
+    | None -> ());
+    (match series_out with
+    | Some path ->
+      let body =
+        if Filename.check_suffix path ".json" then Telemetry.Series.to_json series
+        else Telemetry.Series.to_csv series
+      in
+      Telemetry.Export.write_file path body;
+      Printf.printf "series:            %s (%d windows sampled%s)\n" path
+        (Telemetry.Series.length series)
+        (let d = Telemetry.Series.dropped series in
+         if d > 0 then Printf.sprintf ", %d oldest dropped" d else "")
+    | None -> ())
   end
   else
   match faults with
   | Some spec_str ->
     (* faulty run: mechanism over the reliable transport over a network
        with the seeded fault plan installed (see Fault.Runner) *)
+    if report_flag || series_out <> None then
+      or_die (Error "--faults does not combine with --report or --series");
     let spec = or_die (Fault.Plan.spec_of_string spec_str) in
     let policy = or_die (build_lease_policy policy) in
     let metrics = Telemetry.Metrics.create () in
@@ -289,59 +365,78 @@ let simulate seed tree_kind n requests read_fraction policy trace_out
        else "VIOLATED");
     (match metrics_out with
     | Some path ->
-      let body =
-        if Filename.check_suffix path ".json" then
-          Telemetry.Metrics.to_json metrics
-        else Telemetry.Metrics.to_text metrics
-      in
-      Telemetry.Export.write_file path body;
+      Telemetry.Export.write_file path (metrics_body path metrics);
       Printf.printf "metrics:           %s\n" path
     | None -> ());
     if o.R.causal_violations > 0 then exit 1
-  | None -> (
-    match (trace_out, metrics_out) with
-    | None, None ->
+  | None ->
+    if
+      trace_out = None && metrics_out = None && series_out = None
+      && not report_flag
+    then begin
       let algo = or_die (build_algo policy tree) in
       let cost = Baselines.Algorithm.run algo sigma in
       report algo.Baselines.Algorithm.name cost
-    | _ ->
-    let policy = or_die (build_lease_policy policy) in
-    let metrics = Telemetry.Metrics.create () in
-    let ring =
-      match trace_out with
-      | Some _ -> Some (Telemetry.Sink.ring ~capacity:(1 lsl 20))
-      | None -> None
-    in
-    let sink =
-      match ring with
-      | Some r -> Telemetry.Sink.of_ring r
-      | None -> Telemetry.Sink.null
-    in
-    let sys, makespan = run_instrumented tree sigma ~policy ~metrics ~sink in
-    report (M.policy_name sys) (M.message_total sys);
-    Printf.printf "virtual makespan:  %.0f hops\n" makespan;
-    (match (trace_out, ring) with
-    | Some path, Some r ->
-      let events = Telemetry.Sink.ring_events r in
-      Telemetry.Export.write_file path
-        (Telemetry.Export.chrome_trace ~kind_name
-           ~n_nodes:(Tree.n_nodes tree) events);
-      let dropped = Telemetry.Sink.ring_dropped r in
-      Printf.printf "trace:             %s (%d events%s)\n" path
-        (List.length events)
-        (if dropped > 0 then Printf.sprintf ", %d oldest dropped" dropped
-         else "")
-    | _ -> ());
-    (match metrics_out with
-    | Some path ->
-      let body =
-        if Filename.check_suffix path ".json" then
-          Telemetry.Metrics.to_json metrics
-        else Telemetry.Metrics.to_text metrics
+    end
+    else begin
+      let policy = or_die (build_lease_policy policy) in
+      let metrics = Telemetry.Metrics.create () in
+      let ring =
+        match trace_out with
+        | Some _ -> Some (Telemetry.Sink.ring ~capacity:(1 lsl 20))
+        | None -> None
       in
-      Telemetry.Export.write_file path body;
-      Printf.printf "metrics:           %s\n" path
-    | None -> ()))
+      let sink =
+        match ring with
+        | Some r -> Telemetry.Sink.of_ring r
+        | None -> Telemetry.Sink.null
+      in
+      let latency =
+        if report_flag then Telemetry.Latency.create () else Telemetry.Latency.null
+      in
+      let series =
+        match series_out with
+        | Some _ -> Telemetry.Series.create ()
+        | None -> Telemetry.Series.null
+      in
+      let sys, makespan =
+        run_instrumented ~latency ~series tree sigma ~policy ~metrics ~sink
+      in
+      report (M.policy_name sys) (M.message_total sys);
+      Printf.printf "virtual makespan:  %.0f hops\n" makespan;
+      if report_flag then begin
+        print_string (Telemetry.Metrics.to_text metrics);
+        print_string (Telemetry.Latency.to_text latency)
+      end;
+      (match (trace_out, ring) with
+      | Some path, Some r ->
+        let events = Telemetry.Sink.ring_events r in
+        Telemetry.Export.write_file path
+          (Telemetry.Export.chrome_trace ~kind_name
+             ~n_nodes:(Tree.n_nodes tree) events);
+        let dropped = Telemetry.Sink.ring_dropped r in
+        Printf.printf "trace:             %s (%d events%s)\n" path
+          (List.length events)
+          (if dropped > 0 then Printf.sprintf ", %d oldest dropped" dropped
+           else "")
+      | _ -> ());
+      (match metrics_out with
+      | Some path ->
+        Telemetry.Export.write_file path (metrics_body path metrics);
+        Printf.printf "metrics:           %s\n" path
+      | None -> ());
+      (match series_out with
+      | Some path ->
+        let body =
+          if Filename.check_suffix path ".json" then
+            Telemetry.Series.to_json series
+          else Telemetry.Series.to_csv series
+        in
+        Telemetry.Export.write_file path body;
+        Printf.printf "series:            %s (%d requests sampled)\n" path
+          (Telemetry.Series.length series)
+      | None -> ())
+    end
 
 let trace_arg =
   let doc =
@@ -358,6 +453,24 @@ let metrics_file_arg =
      .json, aligned text otherwise).  Requires a lease policy."
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let series_file_arg =
+  let doc =
+    "Write a windowed time-series of the run to $(docv) (JSON if it ends \
+     in .json, CSV otherwise): deliveries, in-flight messages, peak \
+     mailbox depth, stalls and minor GC words per window (per request on \
+     single-domain runs).  Requires a lease policy."
+  in
+  Arg.(value & opt (some string) None & info [ "series" ] ~docv:"FILE" ~doc)
+
+let report_arg =
+  let doc =
+    "Print the full observability report after the run: the metrics \
+     snapshot (fleet-merged across shards under --domains) and the \
+     request-latency quantiles (p50/p90/p99/max on the virtual-time axis, \
+     with per-request message costs).  Requires a lease policy."
+  in
+  Arg.(value & flag & info [ "report" ] ~doc)
 
 let faults_arg =
   let doc =
@@ -377,8 +490,9 @@ let domains_arg =
      domains (tree partitioned by subtree ownership, one event loop per \
      domain, conservative one-window lookahead).  Same sequential \
      semantics as the single-domain run — every combine is still checked \
-     against the exact aggregate.  Requires a lease policy; does not \
-     combine with --trace, --metrics or --faults."
+     against the exact aggregate.  Requires a lease policy; combines with \
+     --report, --trace (one Chrome track per shard), --metrics \
+     (fleet-merged) and --series, but not with --faults."
   in
   Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
 
@@ -402,7 +516,8 @@ let simulate_cmd =
     Term.(
       const simulate $ seed_arg $ tree_arg $ nodes_arg $ requests_arg
       $ read_fraction_arg $ policy_arg $ trace_arg $ metrics_file_arg
-      $ faults_arg $ domains_arg $ partition_arg)
+      $ series_file_arg $ report_arg $ faults_arg $ domains_arg
+      $ partition_arg)
 
 (* ---- metrics ---- *)
 

@@ -158,6 +158,7 @@ module Make (Op : Agg.Operator.S) = struct
     recording : bool; (* [Sink.enabled sink], cached for the hot path *)
     obs : bool; (* metrics or sink active: one hot-path branch *)
     clock : unit -> float; (* shared with the network *)
+    shard_of : int -> int; (* node -> owning shard, stamped on sink events *)
     spans : Telemetry.Span.allocator;
     (* Egress indirection for the sharded engine: by default every send
        enqueues on [net] and every frame comes from [pool]; a sharded
@@ -769,10 +770,10 @@ module Make (Op : Agg.Operator.S) = struct
       Telemetry.Sink.record t.sink
         (if grant then
            Telemetry.Sink.Lease_set
-             { time = t.clock (); granter = u; grantee = w }
+             { time = t.clock (); shard = t.shard_of u; granter = u; grantee = w }
          else
            Telemetry.Sink.Lease_denied
-             { time = t.clock (); granter = u; grantee = w })
+             { time = t.clock (); shard = t.shard_of u; granter = u; grantee = w })
 
   let observe_break t u ~granter =
     (match t.tel with
@@ -781,7 +782,7 @@ module Make (Op : Agg.Operator.S) = struct
     if t.recording then
       Telemetry.Sink.record t.sink
         (Telemetry.Sink.Lease_broken
-           { time = t.clock (); granter; grantee = u })
+           { time = t.clock (); shard = t.shard_of granter; granter; grantee = u })
 
   (* sendresponse(w): answer a probe; grant a lease iff every other
      neighbour is covered by a taken lease and the policy agrees. *)
@@ -929,8 +930,8 @@ module Make (Op : Agg.Operator.S) = struct
           match spans with
           | [] -> []
           | span :: rest ->
-            Telemetry.Span.finish t.sink ~clock:t.clock ~node:u
-              ~name:"combine" ~id:span;
+            Telemetry.Span.finish t.sink ~shard:(t.shard_of u) ~clock:t.clock
+              ~node:u ~name:"combine" ~id:span;
             rest
         in
         k value cut;
@@ -945,8 +946,8 @@ module Make (Op : Agg.Operator.S) = struct
   let t1_combine t u k =
     if t.recording then
       t.c.pending_spans.(u) <-
-        Telemetry.Span.start t.sink t.spans ~clock:t.clock ~node:u
-          ~name:"combine"
+        Telemetry.Span.start t.sink t.spans ~shard:(t.shard_of u)
+          ~clock:t.clock ~node:u ~name:"combine"
         :: t.c.pending_spans.(u);
     t.c.pending.(u) <- k :: t.c.pending.(u);
     let p = t.c.policy.(u) in
@@ -967,7 +968,8 @@ module Make (Op : Agg.Operator.S) = struct
   let t2_write t u arg =
     if t.recording then
       Telemetry.Sink.record t.sink
-        (Telemetry.Sink.Mark { time = t.clock (); node = u; name = "write" });
+        (Telemetry.Sink.Mark
+           { time = t.clock (); shard = t.shard_of u; node = u; name = "write" });
     t.c.value.(u) <- arg;
     bset t.c.gval_dirty u true;
     if t.ghost then
@@ -1228,8 +1230,8 @@ module Make (Op : Agg.Operator.S) = struct
     t.c.pending.(node) <- [];
     List.iter
       (fun span ->
-        Telemetry.Span.finish t.sink ~clock:t.clock ~node ~name:"combine"
-          ~id:span)
+        Telemetry.Span.finish t.sink ~shard:(t.shard_of node) ~clock:t.clock
+          ~node ~name:"combine" ~id:span)
       t.c.pending_spans.(node);
     t.c.pending_spans.(node) <- [];
     for i = 0 to d - 1 do
@@ -1279,7 +1281,8 @@ module Make (Op : Agg.Operator.S) = struct
     Bytes.blit a 0 b 0 (Bytes.length a);
     set b
 
-  let create ?(ghost = false) ?on_send ?metrics ?sink ?clock tree ~policy =
+  let create ?(ghost = false) ?on_send ?metrics ?sink ?clock
+      ?(shard_of = fun _ -> 0) tree ~policy =
     let n = Tree.n_nodes tree in
     let slab = Slab.create () in
     let c =
@@ -1447,6 +1450,7 @@ module Make (Op : Agg.Operator.S) = struct
         (tel <> None
         || match sink with Some s -> Telemetry.Sink.enabled s | None -> false);
       clock = Simul.Network.clock net;
+      shard_of;
       spans = Telemetry.Span.allocator ();
       out_send = (fun ~src ~dst f -> Simul.Network.send net ~src ~dst f);
       out_pool = (fun _ -> pool);

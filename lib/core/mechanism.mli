@@ -84,6 +84,7 @@ module Make (Op : Agg.Operator.S) : sig
     ?metrics:Telemetry.Metrics.t ->
     ?sink:Telemetry.Sink.t ->
     ?clock:(unit -> float) ->
+    ?shard_of:(int -> int) ->
     Tree.t ->
     policy:Policy.factory ->
     t
@@ -110,7 +111,11 @@ module Make (Op : Agg.Operator.S) : sig
         at completion).
       - [clock] stamps events; both the mechanism and the network
         default to the network's op-tick clock, so pass
-        [Simul.Devent.clock] to put everything on virtual time. *)
+        [Simul.Devent.clock] to put everything on virtual time.
+      - [shard_of] (default [fun _ -> 0]) maps each node to its owning
+        shard; sink events are tagged with the shard of the node that
+        recorded them, so a sharded run's merged trace attributes every
+        event ({!Telemetry.Export.chrome_trace_fleet}). *)
 
   val tree : t -> Tree.t
 

@@ -38,6 +38,7 @@ val step : 'm Network.t -> handler:(src:int -> dst:int -> 'm -> unit) -> bool
 
 val run_stream :
   ?max_deliveries:int ->
+  ?latency:Telemetry.Latency.t ->
   'm Network.t ->
   handler:(src:int -> dst:int -> 'm -> unit) ->
   next:(unit -> bool) ->
@@ -50,11 +51,17 @@ val run_stream :
     [Workload.Feed]) the steady-state per-request path allocates zero
     minor words.  Returns total deliveries.  [max_deliveries] bounds
     each inter-request drain, as in {!run_to_quiescence}.
+
+    [latency] (default {!Telemetry.Latency.null}: one branch, no
+    allocation) records each request's lifecycle on the network's clock
+    axis: issued before its drain, settled at the quiescence the drain
+    reaches, with the drain's delivery count as its message cost.
     @raise Divergence as {!run_to_quiescence}. *)
 
 val run_concurrent :
   ?max_deliveries:int ->
   ?sink:Telemetry.Sink.t ->
+  ?latency:Telemetry.Latency.t ->
   ?clock:(unit -> float) ->
   rng:Prng.Splitmix.t ->
   'm Network.t ->
@@ -71,5 +78,13 @@ val run_concurrent :
     [sink] receives a [Mark] event per initiation (the [node] field
     carries the request's array index), stamped by [clock] (default: the
     network's own clock, so marks share the message events' time axis).
+
+    [latency] (default {!Telemetry.Latency.null}) records request
+    lifecycles without perturbing the schedule — no extra PRNG draws or
+    deliveries: each request is issued at its initiation, and all
+    outstanding requests settle (in issue order) whenever the random
+    schedule reaches a quiescent point, the deliveries since the last
+    settle split across the settling batch as their message cost; the
+    final drain settles the rest.  Same seed, same quantiles.
     @raise Divergence if total deliveries exceed [max_deliveries]
     (default {!default_max_deliveries}). *)

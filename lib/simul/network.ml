@@ -58,6 +58,7 @@ type 'm t = {
   kind_totals : int array;
   tel : net_tel option;
   sink : Telemetry.Sink.t;
+  shard : int;                (* stamped on every sink event; 0 single-domain *)
   recording : bool;           (* [Sink.enabled sink], cached for the hot path *)
   obs : bool;                 (* metrics or sink active: one hot-path branch *)
   mutable clock : unit -> float;
@@ -69,7 +70,8 @@ type 'm t = {
 let initial_ring_capacity = 8
 
 let create ?(on_send = fun ~src:_ ~dst:_ -> ()) ?metrics
-    ?(sink = Telemetry.Sink.null) ?clock ?fault ?frames tree ~kind_of =
+    ?(sink = Telemetry.Sink.null) ?(shard = 0) ?clock ?fault ?frames tree
+    ~kind_of =
   let n = Tree.n_nodes tree in
   let chan_base = Array.make (n + 1) 0 in
   for u = 0 to n - 1 do
@@ -137,6 +139,7 @@ let create ?(on_send = fun ~src:_ ~dst:_ -> ()) ?metrics
     kind_totals = Array.make Kind.count 0;
     tel;
     sink;
+    shard;
     recording = Telemetry.Sink.enabled sink;
     obs = tel <> None || Telemetry.Sink.enabled sink;
     clock = (fun () -> 0.0);
@@ -223,7 +226,8 @@ let observe_send t ~src ~dst k qlen =
     Telemetry.Metrics.gauge_set tel.occupancy qlen);
   if t.recording then
     Telemetry.Sink.record t.sink
-      (Telemetry.Sink.Sent { time = t.clock (); src; dst; kind = k })
+      (Telemetry.Sink.Sent
+         { time = t.clock (); shard = t.shard; src; dst; kind = k })
 
 (* Count a transmission attempt (counters, totals, tick, telemetry).
    Shared by the fault-free path, faulty enqueues and wire drops: the
@@ -334,6 +338,7 @@ let observe_pop t cid m qlen =
       (Telemetry.Sink.Delivered
          {
            time = t.clock ();
+           shard = t.shard;
            src = t.src_of.(cid);
            dst = t.dst_of.(cid);
            kind = k;

@@ -40,6 +40,7 @@ val create :
   ?on_send:(src:int -> dst:int -> unit) ->
   ?metrics:Telemetry.Metrics.t ->
   ?sink:Telemetry.Sink.t ->
+  ?shard:int ->
   ?clock:(unit -> float) ->
   ?fault:fault_hook ->
   ?frames:('m -> Frame.t) ->
@@ -54,11 +55,12 @@ val create :
     high-water mark ([net.in_flight]) and a per-channel occupancy
     high-water gauge ([net.channel_occupancy]).  [sink] (default
     {!Telemetry.Sink.null}) receives a [Sent]/[Delivered] event per
-    message, stamped by [clock]; the default clock counts network
-    operations (each send and each delivery is one tick), so pass
-    {!Devent.clock} to get virtual-time stamps.  With the defaults the
-    instrumentation is allocation-free and costs one branch per
-    operation.
+    message, stamped by [clock] and tagged with [shard] (default 0 —
+    the sharded engine passes each shard's index so merged fleet traces
+    attribute every event); the default clock counts network operations
+    (each send and each delivery is one tick), so pass {!Devent.clock}
+    to get virtual-time stamps.  With the defaults the instrumentation
+    is allocation-free and costs one branch per operation.
 
     [fault] installs a fault-injection hook.  With no hook the send path
     is identical to the fault-free build (a single [match] on the

@@ -34,6 +34,30 @@ type t = {
      the receiving shard's net, where the message is counted (exactly
      once — the sender never counted it). *)
   ingress_fn : (src:int -> dst:int -> Frame.t -> unit) array;
+  (* Fleet observability.  [rings]/[ring_sinks] hold one event ring per
+     shard (only when tracing): each ring is written exclusively by its
+     own domain during the phases and merged by the main domain after
+     the join, so recording never synchronises.  [audit] is always on:
+     the serial end-of-window section cross-checks the fleet's
+     conservation ledgers (pure integer compares).  [series] and
+     [latency] sample from the same serial section; [cur_w] mirrors
+     each shard's current window (single writer: the owning domain) so
+     the traced nets can stamp events on the shared window axis, and
+     [win_inits]/[win_gc] publish per-window initiation counts and
+     minor-words before the end barrier, like [win_work]. *)
+  tracing : bool;
+  rings : Telemetry.Sink.ring array;
+  ring_sinks : Telemetry.Sink.t array;
+  audit : Telemetry.Audit.t;
+  series : Telemetry.Series.t;
+  latency : Telemetry.Latency.t;
+  sampling : bool; (* [Series.enabled series], cached *)
+  cur_w : int array;
+  win_inits : int array;
+  win_gc : int array;
+  mutable lat_deliv : int; (* fleet deliveries at the last latency settle *)
+  mutable obs_deliv : int; (* fleet deliveries at the last series sample *)
+  mutable obs_stalls : int; (* fleet stalls at the last series sample *)
   wall : unit -> float;
   timed : bool; (* a [wall] was supplied; skip timing (and its boxed
                    floats — the window loop must not allocate) otherwise *)
@@ -61,7 +85,9 @@ exception Desync of string
 
 let default_max_windows = 1_000_000
 
-let create ?(check = false) ?sink ?wall tree ~partition ~handler =
+let create ?(check = false) ?sink ?wall ?(trace = 0)
+    ?(series = Telemetry.Series.null) ?(latency = Telemetry.Latency.null)
+    ?audit tree ~partition ~handler =
   let timed, wall =
     match wall with None -> (false, fun () -> 0.) | Some f -> (true, f)
   in
@@ -71,9 +97,24 @@ let create ?(check = false) ?sink ?wall tree ~partition ~handler =
         Frame.create_pool ~name:(Printf.sprintf "shard%d.frames" s) ())
   in
   let kind_of f = Kind.of_index (Frame.kind f) in
+  let tracing = trace > 0 in
+  let cur_w = Array.make k 0 in
+  let rings =
+    if tracing then Array.init k (fun _ -> Telemetry.Sink.ring ~capacity:trace)
+    else [||]
+  in
+  let ring_sinks = Array.map Telemetry.Sink.of_ring rings in
   let nets =
-    Array.init k (fun _ ->
-        Network.create ?sink tree ~kind_of ~frames:(fun f -> f))
+    Array.init k (fun s ->
+        if tracing then
+          (* Per-shard rings keep recording domain-local (no locks on the
+             send/pop path); the window clock puts every shard's events
+             on the fleet's shared virtual-time axis. *)
+          Network.create ~sink:ring_sinks.(s) ~shard:s
+            ~clock:(fun () -> float_of_int cur_w.(s))
+            tree ~kind_of
+            ~frames:(fun f -> f)
+        else Network.create ?sink ~shard:s tree ~kind_of ~frames:(fun f -> f))
   in
   let boxes = Array.init k (fun _ -> Array.init k (fun _ -> Mailbox.create ())) in
   let bats = Array.init k (fun _ -> Array.init k (fun _ -> Mailbox.batch ())) in
@@ -99,6 +140,19 @@ let create ?(check = false) ?sink ?wall tree ~partition ~handler =
     m_cout = c "shard.cross.out";
     g_mbhwm = Array.init k (fun s -> Telemetry.Metrics.gauge mets.(s) "shard.mailbox.hwm");
     ingress_fn;
+    tracing;
+    rings;
+    ring_sinks;
+    audit = (match audit with Some a -> a | None -> Telemetry.Audit.create ());
+    series;
+    latency;
+    sampling = Telemetry.Series.enabled series;
+    cur_w;
+    win_inits = Array.make k 0;
+    win_gc = Array.make k 0;
+    lat_deliv = 0;
+    obs_deliv = 0;
+    obs_stalls = 0;
     wall;
     timed;
     gc_words = Array.make k 0.;
@@ -171,6 +225,88 @@ let pending_crossings t =
     done
   done;
   !n
+
+(* Superstep span ids: negative, so they can never collide with the
+   mechanism's combine-span ids (allocated non-negative by its own
+   counter), and unique per (window, shard, phase).  The per-window
+   decision span takes the unused phase-2 slot of shard 0. *)
+let phase_id t w s phase = -((((w * t.k) + s) * 3) + phase + 1)
+let decision_id t w = -((w * t.k * 3) + 3)
+
+(* End-of-window fleet observability.  Runs in the end barrier's serial
+   section: every other domain is parked on the condition variable, so
+   all per-shard counters, pools and mailboxes are stable plain reads.
+
+   The audit is always on — its happy path is integer compares over
+   counters the engine maintains anyway, and at a window's end barrier
+   every local net is provably quiescent (phase B ran it dry), so the
+   fleet ledgers must balance exactly:
+
+     Σ sent  = Σ delivered + Σ in-flight   (local queues are empty)
+     Σ cross-out = Σ cross-in + pending    (mailbox conservation)
+     Σ live frames = Σ in-flight           (pool accounting)
+
+   Latency rides the same quiescence rule as the single-domain engine:
+   requests issue at their initiation window and the whole outstanding
+   batch settles at the first end-of-window with no pending crossings —
+   the fleet-quiescent points of the shared virtual-time axis — with
+   the deliveries since the previous settle as the batch's message
+   cost.  The series sampler stores six ints per window (deltas for
+   deliveries/stalls, instantaneous in-flight, peak mailbox depth,
+   minor words) into its ring. *)
+let observe_window t window =
+  let sent = ref 0 and infl = ref 0 and del = ref 0 in
+  let out = ref 0 and into = ref 0 and live = ref 0 in
+  for s = 0 to t.k - 1 do
+    sent := !sent + Network.total t.nets.(s);
+    infl := !infl + Network.in_flight t.nets.(s);
+    del := !del + Telemetry.Metrics.counter_value t.m_deliv.(s);
+    out := !out + Telemetry.Metrics.counter_value t.m_cout.(s);
+    into := !into + Telemetry.Metrics.counter_value t.m_cin.(s);
+    live := !live + Frame.live t.pools.(s)
+  done;
+  let pending = pending_crossings t in
+  Telemetry.Audit.check_conservation t.audit ~window ~sent:!sent
+    ~delivered:!del ~in_flight:!infl ~dropped:0;
+  Telemetry.Audit.check_crossings t.audit ~window ~out:!out ~into:!into
+    ~pending;
+  Telemetry.Audit.check_frames t.audit ~window ~live:!live ~in_flight:!infl;
+  if Telemetry.Latency.enabled t.latency then begin
+    let inits = ref 0 in
+    for s = 0 to t.k - 1 do
+      inits := !inits + t.win_inits.(s)
+    done;
+    if !inits > 0 then begin
+      let fw = float_of_int window in
+      for _ = 1 to !inits do
+        Telemetry.Latency.issue t.latency fw
+      done
+    end;
+    if pending = 0 && Telemetry.Latency.outstanding t.latency > 0 then begin
+      Telemetry.Latency.settle_all t.latency
+        ~time:(float_of_int (window + 1))
+        ~msgs:(!del - t.lat_deliv);
+      t.lat_deliv <- !del
+    end
+  end;
+  if t.sampling then begin
+    let st = ref 0 and gw = ref 0 and mbh = ref 0 in
+    for s = 0 to t.k - 1 do
+      st := !st + Telemetry.Metrics.counter_value t.m_stalls.(s);
+      gw := !gw + t.win_gc.(s);
+      for j = 0 to t.k - 1 do
+        if j <> s then begin
+          let h = Mailbox.hwm t.boxes.(j).(s) in
+          if h > !mbh then mbh := h
+        end
+      done
+    done;
+    Telemetry.Series.sample t.series ~window
+      ~deliveries:(!del - t.obs_deliv) ~in_flight:pending ~mailbox_hwm:!mbh
+      ~stalls:(!st - t.obs_stalls) ~gc_words:!gw;
+    t.obs_deliv <- !del;
+    t.obs_stalls <- !st
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Windowed drivers: sense-reversing barrier whose last arriver runs
@@ -276,7 +412,31 @@ let run_windowed t ~max_windows ~worker_inits ~serial_step =
         done;
         t.crit_work <- t.crit_work + !mx;
         t.total_work <- t.total_work + !sm;
+        observe_window t window;
+        (* The decision span lands on shard 0's ring: its owning domain
+           is parked at the barrier, so the serial writer races with
+           nothing. *)
+        if t.tracing then
+          Telemetry.Sink.record t.ring_sinks.(0)
+            (Telemetry.Sink.Span_begin
+               {
+                 time = float_of_int window +. 0.9;
+                 shard = 0;
+                 node = -1;
+                 name = "decision";
+                 id = decision_id t window;
+               });
         let nw = serial_step window in
+        if t.tracing then
+          Telemetry.Sink.record t.ring_sinks.(0)
+            (Telemetry.Sink.Span_end
+               {
+                 time = float_of_int window +. 1.0;
+                 shard = 0;
+                 node = -1;
+                 name = "decision";
+                 id = decision_id t window;
+               });
         if nw < 0 then ctl.stop <- true
         else if !executed >= max_windows then begin
           ctl.err <- Some (Horizon { windows = !executed; budget = max_windows });
@@ -286,8 +446,31 @@ let run_windowed t ~max_windows ~worker_inits ~serial_step =
     in
     let inb = ref 0 in
     while !running do
+      (* publish this shard's window before any traced net event can be
+         recorded: the window clock reads it *)
+      t.cur_w.(s) <- !w;
       inb := 0;
+      if t.tracing then
+        Telemetry.Sink.record t.ring_sinks.(s)
+          (Telemetry.Sink.Span_begin
+             {
+               time = float_of_int !w;
+               shard = s;
+               node = -1;
+               name = "ingress";
+               id = phase_id t !w s 0;
+             });
       (try inb := ingress t s with e -> record_error ctl e);
+      if t.tracing then
+        Telemetry.Sink.record t.ring_sinks.(s)
+          (Telemetry.Sink.Span_end
+             {
+               time = float_of_int !w +. 0.25;
+               shard = s;
+               node = -1;
+               name = "ingress";
+               id = phase_id t !w s 0;
+             });
       barrier ctl t.k ~serial:serial_mid;
       if ctl.stop then running := false
       else begin
@@ -295,6 +478,17 @@ let run_windowed t ~max_windows ~worker_inits ~serial_step =
            the barrier waits: its worst case bounds every GC pause the
            domain's data plane can suffer *)
         let t0 = if t.timed then t.wall () else 0. in
+        let g0 = if t.sampling then Gc.minor_words () else 0. in
+        if t.tracing then
+          Telemetry.Sink.record t.ring_sinks.(s)
+            (Telemetry.Sink.Span_begin
+               {
+                 time = float_of_int !w +. 0.3;
+                 shard = s;
+                 node = -1;
+                 name = "drain";
+                 id = phase_id t !w s 1;
+               });
         (try
            let inits = worker_inits s !w in
            let delivered =
@@ -306,9 +500,22 @@ let run_windowed t ~max_windows ~worker_inits ~serial_step =
            if delivered > 0 then Telemetry.Metrics.add t.m_deliv.(s) delivered;
            Telemetry.Metrics.incr t.m_windows.(s);
            t.win_work.(s) <- !inb + inits + delivered;
+           t.win_inits.(s) <- inits;
            if !inb = 0 && inits = 0 && delivered = 0 then
              Telemetry.Metrics.incr t.m_stalls.(s)
          with e -> record_error ctl e);
+        if t.tracing then
+          Telemetry.Sink.record t.ring_sinks.(s)
+            (Telemetry.Sink.Span_end
+               {
+                 time = float_of_int !w +. 0.9;
+                 shard = s;
+                 node = -1;
+                 name = "drain";
+                 id = phase_id t !w s 1;
+               });
+        if t.sampling then
+          t.win_gc.(s) <- int_of_float (Gc.minor_words () -. g0);
         if t.timed then begin
           let dt = t.wall () -. t0 in
           if dt > t.gc_worst.(s) then t.gc_worst.(s) <- dt
@@ -591,6 +798,50 @@ let live_frames t =
 
 let is_quiescent t =
   Array.for_all Network.is_quiescent t.nets && pending_crossings t = 0
+
+(* ------------------------------------------------------------------ *)
+(* Fleet observability accessors.  All of these run on the main domain
+   after the windowed drivers' [Domain.join] (the happens-before edge
+   for every per-shard structure), so plain reads suffice.             *)
+
+let fleet_metrics t = Telemetry.Metrics.merge (Array.to_list t.mets)
+let audit t = t.audit
+let latency t = t.latency
+let series t = t.series
+let tracing t = t.tracing
+
+let fleet_sink t =
+  if not t.tracing then Telemetry.Sink.null
+  else
+    (* Route each event to the ring of the shard it is tagged with —
+       mechanism events for node [u] are recorded by the domain that
+       owns [u]'s shard (handlers run shard-locally), so each ring
+       still has a single writing domain. *)
+    Telemetry.Sink.stream (fun e ->
+        let s = Telemetry.Sink.event_shard e in
+        let s = if s >= 0 && s < t.k then s else 0 in
+        Telemetry.Sink.record t.ring_sinks.(s) e)
+
+let fleet_events t =
+  if not t.tracing then []
+  else begin
+    let evs = ref [] in
+    for s = t.k - 1 downto 0 do
+      evs := Telemetry.Sink.ring_events t.rings.(s) @ !evs
+    done;
+    List.stable_sort
+      (fun a b ->
+        compare (Telemetry.Sink.event_time a) (Telemetry.Sink.event_time b))
+      !evs
+  end
+
+let trace_dropped t =
+  Array.fold_left (fun acc r -> acc + Telemetry.Sink.ring_dropped r) 0 t.rings
+
+let fleet_trace t =
+  Telemetry.Export.chrome_trace_fleet
+    ~kind_name:(fun i -> Kind.to_string (Kind.of_index i))
+    ~shards:t.k (fleet_events t)
 
 let check_invariants t =
   Array.iter Network.check_invariants t.nets;

@@ -67,6 +67,10 @@ val create :
   ?check:bool ->
   ?sink:Telemetry.Sink.t ->
   ?wall:(unit -> float) ->
+  ?trace:int ->
+  ?series:Telemetry.Series.t ->
+  ?latency:Telemetry.Latency.t ->
+  ?audit:Telemetry.Audit.t ->
   Tree.t ->
   partition:Tree.Partition.partition ->
   handler:(src:int -> dst:int -> Frame.t -> unit) ->
@@ -88,6 +92,33 @@ val create :
     events; cross-shard messages are stamped at receiver ingress).
     Sinks are not synchronised: only wire one into runs whose handler
     executions are serialised ({!run_replay}, or a single shard).
+
+    {b Fleet observability} (all off by default; the disabled paths are
+    one cached-bool branch each):
+
+    - [trace] (default [0] = off): capacity, per shard, of an event
+      ring each shard network records into on its own domain, events
+      stamped with the shard id and the shared window axis as their
+      clock.  The windowed drivers additionally record window-phase
+      spans (ingress/drain per shard, decision per window).  Takes
+      precedence over [sink] for the shard networks.  Merge with
+      {!fleet_events} / {!fleet_trace}; route a mechanism sink through
+      {!fleet_sink}.
+    - [series] (default {!Telemetry.Series.null}): windowed
+      time-series sampler, fed one sample per executed window from the
+      serial section (fleet deliveries and stalls as deltas, pending
+      crossings, peak mailbox depth, minor GC words).
+    - [latency] (default {!Telemetry.Latency.null}): request-lifecycle
+      recorder on the window axis — requests issue at their initiation
+      window; the outstanding batch settles at the first end-of-window
+      with no pending crossings (the fleet-quiescent points), deliveries
+      since the last settle split as message cost.
+    - [audit] (default: a fresh {!Telemetry.Audit.t} that raises on
+      violation) is {e always on}: every executed window's serial
+      section cross-checks the fleet conservation ledgers — sends =
+      deliveries + in-flight, cross-out = cross-in + pending mailbox
+      frames, live frames = in-flight — at the cost of a few integer
+      reads per window.
 
     Wire the protocol's egress to {!route} and {!pool_for} (e.g. via
     [Mechanism.set_outbox]) before running. *)
@@ -245,6 +276,53 @@ val gc_stats : t -> (float * float) array
     [wall] clock was supplied to {!create}). *)
 
 val is_quiescent : t -> bool
+
+(** {1 Fleet observability}
+
+    Read these on the calling domain after a driver returns — the
+    drivers' [Domain.join] is the happens-before edge that makes every
+    per-shard structure safe to read. *)
+
+val fleet_metrics : t -> Telemetry.Metrics.t
+(** One registry for the whole fleet: {!Telemetry.Metrics.merge} of the
+    per-shard registries (exact — counters sum, gauges max, histograms
+    merge bucket-wise).  A fresh snapshot each call. *)
+
+val latency : t -> Telemetry.Latency.t
+(** The recorder passed to {!create} ({!Telemetry.Latency.null} if
+    none). *)
+
+val series : t -> Telemetry.Series.t
+(** The sampler passed to {!create} ({!Telemetry.Series.null} if
+    none). *)
+
+val audit : t -> Telemetry.Audit.t
+(** The always-on conservation auditor: [Audit.checks] counts ledger
+    cross-checks performed (three per executed window). *)
+
+val tracing : t -> bool
+(** Whether {!create} was given a positive [trace] capacity. *)
+
+val fleet_sink : t -> Telemetry.Sink.t
+(** A sink that routes each event to the ring of the shard it is tagged
+    with ({!Telemetry.Sink.event_shard}).  Pass it (with a matching
+    [shard_of]) to [Mechanism.create] so protocol events land in the
+    fleet trace: handlers run on the owning shard's domain, so each
+    ring keeps a single writing domain.  {!Telemetry.Sink.null} when
+    not tracing. *)
+
+val fleet_events : t -> Telemetry.Sink.event list
+(** All per-shard ring events, merged and stably sorted by event time
+    (the window axis).  [[]] when not tracing. *)
+
+val trace_dropped : t -> int
+(** Events overwritten across the per-shard rings (0 means the [trace]
+    capacity held the whole run). *)
+
+val fleet_trace : t -> string
+(** {!Telemetry.Export.chrome_trace_fleet} over {!fleet_events}: one
+    Chrome process per shard, one thread per node, plus a
+    ["supersteps"] lane per shard carrying the window-phase spans. *)
 
 val check_invariants : t -> unit
 (** Per-shard network invariants (including the frame-pool audits),

@@ -13,6 +13,7 @@ type event =
 
 type t = {
   enabled : bool;
+  shard : int; (* stamped on every recorded event; 0 single-domain *)
   ring : Telemetry.Sink.ring option; (* None iff disabled *)
   sink : Telemetry.Sink.t;
   mutable seq : int;
@@ -20,12 +21,12 @@ type t = {
 
 let default_capacity = 65_536
 
-let create ?(enabled = false) ?(capacity = default_capacity) () =
+let create ?(enabled = false) ?(shard = 0) ?(capacity = default_capacity) () =
   if enabled then begin
     let ring = Telemetry.Sink.ring ~capacity in
-    { enabled; ring = Some ring; sink = Telemetry.Sink.of_ring ring; seq = 0 }
+    { enabled; shard; ring = Some ring; sink = Telemetry.Sink.of_ring ring; seq = 0 }
   end
-  else { enabled; ring = None; sink = Telemetry.Sink.null; seq = 0 }
+  else { enabled; shard; ring = None; sink = Telemetry.Sink.null; seq = 0 }
 
 let enabled t = t.enabled
 
@@ -38,11 +39,14 @@ let record t e =
     Telemetry.Sink.record t.sink
       (match e with
       | Request_initiated { node; what } ->
-        Telemetry.Sink.Span_begin { time; node; name = what; id = t.seq }
+        Telemetry.Sink.Span_begin
+          { time; shard = t.shard; node; name = what; id = t.seq }
       | Request_completed { node; what } ->
-        Telemetry.Sink.Span_end { time; node; name = what; id = t.seq }
+        Telemetry.Sink.Span_end
+          { time; shard = t.shard; node; name = what; id = t.seq }
       | Delivered { src; dst; kind } ->
-        Telemetry.Sink.Delivered { time; src; dst; kind = Kind.index kind })
+        Telemetry.Sink.Delivered
+          { time; shard = t.shard; src; dst; kind = Kind.index kind })
   end
 
 (* Raw sink events retained in the ring, oldest first.  Includes events

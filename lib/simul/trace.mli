@@ -19,9 +19,11 @@ type event =
 
 type t
 
-val create : ?enabled:bool -> ?capacity:int -> unit -> t
+val create : ?enabled:bool -> ?shard:int -> ?capacity:int -> unit -> t
 (** [capacity] (default 65536) bounds retained events; recording past it
-    overwrites the oldest ({!dropped} counts the overwritten ones). *)
+    overwrites the oldest ({!dropped} counts the overwritten ones).
+    [shard] (default 0) tags every recorded event with the owning shard,
+    so per-shard traces merge into an attributed fleet stream. *)
 
 val enabled : t -> bool
 

@@ -1,0 +1,62 @@
+(* Always-on accounting auditor.  The engines feed it their conservation
+   ledgers once per window / quiescence point and it checks the books
+   balance: messages sent = delivered + in flight + dropped, cross-shard
+   crossings out = crossings in + still pending, pooled frames live =
+   frames the network holds in flight.  A violation means a frame or a
+   counter leaked — silent drift the differential tests cannot see if it
+   is deterministic — so the default response is a raised [Violation]
+   with the full ledger in the message.  The happy path is pure integer
+   compares on caller-supplied counters: no allocation, cheap enough to
+   leave on in production runs. *)
+
+exception Violation of string
+
+type t = {
+  mutable checks : int;
+  mutable violations : int;
+  mutable last : string; (* last violation message, "" if none *)
+  on_violation : string -> unit; (* default: raise Violation *)
+}
+
+let raise_violation msg = raise (Violation msg)
+
+let create ?(on_violation = raise_violation) () =
+  { checks = 0; violations = 0; last = ""; on_violation }
+
+let checks t = t.checks
+
+let violations t = t.violations
+
+let last_violation t = if t.last = "" then None else Some t.last
+
+let fail t msg =
+  t.violations <- t.violations + 1;
+  t.last <- msg;
+  t.on_violation msg
+
+let check_conservation t ~window ~sent ~delivered ~in_flight ~dropped =
+  t.checks <- t.checks + 1;
+  if sent <> delivered + in_flight + dropped then
+    fail t
+      (Printf.sprintf
+         "audit: window %d: message conservation violated: sent=%d <> \
+          delivered=%d + in_flight=%d + dropped=%d"
+         window sent delivered in_flight dropped)
+
+let check_crossings t ~window ~out ~into ~pending =
+  t.checks <- t.checks + 1;
+  if out <> into + pending then
+    fail t
+      (Printf.sprintf
+         "audit: window %d: crossing conservation violated: out=%d <> \
+          ingressed=%d + pending=%d"
+         window out into pending)
+
+let check_frames t ~window ~live ~in_flight =
+  t.checks <- t.checks + 1;
+  if live <> in_flight then
+    fail t
+      (Printf.sprintf
+         "audit: window %d: frame accounting violated: pool live=%d <> \
+          network in_flight=%d"
+         window live in_flight)

@@ -1,0 +1,37 @@
+(** Always-on conservation auditor.
+
+    Cross-checks the engines' accounting ledgers at every window /
+    quiescence point and turns silent drift into a loud error:
+
+    - {!check_conservation}: sent = delivered + in flight + dropped;
+    - {!check_crossings}: cross-shard messages out = ingressed + pending;
+    - {!check_frames}: pooled frames live = frames held in flight.
+
+    The happy path is integer compares on caller-supplied counters —
+    no allocation — so the auditor stays on in production runs.  On
+    imbalance the auditor calls [on_violation] (default: raise
+    {!Violation} with the full ledger in the message). *)
+
+exception Violation of string
+
+type t
+
+val create : ?on_violation:(string -> unit) -> unit -> t
+(** [on_violation] (default raises {!Violation}) receives the violation
+    message; supply a logger to record-and-continue instead. *)
+
+val checks : t -> int
+(** Checks performed so far. *)
+
+val violations : t -> int
+(** Violations seen so far (only observable past the first when
+    [on_violation] does not raise). *)
+
+val last_violation : t -> string option
+
+val check_conservation :
+  t -> window:int -> sent:int -> delivered:int -> in_flight:int -> dropped:int -> unit
+
+val check_crossings : t -> window:int -> out:int -> into:int -> pending:int -> unit
+
+val check_frames : t -> window:int -> live:int -> in_flight:int -> unit

@@ -20,5 +20,20 @@ val chrome_trace :
     ["ts"] field, so one virtual time unit displays as 1 ms.  [n_nodes]
     emits named per-node tracks. *)
 
+val chrome_trace_fleet :
+  ?kind_name:(int -> string) ->
+  ?time_scale:float ->
+  ?shards:int ->
+  Sink.event list ->
+  string
+(** Fleet variant for sharded runs: one Chrome {e process} per shard
+    (pid = each event's shard tag, named ["shard <s>"] for the first
+    [shards] of them), one thread track per tree node within it, and a
+    dedicated ["supersteps"] thread (tid -1) per shard carrying the
+    sharded engine's window-phase spans (ingress / drain / decision) as
+    ["X"] events.  Feed it the merged per-shard event streams (e.g.
+    [Sharded.fleet_events]); {!chrome_trace} is unchanged for
+    single-domain traces. *)
+
 val write_file : string -> string -> unit
 (** [write_file path contents]: create/truncate [path] and write. *)

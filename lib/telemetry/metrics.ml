@@ -251,6 +251,39 @@ let to_json t =
   Buffer.add_string b "] }\n";
   Buffer.contents b
 
+(* Exact cross-registry aggregation, used to fold per-shard registries
+   into one fleet snapshot.  Counters add; gauges keep the fleet-wide
+   maximum of both current value and high-water mark (per-shard gauges
+   are watermarks — mailbox depth, pool occupancy — so the max is the
+   honest fleet figure); histograms merge bucket-wise, which is exact:
+   the merged registry is indistinguishable from a single registry fed
+   the union of observations. *)
+let merge_into dst src =
+  Hashtbl.iter
+    (fun name m ->
+      match m with
+      | Counter c ->
+        let d = counter dst name in
+        d.count <- d.count + c.count
+      | Gauge g ->
+        let d = gauge dst name in
+        if g.value > d.value then d.value <- g.value;
+        if g.hwm > d.hwm then d.hwm <- g.hwm
+      | Histogram h ->
+        let d = histogram dst name in
+        for b = 0 to n_buckets - 1 do
+          d.buckets.(b) <- d.buckets.(b) + h.buckets.(b)
+        done;
+        d.n <- d.n + h.n;
+        d.sum <- d.sum + h.sum;
+        if h.max > d.max then d.max <- h.max)
+    src.tbl
+
+let merge ts =
+  let dst = create () in
+  List.iter (fun src -> merge_into dst src) ts;
+  dst
+
 let reset t =
   Hashtbl.iter
     (fun _ m ->

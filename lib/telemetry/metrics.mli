@@ -100,6 +100,22 @@ val to_text : t -> string
 
 val to_json : t -> string
 
+val merge_into : t -> t -> unit
+(** [merge_into dst src] folds every metric of [src] into [dst],
+    creating missing ones: counters add, gauges take the maximum of both
+    value and high-water mark, histograms merge bucket-wise (count, sum
+    and max included) — exact, so merged quantiles equal those of a
+    single registry fed the union of observations.  [src] is left
+    untouched.
+    @raise Invalid_argument if a name is registered in [dst] with a
+    different metric type. *)
+
+val merge : t list -> t
+(** [merge ts] is a fresh registry holding the fold of [merge_into] over
+    [ts] left to right — the fleet view of per-shard registries.
+    Commutative and associative up to snapshot equality; [merge []] is
+    an empty registry. *)
+
 val reset : t -> unit
 (** Zero every metric (counters, gauge values and high-water marks,
     histogram buckets) without dropping registrations — the handles held

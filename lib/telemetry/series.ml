@@ -1,0 +1,141 @@
+(* Windowed time-series sampler: a fixed-capacity ring of per-window
+   samples (deliveries, in-flight, mailbox high-water mark, stalls, GC
+   words), written by the engine once per window and exported as CSV or
+   JSON afterwards.  Storage is struct-of-arrays so taking a sample
+   writes six int slots and allocates nothing; once the ring is full the
+   oldest windows are overwritten ([dropped] counts them).  The disabled
+   sampler ([null]) reduces [sample] to one cached-bool branch. *)
+
+type t = {
+  enabled : bool;
+  capacity : int;
+  window : int array;
+  deliveries : int array;
+  in_flight : int array;
+  mailbox_hwm : int array;
+  stalls : int array;
+  gc_words : int array;
+  mutable next : int;
+  mutable stored : int;
+  mutable total : int;
+}
+
+let default_capacity = 4096
+
+let create ?(capacity = default_capacity) () =
+  let capacity = max 1 capacity in
+  {
+    enabled = true;
+    capacity;
+    window = Array.make capacity 0;
+    deliveries = Array.make capacity 0;
+    in_flight = Array.make capacity 0;
+    mailbox_hwm = Array.make capacity 0;
+    stalls = Array.make capacity 0;
+    gc_words = Array.make capacity 0;
+    next = 0;
+    stored = 0;
+    total = 0;
+  }
+
+let null =
+  {
+    enabled = false;
+    capacity = 0;
+    window = [||];
+    deliveries = [||];
+    in_flight = [||];
+    mailbox_hwm = [||];
+    stalls = [||];
+    gc_words = [||];
+    next = 0;
+    stored = 0;
+    total = 0;
+  }
+
+let enabled t = t.enabled
+
+let sample t ~window ~deliveries ~in_flight ~mailbox_hwm ~stalls ~gc_words =
+  if t.enabled then begin
+    let i = t.next in
+    t.window.(i) <- window;
+    t.deliveries.(i) <- deliveries;
+    t.in_flight.(i) <- in_flight;
+    t.mailbox_hwm.(i) <- mailbox_hwm;
+    t.stalls.(i) <- stalls;
+    t.gc_words.(i) <- gc_words;
+    t.next <- (i + 1) mod t.capacity;
+    if t.stored < t.capacity then t.stored <- t.stored + 1;
+    t.total <- t.total + 1
+  end
+
+let length t = t.stored
+
+let total t = t.total
+
+let dropped t = t.total - t.stored
+
+let capacity t = t.capacity
+
+(* Retained samples oldest first: ring index of the i-th oldest. *)
+let idx t i = (t.next - t.stored + i + (2 * t.capacity)) mod t.capacity
+
+type sample = {
+  s_window : int;
+  s_deliveries : int;
+  s_in_flight : int;
+  s_mailbox_hwm : int;
+  s_stalls : int;
+  s_gc_words : int;
+}
+
+let get t i =
+  if i < 0 || i >= t.stored then invalid_arg "Series.get: index out of range";
+  let j = idx t i in
+  {
+    s_window = t.window.(j);
+    s_deliveries = t.deliveries.(j);
+    s_in_flight = t.in_flight.(j);
+    s_mailbox_hwm = t.mailbox_hwm.(j);
+    s_stalls = t.stalls.(j);
+    s_gc_words = t.gc_words.(j);
+  }
+
+let samples t = List.init t.stored (get t)
+
+let csv_header = "window,deliveries,in_flight,mailbox_hwm,stalls,gc_words"
+
+let to_csv t =
+  let b = Buffer.create (64 * (t.stored + 1)) in
+  Buffer.add_string b csv_header;
+  Buffer.add_char b '\n';
+  for i = 0 to t.stored - 1 do
+    let j = idx t i in
+    Buffer.add_string b
+      (Printf.sprintf "%d,%d,%d,%d,%d,%d\n" t.window.(j) t.deliveries.(j)
+         t.in_flight.(j) t.mailbox_hwm.(j) t.stalls.(j) t.gc_words.(j))
+  done;
+  Buffer.contents b
+
+let to_json t =
+  let b = Buffer.create (96 * (t.stored + 1)) in
+  Buffer.add_string b
+    (Printf.sprintf "{ \"windows\": %d, \"dropped\": %d, \"samples\": [\n"
+       t.total (dropped t));
+  for i = 0 to t.stored - 1 do
+    let j = idx t i in
+    Buffer.add_string b
+      (Printf.sprintf
+         "  { \"window\": %d, \"deliveries\": %d, \"in_flight\": %d, \
+          \"mailbox_hwm\": %d, \"stalls\": %d, \"gc_words\": %d }%s\n"
+         t.window.(j) t.deliveries.(j) t.in_flight.(j) t.mailbox_hwm.(j)
+         t.stalls.(j) t.gc_words.(j)
+         (if i = t.stored - 1 then "" else ","))
+  done;
+  Buffer.add_string b "] }\n";
+  Buffer.contents b
+
+let clear t =
+  t.next <- 0;
+  t.stored <- 0;
+  t.total <- 0

@@ -1,0 +1,66 @@
+(** Windowed time-series sampler over a fixed-capacity ring.
+
+    The engine calls {!sample} once per executed window with the
+    window's health figures — deliveries, messages in flight, mailbox
+    high-water mark, stalled (skipped) windows, GC minor words — and the
+    sampler keeps the most recent [capacity] of them in struct-of-array
+    rings, so one sample is six int stores and zero allocation.  Export
+    as CSV (one row per window) or JSON afterwards.  The disabled
+    sampler {!null} reduces {!sample} to one cached-bool branch. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 4096) bounds retained windows; sampling past it
+    overwrites the oldest ({!dropped} counts the overwritten ones). *)
+
+val null : t
+(** The disabled sampler: {!sample} is a no-op, exports are empty. *)
+
+val enabled : t -> bool
+
+val sample :
+  t ->
+  window:int ->
+  deliveries:int ->
+  in_flight:int ->
+  mailbox_hwm:int ->
+  stalls:int ->
+  gc_words:int ->
+  unit
+
+val length : t -> int
+(** Retained samples. *)
+
+val total : t -> int
+(** Samples taken since creation or {!clear}. *)
+
+val dropped : t -> int
+
+val capacity : t -> int
+
+type sample = {
+  s_window : int;
+  s_deliveries : int;
+  s_in_flight : int;
+  s_mailbox_hwm : int;
+  s_stalls : int;
+  s_gc_words : int;
+}
+
+val get : t -> int -> sample
+(** [get t i] is the i-th oldest retained sample.
+    @raise Invalid_argument out of [0, length t). *)
+
+val samples : t -> sample list
+(** Retained samples, oldest first. *)
+
+val csv_header : string
+
+val to_csv : t -> string
+(** Header line plus one [window,deliveries,in_flight,mailbox_hwm,
+    stalls,gc_words] row per retained sample. *)
+
+val to_json : t -> string
+
+val clear : t -> unit

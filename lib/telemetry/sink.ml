@@ -5,14 +5,14 @@
    (the simulator's [Kind.index]) to keep this library dependency-free. *)
 
 type event =
-  | Sent of { time : float; src : int; dst : int; kind : int }
-  | Delivered of { time : float; src : int; dst : int; kind : int }
-  | Lease_set of { time : float; granter : int; grantee : int }
-  | Lease_broken of { time : float; granter : int; grantee : int }
-  | Lease_denied of { time : float; granter : int; grantee : int }
-  | Span_begin of { time : float; node : int; name : string; id : int }
-  | Span_end of { time : float; node : int; name : string; id : int }
-  | Mark of { time : float; node : int; name : string }
+  | Sent of { time : float; shard : int; src : int; dst : int; kind : int }
+  | Delivered of { time : float; shard : int; src : int; dst : int; kind : int }
+  | Lease_set of { time : float; shard : int; granter : int; grantee : int }
+  | Lease_broken of { time : float; shard : int; granter : int; grantee : int }
+  | Lease_denied of { time : float; shard : int; granter : int; grantee : int }
+  | Span_begin of { time : float; shard : int; node : int; name : string; id : int }
+  | Span_end of { time : float; shard : int; node : int; name : string; id : int }
+  | Mark of { time : float; shard : int; node : int; name : string }
 
 let event_time = function
   | Sent { time; _ }
@@ -25,6 +25,17 @@ let event_time = function
   | Mark { time; _ } ->
     time
 
+let event_shard = function
+  | Sent { shard; _ }
+  | Delivered { shard; _ }
+  | Lease_set { shard; _ }
+  | Lease_broken { shard; _ }
+  | Lease_denied { shard; _ }
+  | Span_begin { shard; _ }
+  | Span_end { shard; _ }
+  | Mark { shard; _ } ->
+    shard
+
 (* Bounded ring: overwrites the oldest event once full, counting what it
    dropped, so a long run records its tail instead of growing without
    bound (the old [Simul.Trace] accumulated an unbounded list). *)
@@ -36,7 +47,7 @@ type ring = {
   mutable total : int; (* recorded since creation / last clear *)
 }
 
-let dummy = Mark { time = 0.0; node = 0; name = "" }
+let dummy = Mark { time = 0.0; shard = 0; node = 0; name = "" }
 
 let ring ~capacity =
   if capacity < 1 then invalid_arg "Sink.ring: capacity must be >= 1";

@@ -11,19 +11,27 @@
     so with the {!null} sink no event is ever allocated — the cost of a
     disabled instrumentation point is a single branch.  Message kinds are
     integer indices (the simulator's [Kind.index]); this library has no
-    dependency on the simulator. *)
+    dependency on the simulator.
+
+    Every event carries the shard (domain) it happened on — 0 for
+    single-domain components — so per-shard event streams can be merged
+    into one fleet trace with each shard on its own track. *)
 
 type event =
-  | Sent of { time : float; src : int; dst : int; kind : int }
-  | Delivered of { time : float; src : int; dst : int; kind : int }
-  | Lease_set of { time : float; granter : int; grantee : int }
-  | Lease_broken of { time : float; granter : int; grantee : int }
-  | Lease_denied of { time : float; granter : int; grantee : int }
-  | Span_begin of { time : float; node : int; name : string; id : int }
-  | Span_end of { time : float; node : int; name : string; id : int }
-  | Mark of { time : float; node : int; name : string }
+  | Sent of { time : float; shard : int; src : int; dst : int; kind : int }
+  | Delivered of { time : float; shard : int; src : int; dst : int; kind : int }
+  | Lease_set of { time : float; shard : int; granter : int; grantee : int }
+  | Lease_broken of { time : float; shard : int; granter : int; grantee : int }
+  | Lease_denied of { time : float; shard : int; granter : int; grantee : int }
+  | Span_begin of { time : float; shard : int; node : int; name : string; id : int }
+  | Span_end of { time : float; shard : int; node : int; name : string; id : int }
+  | Mark of { time : float; shard : int; node : int; name : string }
 
 val event_time : event -> float
+
+val event_shard : event -> int
+(** The shard (OCaml domain) the event was recorded on; 0 for events
+    from single-domain components. *)
 
 (** {1 Ring buffer} *)
 

@@ -12,19 +12,20 @@ let fresh a =
   a.next_id <- a.next_id + 1;
   a.next_id
 
-let start sink alloc ~clock ~node ~name =
+let start ?(shard = 0) sink alloc ~clock ~node ~name =
   if Sink.enabled sink then begin
     let id = fresh alloc in
-    Sink.record sink (Sink.Span_begin { time = clock (); node; name; id });
+    Sink.record sink (Sink.Span_begin { time = clock (); shard; node; name; id });
     id
   end
   else -1
 
-let finish sink ~clock ~node ~name ~id =
+let finish ?(shard = 0) sink ~clock ~node ~name ~id =
   if id >= 0 && Sink.enabled sink then
-    Sink.record sink (Sink.Span_end { time = clock (); node; name; id })
+    Sink.record sink (Sink.Span_end { time = clock (); shard; node; name; id })
 
 type completed = {
+  shard : int;
   node : int;
   name : string;
   id : int;
@@ -39,18 +40,18 @@ let pair events =
   List.iter
     (fun e ->
       match e with
-      | Sink.Span_begin { time; node; name; id } ->
-        Hashtbl.replace open_spans id (time, node, name)
+      | Sink.Span_begin { time; shard; node; name; id } ->
+        Hashtbl.replace open_spans id (time, shard, node, name)
       | Sink.Span_end { time; id; _ } -> (
         match Hashtbl.find_opt open_spans id with
-        | Some (t0, node, name) ->
+        | Some (t0, shard, node, name) ->
           Hashtbl.remove open_spans id;
-          completed := { node; name; id; t0; t1 = time } :: !completed
+          completed := { shard; node; name; id; t0; t1 = time } :: !completed
         | None -> unmatched := e :: !unmatched)
       | _ -> ())
     events;
   Hashtbl.iter
-    (fun id (time, node, name) ->
-      unmatched := Sink.Span_begin { time; node; name; id } :: !unmatched)
+    (fun id (time, shard, node, name) ->
+      unmatched := Sink.Span_begin { time; shard; node; name; id } :: !unmatched)
     open_spans;
   (List.rev !completed, List.rev !unmatched)

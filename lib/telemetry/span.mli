@@ -11,17 +11,30 @@ val allocator : unit -> allocator
 (** Fresh id source (ids are positive, strictly increasing). *)
 
 val start :
-  Sink.t -> allocator -> clock:(unit -> float) -> node:int -> name:string -> int
-(** Emit [Span_begin] and return its id.  Returns [-1] — without
-    allocating an id, calling the clock, or emitting anything — when the
-    sink is disabled. *)
+  ?shard:int ->
+  Sink.t ->
+  allocator ->
+  clock:(unit -> float) ->
+  node:int ->
+  name:string ->
+  int
+(** Emit [Span_begin] (tagged with [shard], default 0) and return its
+    id.  Returns [-1] — without allocating an id, calling the clock, or
+    emitting anything — when the sink is disabled. *)
 
 val finish :
-  Sink.t -> clock:(unit -> float) -> node:int -> name:string -> id:int -> unit
+  ?shard:int ->
+  Sink.t ->
+  clock:(unit -> float) ->
+  node:int ->
+  name:string ->
+  id:int ->
+  unit
 (** Emit the matching [Span_end].  No-op when [id < 0] or the sink is
     disabled. *)
 
 type completed = {
+  shard : int;
   node : int;
   name : string;
   id : int;

@@ -18,7 +18,12 @@
    default 1/2/4/8 sweep — CI uses it to force a 4-domain pass.
    [OAT_PARTITION=weighted] switches every sharded run onto the
    subtree-weighted partitioner — CI runs the whole differential suite
-   once under it, since equivalence must hold for any partition. *)
+   once under it, since equivalence must hold for any partition.
+   [OAT_OBSERVE=1] runs every sharded system with the full
+   observability layer enabled (latency recorder + series sampler on
+   top of the always-on metrics and conservation audit) — CI runs the
+   suite once like this to prove instrumentation never perturbs the
+   goldens. *)
 
 module Sm = Prng.Splitmix
 module M = Oat.Mechanism.Make (Agg.Ops.Sum)
@@ -40,6 +45,11 @@ let env_strategy =
   | Some "weighted" -> "weighted"
   | _ -> "naive"
 
+let observe =
+  match Sys.getenv_opt "OAT_OBSERVE" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
 let mk_partition ?(strategy = env_strategy) tree ~shards =
   match strategy with
   | "weighted" ->
@@ -54,6 +64,10 @@ let mk_sharded ?(ghost = false) ?sink ?metrics ?strategy tree ~domains =
   let sys = M.create ~ghost ?sink ?metrics tree ~policy:Oat.Rww.policy in
   let sh =
     Simul.Sharded.create ~check:true ?sink tree ~partition:part
+      ~latency:
+        (if observe then Telemetry.Latency.create () else Telemetry.Latency.null)
+      ~series:
+        (if observe then Telemetry.Series.create () else Telemetry.Series.null)
       ~handler:(M.handler sys)
   in
   M.set_outbox sys
@@ -74,7 +88,18 @@ let final_state sys n =
 let check_drained name sh =
   Simul.Sharded.check_invariants sh;
   Alcotest.(check bool) (name ^ ": quiescent") true (Simul.Sharded.is_quiescent sh);
-  Alcotest.(check int) (name ^ ": no leaked frames") 0 (Simul.Sharded.live_frames sh)
+  Alcotest.(check int) (name ^ ": no leaked frames") 0 (Simul.Sharded.live_frames sh);
+  (* the conservation auditor is always on; a quiescent system must
+     have a clean ledger, and under OAT_OBSERVE the latency FIFO must
+     have drained (replay runs bypass the windowed path, where both
+     counts are trivially zero) *)
+  Alcotest.(check int)
+    (name ^ ": audit violations") 0
+    (Telemetry.Audit.violations (Simul.Sharded.audit sh));
+  if observe then
+    Alcotest.(check int)
+      (name ^ ": latency drained") 0
+      (Telemetry.Latency.outstanding (Simul.Sharded.latency sh))
 
 (* ------------------------------------------------------------------ *)
 (* Sequential goldens on the free-running windowed engine.             *)
@@ -215,7 +240,8 @@ let replay_concurrent ?(ghost = false) ?sink ?marks tree ~domains
             (match marks with
             | Some sink ->
               Telemetry.Sink.record sink
-                (Telemetry.Sink.Mark { time = 0.; node = i; name = "initiate" })
+                (Telemetry.Sink.Mark
+                   { time = 0.; shard = 0; node = i; name = "initiate" })
             | None -> ());
             match write with
             | Some v -> M.write sys ~node v

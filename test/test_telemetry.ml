@@ -60,7 +60,8 @@ let test_reset_keeps_handles () =
 
 (* ---- ring-buffer sink ---- *)
 
-let mark i = Telemetry.Sink.Mark { time = float_of_int i; node = i; name = "m" }
+let mark i =
+  Telemetry.Sink.Mark { time = float_of_int i; shard = 0; node = i; name = "m" }
 
 let test_ring_bounded () =
   let r = Telemetry.Sink.ring ~capacity:4 in
@@ -90,7 +91,7 @@ let test_null_sink_no_alloc () =
     (* the guarded instrumentation pattern used by every hot path *)
     if Telemetry.Sink.enabled sink then
       Telemetry.Sink.record sink
-        (Telemetry.Sink.Sent { time = 0.0; src = i; dst = 0; kind = 0 })
+        (Telemetry.Sink.Sent { time = 0.0; shard = 0; src = i; dst = 0; kind = 0 })
   done;
   let delta = Gc.minor_words () -. before in
   Alcotest.(check bool)
@@ -124,7 +125,7 @@ let test_trace_ring_facade () =
   (* events recorded through the sink view land in the same ring *)
   Simul.Trace.clear tr;
   Telemetry.Sink.record (Simul.Trace.as_sink tr)
-    (Telemetry.Sink.Delivered { time = 0.0; src = 0; dst = 1; kind = 0 });
+    (Telemetry.Sink.Delivered { time = 0.0; shard = 0; src = 0; dst = 1; kind = 0 });
   Alcotest.(check int) "sink event counted" 1
     (Simul.Trace.count_delivered tr Simul.Kind.Probe)
 
@@ -472,6 +473,218 @@ let test_golden_chrome_trace () =
       end)
     events
 
+(* ---- Metrics.merge laws (QCheck) ---- *)
+
+(* Random registry over a small shared name pool, so merging actually
+   collides metrics of the same name and type. *)
+let random_registry rng =
+  let m = Telemetry.Metrics.create () in
+  let ops = 1 + Sm.int rng 40 in
+  for _ = 1 to ops do
+    let suffix = string_of_int (Sm.int rng 3) in
+    match Sm.int rng 3 with
+    | 0 ->
+      Telemetry.Metrics.add
+        (Telemetry.Metrics.counter m ("c." ^ suffix))
+        (Sm.int rng 100)
+    | 1 ->
+      Telemetry.Metrics.gauge_set
+        (Telemetry.Metrics.gauge m ("g." ^ suffix))
+        (Sm.int rng 100)
+    | _ ->
+      Telemetry.Metrics.observe
+        (Telemetry.Metrics.histogram m ("h." ^ suffix))
+        (Sm.int rng 10_000)
+  done;
+  m
+
+(* [snapshot] is sorted by name and structural, so registry equality up
+   to observation is plain [=] on snapshots. *)
+let prop_merge_commutative =
+  QCheck.Test.make ~count:100 ~name:"Metrics.merge commutes"
+    QCheck.(pair small_nat small_nat)
+    (fun (s1, s2) ->
+      let a () = random_registry (Sm.create (s1 + 1)) in
+      let b () = random_registry (Sm.create (s2 + 1_000_001)) in
+      Telemetry.Metrics.(snapshot (merge [ a (); b () ]))
+      = Telemetry.Metrics.(snapshot (merge [ b (); a () ])))
+
+let prop_merge_associative =
+  QCheck.Test.make ~count:100 ~name:"Metrics.merge associates"
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun (s1, s2, s3) ->
+      let a () = random_registry (Sm.create (s1 + 1)) in
+      let b () = random_registry (Sm.create (s2 + 1_000_001)) in
+      let c () = random_registry (Sm.create (s3 + 2_000_003)) in
+      Telemetry.Metrics.(snapshot (merge [ merge [ a (); b () ]; c () ]))
+      = Telemetry.Metrics.(snapshot (merge [ a (); merge [ b (); c () ] ])))
+
+let prop_merge_identity =
+  QCheck.Test.make ~count:100 ~name:"Metrics.merge identity on empty"
+    QCheck.small_nat
+    (fun s ->
+      let a () = random_registry (Sm.create (s + 1)) in
+      Telemetry.Metrics.(snapshot (merge [ a (); create () ]))
+      = Telemetry.Metrics.(snapshot (a ()))
+      && Telemetry.Metrics.(snapshot (merge [ create (); a () ]))
+         = Telemetry.Metrics.(snapshot (a ())))
+
+(* The tentpole exactness claim: bucket-wise histogram merge means the
+   merged registry's quantiles equal those of one registry fed the
+   union of the observations — no approximation from merging. *)
+let prop_merge_union_quantiles =
+  QCheck.Test.make ~count:100 ~name:"merged quantiles = union quantiles"
+    QCheck.(pair small_nat small_nat)
+    (fun (s1, s2) ->
+      let rng1 = Sm.create (s1 + 7) and rng2 = Sm.create (s2 + 77) in
+      let draw rng = List.init (1 + Sm.int rng 50) (fun _ -> Sm.int rng 100_000) in
+      let xs = draw rng1 and ys = draw rng2 in
+      let feed vals =
+        let m = Telemetry.Metrics.create () in
+        let h = Telemetry.Metrics.histogram m "h" in
+        List.iter (Telemetry.Metrics.observe h) vals;
+        m
+      in
+      let hm = Telemetry.Metrics.histogram (Telemetry.Metrics.merge [ feed xs; feed ys ]) "h" in
+      let hu = Telemetry.Metrics.histogram (feed (xs @ ys)) "h" in
+      List.for_all
+        (fun q ->
+          Telemetry.Metrics.quantile hm q = Telemetry.Metrics.quantile hu q)
+        [ 0.0; 0.25; 0.5; 0.9; 0.99; 1.0 ]
+      && Telemetry.Metrics.histogram_count hm = Telemetry.Metrics.histogram_count hu
+      && Telemetry.Metrics.histogram_sum hm = Telemetry.Metrics.histogram_sum hu
+      && Telemetry.Metrics.histogram_max hm = Telemetry.Metrics.histogram_max hu)
+
+let test_merge_type_clash () =
+  let a = Telemetry.Metrics.create () in
+  let b = Telemetry.Metrics.create () in
+  ignore (Telemetry.Metrics.counter a "x");
+  ignore (Telemetry.Metrics.gauge b "x");
+  Alcotest.check_raises "clash"
+    (Invalid_argument "Metrics.counter: \"x\" already registered with another type")
+    (fun () -> ignore (Telemetry.Metrics.merge [ b; a ]))
+
+(* ---- Latency recorder ---- *)
+
+let test_latency_lifecycle () =
+  let l = Telemetry.Latency.create ~capacity:2 () in
+  Alcotest.(check bool) "enabled" true (Telemetry.Latency.enabled l);
+  Alcotest.(check bool) "null disabled" false
+    (Telemetry.Latency.enabled Telemetry.Latency.null);
+  (* three issues through a capacity-2 FIFO forces a growth *)
+  Telemetry.Latency.issue l 0.0;
+  Telemetry.Latency.issue l 1.0;
+  Telemetry.Latency.issue l 1.0;
+  Alcotest.(check int) "outstanding" 3 (Telemetry.Latency.outstanding l);
+  Telemetry.Latency.settle_oldest l ~time:4.0 ~msgs:6;
+  (* settle_all splits 7 messages over 2 requests: 4 to the earliest,
+     3 to the other — the sum must stay exact *)
+  Telemetry.Latency.settle_all l ~time:9.0 ~msgs:7;
+  Alcotest.(check int) "issued" 3 (Telemetry.Latency.issued l);
+  Alcotest.(check int) "settled" 3 (Telemetry.Latency.settled l);
+  Alcotest.(check int) "outstanding drained" 0 (Telemetry.Latency.outstanding l);
+  Alcotest.(check int) "max latency" 8 (Telemetry.Latency.max_latency l);
+  Alcotest.(check (float 1e-9)) "mean latency" (20.0 /. 3.0)
+    (Telemetry.Latency.mean_latency l);
+  Alcotest.(check int) "max msgs" 6 (Telemetry.Latency.max_msgs l);
+  Alcotest.(check (float 1e-9)) "mean msgs" (13.0 /. 3.0)
+    (Telemetry.Latency.mean_msgs l);
+  Telemetry.Latency.reset l;
+  Alcotest.(check int) "reset" 0 (Telemetry.Latency.issued l)
+
+(* Fixed-seed latency golden: the 438-message concurrent run (binary-31,
+   seed 777, 150 requests, ghost logs on) with a recorder attached.  The
+   engine's latency accounting must not perturb the schedule — the
+   message total stays pinned — and the quantiles themselves are pinned:
+   a change means either the schedule moved or the settle rule did. *)
+let test_latency_golden_438 () =
+  let n = 31 in
+  let tree = Tree.Build.binary n in
+  let rng = Sm.create 777 in
+  let sys = M.create ~ghost:true tree ~policy:Oat.Rww.policy in
+  let requests =
+    Array.init 150 (fun i ->
+        let node = Sm.int rng n in
+        if Sm.bool rng then fun () -> M.write sys ~node (float_of_int i)
+        else fun () -> M.combine sys ~node (fun _ -> ()))
+  in
+  let lat = Telemetry.Latency.create () in
+  Simul.Engine.run_concurrent ~latency:lat
+    ~rng:(Sm.split rng) (M.network sys) ~handler:(M.handler sys) ~requests;
+  Alcotest.(check int) "total still pinned" 438 (M.message_total sys);
+  Alcotest.(check int) "all issued" 150 (Telemetry.Latency.issued lat);
+  Alcotest.(check int) "all settled" 150 (Telemetry.Latency.settled lat);
+  Alcotest.(check int) "none outstanding" 0 (Telemetry.Latency.outstanding lat);
+  let q p = Telemetry.Latency.quantile lat p in
+  Alcotest.(check (list int)) "latency quantiles p50/p90/p99/max"
+    [ 876; 876; 876; 876 ]
+    [ q 0.5; q 0.9; q 0.99; Telemetry.Latency.max_latency lat ];
+  Alcotest.(check (list int)) "msgs quantiles p50/p99/max"
+    [ 3; 3; 3 ]
+    [
+      Telemetry.Latency.msgs_quantile lat 0.5;
+      Telemetry.Latency.msgs_quantile lat 0.99;
+      Telemetry.Latency.max_msgs lat;
+    ]
+
+(* ---- Series sampler ---- *)
+
+let test_series_ring () =
+  let s = Telemetry.Series.create ~capacity:4 () in
+  for w = 0 to 9 do
+    Telemetry.Series.sample s ~window:w ~deliveries:(10 * w) ~in_flight:w
+      ~mailbox_hwm:(w / 2) ~stalls:0 ~gc_words:(100 * w)
+  done;
+  Alcotest.(check int) "length capped" 4 (Telemetry.Series.length s);
+  Alcotest.(check int) "total" 10 (Telemetry.Series.total s);
+  Alcotest.(check int) "dropped" 6 (Telemetry.Series.dropped s);
+  (* oldest overwritten: windows 6..9 remain, in order *)
+  let windows =
+    List.map
+      (fun (r : Telemetry.Series.sample) -> r.s_window)
+      (Telemetry.Series.samples s)
+  in
+  Alcotest.(check (list int)) "oldest first" [ 6; 7; 8; 9 ] windows;
+  let csv = Telemetry.Series.to_csv s in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "csv = header + rows" 5 (List.length lines);
+  Alcotest.(check string) "csv header" Telemetry.Series.csv_header
+    (List.hd lines);
+  (match parse_json (Telemetry.Series.to_json s) with
+  | exception Bad_json msg -> Alcotest.fail ("bad series JSON: " ^ msg)
+  | j -> (
+    match member "samples" j with
+    | Some (Jarr rows) -> Alcotest.(check int) "json rows" 4 (List.length rows)
+    | _ -> Alcotest.fail "missing samples array"));
+  Telemetry.Series.clear s;
+  Alcotest.(check int) "cleared" 0 (Telemetry.Series.length s)
+
+(* ---- conservation auditor ---- *)
+
+let test_audit () =
+  let a = Telemetry.Audit.create () in
+  Telemetry.Audit.check_conservation a ~window:0 ~sent:10 ~delivered:7
+    ~in_flight:3 ~dropped:0;
+  Telemetry.Audit.check_crossings a ~window:0 ~out:5 ~into:4 ~pending:1;
+  Telemetry.Audit.check_frames a ~window:0 ~live:3 ~in_flight:3;
+  Alcotest.(check int) "checks" 3 (Telemetry.Audit.checks a);
+  Alcotest.(check int) "no violations" 0 (Telemetry.Audit.violations a);
+  Alcotest.(check bool) "no last" true
+    (Telemetry.Audit.last_violation a = None);
+  (try
+     Telemetry.Audit.check_frames a ~window:1 ~live:2 ~in_flight:3;
+     Alcotest.fail "expected Audit.Violation"
+   with Telemetry.Audit.Violation _ -> ());
+  Alcotest.(check int) "violation counted" 1 (Telemetry.Audit.violations a);
+  Alcotest.(check bool) "last recorded" true
+    (Telemetry.Audit.last_violation a <> None);
+  (* a collecting handler instead of the raising default *)
+  let seen = ref [] in
+  let b = Telemetry.Audit.create ~on_violation:(fun m -> seen := m :: !seen) () in
+  Telemetry.Audit.check_conservation b ~window:2 ~sent:1 ~delivered:0
+    ~in_flight:0 ~dropped:0;
+  Alcotest.(check int) "collected" 1 (List.length !seen)
+
 (* ---- exports parse back (text and JSON snapshots) ---- *)
 
 let test_metrics_json_parses () =
@@ -514,4 +727,13 @@ let suite =
     Alcotest.test_case "golden event count" `Quick test_golden_event_count;
     Alcotest.test_case "golden chrome trace" `Quick test_golden_chrome_trace;
     Alcotest.test_case "metrics JSON parses" `Quick test_metrics_json_parses;
+    QCheck_alcotest.to_alcotest prop_merge_commutative;
+    QCheck_alcotest.to_alcotest prop_merge_associative;
+    QCheck_alcotest.to_alcotest prop_merge_identity;
+    QCheck_alcotest.to_alcotest prop_merge_union_quantiles;
+    Alcotest.test_case "merge type clash" `Quick test_merge_type_clash;
+    Alcotest.test_case "latency lifecycle" `Quick test_latency_lifecycle;
+    Alcotest.test_case "latency golden 438" `Quick test_latency_golden_438;
+    Alcotest.test_case "series ring" `Quick test_series_ring;
+    Alcotest.test_case "conservation audit" `Quick test_audit;
   ]
