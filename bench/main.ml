@@ -283,6 +283,23 @@ let bench_tests =
     done;
     M.message_total sys
   in
+  (* Merkle anti-entropy summaries: build both hash trees over a
+     1024-origin ghost frontier pair that disagrees at 8 origins, then
+     walk the diff.  This is the per-edge cost of a repair round's
+     summary exchange (lib/repair) — logarithmic opens per divergent
+     origin, not a full frontier scan. *)
+  let merkle_n = 1024 in
+  let merkle_a = Array.init merkle_n (fun i -> (i * 7) mod 97) in
+  let merkle_b = Array.copy merkle_a in
+  let () =
+    List.iter (fun i -> merkle_b.(i) <- merkle_b.(i) + 3)
+      [ 5; 130; 131; 400; 512; 777; 900; 1023 ]
+  in
+  let micro_repair_merkle () =
+    let sa = Repair.Merkle.build merkle_a in
+    let sb = Repair.Merkle.build merkle_b in
+    Repair.Merkle.diff_origins sa sb ~visit:ignore
+  in
   (* Full concurrent execution of the mechanism on a 255-node tree:
      exercises pop_random (one PRNG pick per delivery) under protocol
      traffic. *)
@@ -419,6 +436,7 @@ let bench_tests =
     Test.make ~name:"micro-latency-record" (Staged.stage micro_latency_record);
     Test.make ~name:"micro-series-sample" (Staged.stage micro_series_sample);
     Test.make ~name:"micro-ghost-writes" (Staged.stage micro_ghost_writes);
+    Test.make ~name:"micro-repair-merkle" (Staged.stage micro_repair_merkle);
     Test.make ~name:"micro-union-200-elts" (Staged.stage micro_union);
     Test.make ~name:"micro-steady-delivery" (Staged.stage micro_steady_delivery);
     Test.make ~name:"micro-variant-queue" (Staged.stage micro_variant_queue);

@@ -214,6 +214,73 @@ let run_sharded tree sigma ~policy ~part ~trace ~series ~latency =
     expected;
   (sys, sh)
 
+(* ---- simulate --churn ---- *)
+
+(* Churn runs: membership events (leave/join/flap/detached, plus any
+   wire faults) from a Fault.Plan spec, with the Merkle anti-entropy
+   pass healing ghost-log divergence at the end.  Single-domain goes
+   through Fault.Runner on virtual time; --domains N compiles the plan
+   into reconfiguration-barrier phases (Fault.Churn) and runs them on
+   the sharded engine, repartitioning at every barrier. *)
+let simulate_churn seed tree_kind tree sigma ~requests ~read_fraction ~policy
+    ~spec_str ~domains =
+  let spec = or_die (Fault.Plan.spec_of_string spec_str) in
+  let policy = or_die (build_lease_policy policy) in
+  Printf.printf "tree:              %s (n=%d, diameter=%d)\n" tree_kind
+    (Tree.n_nodes tree) (Tree.diameter tree);
+  Printf.printf "workload:          %d requests, read fraction %.2f, seed %d\n"
+    requests read_fraction seed;
+  Printf.printf "churn plan:        %s\n" (Fault.Plan.spec_to_string spec);
+  if domains > 1 then begin
+    (* Barrier scheduling has no wire to corrupt: reject probabilistic
+       fields instead of silently ignoring them. *)
+    if
+      spec.Fault.Plan.drop > 0.0
+      || spec.Fault.Plan.duplicate > 0.0
+      || spec.Fault.Plan.reorder > 0.0
+      || spec.Fault.Plan.delay > 0.0
+    then
+      or_die
+        (Error
+           "--churn with --domains schedules events at quiescent barriers; \
+            drop/dup/reorder/delay do not apply (drop them from the spec)");
+    let module C = Fault.Churn.Make (Agg.Ops.Sum) in
+    let phases = C.phases_of_plan ~spec ~requests:sigma () in
+    let o =
+      C.run_sharded ~repair:true ~detached:spec.Fault.Plan.detached ~domains
+        ~tree ~policy ~phases ()
+    in
+    Printf.printf "domains:           %d (repartitioned at every barrier)\n"
+      domains;
+    Printf.printf "phases:            %d (%d leaves, %d joins, %d crashes)\n"
+      (List.length phases) o.C.leaves o.C.joins o.C.crashes;
+    Printf.printf "requests:          %d issued, %d skipped (down/detached)\n"
+      o.C.issued o.C.skipped;
+    Printf.printf "messages:          %d\n" o.C.logical_msgs;
+    Printf.printf "divergence:        %d before repair, %d after\n"
+      o.C.divergence_before o.C.divergence_after;
+    Format.printf "repair:            %a@." Repair.pp_stats o.C.repair_stats;
+    Printf.printf "causal consistency: %s\n"
+      (if o.C.causal_violations = 0 then "verified (ghost-log checker)"
+       else "VIOLATED");
+    Printf.printf "conservation audit: clean (checked every phase)\n";
+    if o.C.causal_violations > 0 || o.C.divergence_after <> 0 then exit 1
+  end
+  else begin
+    let metrics = Telemetry.Metrics.create () in
+    let plan = Fault.Plan.create ~metrics ~seed spec in
+    let module R = Fault.Runner.Make (Agg.Ops.Sum) in
+    let o = R.run ~metrics ~plan ~repair:true ~tree ~policy ~requests:sigma () in
+    Format.printf "%a@." R.pp_outcome o;
+    Printf.printf "causal consistency: %s\n"
+      (if o.R.causal_violations = 0 then "verified (ghost-log checker)"
+       else "VIOLATED");
+    Printf.printf "anti-entropy:      %s\n"
+      (if o.R.divergence_after = 0 then "converged (zero divergence)"
+       else "DIVERGED");
+    if o.R.causal_violations > 0 || o.R.divergence_after <> 0 then exit 1
+  end
+
 (* ---- simulate ---- *)
 
 let metrics_body path m =
@@ -221,7 +288,8 @@ let metrics_body path m =
   else Telemetry.Metrics.to_text m
 
 let simulate seed tree_kind n requests read_fraction policy trace_out
-    metrics_out series_out report_flag faults domains partition_strategy =
+    metrics_out series_out report_flag faults domains partition_strategy churn
+    =
   let tree = or_die (build_tree tree_kind n seed) in
   let rng = Sm.create seed in
   let sigma =
@@ -234,6 +302,16 @@ let simulate seed tree_kind n requests read_fraction policy trace_out
       }
       tree rng
   in
+  match churn with
+  | Some spec_str ->
+    if faults <> None then
+      or_die (Error "--churn subsumes --faults (one spec grammar); pick one");
+    if report_flag || trace_out <> None || series_out <> None || metrics_out <> None
+    then
+      or_die (Error "--churn does not combine with --report/--trace/--metrics/--series");
+    simulate_churn seed tree_kind tree sigma ~requests ~read_fraction ~policy
+      ~spec_str ~domains
+  | None ->
   let report name cost =
     let opt = Offline.Opt_lease.total tree sigma in
     let nice = Offline.Nice_bound.total tree sigma in
@@ -509,6 +587,23 @@ let partition_arg =
     & opt (enum [ ("naive", "naive"); ("weighted", "weighted") ]) "naive"
     & info [ "partition" ] ~docv:"STRATEGY" ~doc)
 
+let churn_arg =
+  let doc =
+    "Run under a seeded membership-churn plan and heal with Merkle \
+     anti-entropy.  $(docv) uses the --faults grammar plus membership \
+     fields: leave=NODE@AT, join=NODE@AT, flap=NODE@AT+DOWN*COUNT:PERIOD, \
+     detached=NODE (repeatable), e.g. \
+     'drop=0.05,leave=7@30,join=7@64'.  Departs hand their durable value \
+     and ghost history to a neighbour under an epoch fence; joins resync \
+     via Hello; the run ends with a Merkle anti-entropy pass driving \
+     ghost-log divergence to zero and a causal check of the history.  \
+     With --domains N the plan is compiled into reconfiguration-barrier \
+     phases on the sharded engine (repartitioned at every barrier; \
+     probabilistic fields must be absent).  Deterministic in --seed.  \
+     Requires a lease policy."
+  in
+  Arg.(value & opt (some string) None & info [ "churn" ] ~docv:"SPEC" ~doc)
+
 let simulate_cmd =
   let doc = "Run a synthetic workload and report message costs and ratios." in
   Cmd.v
@@ -517,7 +612,7 @@ let simulate_cmd =
       const simulate $ seed_arg $ tree_arg $ nodes_arg $ requests_arg
       $ read_fraction_arg $ policy_arg $ trace_arg $ metrics_file_arg
       $ series_file_arg $ report_arg $ faults_arg $ domains_arg
-      $ partition_arg)
+      $ partition_arg $ churn_arg)
 
 (* ---- metrics ---- *)
 
@@ -829,6 +924,7 @@ let all_experiments : (string * (unit -> unit)) list =
     ("e14", fun () -> ignore (Experiments.e14_cost_profile ()));
     ("e15", fun () -> ignore (Experiments.e15_dht_load_spread ()));
     ("e16", fun () -> ignore (Experiments.e16_fault_sweep ()));
+    ("e21", fun () -> ignore (Experiments.e21_churn_sweep ()));
   ]
 
 let tables only =

@@ -122,14 +122,23 @@ let () =
     (Oat.Slab.blocks (Mmax.slab max_sys) + Oat.Slab.blocks (Mavg.slab avg_sys));
 
   (* Fault drill: replay a monitoring burst over a lossy wire with one
-     pod aggregator crashing mid-run, on the full reliable-transport
-     stack.  The registry is shared by the fault plan (fault.injected.-),
-     the transport (net.retransmits, net.dedup_drops) and the mechanism
-     (mech.recovery.reprobes), so one dump shows the whole incident. *)
-  print_endline "\nFault drill: 10% loss, dup/reorder, pod aggregator 1 down 25..55";
+     pod aggregator crashing mid-run and one leaf machine leaving and
+     rejoining the hierarchy (decommission/recommission), on the full
+     reliable-transport stack.  The registry is shared by the fault
+     plan (fault.injected.-, including .leave/.join), the transport
+     (net.retransmits, net.dedup_drops) and the mechanism
+     (mech.recovery.reprobes), so one dump shows the whole incident;
+     the run ends with a Merkle anti-entropy pass healing whatever
+     ghost-log divergence the incident left behind. *)
+  print_endline
+    "\nFault drill: 10% loss, dup/reorder, pod aggregator 1 down 25..55,\n\
+     machine 20 decommissioned 35..80";
   let drill_metrics = Telemetry.Metrics.create () in
   let spec =
-    match Fault.Plan.spec_of_string "drop=0.1,dup=0.05,reorder=0.1:3,crash=1@25+30" with
+    match
+      Fault.Plan.spec_of_string
+        "drop=0.1,dup=0.05,reorder=0.1:3,crash=1@25+30,leave=20@35,join=20@80"
+    with
     | Ok s -> s
     | Error e -> failwith e
   in
@@ -143,7 +152,7 @@ let () =
   in
   let module R = Fault.Runner.Make (Agg.Ops.Max) in
   let o =
-    R.run ~metrics:drill_metrics ~plan ~tree ~policy:Oat.Rww.policy
+    R.run ~metrics:drill_metrics ~plan ~repair:true ~tree ~policy:Oat.Rww.policy
       ~requests:drill_requests ()
   in
   Printf.printf
@@ -151,8 +160,12 @@ let () =
     o.R.combines o.R.exact o.R.partial o.R.lost;
   Printf.printf "  wire: %d logical -> %d physical frames, %d retransmits\n"
     o.R.logical_msgs o.R.physical_msgs o.R.retransmits;
+  Printf.printf "  membership: %d left, %d rejoined, %d requests skipped\n"
+    o.R.leaves o.R.joins o.R.skipped;
   Printf.printf "  causal check: %s\n"
     (if o.R.causal_violations = 0 then "ok" else "VIOLATED");
+  Format.printf "  anti-entropy: divergence %d -> %d (%a)@."
+    o.R.divergence_before o.R.divergence_after Repair.pp_stats o.R.repair_stats;
   Telemetry.Metrics.gc_sample drill_metrics;
   Printf.printf "\nfault drill metrics:\n";
   List.iter

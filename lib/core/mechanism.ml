@@ -53,10 +53,12 @@ module Make (Op : Agg.Operator.S) = struct
     mutable gval_cache : Op.t array;  (* fold of value+avals when clean *)
     mutable gval_dirty : Bytes.t;
     mutable alive : Bytes.t;
+    mutable att : Bytes.t;  (* membership: attached to the active tree *)
     mutable any_cut : Bytes.t;  (* down_count > 0 or some subcut nonempty *)
     mutable tkn_count : int array;  (* cardinality caches: O(1) tkn()/grntd() *)
     mutable grntd_count : int array;
     mutable down_count : int array;
+    mutable det_count : int array;  (* # detached neighbour slots *)
     mutable upcntr : int array;
     mutable completed : int array;  (* completed requests at this node *)
     mutable epoch : int array;  (* incarnation, bumped on restart *)
@@ -97,6 +99,7 @@ module Make (Op : Agg.Operator.S) = struct
     taken : Bytes.t;
     granted : Bytes.t;
     down : Bytes.t;  (* known crashed *)
+    det : Bytes.t;  (* known detached (membership, not failure) *)
     resync : Bytes.t;  (* next probe to this slot is a recovery re-probe *)
     refresh : Bytes.t;  (* push updates when this slot's response lands *)
     aval : Op.t array;
@@ -142,6 +145,8 @@ module Make (Op : Agg.Operator.S) = struct
     ghost_log : Telemetry.Metrics.gauge; (* hwm = ghost write-log high-water *)
     recovery_reprobes : Telemetry.Metrics.counter;
     partial_combines : Telemetry.Metrics.counter;
+    departs : Telemetry.Metrics.counter;
+    joins : Telemetry.Metrics.counter;
   }
 
   type t = {
@@ -374,7 +379,11 @@ module Make (Op : Agg.Operator.S) = struct
   (* ------------------------------------------------------------------ *)
   (* Cut tracking: which subtree roots are unreachable.                 *)
 
-  let up_count t u = t.c.deg.(u) - t.c.down_count.(u)
+  (* Neighbour slots that participate in lease coverage: not crashed and
+     not detached.  Detached slots differ from down ones in one crucial
+     way — they contribute no cut entries, so combines over the active
+     tree stay exact. *)
+  let up_count t u = t.c.deg.(u) - t.c.down_count.(u) - t.c.det_count.(u)
 
   let refresh_any_cut t u =
     let sb = t.c.slot_base.(u) and d = t.c.deg.(u) in
@@ -712,7 +721,8 @@ module Make (Op : Agg.Operator.S) = struct
         v <> w
         && (not (bget t.a.taken (sb + i)))
         && t.a.probed.(sb + i) = 0
-        && not (bget t.a.down (sb + i))
+        && (not (bget t.a.down (sb + i)))
+        && not (bget t.a.det (sb + i))
       then begin
         count_reprobe t u i;
         send_probe t ~src:u ~dst:v
@@ -730,7 +740,8 @@ module Make (Op : Agg.Operator.S) = struct
       if
         i <> exclude
         && (not (bget t.a.taken (sb + i)))
-        && not (bget t.a.down (sb + i))
+        && (not (bget t.a.down (sb + i)))
+        && not (bget t.a.det (sb + i))
       then begin
         bset t.a.snt (mb + i) true;
         t.a.snt_count.(ri) <- t.a.snt_count.(ri) + 1;
@@ -1193,15 +1204,15 @@ module Make (Op : Agg.Operator.S) = struct
           end)
     end
 
-  let crash t ~node =
-    if not (bget t.c.alive node) then
-      invalid_arg "Mechanism.crash: node already down";
-    bset t.c.alive node false;
+  (* Volatile protocol state at [node] is lost (crash) or surrendered
+     (depart): leases both ways, cached aggregates, probe bookkeeping,
+     pending combines.  [value] survives (the node's input is durable —
+     rereading it on restart is the recovery model), as do the ghost log
+     and [completed] (analysis-only shadow state, kept so the causal
+     checker can still account for pre-crash history) — and the [det]
+     bits, which are membership knowledge, not protocol state. *)
+  let wipe_volatile t node =
     let sb = t.c.slot_base.(node) and d = t.c.deg.(node) in
-    (* Volatile state is lost.  [value] survives (the node's input is
-       durable — rereading it on restart is the recovery model), as do
-       the ghost log and [completed] (analysis-only shadow state, kept
-       so the causal checker can still account for pre-crash history). *)
     Bytes.fill t.a.taken sb d '\000';
     t.c.tkn_count.(node) <- 0;
     Bytes.fill t.a.granted sb d '\000';
@@ -1233,10 +1244,20 @@ module Make (Op : Agg.Operator.S) = struct
         Telemetry.Span.finish t.sink ~shard:(t.shard_of node) ~clock:t.clock
           ~node ~name:"combine" ~id:span)
       t.c.pending_spans.(node);
-    t.c.pending_spans.(node) <- [];
+    t.c.pending_spans.(node) <- []
+
+  let crash t ~node =
+    if not (bget t.c.alive node) then
+      invalid_arg "Mechanism.crash: node already down";
+    if not (bget t.c.att node) then
+      invalid_arg "Mechanism.crash: node is detached";
+    bset t.c.alive node false;
+    wipe_volatile t node;
+    let sb = t.c.slot_base.(node) and d = t.c.deg.(node) in
     for i = 0 to d - 1 do
       let v = t.a.nbr.(sb + i) in
-      if bget t.c.alive v then notify_down t v (slot t v node)
+      if bget t.c.alive v && not (bget t.a.det (sb + i)) then
+        notify_down t v (slot t v node)
     done
 
   let restart t ~node =
@@ -1245,16 +1266,212 @@ module Make (Op : Agg.Operator.S) = struct
     t.c.epoch.(node) <- t.c.epoch.(node) + 1;
     let sb = t.c.slot_base.(node) and d = t.c.deg.(node) in
     (* perfect failure detector: learn which neighbours are down right
-       now, and announce the new incarnation to the live ones *)
+       now, and announce the new incarnation to the live ones (detached
+       neighbours hold no session to resynchronize) *)
     for i = 0 to d - 1 do
       let v = t.a.nbr.(sb + i) in
-      if bget t.c.alive v then begin
+      if bget t.a.det (sb + i) then ()
+      else if bget t.c.alive v then begin
         bset t.a.resync (sb + i) true;
         send_hello t ~src:node ~dst:v ~epoch:t.c.epoch.(node)
       end
       else begin
         bset t.a.down (sb + i) true;
         t.c.down_count.(node) <- t.c.down_count.(node) + 1
+      end
+    done;
+    bset t.c.any_cut node (t.c.down_count.(node) > 0)
+
+  (* ------------------------------------------------------------------ *)
+  (* Dynamic membership (churn).  The capacity tree is fixed; [att]     *)
+  (* tracks which nodes are currently part of the active aggregation    *)
+  (* tree.  Legal moves mirror {!Tree.Dyn}: only an active leaf of the  *)
+  (* active subtree departs (its unique attached neighbour is the       *)
+  (* handoff point), and a detached node joins back at any attached     *)
+  (* neighbour.  Membership changes are fenced by the same epoch        *)
+  (* machinery as crash recovery: a join bumps the epoch and runs the   *)
+  (* T7 Hello resync, so stale frames of the previous attachment are    *)
+  (* discarded by the transport and any leftover neighbour state is     *)
+  (* voided on receipt.                                                 *)
+
+  (* Neighbour side of a departure: void every bit of slot [j]'s state
+     (the departed subtree's aggregate is folded into the local value by
+     the handoff write, so the cache must drop to identity) and mark the
+     slot detached.  Unlike [notify_down] this contributes no cut — the
+     remaining tree is whole. *)
+  let detach_slot t v j =
+    let sb = t.c.slot_base.(v) in
+    let s = sb + j in
+    bset t.a.det s true;
+    t.c.det_count.(v) <- t.c.det_count.(v) + 1;
+    if bget t.a.down s then begin
+      bset t.a.down s false;
+      t.c.down_count.(v) <- t.c.down_count.(v) - 1
+    end;
+    set_taken t v j false;
+    set_granted t v j false;
+    t.a.aval.(s) <- Op.identity;
+    bset t.c.gval_dirty v true;
+    t.a.uaw_head.(s) <- 0;
+    t.a.uaw_len.(s) <- 0;
+    sntlog_clear t.a s;
+    t.a.subcut.(s) <- IntSet.empty;
+    t.a.shipped.(s) <- 0;
+    bset t.a.resync s false;
+    bset t.a.refresh s false;
+    t.a.nbr_epoch.(s) <- -1;
+    refresh_any_cut t v
+
+  (* Cancel probe exchanges with the departed slot [j], completing
+     affected requests — exactly, since the handoff write already folded
+     the departed subtree in and a detached slot adds nothing to the
+     cut.  Same structure as the cancellation halves of [notify_down]. *)
+  let detach_cancel t v j =
+    let sb = t.c.slot_base.(v) and d = t.c.deg.(v) in
+    (* the departed requester's pending probe set *)
+    if bget t.a.pndg (t.c.req_base.(v) + j) then begin
+      let mb = t.c.msk_base.(v) + (j * d) in
+      for i = 0 to d - 1 do
+        if bget t.a.snt (mb + i) then begin
+          bset t.a.snt (mb + i) false;
+          t.a.probed.(sb + i) <- t.a.probed.(sb + i) - 1
+        end
+      done;
+      t.a.snt_count.(t.c.req_base.(v) + j) <- 0;
+      bset t.a.pndg (t.c.req_base.(v) + j) false
+    end;
+    (* probes sent to the departed node will never be answered *)
+    iter_requester_slots t v (fun r ->
+        let ri = t.c.req_base.(v) + r in
+        let mi = t.c.msk_base.(v) + (r * d) + j in
+        if r <> j && bget t.a.pndg ri && bget t.a.snt mi then begin
+          bset t.a.snt mi false;
+          t.a.snt_count.(ri) <- t.a.snt_count.(ri) - 1;
+          t.a.probed.(sb + j) <- t.a.probed.(sb + j) - 1;
+          if t.a.snt_count.(ri) = 0 then begin
+            bset t.a.pndg ri false;
+            if r = d then complete_combines t v
+            else sendresponse t v t.a.nbr.(sb + r)
+          end
+        end)
+
+  (* Depart: epoch-fenced handoff of an active leaf to its unique
+     attached neighbour [h].  Conservation and causality are carried by
+     a two-write handshake on the ghost log: the departing node closes
+     its own write history with an identity write (so every future
+     frontier names it exactly once), then its full write log is merged
+     into [h] and [h] absorbs the departing durable value with a real
+     write (T2) — the aggregate over the active tree is unchanged, and
+     the causal checker sees both writes in every subsequent gather. *)
+  let depart t ~node =
+    if not (bget t.c.alive node) then
+      invalid_arg (Printf.sprintf "Mechanism.depart: node %d is down" node);
+    if not (bget t.c.att node) then
+      invalid_arg (Printf.sprintf "Mechanism.depart: node %d is already detached" node);
+    let sb = t.c.slot_base.(node) and d = t.c.deg.(node) in
+    let ih = ref (-1) and n_att = ref 0 in
+    for i = 0 to d - 1 do
+      if not (bget t.a.det (sb + i)) then begin
+        incr n_att;
+        ih := i
+      end
+    done;
+    if !n_att <> 1 then
+      invalid_arg
+        (Printf.sprintf
+           "Mechanism.depart: node %d has %d attached neighbours (need an active leaf)"
+           node !n_att);
+    let h = t.a.nbr.(sb + !ih) in
+    if bget t.a.down (sb + !ih) || not (bget t.c.alive h) then
+      invalid_arg
+        (Printf.sprintf "Mechanism.depart: handoff neighbour %d is down" h);
+    (match t.tel with
+    | None -> ()
+    | Some tel -> Telemetry.Metrics.incr tel.departs);
+    if t.recording then
+      Telemetry.Sink.record t.sink
+        (Telemetry.Sink.Mark
+           { time = t.clock (); shard = t.shard_of node; node; name = "depart" });
+    let carry = t.c.value.(node) in
+    (* close the departing node's write history *)
+    ghost_append_write t node
+      { Ghost.wnode = node; windex = t.c.completed.(node); warg = Op.identity };
+    t.c.completed.(node) <- t.c.completed.(node) + 1;
+    let moved = t.c.gwrites.(node) and moved_hi = t.c.gwrites_len.(node) in
+    (* the node's volatile state is surrendered with its membership *)
+    wipe_volatile t node;
+    bset t.c.att node false;
+    t.c.value.(node) <- Op.identity;
+    bset t.c.gval_dirty node true;
+    (* neighbour side: void the slot, mark it detached *)
+    let j = slot t h node in
+    detach_slot t h j;
+    (* transfer history, then the durable value as a real write at [h] *)
+    if t.ghost then
+      for k = 0 to moved_hi - 1 do
+        let w = moved.(k) in
+        if w.Ghost.windex > t.c.last_write.(h).(w.Ghost.wnode) then
+          ghost_append_write t h w
+      done;
+    t2_write t h (Op.combine t.c.value.(h) carry);
+    (* complete whatever was waiting on the departed subtree — exactly:
+       the carry write already folded it in *)
+    detach_cancel t h j
+
+  (* Join: a detached node attaches back.  The epoch bump plus the T7
+     Hello resync is the same fencing a restart uses — attach points
+     treat the joiner as a brand-new incarnation.  Membership knowledge
+     ([det] bits, both sides) is recomputed from current [att] state:
+     the joiner's own bits may be stale (neighbours churned while it was
+     out), and attached neighbours unmask it synchronously (perfect
+     membership detector, mirroring the crash model's [notify_down]). *)
+  let join t ~node =
+    if bget t.c.att node then
+      invalid_arg (Printf.sprintf "Mechanism.join: node %d is already attached" node);
+    if not (bget t.c.alive node) then
+      invalid_arg (Printf.sprintf "Mechanism.join: node %d is down" node);
+    let sb = t.c.slot_base.(node) and d = t.c.deg.(node) in
+    let ok = ref false in
+    for i = 0 to d - 1 do
+      if bget t.c.att t.a.nbr.(sb + i) then ok := true
+    done;
+    if not !ok then
+      invalid_arg
+        (Printf.sprintf "Mechanism.join: node %d has no attached neighbour" node);
+    (match t.tel with
+    | None -> ()
+    | Some tel -> Telemetry.Metrics.incr tel.joins);
+    if t.recording then
+      Telemetry.Sink.record t.sink
+        (Telemetry.Sink.Mark
+           { time = t.clock (); shard = t.shard_of node; node; name = "join" });
+    bset t.c.att node true;
+    t.c.epoch.(node) <- t.c.epoch.(node) + 1;
+    t.c.det_count.(node) <- 0;
+    t.c.down_count.(node) <- 0;
+    for i = 0 to d - 1 do
+      let s = sb + i in
+      let v = t.a.nbr.(s) in
+      bset t.a.det s false;
+      bset t.a.down s false;
+      if not (bget t.c.att v) then begin
+        bset t.a.det s true;
+        t.c.det_count.(node) <- t.c.det_count.(node) + 1
+      end
+      else begin
+        let vs = t.c.slot_base.(v) + slot t v node in
+        if bget t.a.det vs then begin
+          bset t.a.det vs false;
+          t.c.det_count.(v) <- t.c.det_count.(v) - 1
+        end;
+        if bget t.c.alive v then begin
+          bset t.a.resync s true;
+          send_hello t ~src:node ~dst:v ~epoch:t.c.epoch.(node)
+        end
+        else begin
+          bset t.a.down s true;
+          t.c.down_count.(node) <- t.c.down_count.(node) + 1
+        end
       end
     done;
     bset t.c.any_cut node (t.c.down_count.(node) > 0)
@@ -1282,8 +1499,13 @@ module Make (Op : Agg.Operator.S) = struct
     set b
 
   let create ?(ghost = false) ?on_send ?metrics ?sink ?clock
-      ?(shard_of = fun _ -> 0) tree ~policy =
+      ?(shard_of = fun _ -> 0) ?(detached = []) tree ~policy =
     let n = Tree.n_nodes tree in
+    (* [Tree.Dyn.create] owns the membership validation: range, no
+       duplicates, active set nonempty and connected. *)
+    (if detached <> [] then
+       try ignore (Tree.Dyn.create ~detached tree)
+       with Invalid_argument m -> invalid_arg ("Mechanism.create: " ^ m));
     let slab = Slab.create () in
     let c =
       {
@@ -1291,10 +1513,12 @@ module Make (Op : Agg.Operator.S) = struct
         gval_cache = [||];
         gval_dirty = Bytes.empty;
         alive = Bytes.empty;
+        att = Bytes.empty;
         any_cut = Bytes.empty;
         tkn_count = [||];
         grntd_count = [||];
         down_count = [||];
+        det_count = [||];
         upcntr = [||];
         completed = [||];
         epoch = [||];
@@ -1322,12 +1546,16 @@ module Make (Op : Agg.Operator.S) = struct
     Slab.on_grow slab
       (grow_bytes (fun () -> c.alive) (fun b -> c.alive <- b) '\001');
     Slab.on_grow slab
+      (grow_bytes (fun () -> c.att) (fun b -> c.att <- b) '\001');
+    Slab.on_grow slab
       (grow_bytes (fun () -> c.any_cut) (fun b -> c.any_cut <- b) '\000');
     Slab.on_grow slab (grow_arr (fun () -> c.tkn_count) (fun a -> c.tkn_count <- a) 0);
     Slab.on_grow slab
       (grow_arr (fun () -> c.grntd_count) (fun a -> c.grntd_count <- a) 0);
     Slab.on_grow slab
       (grow_arr (fun () -> c.down_count) (fun a -> c.down_count <- a) 0);
+    Slab.on_grow slab
+      (grow_arr (fun () -> c.det_count) (fun a -> c.det_count <- a) 0);
     Slab.on_grow slab (grow_arr (fun () -> c.upcntr) (fun a -> c.upcntr <- a) 0);
     Slab.on_grow slab (grow_arr (fun () -> c.completed) (fun a -> c.completed <- a) 0);
     Slab.on_grow slab (grow_arr (fun () -> c.epoch) (fun a -> c.epoch <- a) 0);
@@ -1381,6 +1609,7 @@ module Make (Op : Agg.Operator.S) = struct
         taken = Bytes.make (max 1 s) '\000';
         granted = Bytes.make (max 1 s) '\000';
         down = Bytes.make (max 1 s) '\000';
+        det = Bytes.make (max 1 s) '\000';
         resync = Bytes.make (max 1 s) '\000';
         refresh = Bytes.make (max 1 s) '\000';
         aval = Array.make (max 1 s) Op.identity;
@@ -1405,6 +1634,20 @@ module Make (Op : Agg.Operator.S) = struct
       let nbrs_arr = Tree.neighbors_arr tree u in
       Array.blit nbrs_arr 0 a.nbr c.slot_base.(u) (Array.length nbrs_arr)
     done;
+    (* initial membership: detached nodes start outside the active tree,
+       and every node's [det] bits reflect that from the first step *)
+    if detached <> [] then begin
+      List.iter (fun u -> bset c.att u false) detached;
+      for u = 0 to n - 1 do
+        let sb = c.slot_base.(u) in
+        for i = 0 to c.deg.(u) - 1 do
+          if not (bget c.att a.nbr.(sb + i)) then begin
+            bset a.det (sb + i) true;
+            c.det_count.(u) <- c.det_count.(u) + 1
+          end
+        done
+      done
+    end;
     let pool = Frame.create_pool ~name:"mech.frames" () in
     let net =
       Simul.Network.create ?on_send ?metrics ?sink ?clock tree
@@ -1431,6 +1674,8 @@ module Make (Op : Agg.Operator.S) = struct
               Telemetry.Metrics.counter m "mech.recovery.reprobes";
             partial_combines =
               Telemetry.Metrics.counter m "mech.recovery.partial_combines";
+            departs = Telemetry.Metrics.counter m "mech.membership.depart";
+            joins = Telemetry.Metrics.counter m "mech.membership.join";
           }
     in
     {
@@ -1620,7 +1865,9 @@ module Make (Op : Agg.Operator.S) = struct
 
   let require_alive t node op =
     if not (bget t.c.alive node) then
-      invalid_arg (Printf.sprintf "Mechanism.%s: node %d is down" op node)
+      invalid_arg (Printf.sprintf "Mechanism.%s: node %d is down" op node);
+    if not (bget t.c.att node) then
+      invalid_arg (Printf.sprintf "Mechanism.%s: node %d is detached" op node)
 
   let write t ~node arg =
     require_alive t node "write";
@@ -1641,7 +1888,18 @@ module Make (Op : Agg.Operator.S) = struct
      these, but plain-network drivers may still deliver in-flight
      messages of a dead incarnation). *)
   let handler t ~src ~dst f =
-    (if bget t.c.alive dst then begin
+    (* Frames addressed to (or from the previous attachment of) a node
+       outside the active tree are dropped like a dead incarnation's:
+       the [det_count] short-circuit keeps the churn-free hot path at
+       one extra byte load. *)
+    (if
+       bget t.c.alive dst
+       && bget t.c.att dst
+       && (t.c.det_count.(dst) = 0
+          ||
+          let i = slot t dst src in
+          i < 0 || not (bget t.a.det (t.c.slot_base.(dst) + i)))
+     then begin
        let b = Frame.buf f in
        let k = Frame.kind f in
        if k = k_update then begin
@@ -1789,6 +2047,7 @@ module Make (Op : Agg.Operator.S) = struct
   let log t u = List.rev t.c.glog.(u)
   let completed_requests t u = t.c.completed.(u)
   let alive t u = bget t.c.alive u
+  let attached t u = bget t.c.att u
   let epoch t u = t.c.epoch.(u)
 
   let known_down t u =
@@ -1798,6 +2057,51 @@ module Make (Op : Agg.Operator.S) = struct
       if bget t.a.down (sb + i) then s := IntSet.add t.a.nbr.(sb + i) !s
     done;
     !s
+
+  let known_detached t u =
+    let sb = t.c.slot_base.(u) in
+    let s = ref IntSet.empty in
+    for i = 0 to t.c.deg.(u) - 1 do
+      if bget t.a.det (sb + i) then s := IntSet.add t.a.nbr.(sb + i) !s
+    done;
+    !s
+
+  (* ------------------------------------------------------------------ *)
+  (* Ghost-state access for the anti-entropy layer (lib/repair).  The   *)
+  (* per-origin prefix invariant (every log holds a dense prefix of     *)
+  (* each origin's write sequence) is what makes frontier comparison    *)
+  (* and suffix shipping a sound reconciliation protocol.               *)
+
+  let require_ghost t fn =
+    if not t.ghost then
+      invalid_arg
+        (Printf.sprintf "Mechanism.%s: requires a system created with ~ghost:true" fn)
+
+  (* Per-origin high-water marks of [node]'s write log (-1 = none). *)
+  let ghost_frontier t ~node =
+    require_ghost t "ghost_frontier";
+    Array.copy t.c.last_write.(node)
+
+  (* The writes of [origin] in [node]'s log with index > [above], in
+     index order — by the prefix invariant, exactly what a peer whose
+     frontier stops at [above] is missing. *)
+  let ghost_suffix t ~node ~origin ~above =
+    require_ghost t "ghost_suffix";
+    let g = t.c.gwrites.(node) and len = t.c.gwrites_len.(node) in
+    let acc = ref [] in
+    for k = len - 1 downto 0 do
+      let w = g.(k) in
+      if w.Ghost.wnode = origin && w.Ghost.windex > above then acc := w :: !acc
+    done;
+    !acc
+
+  (* Out-of-band admission of repaired writes (anti-entropy delivery):
+     same merge as a piggybacked wlog, so the prefix invariant is
+     preserved as long as the shipped ranges are themselves per-origin
+     prefixes — which {!ghost_suffix} guarantees. *)
+  let ghost_admit t ~node writes =
+    require_ghost t "ghost_admit";
+    ghost_merge t node writes
 
   (* ------------------------------------------------------------------ *)
   (* Internal-consistency audit.                                        *)
@@ -1840,6 +2144,37 @@ module Make (Op : Agg.Operator.S) = struct
             fail "node %d: nonempty subcut on down slot %d" u i
         end
       done;
+      (* membership bookkeeping *)
+      if bcount sb d a.det <> c.det_count.(u) then
+        fail "node %d: det_count %d <> %d" u c.det_count.(u) (bcount sb d a.det);
+      for i = 0 to d - 1 do
+        let s = sb + i in
+        if bget a.det s then begin
+          if bget a.down s then
+            fail "node %d: slot %d both down and detached" u i;
+          if bget a.taken s then
+            fail "node %d: taken lease on detached slot %d" u i;
+          if bget a.granted s then
+            fail "node %d: granted lease to detached slot %d" u i;
+          if not (IntSet.is_empty a.subcut.(s)) then
+            fail "node %d: nonempty subcut on detached slot %d" u i;
+          if not (Op.equal a.aval.(s) Op.identity) then
+            fail "node %d: non-identity aval on detached slot %d" u i
+        end;
+        (* det bits of attached nodes track current membership exactly;
+           a detached node's bits may be stale (recomputed at join) *)
+        if bget c.att u && bget a.det s <> not (bget c.att a.nbr.(s)) then
+          fail "node %d: det bit for neighbour %d disagrees with membership" u
+            a.nbr.(s)
+      done;
+      if not (bget c.att u) then begin
+        if c.tkn_count.(u) <> 0 || c.grntd_count.(u) <> 0 then
+          fail "node %d: detached but holds lease state" u;
+        if c.pending.(u) <> [] then
+          fail "node %d: detached with pending combines" u;
+        if not (Op.equal c.value.(u) Op.identity) then
+          fail "node %d: detached with non-identity value" u
+      end;
       let any' =
         c.down_count.(u) > 0
         ||

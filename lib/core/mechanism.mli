@@ -85,6 +85,7 @@ module Make (Op : Agg.Operator.S) : sig
     ?sink:Telemetry.Sink.t ->
     ?clock:(unit -> float) ->
     ?shard_of:(int -> int) ->
+    ?detached:int list ->
     Tree.t ->
     policy:Policy.factory ->
     t
@@ -115,7 +116,13 @@ module Make (Op : Agg.Operator.S) : sig
       - [shard_of] (default [fun _ -> 0]) maps each node to its owning
         shard; sink events are tagged with the shard of the node that
         recorded them, so a sharded run's merged trace attributes every
-        event ({!Telemetry.Export.chrome_trace_fleet}). *)
+        event ({!Telemetry.Export.chrome_trace_fleet}).
+
+      [detached] (default [[]]) lists nodes that start outside the
+      active aggregation tree (see {!depart}/{!join}); the remaining
+      active set must be nonempty and connected (validated through
+      {!Tree.Dyn.create}).
+      @raise Invalid_argument on an invalid initial membership. *)
 
   val tree : t -> Tree.t
 
@@ -219,6 +226,63 @@ module Make (Op : Agg.Operator.S) : sig
 
   val known_down : t -> int -> IntSet.t
   (** Neighbours a node currently believes to be crashed. *)
+
+  (** {1 Dynamic membership (churn)}
+
+      The capacity tree is fixed; membership tracks which nodes are
+      currently part of the active aggregation tree.  The legal moves
+      mirror {!Tree.Dyn}: only an active leaf of the active subtree may
+      {!depart} (its unique attached neighbour is the {e handoff
+      point}), and a detached node {!join}s back at any attached
+      neighbour.  A departure hands the leaf's durable value and ghost
+      write log to the handoff neighbour — the departing node closes
+      its history with an identity write and the neighbour absorbs the
+      carried value with a real write, so the aggregate over the active
+      tree is conserved and the causal checker stays green across the
+      reconfiguration.  A join bumps the node's epoch and runs the T7
+      [Hello] resync, exactly like a restart: the attachment is fenced
+      against any stale frames of the previous membership.  Detached
+      neighbours are excluded from lease coverage like crashed ones but
+      contribute {e no} cut entries: combines over the active tree stay
+      exact.  Requests ({!write}/{!combine}) on a detached node raise. *)
+
+  val depart : t -> node:int -> unit
+  (** Detach an active leaf, handing its state to its unique attached
+      neighbour.  @raise Invalid_argument if the node is down, already
+      detached, not an active leaf, or its handoff neighbour is down. *)
+
+  val join : t -> node:int -> unit
+  (** Re-attach a detached node (epoch bump + Hello resync).
+      @raise Invalid_argument if the node is attached, down, or has no
+      attached neighbour. *)
+
+  val attached : t -> int -> bool
+
+  val known_detached : t -> int -> IntSet.t
+  (** Neighbours a node currently believes to be detached.  Exact for
+      attached nodes; possibly stale for a detached node (recomputed
+      when it joins). *)
+
+  (** {1 Anti-entropy hooks (lib/repair)}
+
+      Ghost-log reconciliation primitives.  Every ghost log holds, per
+      origin, a dense prefix of that origin's write sequence, so state
+      comparison reduces to comparing per-origin high-water marks and
+      repair reduces to shipping suffixes.  All three require
+      [~ghost:true].  @raise Invalid_argument otherwise. *)
+
+  val ghost_frontier : t -> node:int -> int array
+  (** Per-origin high-water marks of the node's write log ([-1] =
+      none); fresh copy, index = tree node. *)
+
+  val ghost_suffix : t -> node:int -> origin:int -> above:int -> Op.t Ghost.write list
+  (** The writes of [origin] in [node]'s log with index > [above], in
+      index order — what a peer whose frontier stops at [above] is
+      missing. *)
+
+  val ghost_admit : t -> node:int -> Op.t Ghost.write list -> unit
+  (** Merge repaired writes into [node]'s log (out-of-band delivery;
+      same merge as a piggybacked wlog, deduplicated by index). *)
 
   (** {1 Sequential execution} *)
 

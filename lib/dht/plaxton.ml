@@ -103,3 +103,21 @@ let hash_string ~bits s =
 let key_of_attribute t name = hash_string ~bits:t.bits name
 
 let tree_for_attribute t name = tree_for_key t ~key:(key_of_attribute t name)
+
+(* Overlay-aware churn order: who churns first when the membership is
+   stressed.  In a Plaxton mesh the machines with the shortest prefix
+   match against the key are the ones farthest from the key's root —
+   the edge of the overlay, where SDIMS expects arrivals and departures
+   to concentrate (core machines near the root are long-lived by
+   selection).  Ties break toward the machine XOR-farther from the key,
+   then by index, so the order is total and deterministic. *)
+let churn_order t ~key =
+  let n = n_nodes t in
+  List.init n (fun u -> u)
+  |> List.stable_sort (fun u v ->
+         let pu = prefix_match ~bits:t.bits t.ids.(u) key
+         and pv = prefix_match ~bits:t.bits t.ids.(v) key in
+         if pu <> pv then compare pu pv
+         else
+           let du = t.ids.(u) lxor key and dv = t.ids.(v) lxor key in
+           if du <> dv then compare dv du else compare u v)

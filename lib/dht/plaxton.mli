@@ -53,3 +53,10 @@ val key_of_attribute : t -> string -> int
 
 val tree_for_attribute : t -> string -> Tree.t
 (** [tree_for_key] of {!key_of_attribute}. *)
+
+val churn_order : t -> key:int -> int list
+(** All machines ordered edge-first for churn synthesis: ascending
+    prefix match against [key] (the overlay's periphery churns before
+    the core near the key's root), XOR-farther first within a level,
+    index as the final tiebreak.  Deterministic and total — the order
+    {!Fault.Plan.synth_churn} expects. *)

@@ -1121,3 +1121,89 @@ let e16_fault_sweep ?(requests = 150) () =
      only adds wire overhead and combine latency, never causal damage): %b\n"
     !ok;
   if !ok then 1 else 0
+
+(* ------------------------------------------------------------------ *)
+(* E21: churn sweep — message cost and staleness vs churn rate.        *)
+
+let e21_churn_sweep ?(requests = 150) () =
+  section "E21. Churn sweep: message cost and staleness vs churn rate";
+  Printf.printf
+    "Membership churn synthesized against a Plaxton overlay (the SDIMS\n\
+     substrate): Fault.Plan.synth_churn rolls the Tree.Dyn automaton\n\
+     forward at one membership event per 1/rate time units, choosing\n\
+     who churns by Dht.Plaxton.churn_order — the overlay's periphery\n\
+     (shortest prefix match against the attribute key) churns first.\n\
+     Each run drives departs and joins through the lease-safe handoff\n\
+     (epoch-fenced, ghost history carried to the handoff neighbour),\n\
+     then measures staleness as the ghost-log divergence left across\n\
+     active edges and heals it with the Merkle anti-entropy pass.\n\
+     Reproduce any row with:\n\
+     oat-cli simulate --churn leave=..,join=.. --seed 2027 -n 31\n";
+  let module R = Fault.Runner.Make (Agg.Ops.Sum) in
+  let overlay = Dht.Plaxton.create (Sm.create 2027) ~n:31 ~bits:12 in
+  let tree = Dht.Plaxton.tree_for_attribute overlay "load" in
+  let key = Dht.Plaxton.key_of_attribute overlay "load" in
+  let order = Dht.Plaxton.churn_order overlay ~key in
+  let sigma =
+    G.mixed { G.default_spec with n_requests = requests } tree (Sm.create 2027)
+  in
+  let horizon = 2.0 *. float_of_int requests in
+  let t =
+    T.create
+      ~columns:
+        [
+          ("rate", T.Right);
+          ("leaves", T.Right);
+          ("joins", T.Right);
+          ("issued", T.Right);
+          ("skipped", T.Right);
+          ("logical", T.Right);
+          ("staleness", T.Right);
+          ("healed", T.Right);
+          ("shipped", T.Right);
+          ("causal", T.Left);
+        ]
+  in
+  let ok = ref true in
+  List.iter
+    (fun rate ->
+      let churn =
+        Fault.Plan.synth_churn ~seed:2027 ~tree ~order ~rate ~horizon
+      in
+      let plan =
+        Fault.Plan.create ~seed:2027 { Fault.Plan.none with churn }
+      in
+      let o =
+        R.run ~plan ~repair:true ~tree ~policy:Oat.Rww.policy ~requests:sigma ()
+      in
+      T.add_row t
+        [
+          T.ffloat ~decimals:2 rate;
+          T.fint o.R.leaves;
+          T.fint o.R.joins;
+          T.fint o.R.issued;
+          T.fint o.R.skipped;
+          T.fint o.R.logical_msgs;
+          T.fint o.R.divergence_before;
+          T.fint o.R.divergence_after;
+          T.fint o.R.repair_stats.Repair.writes_shipped;
+          (if o.R.causal_violations = 0 then "ok" else "VIOLATED");
+        ];
+      (* Shape: the causal checker is green at every churn rate, the
+         anti-entropy pass always converges, the zero-rate row has no
+         membership events, and positive rates actually exercise the
+         depart/join machinery.  (Staleness is nonzero even at rate 0:
+         ghost frontiers advance only where lease traffic flows, so the
+         divergence column's floor is the propagation lag of the leased
+         protocol itself, and churn rides on top of it.) *)
+      if o.R.causal_violations <> 0 then ok := false;
+      if o.R.divergence_after <> 0 then ok := false;
+      if rate = 0.0 && o.R.leaves + o.R.joins <> 0 then ok := false;
+      if rate > 0.0 && o.R.leaves + o.R.joins = 0 then ok := false)
+    [ 0.0; 0.02; 0.05; 0.1 ];
+  T.print t;
+  Printf.printf
+    "shape check (causal at every rate, anti-entropy converges to zero\n\
+     divergence after every heal, positive rates churn the membership): %b\n"
+    !ok;
+  if !ok then 1 else 0

@@ -65,3 +65,11 @@ val e16_fault_sweep : ?requests:int -> unit -> int
     fault plan.  Returns 1 iff the lossless wire costs exactly one ack
     per data frame, loss only adds wire overhead and latency, and every
     run is causally consistent. *)
+
+val e21_churn_sweep : ?requests:int -> unit -> int
+(** E21: message cost and ghost-log staleness vs membership churn rate,
+    with churn synthesized against a Plaxton overlay
+    ({!Dht.Plaxton.churn_order}) and healed by the Merkle anti-entropy
+    pass.  Returns 1 iff every rate is causally consistent, repair
+    converges to zero divergence, and positive rates exercise the
+    depart/join machinery. *)

@@ -6,6 +6,20 @@
 
 type crash = { node : int; at : float; down_for : float }
 
+(* A flap is sugar for [fcount] identical crash windows spaced
+   [fperiod] apart — the repeated-crash form of the same adversary. *)
+type flap = {
+  fnode : int;
+  fat : float;
+  fdown : float;
+  fcount : int;
+  fperiod : float;
+}
+
+type churn_kind = Leave | Join
+
+type churn = { cnode : int; cat : float; ckind : churn_kind }
+
 type spec = {
   drop : float;
   duplicate : float;
@@ -14,6 +28,9 @@ type spec = {
   delay : float;
   delay_max : int;
   crashes : crash list;
+  flaps : flap list;
+  churn : churn list;
+  detached : int list;  (* initially outside the active tree *)
 }
 
 let none =
@@ -25,7 +42,24 @@ let none =
     delay = 0.0;
     delay_max = 4;
     crashes = [];
+    flaps = [];
+    churn = [];
+    detached = [];
   }
+
+let flap_windows f =
+  List.init f.fcount (fun i ->
+      {
+        node = f.fnode;
+        at = f.fat +. (float_of_int i *. f.fperiod);
+        down_for = f.fdown;
+      })
+
+(* Every crash window the plan schedules: explicit crashes plus the
+   expansion of each flap.  Drivers execute this list; [validate]'s
+   overlap check runs over it, so flaps cannot smuggle in a crash
+   pattern an explicit list could not express. *)
+let crash_windows s = s.crashes @ List.concat_map flap_windows s.flaps
 
 let validate s =
   let prob what p lim =
@@ -61,14 +95,58 @@ let validate s =
         else Ok ())
       (Ok ()) s.crashes
   in
-  (* per-node crash intervals must not overlap: a node cannot crash
-     again before it restarted *)
+  let* () =
+    List.fold_left
+      (fun acc f ->
+        let* () = acc in
+        if f.fnode < 0 then Error (Printf.sprintf "flap: node %d < 0" f.fnode)
+        else if
+          (not (Float.is_finite f.fat))
+          || (not (Float.is_finite f.fdown))
+          || (not (Float.is_finite f.fperiod))
+          || f.fat < 0.0
+        then Error "flap: times must be finite and non-negative"
+        else if f.fdown <= 0.0 then Error "flap: downtime must be positive"
+        else if f.fcount < 1 then Error "flap: count must be >= 1"
+        else if f.fcount > 1 && f.fperiod <= 0.0 then
+          Error "flap: period must be positive"
+        else Ok ())
+      (Ok ()) s.flaps
+  in
+  let* () =
+    List.fold_left
+      (fun acc c ->
+        let* () = acc in
+        if c.cnode < 0 then
+          Error (Printf.sprintf "churn: node %d < 0" c.cnode)
+        else if (not (Float.is_finite c.cat)) || c.cat < 0.0 then
+          Error "churn: times must be finite and non-negative"
+        else Ok ())
+      (Ok ()) s.churn
+  in
+  let* () =
+    let seen = Hashtbl.create 8 in
+    List.fold_left
+      (fun acc u ->
+        let* () = acc in
+        if u < 0 then Error (Printf.sprintf "detached: node %d < 0" u)
+        else if Hashtbl.mem seen u then
+          Error (Printf.sprintf "detached: node %d listed twice" u)
+        else begin
+          Hashtbl.add seen u ();
+          Ok ()
+        end)
+      (Ok ()) s.detached
+  in
+  (* per-node crash intervals (explicit and flap-expanded) must not
+     overlap: a node cannot crash again before it restarted *)
+  let windows = crash_windows s in
   let by_node = Hashtbl.create 8 in
   List.iter
     (fun c ->
       let l = try Hashtbl.find by_node c.node with Not_found -> [] in
       Hashtbl.replace by_node c.node ((c.at, c.at +. c.down_for) :: l))
-    s.crashes;
+    windows;
   let overlap = ref None in
   Hashtbl.iter
     (fun node l ->
@@ -83,7 +161,94 @@ let validate s =
   match !overlap with
   | Some node ->
     Error (Printf.sprintf "crash: overlapping downtimes for node %d" node)
-  | None -> Ok s
+  | None ->
+    (* Per-node membership timeline: churn events strictly ordered in
+       time and alternating in kind (a node leaves only while attached,
+       joins only while detached, starting from [detached]); crash
+       windows must fall entirely inside attached periods — a detached
+       node has no incarnation to crash, and a crashed node cannot run
+       the depart handshake. *)
+    let churn_by_node = Hashtbl.create 8 in
+    List.iter
+      (fun c ->
+        let l =
+          try Hashtbl.find churn_by_node c.cnode with Not_found -> []
+        in
+        Hashtbl.replace churn_by_node c.cnode (c :: l))
+      s.churn;
+    let err = ref None in
+    let set_err m = if !err = None then err := Some m in
+    let nodes_involved = Hashtbl.create 8 in
+    Hashtbl.iter (fun u _ -> Hashtbl.replace nodes_involved u ()) churn_by_node;
+    List.iter (fun u -> Hashtbl.replace nodes_involved u ()) s.detached;
+    Hashtbl.iter
+      (fun u () ->
+        let evs =
+          List.sort
+            (fun a b -> compare a.cat b.cat)
+            (try Hashtbl.find churn_by_node u with Not_found -> [])
+        in
+        let rec strict = function
+          | a :: (b :: _ as rest) ->
+            if b.cat <= a.cat then
+              set_err
+                (Printf.sprintf "churn: node %d has two events at time %g" u
+                   b.cat)
+            else strict rest
+          | _ -> ()
+        in
+        strict evs;
+        (* alternation, and the detached intervals it implies *)
+        let init_attached = not (List.mem u s.detached) in
+        let detached_ivals = ref [] in
+        let attached = ref init_attached in
+        let det_since = ref (if init_attached then nan else 0.0) in
+        List.iter
+          (fun c ->
+            match c.ckind with
+            | Leave ->
+              if not !attached then
+                set_err
+                  (Printf.sprintf
+                     "churn: node %d leaves at %g but is already detached" u
+                     c.cat)
+              else begin
+                attached := false;
+                det_since := c.cat
+              end
+            | Join ->
+              if !attached then
+                set_err
+                  (Printf.sprintf
+                     "churn: node %d joins at %g but is already attached" u
+                     c.cat)
+              else begin
+                attached := true;
+                detached_ivals := (!det_since, c.cat) :: !detached_ivals
+              end)
+          evs;
+        if not !attached then
+          detached_ivals := (!det_since, infinity) :: !detached_ivals;
+        let wins =
+          List.filter_map
+            (fun c ->
+              if c.node = u then Some (c.at, c.at +. c.down_for) else None)
+            windows
+        in
+        List.iter
+          (fun (a, b) ->
+            List.iter
+              (fun (l, r) ->
+                if a < r && l < b then
+                  set_err
+                    (Printf.sprintf
+                       "crash: node %d window [%g,%g) overlaps a detached \
+                        period"
+                       u a b))
+              !detached_ivals)
+          wins)
+      nodes_involved;
+    (match !err with Some m -> Error m | None -> Ok s)
 
 (* ---- spec parsing / printing ------------------------------------- *)
 
@@ -113,6 +278,21 @@ let crash_field v =
   with Scanf.Scan_failure _ | Failure _ | End_of_file ->
     raise (Bad (Printf.sprintf "crash: expected NODE@AT+DOWNTIME, got %S" v))
 
+(* "NODE@AT+DOWN*COUNT:PERIOD" *)
+let flap_field v =
+  try
+    Scanf.sscanf v "%d@%f+%f*%d:%f%!" (fun fnode fat fdown fcount fperiod ->
+        { fnode; fat; fdown; fcount; fperiod })
+  with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+    raise
+      (Bad (Printf.sprintf "flap: expected NODE@AT+DOWN*COUNT:PERIOD, got %S" v))
+
+(* "NODE@AT" *)
+let churn_field key kind v =
+  try Scanf.sscanf v "%d@%f%!" (fun cnode cat -> { cnode; cat; ckind = kind })
+  with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+    raise (Bad (Printf.sprintf "%s: expected NODE@AT, got %S" key v))
+
 let spec_of_string str =
   let str = String.trim str in
   if str = "" || str = "none" then Ok none
@@ -137,6 +317,13 @@ let spec_of_string str =
                 let p, d = prob_with_bound key v s.delay_max in
                 { s with delay = p; delay_max = d }
               | "crash" -> { s with crashes = s.crashes @ [ crash_field v ] }
+              | "flap" -> { s with flaps = s.flaps @ [ flap_field v ] }
+              | "leave" ->
+                { s with churn = s.churn @ [ churn_field key Leave v ] }
+              | "join" ->
+                { s with churn = s.churn @ [ churn_field key Join v ] }
+              | "detached" ->
+                { s with detached = s.detached @ [ int_field key v ] }
               | _ -> raise (Bad (Printf.sprintf "unknown field %S" key))))
           none
           (String.split_on_char ',' str)
@@ -157,6 +344,16 @@ let spec_to_string s =
   List.iter
     (fun c -> field "crash=%d@%g+%g" c.node c.at c.down_for)
     s.crashes;
+  List.iter
+    (fun f -> field "flap=%d@%g+%g*%d:%g" f.fnode f.fat f.fdown f.fcount f.fperiod)
+    s.flaps;
+  List.iter
+    (fun c ->
+      field "%s=%d@%g"
+        (match c.ckind with Leave -> "leave" | Join -> "join")
+        c.cnode c.cat)
+    s.churn;
+  List.iter (fun u -> field "detached=%d" u) s.detached;
   if Buffer.length b = 0 then "none" else Buffer.contents b
 
 let pp_spec ppf s = Format.pp_print_string ppf (spec_to_string s)
@@ -170,6 +367,8 @@ type tel = {
   c_delay : Telemetry.Metrics.counter;
   c_crash : Telemetry.Metrics.counter;
   c_restart : Telemetry.Metrics.counter;
+  c_leave : Telemetry.Metrics.counter;
+  c_join : Telemetry.Metrics.counter;
 }
 
 type t = {
@@ -181,6 +380,8 @@ type t = {
   mutable delays : int;
   mutable crash_count : int;
   mutable restart_count : int;
+  mutable leave_count : int;
+  mutable join_count : int;
   tel : tel option;
 }
 
@@ -203,6 +404,8 @@ let create ?metrics ~seed spec =
           c_delay = c "fault.injected.delay";
           c_crash = c "fault.injected.crash";
           c_restart = c "fault.injected.restart";
+          c_leave = c "fault.injected.leave";
+          c_join = c "fault.injected.join";
         }
   in
   {
@@ -214,6 +417,8 @@ let create ?metrics ~seed spec =
     delays = 0;
     crash_count = 0;
     restart_count = 0;
+    leave_count = 0;
+    join_count = 0;
     tel;
   }
 
@@ -255,6 +460,14 @@ let count_crash t =
 let count_restart t =
   t.restart_count <- t.restart_count + 1;
   match t.tel with None -> () | Some x -> Telemetry.Metrics.incr x.c_restart
+
+let count_leave t =
+  t.leave_count <- t.leave_count + 1;
+  match t.tel with None -> () | Some x -> Telemetry.Metrics.incr x.c_leave
+
+let count_join t =
+  t.join_count <- t.join_count + 1;
+  match t.tel with None -> () | Some x -> Telemetry.Metrics.incr x.c_join
 
 let hook t ~src ~dst ~attempt =
   let g = keyed t ~stream:0 ~src ~dst ~attempt in
@@ -307,3 +520,56 @@ let delays t = t.delays
 let crashes_executed t = t.crash_count
 
 let restarts_executed t = t.restart_count
+
+let leaves_executed t = t.leave_count
+
+let joins_executed t = t.join_count
+
+(* ---- seeded churn synthesis --------------------------------------- *)
+
+(* Roll the membership automaton forward at a fixed event rate and
+   record the legal moves it makes.  All randomness comes from one
+   SplitMix stream keyed on the seed, so (seed, tree, order, rate,
+   horizon) reproduces the schedule exactly.  [order] biases who churns:
+   at each tick the move is drawn among the first few eligible nodes in
+   that order (e.g. {!Dht.Plaxton.churn_order} puts overlay leaves
+   first), so the schedule respects the overlay's departure
+   preferences without becoming deterministic. *)
+let synth_churn ~seed ~tree ~order ~rate ~horizon =
+  if rate <= 0.0 then []
+  else begin
+    let dyn = Tree.Dyn.create tree in
+    let g = Prng.Splitmix.create (seed lxor 0x5DEECE66D) in
+    let period = 1.0 /. rate in
+    let events = ref [] in
+    let t = ref period in
+    while !t <= horizon do
+      let leavers =
+        List.filter
+          (fun u -> Result.is_ok (Tree.Dyn.can_detach dyn u))
+          order
+      in
+      let joiners =
+        List.filter
+          (fun u -> Result.is_ok (Tree.Dyn.can_attach dyn u))
+          order
+      in
+      let pick pool =
+        let k = min 4 (List.length pool) in
+        List.nth pool (Prng.Splitmix.int g k)
+      in
+      (match (leavers, joiners) with
+      | [], [] -> ()
+      | _ :: _, [] | _ :: _, _ :: _ when joiners = [] || Prng.Splitmix.bool g
+        ->
+        let u = pick leavers in
+        ignore (Tree.Dyn.detach dyn u);
+        events := { cnode = u; cat = !t; ckind = Leave } :: !events
+      | _ ->
+        let u = pick joiners in
+        ignore (Tree.Dyn.attach dyn u);
+        events := { cnode = u; cat = !t; ckind = Join } :: !events);
+      t := !t +. period
+    done;
+    List.rev !events
+  end

@@ -22,6 +22,25 @@ type crash = {
   down_for : float;  (** restart happens at [at +. down_for] *)
 }
 
+type flap = {
+  fnode : int;
+  fat : float;  (** first crash *)
+  fdown : float;  (** downtime of each window *)
+  fcount : int;  (** number of crash/restart cycles *)
+  fperiod : float;  (** spacing between successive crashes *)
+}
+(** Repeated per-node crash windows (flapping): sugar for [fcount]
+    crash windows of [fdown] starting at [fat], [fat +. fperiod], ...
+    Expanded by {!crash_windows}; {!validate} still rejects overlapping
+    windows after expansion. *)
+
+type churn_kind = Leave | Join
+
+type churn = { cnode : int; cat : float; ckind : churn_kind }
+(** A membership event: the node departs from ([Leave]) or attaches to
+    ([Join]) the active aggregation tree at virtual time [cat] (see
+    {!Mechanism.Make.depart}/[join]). *)
+
 type spec = {
   drop : float;  (** P(message lost on the wire), in [\[0, 1)] *)
   duplicate : float;  (** P(message enqueued twice) *)
@@ -33,6 +52,11 @@ type spec = {
       (** max extra latency in whole time units (uniform in
           [\[1, delay_max\]]) *)
   crashes : crash list;
+  flaps : flap list;
+  churn : churn list;
+  detached : int list;
+      (** nodes that start outside the active tree (their first churn
+          event, if any, must be a [Join]) *)
 }
 
 val none : spec
@@ -40,17 +64,26 @@ val none : spec
 
 val validate : spec -> (spec, string) result
 (** Probabilities in range ([drop < 1] so retransmission terminates),
-    depths/bounds positive where the matching probability is, crash
-    times finite and non-negative with positive downtime, and per-node
-    crash intervals non-overlapping. *)
+    depths/bounds positive where the matching probability is, crash and
+    flap times finite and non-negative with positive downtime, per-node
+    crash intervals (after flap expansion) non-overlapping, [detached]
+    duplicate-free, and the churn schedule per-node consistent: events
+    strictly ordered in time, alternating leave/join starting from the
+    initial membership, with every crash window falling entirely inside
+    an attached period. *)
+
+val crash_windows : spec -> crash list
+(** Every crash window the plan schedules: the explicit [crashes] plus
+    the expansion of each flap.  This is the list drivers execute. *)
 
 val spec_of_string : string -> (spec, string) result
 (** Parse a comma-separated spec, e.g.
-    ["drop=0.1,dup=0.05,reorder=0.1:3,delay=0.2:4,crash=3@40+25"].
+    ["drop=0.1,crash=3@40+25,flap=2@10+4*3:20,leave=5@30,join=5@60"].
     Fields (all optional; omitted = off): [drop=P], [dup=P],
-    [reorder=P\[:DEPTH\]], [delay=P\[:MAX\]], [crash=NODE@AT+DOWNTIME]
-    (repeatable).  [""] and ["none"] parse to {!none}.  The result is
-    {!validate}d. *)
+    [reorder=P\[:DEPTH\]], [delay=P\[:MAX\]], [crash=NODE@AT+DOWNTIME],
+    [flap=NODE@AT+DOWN*COUNT:PERIOD], [leave=NODE@AT], [join=NODE@AT],
+    [detached=NODE] (the last five repeatable).  [""] and ["none"]
+    parse to {!none}.  The result is {!validate}d. *)
 
 val spec_to_string : spec -> string
 (** Canonical round-trippable form ([{!spec_of_string}] inverse);
@@ -64,7 +97,7 @@ type t
 
 val create : ?metrics:Telemetry.Metrics.t -> seed:int -> spec -> t
 (** [metrics] registers counters [fault.injected.drop], [.duplicate],
-    [.reorder], [.delay], [.crash], [.restart].
+    [.reorder], [.delay], [.crash], [.restart], [.leave], [.join].
     @raise Invalid_argument if the spec does not {!validate}. *)
 
 val seed : t -> int
@@ -81,12 +114,15 @@ val latency : t -> base:(src:int -> dst:int -> float) -> src:int -> dst:int -> f
 
 (** {1 Injection accounting}
 
-    [count_crash]/[count_restart] are called by the driver
-    ({!Runner}) when it executes a scheduled crash/restart, so that
-    all six [fault.injected.*] counters live in one place. *)
+    [count_crash]/[count_restart]/[count_leave]/[count_join] are called
+    by the driver ({!Runner}) when it executes a scheduled
+    crash/restart/leave/join, so that all [fault.injected.*] counters
+    live in one place. *)
 
 val count_crash : t -> unit
 val count_restart : t -> unit
+val count_leave : t -> unit
+val count_join : t -> unit
 
 val drops : t -> int
 val duplicates : t -> int
@@ -94,3 +130,23 @@ val reorders : t -> int
 val delays : t -> int
 val crashes_executed : t -> int
 val restarts_executed : t -> int
+val leaves_executed : t -> int
+val joins_executed : t -> int
+
+(** {1 Seeded churn synthesis} *)
+
+val synth_churn :
+  seed:int ->
+  tree:Tree.t ->
+  order:int list ->
+  rate:float ->
+  horizon:float ->
+  churn list
+(** Roll the {!Tree.Dyn} membership automaton forward at one event per
+    [1/rate] time units until [horizon], recording the legal moves it
+    makes: each tick detaches an active leaf or re-attaches a detached
+    node, drawn (seeded, deterministic) among the first few eligible
+    nodes of [order] — pass an overlay-aware order such as
+    {!Dht.Plaxton.churn_order} to bias who churns.  The result is a
+    valid churn schedule for a spec with no initially [detached] nodes
+    and no crash windows on churning nodes.  [rate <= 0] yields []. *)

@@ -7,6 +7,7 @@
 
 module Make (Op : Agg.Operator.S) = struct
   module M = Oat.Mechanism.Make (Op)
+  module R = Repair.Make (Op)
   module Net = Simul.Network
   module Rel = Simul.Reliable
   module Dev = Simul.Devent
@@ -31,10 +32,15 @@ module Make (Op : Agg.Operator.S) = struct
     faults_reordered : int;
     faults_delayed : int;
     crashes : int;
+    leaves : int;
+    joins : int;
     events : int;
     makespan : float;
     mean_combine_latency : float;
     causal_violations : int;
+    divergence_before : int;
+    divergence_after : int;
+    repair_stats : Repair.stats;
   }
 
   let pp_outcome ppf o =
@@ -63,14 +69,19 @@ module Make (Op : Agg.Operator.S) = struct
     int "faults reordered" o.faults_reordered;
     int "faults delayed" o.faults_delayed;
     int "crashes" o.crashes;
+    int "leaves" o.leaves;
+    int "joins" o.joins;
     int "events" o.events;
     flt "makespan" o.makespan;
     flt "mean combine latency" o.mean_combine_latency;
     int "causal violations" o.causal_violations;
+    int "divergence before" o.divergence_before;
+    int "divergence after" o.divergence_after;
+    line "repair" (fun ppf -> Repair.pp_stats ppf o.repair_stats);
     Format.pp_close_box ppf ()
 
-  let run ?metrics ?plan ?(rto = 4.0) ?(spacing = 2.0) ~tree ~policy ~requests
-      () =
+  let run ?metrics ?plan ?(rto = 4.0) ?rto_max ?(jitter = 0.0)
+      ?(repair = false) ?(spacing = 2.0) ~tree ~policy ~requests () =
     if spacing <= 0.0 then invalid_arg "Fault.Runner.run: spacing must be > 0";
     let n = Tree.n_nodes tree in
     let base = Dev.unit_latency in
@@ -98,8 +109,11 @@ module Make (Op : Agg.Operator.S) = struct
     let rel () =
       match !rel_ref with Some r -> r | None -> assert false
     in
+    let detached =
+      match plan with None -> [] | Some p -> (Plan.spec p).detached
+    in
     let s =
-      M.create ~ghost:true ?metrics
+      M.create ~ghost:true ?metrics ~detached
         ~on_send:(fun ~src ~dst ->
           match Net.pop (M.network (sys ())) ~src ~dst with
           | Some f -> Rel.send (rel ()) ~src ~dst f
@@ -110,7 +124,9 @@ module Make (Op : Agg.Operator.S) = struct
     (* acks share the mechanism's frame pool: one leak audit covers the
        whole data plane *)
     let rel =
-      Rel.create ?metrics ~pool:(M.frame_pool s) ~rto ~timer:dev ~net:phys
+      Rel.create ?metrics ~pool:(M.frame_pool s) ~rto ?max_rto:rto_max ~jitter
+        ~seed:(match plan with Some p -> Plan.seed p | None -> 0)
+        ~timer:dev ~net:phys
         ~deliver:(fun ~src ~dst f -> M.handler s ~src ~dst f)
         ()
     in
@@ -138,7 +154,26 @@ module Make (Op : Agg.Operator.S) = struct
               Plan.count_restart p;
               Rel.restart rel ~node:c.node;
               M.restart s ~node:c.node))
-        (Plan.spec p).crashes);
+        (Plan.crash_windows (Plan.spec p));
+      (* Membership schedule.  The transport stays up through both
+         transitions: a departed node's channels idle (the mechanism
+         discards frames across detached slots at both ends), and a
+         join's Hello resync rides the established sessions. *)
+      List.iter
+        (fun (c : Plan.churn) ->
+          if c.cnode < 0 || c.cnode >= n then
+            invalid_arg
+              (Printf.sprintf "Fault.Runner.run: churn node %d outside tree"
+                 c.cnode);
+          Dev.at dev c.cat (fun () ->
+              match c.ckind with
+              | Plan.Leave ->
+                Plan.count_leave p;
+                M.depart s ~node:c.cnode
+              | Plan.Join ->
+                Plan.count_join p;
+                M.join s ~node:c.cnode))
+        (Plan.spec p).churn);
     let n_requests = List.length requests in
     let issued = ref 0 and skipped = ref 0 in
     let writes = ref 0 and combines = ref 0 in
@@ -149,7 +184,7 @@ module Make (Op : Agg.Operator.S) = struct
         Dev.at dev
           (float_of_int (i + 1) *. spacing)
           (fun () ->
-            if not (M.alive s q.node) then incr skipped
+            if not (M.alive s q.node && M.attached s q.node) then incr skipped
             else begin
               incr issued;
               match q.op with
@@ -181,8 +216,26 @@ module Make (Op : Agg.Operator.S) = struct
     M.check_invariants s;
     Rel.check_invariants rel;
     Net.check_invariants phys;
+    (* The causal verdict is computed on the protocol's own history,
+       before any anti-entropy: repair-admitted entries are state
+       transfer (catch-up over an edge, batched per origin), not
+       request history, and need not interleave causally. *)
     let logs = Array.init n (fun u -> M.log s u) in
     let violations = Consistency.Causal.check (module Op) ~n_nodes:n ~logs in
+    (* Anti-entropy pass at quiescence: measure how far neighbouring
+       ghost logs drifted during the run, then (if asked) reconcile
+       until the active tree agrees.  Runs after the audits because it
+       mutates ghost state; re-audited below when it does. *)
+    let divergence_before = R.total_divergence s in
+    let repair_stats = Repair.fresh_stats () in
+    let divergence_after =
+      if repair then begin
+        ignore (R.sync ~stats:repair_stats s);
+        M.check_invariants s;
+        R.total_divergence s
+      end
+      else divergence_before
+    in
     let fd, fu, fr, fy, fc =
       match plan with
       | None -> (0, 0, 0, 0, 0)
@@ -214,10 +267,15 @@ module Make (Op : Agg.Operator.S) = struct
       faults_reordered = fr;
       faults_delayed = fy;
       crashes = fc;
+      leaves = (match plan with None -> 0 | Some p -> Plan.leaves_executed p);
+      joins = (match plan with None -> 0 | Some p -> Plan.joins_executed p);
       events;
       makespan = Dev.now dev;
       mean_combine_latency =
         (if completed = 0 then 0.0 else !lat_sum /. float_of_int completed);
       causal_violations = List.length violations;
+      divergence_before;
+      divergence_after;
+      repair_stats;
     }
 end

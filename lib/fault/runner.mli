@@ -42,10 +42,21 @@ module Make (Op : Agg.Operator.S) : sig
     faults_reordered : int;
     faults_delayed : int;
     crashes : int;  (** crash events executed *)
+    leaves : int;  (** departures executed *)
+    joins : int;  (** joins executed *)
     events : int;  (** virtual-time events processed (deliveries + timers) *)
     makespan : float;  (** virtual time at quiescence *)
     mean_combine_latency : float;  (** over completed combines; 0 if none *)
-    causal_violations : int;  (** from {!Consistency.Causal.check}; 0 = consistent *)
+    causal_violations : int;
+        (** from {!Consistency.Causal.check} on the protocol's own
+            history, before any [repair] pass (anti-entropy admits are
+            per-origin state transfer, not causally ordered history);
+            0 = consistent *)
+    divergence_before : int;
+        (** ghost-log divergence across active edges at quiescence,
+            before any anti-entropy ({!Repair.Make.total_divergence}) *)
+    divergence_after : int;  (** after the repair pass; 0 when [repair] ran *)
+    repair_stats : Repair.stats;  (** all zero unless [repair] ran *)
   }
 
   val pp_outcome : Format.formatter -> outcome -> unit
@@ -55,6 +66,9 @@ module Make (Op : Agg.Operator.S) : sig
     ?metrics:Telemetry.Metrics.t ->
     ?plan:Plan.t ->
     ?rto:float ->
+    ?rto_max:float ->
+    ?jitter:float ->
+    ?repair:bool ->
     ?spacing:float ->
     tree:Tree.t ->
     policy:Oat.Policy.factory ->
@@ -63,15 +77,33 @@ module Make (Op : Agg.Operator.S) : sig
     outcome
   (** Request [i] (0-based) is injected at virtual time
       [(i + 1) *. spacing] (default spacing 2.0); [rto] (default 4.0)
-      is the transport's initial retransmission timeout.  [metrics]
-      is shared by mechanism (logical [net.sent.*], [mech.*]),
-      transport ([net.retransmits], ...) and plan ([fault.injected.*]);
-      pass the same registry given to [Plan.create].  With no [plan]
-      the stack still runs over the transport, fault-free.
+      is the transport's initial retransmission timeout, growing up to
+      [rto_max] (transport default 64.0) with deterministic [jitter]
+      (default 0.0 — see {!Simul.Reliable.create}; the jitter hash is
+      seeded from the plan's seed).  [metrics] is shared by mechanism
+      (logical [net.sent.*], [mech.*]), transport ([net.retransmits],
+      ...) and plan ([fault.injected.*]); pass the same registry given
+      to [Plan.create].  With no [plan] the stack still runs over the
+      transport, fault-free.
+
+      The plan's crash windows (explicit plus flap expansion) hit
+      transport and mechanism together; its churn schedule drives
+      {!Oat.Mechanism.Make.depart}/[join], and requests whose node is
+      down {e or detached} at injection time are counted [skipped].
+      Nodes in the spec's [detached] list start outside the active
+      tree.
+
+      After the drain and audits, ghost-log divergence across active
+      edges is measured ([divergence_before]); with [repair = true]
+      (default false) a Merkle anti-entropy pass ({!Repair.Make.sync})
+      then reconciles the active tree to [divergence_after = 0],
+      with message cost in [repair_stats].
 
       Audits {!Oat.Mechanism.Make.check_invariants} and both network
       layers' invariants after the drain, and fails if any layer is
       not quiescent.
-      @raise Invalid_argument if a scheduled crash names a node outside
-      the tree, or [spacing <= 0]. *)
+      @raise Invalid_argument if a scheduled crash or churn event
+      names a node outside the tree, a churn event is illegal at
+      execution time (departing non-leaf, dead handoff), or
+      [spacing <= 0]. *)
 end

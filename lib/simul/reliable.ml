@@ -29,6 +29,7 @@ type chan = {
   unacked : Frame.t Queue.t;  (* frames [s_base, s_next), stamped *)
   mutable rto_cur : float;
   mutable gen : int;      (* bumps logically cancel armed timers *)
+  mutable armed : int;    (* lifetime arm count: the jitter draw index *)
   mutable r_next : int;   (* receiver: next expected sequence number *)
   ooo : (int, Frame.t) Hashtbl.t; (* receiver: buffered out-of-order *)
 }
@@ -55,6 +56,8 @@ type t = {
   rto0 : float;
   backoff : float;
   max_rto : float;
+  jitter : float;         (* timer spread factor; 0 = exact backoff *)
+  jseed : int;
   mutable unacked_total : int;
   mutable retransmits : int;
   mutable dedup_drops : int;
@@ -64,9 +67,11 @@ type t = {
 }
 
 let create ?metrics ?pool ?(rto = 4.0) ?(backoff = 2.0) ?(max_rto = 64.0)
-    ~timer ~net ~deliver () =
+    ?(jitter = 0.0) ?(seed = 0) ~timer ~net ~deliver () =
   if rto <= 0.0 || backoff < 1.0 || max_rto < rto then
     invalid_arg "Reliable.create: need rto > 0, backoff >= 1, max_rto >= rto";
+  if Float.is_nan jitter || jitter < 0.0 then
+    invalid_arg "Reliable.create: need jitter >= 0";
   let tree = Network.tree net in
   let n = Tree.n_nodes tree in
   let chan_base = Array.make (n + 1) 0 in
@@ -113,6 +118,7 @@ let create ?metrics ?pool ?(rto = 4.0) ?(backoff = 2.0) ?(max_rto = 64.0)
             unacked = Queue.create ();
             rto_cur = rto;
             gen = 0;
+            armed = 0;
             r_next = 0;
             ooo = Hashtbl.create 8;
           });
@@ -124,6 +130,8 @@ let create ?metrics ?pool ?(rto = 4.0) ?(backoff = 2.0) ?(max_rto = 64.0)
     rto0 = rto;
     backoff;
     max_rto;
+    jitter;
+    jseed = seed;
     unacked_total = 0;
     retransmits = 0;
     dedup_drops = 0;
@@ -163,11 +171,27 @@ let transmit t ~src ~dst f =
 (* Retransmission timers: [arm] schedules a firing [rto_cur] ahead on
    the virtual clock, tagged with the channel's current generation.  A
    generation bump (ack progress, teardown) logically cancels every
-   armed firing, since heap entries cannot be removed. *)
+   armed firing, since heap entries cannot be removed.
+
+   With [jitter > 0] each firing lands a seeded, deterministic factor
+   in [1, 1 + jitter) later than the backed-off base — spreading
+   synchronized expiries (e.g. every channel into a crashed node arming
+   in lock-step) without breaking reproducibility: the draw is a
+   stateless hash of (seed, channel, lifetime arm index), independent
+   of scheduler interleaving. *)
 let rec arm t ci =
   let c = t.chans.(ci) in
   let g = c.gen in
-  Devent.after t.timer c.rto_cur (fun () -> on_timer t ci g)
+  let d =
+    if t.jitter <= 0.0 then c.rto_cur
+    else begin
+      let k = (((t.jseed * 1_000_003) + ci) * 999_983) + c.armed in
+      c.armed <- c.armed + 1;
+      let u = Prng.Splitmix.float (Prng.Splitmix.create k) in
+      c.rto_cur *. (1.0 +. (t.jitter *. u))
+    end
+  in
+  Devent.after t.timer d (fun () -> on_timer t ci g)
 
 and on_timer t ci g =
   let c = t.chans.(ci) in

@@ -39,6 +39,8 @@ val create :
   ?rto:float ->
   ?backoff:float ->
   ?max_rto:float ->
+  ?jitter:float ->
+  ?seed:int ->
   timer:Devent.t ->
   net:Frame.t Network.t ->
   deliver:(src:int -> dst:int -> Frame.t -> unit) ->
@@ -51,11 +53,17 @@ val create :
     pool); pass the mechanism's pool to keep one leak-audited pool per
     system.  [rto] (default 4.0) is the initial retransmission timeout
     in virtual-time units, grown by [backoff] (default 2.0) per expiry
-    up to [max_rto] (default 64.0).  [metrics] registers
-    [net.retransmits], [net.dedup_drops], [net.stale_drops] and
-    [net.teardown_drops] counters.
-    @raise Invalid_argument unless [rto > 0], [backoff >= 1] and
-    [max_rto >= rto]. *)
+    up to [max_rto] (default 64.0).  [jitter] (default 0.0 — exact
+    backoff, bit-compatible with earlier runs) spreads each timer
+    firing by a deterministic factor in [\[1, 1 + jitter)], drawn from
+    a stateless hash of ([seed], channel, lifetime arm index): long
+    crash windows no longer expire every incident channel's timer in
+    lock-step, and the same ([seed], workload) still reproduces byte
+    for byte.  [metrics] registers [net.retransmits],
+    [net.dedup_drops], [net.stale_drops] and [net.teardown_drops]
+    counters.
+    @raise Invalid_argument unless [rto > 0], [backoff >= 1],
+    [max_rto >= rto] and [jitter >= 0]. *)
 
 val send : t -> src:int -> dst:int -> Frame.t -> unit
 (** Stamp (sequence number, incarnations), buffer and transmit a

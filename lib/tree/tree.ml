@@ -532,3 +532,180 @@ module Partition = struct
       fail "cut lists %d edges, tree has %d cross-shard edges"
         (List.length t.cut) cut'
 end
+
+module Dyn = struct
+  (* Mutable membership view over a fixed capacity tree.  The node set
+     and adjacency never change (every array-backed consumer — slot
+     arenas, partitions, transports — stays valid); what changes is
+     which nodes are *active*.  The invariant maintained here is the one
+     the aggregation protocol needs: the active set is nonempty and
+     induces a connected subtree of the capacity tree.  In a tree that
+     pins the legal moves exactly: only an active node with exactly one
+     active neighbour (an active leaf) may detach, and only an inactive
+     node with at least one active capacity-neighbour may attach
+     (attaching to several active neighbours cannot close a cycle — the
+     capacity graph has none). *)
+
+  type dyn = {
+    base : t;
+    active : Bytes.t;               (* per node *)
+    active_deg : int array;         (* # active neighbours, maintained *)
+    mutable active_count : int;
+  }
+
+  let bget b i = Bytes.unsafe_get b i <> '\000'
+  let bset b i v = Bytes.unsafe_set b i (if v then '\001' else '\000')
+
+  let tree d = d.base
+  let is_active d u =
+    if u < 0 || u >= d.base.n then invalid "node %d out of range" u;
+    bget d.active u
+  let active_count d = d.active_count
+  let active_degree d u =
+    if u < 0 || u >= d.base.n then invalid "node %d out of range" u;
+    d.active_deg.(u)
+
+  let active_nodes d =
+    let acc = ref [] in
+    for u = d.base.n - 1 downto 0 do
+      if bget d.active u then acc := u :: !acc
+    done;
+    !acc
+
+  let create ?(detached = []) base =
+    let n = base.n in
+    let active = Bytes.make n '\001' in
+    List.iter
+      (fun u ->
+        if u < 0 || u >= n then
+          invalid_arg (Printf.sprintf "Tree.Dyn.create: node %d out of range" u);
+        if not (bget active u) then
+          invalid_arg (Printf.sprintf "Tree.Dyn.create: node %d detached twice" u);
+        bset active u false)
+      detached;
+    let active_count = n - List.length detached in
+    if active_count = 0 then
+      invalid_arg "Tree.Dyn.create: active set is empty";
+    (* the active set must induce a connected subtree *)
+    let start = ref (-1) in
+    for u = n - 1 downto 0 do
+      if bget active u then start := u
+    done;
+    let visited = Bytes.make n '\000' in
+    let queue = Queue.create () in
+    Queue.add !start queue;
+    bset visited !start true;
+    let seen = ref 0 in
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      incr seen;
+      Array.iter
+        (fun v ->
+          if bget active v && not (bget visited v) then begin
+            bset visited v true;
+            Queue.add v queue
+          end)
+        base.adj.(u)
+    done;
+    if !seen <> active_count then
+      invalid_arg "Tree.Dyn.create: active set is disconnected";
+    let active_deg = Array.make n 0 in
+    for u = 0 to n - 1 do
+      let k = ref 0 in
+      Array.iter (fun v -> if bget active v then incr k) base.adj.(u);
+      active_deg.(u) <- !k
+    done;
+    { base; active; active_deg; active_count }
+
+  let can_detach d u =
+    if u < 0 || u >= d.base.n then invalid "node %d out of range" u;
+    if not (bget d.active u) then Error "node is not active"
+    else if d.active_count < 2 then Error "cannot detach the last active node"
+    else if d.active_deg.(u) <> 1 then
+      Error
+        (Printf.sprintf "node has %d active neighbours (need exactly 1)"
+           d.active_deg.(u))
+    else begin
+      (* the unique active neighbour is the handoff point *)
+      let h = ref (-1) in
+      Array.iter (fun v -> if bget d.active v then h := v) d.base.adj.(u);
+      Ok !h
+    end
+
+  let detach d u =
+    match can_detach d u with
+    | Error m -> invalid_arg ("Tree.Dyn.detach: " ^ m)
+    | Ok h ->
+      bset d.active u false;
+      d.active_count <- d.active_count - 1;
+      Array.iter (fun v -> d.active_deg.(v) <- d.active_deg.(v) - 1) d.base.adj.(u);
+      h
+
+  let can_attach d u =
+    if u < 0 || u >= d.base.n then invalid "node %d out of range" u;
+    if bget d.active u then Error "node is already active"
+    else begin
+      let pts = ref [] in
+      Array.iter (fun v -> if bget d.active v then pts := v :: !pts) d.base.adj.(u);
+      match List.rev !pts with
+      | [] -> Error "no active capacity-neighbour to attach to"
+      | l -> Ok l
+    end
+
+  let attach d u =
+    match can_attach d u with
+    | Error m -> invalid_arg ("Tree.Dyn.attach: " ^ m)
+    | Ok pts ->
+      bset d.active u true;
+      d.active_count <- d.active_count + 1;
+      Array.iter (fun v -> d.active_deg.(v) <- d.active_deg.(v) + 1) d.base.adj.(u);
+      pts
+
+  (* Membership-aware sharding: the weighted partitioner over unit
+     weights on active nodes (detached nodes weigh nothing, so shard
+     loads balance over the live population while contiguity — and the
+     validity of every node's shard assignment — is preserved). *)
+  let partition ?root d ~shards =
+    let w = Array.make d.base.n 0 in
+    for u = 0 to d.base.n - 1 do
+      if bget d.active u then w.(u) <- 1
+    done;
+    Partition.create_weighted ?root d.base ~shards ~weights:w
+
+  let check d =
+    let fail fmt = Format.kasprintf failwith ("Tree.Dyn.check: " ^^ fmt) in
+    let n = d.base.n in
+    let count = ref 0 in
+    for u = 0 to n - 1 do
+      if bget d.active u then incr count;
+      let k = ref 0 in
+      Array.iter (fun v -> if bget d.active v then incr k) d.base.adj.(u);
+      if !k <> d.active_deg.(u) then
+        fail "node %d: active_deg %d <> %d" u d.active_deg.(u) !k
+    done;
+    if !count <> d.active_count then
+      fail "active_count %d <> %d" d.active_count !count;
+    if !count = 0 then fail "active set is empty";
+    let start = ref (-1) in
+    for u = n - 1 downto 0 do
+      if bget d.active u then start := u
+    done;
+    let visited = Bytes.make n '\000' in
+    let queue = Queue.create () in
+    Queue.add !start queue;
+    bset visited !start true;
+    let seen = ref 0 in
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      incr seen;
+      Array.iter
+        (fun v ->
+          if bget d.active v && not (bget visited v) then begin
+            bset visited v true;
+            Queue.add v queue
+          end)
+        d.base.adj.(u)
+    done;
+    if !seen <> !count then
+      fail "active set disconnected (%d of %d reachable)" !seen !count
+end

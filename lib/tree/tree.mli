@@ -197,3 +197,63 @@ module Partition : sig
       the owned lists, the cut is exactly the set of cross-shard edges.
       @raise Failure on the first violation. *)
 end
+
+(** Mutable membership view over a fixed capacity tree (churn).
+
+    Node ids, adjacency, neighbour slot order and arena geometry never
+    change — every array-backed consumer built against the capacity
+    tree stays valid across membership changes.  What changes is which
+    nodes are {e active}.  The invariant is the one the aggregation
+    protocol needs: the active set is nonempty and induces a connected
+    subtree.  In a tree that pins the legal moves exactly: only an
+    active node with exactly one active neighbour (an active leaf) may
+    detach — its unique active neighbour is the {e handoff point} for
+    state transfer — and only an inactive node with at least one active
+    capacity-neighbour may attach (several attach points cannot close a
+    cycle, the capacity graph has none).  [active_degree] is maintained
+    incrementally, so eligibility queries are O(degree) worst case and
+    O(1) amortized under churn. *)
+module Dyn : sig
+  type dyn
+
+  val create : ?detached:int list -> t -> dyn
+  (** All nodes active except [detached] (default none).
+      @raise Invalid_argument if [detached] repeats or out-of-range
+      nodes, or leaves the active set empty or disconnected. *)
+
+  val tree : dyn -> t
+  val is_active : dyn -> int -> bool
+  val active_count : dyn -> int
+  val active_nodes : dyn -> int list
+  (** Active nodes, ascending. *)
+
+  val active_degree : dyn -> int -> int
+  (** Number of active neighbours (maintained incrementally). *)
+
+  val can_detach : dyn -> int -> (int, string) result
+  (** [Ok h] iff the node is an active leaf of the active subtree (and
+      not the last active node); [h] is its handoff neighbour. *)
+
+  val detach : dyn -> int -> int
+  (** Detach an active leaf, returning the handoff neighbour.
+      @raise Invalid_argument when {!can_detach} says [Error]. *)
+
+  val can_attach : dyn -> int -> (int list, string) result
+  (** [Ok points] iff the node is inactive with at least one active
+      capacity-neighbour; [points] are those neighbours, ascending. *)
+
+  val attach : dyn -> int -> int list
+  (** Attach an inactive node, returning its attach points.
+      @raise Invalid_argument when {!can_attach} says [Error]. *)
+
+  val partition : ?root:int -> dyn -> shards:int -> Partition.partition
+  (** Membership-aware sharding: {!Partition.create_weighted} with unit
+      weight on active nodes and zero on detached ones, so shard loads
+      balance over the live population.  Detached nodes still get a
+      (weightless) shard assignment — they generate no traffic until
+      they attach, at which point re-partitioning at a reconfiguration
+      barrier rebalances them in. *)
+
+  val check : dyn -> unit
+  (** Audit counters and connectivity. @raise Failure on violation. *)
+end

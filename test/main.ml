@@ -25,5 +25,7 @@ let () =
       ("faults", Test_faults.suite);
       ("reliable", Test_reliable.suite);
       ("recovery", Test_recovery.suite);
+      ("repair", Test_repair.suite);
+      ("churn", Test_churn.suite);
       ("dht", Test_dht.suite);
     ]

@@ -1,0 +1,149 @@
+(* Merkle anti-entropy: hash-tree summaries over ghost-log frontiers,
+   and convergence (divergence = 0 after heal) on seeded partition
+   scenarios driven through the mechanism's churn and crash paths. *)
+
+module M = Oat.Mechanism.Make (Agg.Ops.Sum)
+module Rp = Repair.Make (Agg.Ops.Sum)
+
+(* -------- Merkle unit behaviour ------------------------------------ *)
+
+let visits f =
+  let c = ref 0 in
+  let r = f ~visit:(fun () -> incr c) in
+  (r, !c)
+
+let test_merkle_prunes_equal_subtrees () =
+  let fr = Array.init 64 (fun i -> (i * 13) mod 7) in
+  let a = Repair.Merkle.build fr and b = Repair.Merkle.build (Array.copy fr) in
+  Alcotest.(check bool) "equal frontiers, equal roots" true
+    (Repair.Merkle.root a = Repair.Merkle.root b);
+  let diff, cost = visits (Repair.Merkle.diff_origins a b) in
+  Alcotest.(check (list int)) "no divergent origins" [] diff;
+  Alcotest.(check int) "equal trees compared at the root only" 1 cost
+
+let test_merkle_finds_exact_divergence () =
+  let n = 64 in
+  let fa = Array.init n (fun i -> i) in
+  let fb = Array.copy fa in
+  fb.(5) <- 99;
+  fb.(41) <- -1;
+  let a = Repair.Merkle.build fa and b = Repair.Merkle.build fb in
+  Alcotest.(check bool) "roots differ" true
+    (Repair.Merkle.root a <> Repair.Merkle.root b);
+  let diff, cost = visits (Repair.Merkle.diff_origins a b) in
+  Alcotest.(check (list int)) "exactly the divergent origins" [ 5; 41 ] diff;
+  (* 2 divergent leaves in a 64-leaf tree: the walk opens at most two
+     root-to-leaf paths (depth 6) plus both children of each compared
+     internal node — far below the 127 nodes a full exchange reads *)
+  Alcotest.(check bool)
+    (Printf.sprintf "summary cost %d is logarithmic" cost)
+    true (cost < 40)
+
+let test_merkle_size_mismatch_rejected () =
+  let a = Repair.Merkle.build (Array.make 4 0) in
+  let b = Repair.Merkle.build (Array.make 5 0) in
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Repair.Merkle.diff_origins: size mismatch") (fun () ->
+      ignore (Repair.Merkle.diff_origins a b ~visit:ignore))
+
+let test_merkle_deterministic () =
+  let fr = Array.init 17 (fun i -> i * i) in
+  let r1 = Repair.Merkle.root (Repair.Merkle.build fr) in
+  let r2 = Repair.Merkle.root (Repair.Merkle.build fr) in
+  Alcotest.(check bool) "same input, same root" true (r1 = r2);
+  fr.(9) <- fr.(9) + 1;
+  let r3 = Repair.Merkle.root (Repair.Merkle.build fr) in
+  Alcotest.(check bool) "perturbed input, new root" true (r1 <> r3)
+
+(* -------- convergence on churn/crash scenarios --------------------- *)
+
+let drain sys = ignore (M.run_to_quiescence sys)
+
+let test_rejoin_divergence_heals () =
+  (* writes land while 2 is detached; at rejoin its ghost log is
+     behind, and one sync drives the active tree's divergence to 0 *)
+  let tree = Tree.Build.path 3 in
+  let sys = M.create ~ghost:true tree ~policy:Oat.Rww.policy in
+  M.write_sync sys ~node:0 1.0;
+  M.write_sync sys ~node:2 2.0;
+  M.depart sys ~node:2;
+  drain sys;
+  M.write_sync sys ~node:1 4.0;
+  M.write_sync sys ~node:1 8.0;
+  M.join sys ~node:2;
+  drain sys;
+  M.check_invariants sys;
+  Alcotest.(check bool) "rejoined node is behind" true
+    (Rp.divergence sys ~a:1 ~b:2 > 0);
+  let before = Rp.total_divergence sys in
+  Alcotest.(check bool) "tree diverged" true (before > 0);
+  let stats = Repair.fresh_stats () in
+  let shipped = Rp.sync ~stats sys in
+  Alcotest.(check bool) "writes shipped" true (shipped > 0);
+  Alcotest.(check int) "converged to zero divergence" 0
+    (Rp.total_divergence sys);
+  Alcotest.(check int) "stats agree on shipped writes" shipped
+    stats.Repair.writes_shipped;
+  Alcotest.(check bool) "summary traffic was accounted" true
+    (stats.Repair.summary_msgs > 0);
+  M.check_invariants sys;
+  (* fixpoint: a second sync is pure summary traffic *)
+  Alcotest.(check int) "second sync ships nothing" 0 (Rp.sync sys);
+  (* pairwise agreement along the tree implies global agreement *)
+  Alcotest.(check (array int)) "frontiers equal at the endpoints"
+    (M.ghost_frontier sys ~node:0)
+    (M.ghost_frontier sys ~node:2)
+
+let test_crash_divergence_heals () =
+  (* a crash window makes 4 miss ghost traffic; sync converges and a
+     repeated heal cycle stays convergent *)
+  let tree = Tree.Build.binary 7 in
+  let sys = M.create ~ghost:true tree ~policy:Oat.Rww.policy in
+  for round = 1 to 3 do
+    M.write_sync sys ~node:0 (float_of_int round);
+    M.crash sys ~node:4;
+    drain sys;
+    M.write_sync sys ~node:2 (float_of_int (10 * round));
+    ignore (M.combine_sync sys ~node:1);
+    M.restart sys ~node:4;
+    drain sys;
+    ignore (Rp.sync sys);
+    Alcotest.(check int)
+      (Printf.sprintf "round %d: converged" round)
+      0
+      (Rp.total_divergence sys);
+    M.check_invariants sys
+  done
+
+let test_active_edges_excludes_down_and_detached () =
+  let tree = Tree.Build.path 4 in
+  let sys = M.create ~ghost:true tree ~policy:Oat.Rww.policy in
+  Alcotest.(check int) "all edges active" 3
+    (List.length (Rp.active_edges sys));
+  M.depart sys ~node:3;
+  drain sys;
+  M.crash sys ~node:0;
+  drain sys;
+  Alcotest.(check (list (pair int int))) "only the live attached edge"
+    [ (1, 2) ] (Rp.active_edges sys);
+  (* sync over the reduced edge set still reaches its fixpoint *)
+  ignore (Rp.sync sys);
+  Alcotest.(check int) "reduced tree converges" 0 (Rp.total_divergence sys)
+
+let suite =
+  [
+    Alcotest.test_case "merkle: equal subtrees pruned at the root" `Quick
+      test_merkle_prunes_equal_subtrees;
+    Alcotest.test_case "merkle: finds exactly the divergent origins" `Quick
+      test_merkle_finds_exact_divergence;
+    Alcotest.test_case "merkle: size mismatch rejected" `Quick
+      test_merkle_size_mismatch_rejected;
+    Alcotest.test_case "merkle: deterministic roots" `Quick
+      test_merkle_deterministic;
+    Alcotest.test_case "rejoin divergence heals to zero" `Quick
+      test_rejoin_divergence_heals;
+    Alcotest.test_case "crash divergence heals, repeatedly" `Quick
+      test_crash_divergence_heals;
+    Alcotest.test_case "active edges exclude down and detached" `Quick
+      test_active_edges_excludes_down_and_detached;
+  ]
